@@ -1,0 +1,204 @@
+"""Query execution: the §1 cost motivation and QEF validity, measured.
+
+The paper motivates source selection with execution costs ("the more
+sources we have, the higher these costs become") and defines QEFs that are
+*predictions* about the eventual integration system.  This bench runs real
+(simulated) query workloads against solved integration systems and checks
+that the predictions come true:
+
+* query cost grows with the number of selected sources;
+* the Coverage QEF tracks realized answer completeness;
+* the Redundancy QEF tracks (inversely) the realized duplicate ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Problem, default_weights
+from repro.execution import (
+    IntegrationSystem,
+    QueryWorkloadConfig,
+    full_answer_count,
+    random_queries,
+)
+from repro.quality import Objective
+from repro.search import OptimizerConfig, TabuSearch
+from repro.workload import DataConfig, generate_books_universe
+
+from common import bench_scale, emphasized_weights
+
+SCALE = bench_scale()
+N_QUERIES = 10
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # Execution needs retained tuples; keep the universe moderate.
+    return generate_books_universe(
+        n_sources=min(SCALE.fig6_universe_size, 100),
+        seed=5,
+        data_config=DataConfig.tiny() if SCALE.name == "smoke" else DataConfig(
+            pool_size=100_000, min_cardinality=500, max_cardinality=20_000
+        ),
+        keep_tuples=True,
+    )
+
+
+def solve(workload, budget, weights=None, seed=0):
+    problem = Problem(
+        universe=workload.universe,
+        weights=weights or default_weights(),
+        max_sources=budget,
+    )
+    objective = Objective(problem)
+    result = TabuSearch(
+        OptimizerConfig(
+            max_iterations=SCALE.iterations,
+            sample_size=SCALE.sample_size,
+            seed=seed,
+        )
+    ).optimize(objective)
+    return result.solution
+
+
+@pytest.fixture(scope="module")
+def shared_queries(workload):
+    """One query workload, generated from the richest schema, shared by
+    every budget so the cost comparison is controlled."""
+    solution = solve(workload, 12)
+    return random_queries(
+        solution.schema, N_QUERIES, QueryWorkloadConfig(seed=1)
+    )
+
+
+@pytest.mark.parametrize("budget", [3, 6, 12])
+def test_execution_cost_grows_with_sources(
+    benchmark, workload, shared_queries, budget
+):
+    solution = solve(workload, budget)
+    system = IntegrationSystem.from_solution(workload.universe, solution)
+
+    def run():
+        total = 0.0
+        for query in shared_queries:
+            total += system.execute(query).cost.total_ms
+        return total / len(shared_queries)
+
+    mean_cost = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.group = "execution: cost vs |S|"
+    benchmark.extra_info["budget"] = budget
+    benchmark.extra_info["mean_query_cost_ms"] = round(mean_cost, 1)
+    print(
+        f"[execution] m={budget:>2} sources={len(solution.selected):>2} "
+        f"mean query cost={mean_cost:8.1f}ms"
+    )
+    COSTS[budget] = mean_cost
+
+
+COSTS: dict[int, float] = {}
+
+
+def test_execution_cost_shape(benchmark, workload, shared_queries):
+    """§1: more sources ⇒ higher query cost (same query workload)."""
+
+    def run():
+        costs = {}
+        for budget in (3, 12):
+            solution = solve(workload, budget)
+            system = IntegrationSystem.from_solution(
+                workload.universe, solution
+            )
+            costs[budget] = sum(
+                system.execute(q).cost.total_ms for q in shared_queries
+            ) / len(shared_queries)
+        return costs
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"[execution] cost(m=3)={costs[3]:.1f}ms "
+          f"cost(m=12)={costs[12]:.1f}ms")
+    assert costs[12] > costs[3]
+
+
+def test_coverage_qef_predicts_completeness(benchmark, workload):
+    """Higher Coverage-QEF solutions answer more of the full answer."""
+
+    def run():
+        rows = []
+        for weight in (0.1, 0.8):
+            weights = emphasized_weights("coverage", weight)
+            weights.pop("mttf")
+            total = sum(weights.values())
+            weights = {k: v / total for k, v in weights.items()}
+            solution = solve(workload, 8, weights=weights)
+            system = IntegrationSystem.from_solution(
+                workload.universe, solution
+            )
+            queries = random_queries(
+                solution.schema, N_QUERIES, QueryWorkloadConfig(seed=2)
+            )
+            completeness = []
+            for query in queries:
+                result = system.execute(query)
+                full = full_answer_count(workload.universe, query)
+                completeness.append(result.completeness_against(full))
+            rows.append(
+                (
+                    weight,
+                    solution.qef_scores["coverage"],
+                    sum(completeness) / len(completeness),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.group = "execution: QEF validity"
+    for weight, predicted, realized in rows:
+        print(
+            f"[execution] w_cov={weight:<4} coverage QEF={predicted:.3f} "
+            f"realized completeness={realized:.3f}"
+        )
+    (_, low_qef, low_real), (_, high_qef, high_real) = rows
+    assert high_qef >= low_qef - 0.02
+    assert high_real >= low_real - 0.05
+
+
+def test_redundancy_qef_predicts_duplicates(benchmark, workload):
+    """Higher Redundancy QEF (better) ↔ lower realized duplicate ratio."""
+
+    def run():
+        rows = []
+        for weight in (0.02, 0.9):
+            weights = emphasized_weights("redundancy", weight)
+            weights.pop("mttf")
+            total = sum(weights.values())
+            weights = {k: v / total for k, v in weights.items()}
+            solution = solve(workload, 8, weights=weights)
+            system = IntegrationSystem.from_solution(
+                workload.universe, solution
+            )
+            queries = random_queries(
+                solution.schema, N_QUERIES, QueryWorkloadConfig(seed=3)
+            )
+            ratios = [
+                system.execute(query).duplicate_ratio for query in queries
+            ]
+            rows.append(
+                (
+                    weight,
+                    solution.qef_scores["redundancy"],
+                    sum(ratios) / len(ratios),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.group = "execution: QEF validity"
+    for weight, predicted, realized in rows:
+        print(
+            f"[execution] w_red={weight:<4} redundancy QEF={predicted:.3f} "
+            f"realized duplicate ratio={realized:.3f}"
+        )
+    (_, low_qef, low_dup), (_, high_qef, high_dup) = rows
+    assert high_qef >= low_qef - 0.02
+    assert high_dup <= low_dup + 0.05

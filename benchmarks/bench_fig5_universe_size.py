@@ -1,0 +1,44 @@
+"""Figure 5: execution time vs universe size.
+
+The paper times µBE choosing 20 sources from universes of 100–700 sources
+under five constraint settings (none; 1/3/5 source constraints; 5 source +
+2 GA constraints).  Expected shapes: time grows with |U|, and adding
+constraints *reduces* time because they shrink the search space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import (
+    CONSTRAINT_SETTINGS,
+    bench_scale,
+    build_problem,
+    cached_workload,
+    solve_tabu,
+)
+
+SCALE = bench_scale()
+
+
+@pytest.mark.parametrize("setting", CONSTRAINT_SETTINGS)
+@pytest.mark.parametrize("universe_size", SCALE.fig5_universe_sizes)
+def test_fig5_time_vs_universe_size(benchmark, universe_size, setting):
+    workload = cached_workload(universe_size)
+    problem = build_problem(workload, SCALE.fig5_choose, setting)
+
+    def run():
+        result, _ = solve_tabu(problem)
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.group = f"fig5 |U| sweep ({setting})"
+    benchmark.extra_info["universe_size"] = universe_size
+    benchmark.extra_info["constraints"] = setting
+    benchmark.extra_info["quality"] = round(result.solution.quality, 4)
+    benchmark.extra_info["evaluations"] = result.stats.evaluations
+    print(
+        f"[fig5] |U|={universe_size:<4} m={SCALE.fig5_choose} "
+        f"constraints={setting:<7} time={result.stats.elapsed_seconds:7.2f}s "
+        f"Q={result.solution.quality:.4f}"
+    )

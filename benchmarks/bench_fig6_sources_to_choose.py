@@ -1,0 +1,42 @@
+"""Figure 6: execution time vs number of sources to choose.
+
+The paper times choosing 10–50 sources from a 200-source universe under
+the five constraint settings.  Expected shapes: time grows with m;
+constraints reduce it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import (
+    CONSTRAINT_SETTINGS,
+    bench_scale,
+    build_problem,
+    cached_workload,
+    solve_tabu,
+)
+
+SCALE = bench_scale()
+
+
+@pytest.mark.parametrize("setting", CONSTRAINT_SETTINGS)
+@pytest.mark.parametrize("choose", SCALE.fig6_choose)
+def test_fig6_time_vs_sources_to_choose(benchmark, choose, setting):
+    workload = cached_workload(SCALE.fig6_universe_size)
+    problem = build_problem(workload, choose, setting)
+
+    def run():
+        result, _ = solve_tabu(problem)
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.group = f"fig6 m sweep ({setting})"
+    benchmark.extra_info["choose"] = choose
+    benchmark.extra_info["constraints"] = setting
+    benchmark.extra_info["quality"] = round(result.solution.quality, 4)
+    print(
+        f"[fig6] |U|={SCALE.fig6_universe_size} m={choose:<3} "
+        f"constraints={setting:<7} time={result.stats.elapsed_seconds:7.2f}s "
+        f"Q={result.solution.quality:.4f}"
+    )

@@ -1,0 +1,63 @@
+"""Figure 7: overall solution quality for the Figure-6 settings.
+
+The paper plots Q(S) when choosing 10–50 sources from 200 under the five
+constraint settings.  Expected shapes: quality *increases* with the number
+of sources to choose (more options to exploit) and *decreases* as
+constraints are added (fewer valid options).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import (
+    CONSTRAINT_SETTINGS,
+    bench_scale,
+    build_problem,
+    cached_workload,
+    solve_tabu,
+)
+
+SCALE = bench_scale()
+
+
+@pytest.mark.parametrize("setting", CONSTRAINT_SETTINGS)
+@pytest.mark.parametrize("choose", SCALE.fig6_choose)
+def test_fig7_quality_vs_sources_to_choose(benchmark, choose, setting):
+    workload = cached_workload(SCALE.fig6_universe_size)
+    problem = build_problem(workload, choose, setting)
+
+    def run():
+        result, _ = solve_tabu(problem)
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    solution = result.solution
+    benchmark.group = f"fig7 quality ({setting})"
+    benchmark.extra_info["choose"] = choose
+    benchmark.extra_info["constraints"] = setting
+    benchmark.extra_info["quality"] = round(solution.quality, 4)
+    benchmark.extra_info["feasible"] = solution.feasible
+    scores = "  ".join(
+        f"{name}={value:.3f}"
+        for name, value in sorted(solution.qef_scores.items())
+    )
+    print(
+        f"[fig7] m={choose:<3} constraints={setting:<7} "
+        f"Q={solution.quality:.4f}  ({scores})"
+    )
+
+
+def test_fig7_shape_quality_grows_with_budget(benchmark):
+    """Sanity row: Q at the largest budget beats Q at the smallest."""
+    workload = cached_workload(SCALE.fig6_universe_size)
+
+    def run():
+        lo, _ = solve_tabu(build_problem(workload, SCALE.fig6_choose[0]))
+        hi, _ = solve_tabu(build_problem(workload, SCALE.fig6_choose[-1]))
+        return lo.solution.quality, hi.solution.quality
+
+    low, high = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"[fig7-shape] Q(m={SCALE.fig6_choose[0]})={low:.4f} "
+          f"Q(m={SCALE.fig6_choose[-1]})={high:.4f}")
+    assert high >= low - 0.02

@@ -1,0 +1,84 @@
+"""Figure 8: steering µBE with QEF weights.
+
+The paper chooses 20 of 200 sources while sweeping the cardinality-QEF
+weight from 0.1 to 1.0 (remaining weights equal) and plots the cardinality
+of the chosen solution.  Expected shape: cardinality rises with the weight,
+then flattens (~0.5) once the top-cardinality sources satisfying θ are
+already all selected.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import (
+    bench_scale,
+    build_problem,
+    cached_workload,
+    emphasized_weights,
+    solve_tabu,
+)
+
+SCALE = bench_scale()
+WEIGHTS = (0.1, 0.25, 0.5, 0.75, 1.0)
+
+
+@pytest.mark.parametrize("weight", WEIGHTS)
+def test_fig8_cardinality_vs_weight(benchmark, weight):
+    workload = cached_workload(SCALE.fig6_universe_size)
+    problem = build_problem(
+        workload,
+        SCALE.fig5_choose,
+        "none",
+        weights=emphasized_weights("cardinality", weight),
+    )
+
+    def run():
+        # Best of two seeds: the landscape is nearly flat at extreme
+        # weights, so a single run's local optimum is noisy.
+        best = None
+        universe = None
+        for seed in (0, 1):
+            result, objective = solve_tabu(problem, seed=seed)
+            universe = objective.universe
+            if best is None or result.solution.objective > best.objective:
+                best = result.solution
+        return sum(s.cardinality for s in best.sources(universe))
+
+    cardinality = benchmark.pedantic(run, rounds=1, iterations=1)
+    total = cached_workload(SCALE.fig6_universe_size).universe.total_cardinality()
+    benchmark.group = "fig8 cardinality weight sweep"
+    benchmark.extra_info["card_weight"] = weight
+    benchmark.extra_info["solution_cardinality"] = cardinality
+    print(
+        f"[fig8] w_card={weight:<5} solution |S| tuples={cardinality:>10} "
+        f"({cardinality / total:.1%} of universe)"
+    )
+
+
+def test_fig8_shape_weight_biases_cardinality(benchmark):
+    """The paper's claim: weights are effective in steering the choice."""
+    workload = cached_workload(SCALE.fig6_universe_size)
+
+    def cardinality_at(weight):
+        problem = build_problem(
+            workload,
+            SCALE.fig5_choose,
+            "none",
+            weights=emphasized_weights("cardinality", weight),
+        )
+        best = None
+        universe = None
+        for seed in (0, 1):
+            result, objective = solve_tabu(problem, seed=seed)
+            universe = objective.universe
+            if best is None or result.solution.objective > best.objective:
+                best = result.solution
+        return sum(s.cardinality for s in best.sources(universe))
+
+    def run():
+        return cardinality_at(WEIGHTS[0]), cardinality_at(WEIGHTS[-1])
+
+    low, high = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"[fig8-shape] card(w=0.1)={low} card(w=1.0)={high}")
+    assert high >= low

@@ -1,0 +1,92 @@
+"""Micro-benchmarks for the hot paths the figures depend on.
+
+Not paper figures — these isolate the per-call costs that dominate the
+Figure 5/6 timings: one Match(S) clustering call, one full objective
+evaluation, one tabu iteration's worth of neighbor evaluations, and
+similarity-matrix construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matching import MatchOperator
+from repro.quality import Objective
+from repro.similarity import NGramJaccard, NameSimilarityMatrix
+
+from common import bench_scale, build_problem, cached_workload
+
+SCALE = bench_scale()
+
+
+@pytest.mark.parametrize("selection_size", [5, 10, 20])
+def test_micro_match_call(benchmark, selection_size):
+    workload = cached_workload(SCALE.fig6_universe_size)
+    if selection_size > len(workload.universe):
+        pytest.skip("selection larger than universe at this scale")
+    rng = np.random.default_rng(0)
+    ids = sorted(workload.universe.source_ids)
+    selections = [
+        frozenset(
+            ids[i]
+            for i in rng.choice(len(ids), size=selection_size, replace=False)
+        )
+        for i in range(64)
+    ]
+    operator = MatchOperator(workload.universe, theta=0.65)
+    counter = {"i": 0}
+
+    def run():
+        # Rotate selections so memoization cannot short-circuit the bench.
+        counter["i"] += 1
+        return operator.match(selections[counter["i"] % len(selections)])
+
+    benchmark(run)
+    benchmark.group = "micro: Match(S)"
+    benchmark.extra_info["selection_size"] = selection_size
+
+
+def test_micro_objective_evaluation(benchmark):
+    workload = cached_workload(SCALE.fig6_universe_size)
+    problem = build_problem(workload, SCALE.fig5_choose, "none")
+    objective = Objective(problem, cache_size=1)  # defeat the memo table
+    rng = np.random.default_rng(1)
+    ids = sorted(workload.universe.source_ids)
+    selections = [
+        frozenset(
+            ids[i]
+            for i in rng.choice(len(ids), size=SCALE.fig5_choose, replace=False)
+        )
+        for i in range(64)
+    ]
+    counter = {"i": 0}
+
+    def run():
+        counter["i"] += 1
+        return objective.evaluate(selections[counter["i"] % len(selections)])
+
+    benchmark(run)
+    benchmark.group = "micro: objective"
+
+
+def test_micro_similarity_matrix_build(benchmark):
+    workload = cached_workload(SCALE.fig6_universe_size)
+    names = workload.universe.attribute_names()
+    benchmark(
+        lambda: NameSimilarityMatrix.build(names, NGramJaccard(3))
+    )
+    benchmark.group = "micro: similarity matrix"
+    benchmark.extra_info["vocabulary"] = len(names)
+
+
+def test_micro_match_memoization_speedup(benchmark):
+    """The memo hit path — what tabu's revisits actually pay."""
+    workload = cached_workload(SCALE.fig6_universe_size)
+    operator = MatchOperator(workload.universe, theta=0.65)
+    selection = frozenset(sorted(workload.universe.source_ids)[: SCALE.fig5_choose])
+    operator.match(selection)  # warm
+
+    benchmark(lambda: operator.match(selection))
+    benchmark.group = "micro: Match(S)"
+    benchmark.extra_info["path"] = "memo-hit"

@@ -1,0 +1,94 @@
+"""§6: optimizer comparison.
+
+The paper tried stochastic local search, particle swarm optimization,
+constrained simulated annealing and tabu search, and found tabu search
+"more robust and generates higher quality solutions".  We run all of them
+(plus greedy and random floors) on the same instance with matched
+evaluation budgets and report quality, evaluations and time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.quality import Objective
+from repro.search import OPTIMIZERS, OptimizerConfig, get_optimizer
+
+from common import bench_scale, build_problem, cached_workload
+
+SCALE = bench_scale()
+CONTENDERS = ("tabu", "annealing", "local", "pso", "greedy", "random")
+QUALITIES: dict[str, float] = {}
+
+
+def run_optimizer(name: str, seed: int = 0):
+    workload = cached_workload(SCALE.fig6_universe_size)
+    problem = build_problem(workload, SCALE.fig5_choose, "none")
+    objective = Objective(problem)
+    config = OptimizerConfig(
+        max_iterations=SCALE.iterations,
+        patience=max(8, SCALE.iterations // 2),
+        sample_size=SCALE.sample_size,
+        seed=seed,
+    )
+    return get_optimizer(name, config).optimize(objective)
+
+
+@pytest.mark.parametrize("name", CONTENDERS)
+def test_optimizer_comparison(benchmark, name):
+    result = benchmark.pedantic(
+        lambda: run_optimizer(name), rounds=1, iterations=1
+    )
+    solution = result.solution
+    QUALITIES[name] = solution.quality
+    benchmark.group = "optimizer comparison"
+    benchmark.extra_info["optimizer"] = name
+    benchmark.extra_info["quality"] = round(solution.quality, 4)
+    benchmark.extra_info["evaluations"] = result.stats.evaluations
+    print(
+        f"[optimizers] {name:<10} Q={solution.quality:.4f} "
+        f"evals={result.stats.evaluations:>6} "
+        f"time={result.stats.elapsed_seconds:6.2f}s "
+        f"feasible={solution.feasible}"
+    )
+
+
+def test_optimizer_tabu_wins(benchmark):
+    """The paper's conclusion: tabu search is the best of the four."""
+
+    def run():
+        return {name: run_optimizer(name, seed=1).solution.quality
+                for name in ("tabu", "annealing", "local", "pso", "random")}
+
+    qualities = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.group = "optimizer comparison"
+    ranked = sorted(qualities.items(), key=lambda kv: -kv[1])
+    print("[optimizers] ranking:", ", ".join(
+        f"{name}={quality:.4f}" for name, quality in ranked
+    ))
+    # Tabu must at least tie the field (tolerance covers metaheuristic
+    # noise at small smoke-scale budgets).
+    best = max(qualities.values())
+    assert qualities["tabu"] >= best - 0.05
+    # And it must clearly beat the random floor.
+    assert qualities["tabu"] >= qualities["random"] - 1e-9
+
+
+def test_optimizer_robustness_across_seeds(benchmark):
+    """Robustness: spread of tabu's quality across seeds vs annealing's."""
+
+    def run():
+        spread = {}
+        for name in ("tabu", "annealing"):
+            values = [
+                run_optimizer(name, seed=s).solution.quality
+                for s in range(3)
+            ]
+            spread[name] = max(values) - min(values)
+        return spread
+
+    spread = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.group = "optimizer robustness"
+    for name, value in spread.items():
+        benchmark.extra_info[f"{name}_spread"] = round(value, 4)
+    print(f"[optimizers] quality spread across 3 seeds: {spread}")

@@ -1,0 +1,95 @@
+"""§7.3: accuracy of the probabilistic counting algorithm.
+
+The paper reports that PCSA-based coverage/redundancy estimation is very
+accurate, with a worst-case error of 7 % versus exact counting.  We measure
+the relative error of union-cardinality estimates across set sizes and
+overlap levels, and the estimator's build/merge throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketch import ExactDistinct, PCSASketch, relative_error, union_sketch
+
+from common import bench_scale
+
+SCALE = bench_scale()
+OVERLAPS = (0.0, 0.5, 0.9)
+
+
+@pytest.mark.parametrize("overlap", OVERLAPS)
+@pytest.mark.parametrize("size", SCALE.pcsa_set_sizes)
+def test_pcsa_union_estimation_error(benchmark, size, overlap):
+    rng = np.random.default_rng(size + int(overlap * 100))
+    shift = int(size * (1.0 - overlap))
+    a_ids = np.arange(0, size, dtype=np.uint64)
+    b_ids = np.arange(shift, shift + size, dtype=np.uint64)
+    del rng
+
+    def run():
+        sketch_a = PCSASketch.from_ints(a_ids)
+        sketch_b = PCSASketch.from_ints(b_ids)
+        return (sketch_a | sketch_b).estimate()
+
+    estimate = benchmark.pedantic(run, rounds=1, iterations=1)
+    exact = (ExactDistinct(a_ids) | ExactDistinct(b_ids)).count()
+    error = relative_error(estimate, exact)
+    benchmark.group = "pcsa union error"
+    benchmark.extra_info["set_size"] = size
+    benchmark.extra_info["overlap"] = overlap
+    benchmark.extra_info["relative_error"] = round(error, 4)
+    print(
+        f"[pcsa] |A|=|B|={size:<8} overlap={overlap:<4} "
+        f"exact={exact:>9} est={estimate:>12.1f} err={error:7.3%}"
+    )
+    # The paper's bound with slack for the smaller default map count.
+    assert error < 0.15
+
+
+def test_pcsa_worst_case_error_across_many_unions(benchmark):
+    """The paper's 7 % worst case, over a batch of random source unions."""
+    rng = np.random.default_rng(7)
+    pool = SCALE.pcsa_set_sizes[-1] * 4
+    source_ids = [
+        rng.choice(pool, size=int(rng.integers(
+            SCALE.pcsa_set_sizes[0], SCALE.pcsa_set_sizes[-1]
+        )), replace=False).astype(np.uint64)
+        for _ in range(12)
+    ]
+
+    def run():
+        sketches = [PCSASketch.from_ints(ids) for ids in source_ids]
+        worst = 0.0
+        for trial in range(20):
+            pick = rng.choice(12, size=int(rng.integers(2, 8)), replace=False)
+            estimate = union_sketch([sketches[i] for i in pick]).estimate()
+            exact = len(np.unique(np.concatenate([source_ids[i] for i in pick])))
+            worst = max(worst, relative_error(estimate, exact))
+        return worst
+
+    worst = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.group = "pcsa worst case"
+    benchmark.extra_info["worst_error"] = round(worst, 4)
+    print(f"[pcsa] worst-case union error over 20 random unions: {worst:.3%}")
+    assert worst < 0.15
+
+
+def test_pcsa_build_throughput(benchmark):
+    """Signature construction cost — the once-per-source price."""
+    ids = np.arange(SCALE.pcsa_set_sizes[-1], dtype=np.uint64)
+    benchmark.group = "pcsa throughput"
+    benchmark(lambda: PCSASketch.from_ints(ids))
+
+
+def test_pcsa_merge_throughput(benchmark):
+    """Signature OR cost — the per-evaluation price inside the QEFs."""
+    sketches = [
+        PCSASketch.from_ints(
+            np.arange(i * 1_000, i * 1_000 + 5_000, dtype=np.uint64)
+        )
+        for i in range(20)
+    ]
+    benchmark.group = "pcsa throughput"
+    benchmark(lambda: union_sketch(sketches).estimate())

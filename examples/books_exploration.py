@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Iterative exploration of a large Books universe (paper §7 workload).
+
+Simulates the exploratory process the paper argues for: a user who does
+*not* know the domain's concepts up front discovers them by iterating:
+
+1. a broad first solve to see what concepts exist;
+2. accepting discovered GAs as constraints (output becomes input);
+3. re-weighting toward coverage once matching looks settled;
+4. tightening θ to drop marginal matches;
+5. comparing the final schema against the ground truth.
+
+Run:  python examples/books_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CharacteristicSpec,
+    OptimizerConfig,
+    Session,
+    default_weights,
+    generate_books_universe,
+    score_schema,
+)
+from repro.session import render_history, render_schema
+
+
+def describe(tag, workload, solution):
+    report = score_schema(
+        solution.schema,
+        workload.ground_truth,
+        workload.universe,
+        solution.selected,
+    )
+    print(f"{tag}: Q={solution.quality:.4f}, {solution.ga_count()} GAs, "
+          f"{report.true_ga_concepts}/14 concepts, "
+          f"{report.false_gas} false GAs")
+    return report
+
+
+def main() -> None:
+    workload = generate_books_universe(n_sources=200, seed=7)
+    mttf = CharacteristicSpec("mttf", "mttf")
+    session = Session(
+        workload.universe,
+        max_sources=12,
+        theta=0.65,
+        weights=default_weights([mttf]),
+        characteristic_qefs=[mttf],
+        optimizer_config=OptimizerConfig(
+            max_iterations=40, sample_size=24, seed=0
+        ),
+    )
+
+    print("=== Step 1: broad first look ===")
+    first = session.solve()
+    describe("initial", workload, first.solution)
+    print(render_schema(first.solution.schema, workload.universe))
+
+    print("\n=== Step 2: accept the two largest discovered GAs ===")
+    for ga in sorted(first.solution.schema, key=len, reverse=True)[:2]:
+        session.accept_ga(ga)
+        print(f"pinned GA: {', '.join(ga.names()[:5])}"
+              + (" ..." if len(ga) > 5 else ""))
+    # Pinned GAs imply source constraints; widen the budget so the search
+    # still has room to explore around them.
+    session.set_max_sources(16)
+    second = session.solve()
+    describe("pinned", workload, second.solution)
+
+    print("\n=== Step 3: emphasize coverage ===")
+    session.emphasize("coverage", 0.5)
+    third = session.solve()
+    describe("coverage-heavy", workload, third.solution)
+
+    print("\n=== Step 4: tighten the matching threshold ===")
+    session.set_theta(0.8)
+    fourth = session.solve()
+    report = describe("theta=0.8", workload, fourth.solution)
+
+    print("\n=== Final mediated schema ===")
+    print(render_schema(fourth.solution.schema, workload.universe))
+    print("\nConcepts found:", ", ".join(sorted(report.concepts_found)))
+    print("Concepts missed:",
+          ", ".join(sorted(report.concepts_present - report.concepts_found))
+          or "(none)")
+
+    print("\n=== Session history ===")
+    print(render_history(session.history))
+
+    # Archive the whole exploratory process as a Markdown report.
+    from pathlib import Path
+    from tempfile import gettempdir
+
+    from repro.session import save_session_markdown
+
+    report_path = Path(gettempdir()) / "mube_books_session.md"
+    save_session_markdown(session, report_path, title="Books exploration")
+    print(f"\nSession report written to {report_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Bring your own sources: µBE over a hand-built universe.
+
+Shows everything a downstream user needs to integrate their own data
+sources rather than the synthetic workloads:
+
+* describing sources (schema, cardinality, characteristics);
+* shipping tuple data as opaque ids and building PCSA signatures;
+* handling an *uncooperative* source that refuses data statistics;
+* choosing a non-default similarity measure;
+* solving with explicit Problem/Objective/optimizer plumbing instead of
+  the Session convenience layer.
+
+Run:  python examples/custom_sources.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Objective,
+    OptimizerConfig,
+    PCSASketch,
+    Problem,
+    Source,
+    TabuSearch,
+    Universe,
+    get_measure,
+    render_solution,
+)
+
+# Ten fictional job-listing sites.  Tuple ids model listing identities:
+# overlapping ranges = the same listings syndicated to several boards.
+SITES = [
+    ("bigjobs.example",      ("job title", "company", "location", "salary"), (0, 60_000)),
+    ("jobsnow.example",      ("job title", "company name", "city"),          (20_000, 70_000)),
+    ("hirewire.example",     ("title", "employer", "location", "pay range"), (40_000, 90_000)),
+    ("localwork.example",    ("position", "company", "zip code"),            (85_000, 110_000)),
+    ("nichedev.example",     ("job title", "tech stack", "remote"),          (100_000, 118_000)),
+    ("enterprise.example",   ("job titles", "company", "locations"),         (10_000, 55_000)),
+    ("startupjobs.example",  ("title", "company name", "equity"),            (95_000, 120_000)),
+    ("aggregator.example",   ("job title", "company", "location", "salary"), (0, 100_000)),
+    ("boutique.example",     ("role", "firm", "compensation"),               (115_000, 125_000)),
+]
+
+
+def build_universe() -> Universe:
+    rng = np.random.default_rng(0)
+    sources = []
+    for source_id, (name, schema, (lo, hi)) in enumerate(SITES):
+        tuple_ids = np.arange(lo, hi, dtype=np.uint64)
+        sources.append(
+            Source(
+                source_id,
+                name=name,
+                schema=schema,
+                cardinality=len(tuple_ids),
+                characteristics={
+                    "latency_ms": float(rng.uniform(50, 800)),
+                },
+                sketch=PCSASketch.from_ints(tuple_ids),
+            )
+        )
+    # One source refuses to report statistics: no cardinality, no sketch.
+    # µBE still considers it, scoring its data contribution as zero.
+    sources.append(
+        Source(
+            len(sources),
+            name="opaque.example",
+            schema=("job title", "company"),
+            characteristics={"latency_ms": 120.0},
+        )
+    )
+    return Universe(sources)
+
+
+def main() -> None:
+    universe = build_universe()
+    from repro import CharacteristicSpec
+
+    problem = Problem(
+        universe=universe,
+        weights={
+            "matching": 0.3,
+            "cardinality": 0.2,
+            "coverage": 0.25,
+            "redundancy": 0.15,
+            "latency": 0.1,
+        },
+        max_sources=5,
+        theta=0.55,
+        characteristic_qefs=(
+            CharacteristicSpec(
+                "latency", "latency_ms", higher_is_better=False
+            ),
+        ),
+    )
+
+    # A Levenshtein-based measure handles short names like "title"/"role"
+    # differently than 3-gram Jaccard; any registered measure plugs in.
+    objective = Objective(problem, similarity=get_measure("levenshtein"))
+    result = TabuSearch(OptimizerConfig(max_iterations=60, seed=0)).optimize(
+        objective
+    )
+
+    print(render_solution(result.solution, universe))
+    stats = result.stats
+    print(f"\n{stats.evaluations} evaluations in "
+          f"{stats.elapsed_seconds:.2f}s "
+          f"(best found at iteration {stats.best_found_at})")
+
+    aggregated = result.solution.qef_scores
+    print("\nWhy these sources: high coverage "
+          f"({aggregated['coverage']:.2f}) with low redundancy "
+          f"({aggregated['redundancy']:.2f}) — the syndicated boards that "
+          "duplicate each other's listings were avoided.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Using the integration system µBE built: execute queries against it.
+
+µBE's output is not the end of the story — it *describes* a data
+integration system.  This example builds that system and runs a simulated
+query workload against it, making the paper's §1 trade-off concrete:
+
+* few sources  → cheap queries, incomplete answers;
+* many sources → complete answers, higher latency/transfer/merge cost,
+  and duplicated data wherever redundancy was tolerated.
+
+Run:  python examples/query_execution.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    IntegrationSystem,
+    OptimizerConfig,
+    Problem,
+    Objective,
+    TabuSearch,
+    default_weights,
+    full_answer_count,
+    generate_books_universe,
+    random_queries,
+)
+from repro.execution import QueryWorkloadConfig
+from repro.workload import DataConfig
+
+
+def solve(universe, budget):
+    problem = Problem(
+        universe=universe, weights=default_weights(), max_sources=budget
+    )
+    result = TabuSearch(
+        OptimizerConfig(max_iterations=30, seed=0)
+    ).optimize(Objective(problem))
+    return result.solution
+
+
+def main() -> None:
+    # keep_tuples=True retains the tuple ids the query engine filters on.
+    workload = generate_books_universe(
+        n_sources=80,
+        seed=5,
+        data_config=DataConfig(
+            pool_size=100_000, min_cardinality=500, max_cardinality=20_000
+        ),
+        keep_tuples=True,
+    )
+    universe = workload.universe
+
+    # One shared query workload, built over the richest schema.
+    rich = solve(universe, 16)
+    queries = random_queries(rich.schema, 8, QueryWorkloadConfig(seed=7))
+    print(f"Query workload ({len(queries)} conjunctive queries):")
+    for query in queries[:4]:
+        print(f"  {query.describe()}")
+    print("  ...")
+
+    header = (
+        f"{'budget':>6} {'sources':>7} {'answer':>7} {'complete':>9} "
+        f"{'dup%':>6} {'cost/query':>11}"
+    )
+    print("\n" + header)
+    print("-" * len(header))
+    for budget in (4, 8, 16):
+        solution = solve(universe, budget)
+        system = IntegrationSystem.from_solution(universe, solution)
+        answers = completeness = duplicates = cost = 0.0
+        for query in queries:
+            result = system.execute(query)
+            full = full_answer_count(universe, query)
+            answers += result.answer_count
+            completeness += result.completeness_against(full)
+            duplicates += result.duplicate_ratio
+            cost += result.cost.total_ms
+        n = len(queries)
+        print(
+            f"{budget:>6} {len(solution.selected):>7} "
+            f"{answers / n:>7.0f} {completeness / n:>8.0%} "
+            f"{duplicates / n:>6.1%} {cost / n:>9.0f}ms"
+        )
+
+    print(
+        "\nThe trade-off µBE navigates: every extra source buys answer "
+        "completeness\nand pays for it in latency, transfer, and duplicate "
+        "elimination — which is\nexactly what the coverage and redundancy "
+        "QEFs fold into Q(S) up front."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,243 @@
+"""Rendering benchmark results as the paper's figures (ASCII edition).
+
+``pytest benchmarks/ --benchmark-only --benchmark-json=bench.json`` records
+every run with its group and the experiment parameters each bench stores in
+``extra_info``.  This module turns that JSON into the series the paper
+plots — a table plus an ASCII chart per benchmark group — so "regenerate
+Figure 6" is one command with no plotting dependencies:
+
+    mube figures bench.json
+
+Groups are charted when a numeric sweep parameter is recognised (universe
+size, sources to choose, weight, θ, …); everything else gets the table
+only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from .exceptions import ReproError
+
+#: extra_info keys recognised as sweep (x-axis) parameters, in priority order.
+SWEEP_KEYS = (
+    "universe_size",
+    "choose",
+    "sources_selected",
+    "card_weight",
+    "theta",
+    "set_size",
+    "budget",
+    "trial",
+)
+
+#: extra_info keys plottable as y values (besides mean runtime).
+VALUE_KEYS = (
+    "quality",
+    "true_gas_selected",
+    "attributes_in_true_gas",
+    "solution_cardinality",
+    "relative_error",
+    "mean_query_cost_ms",
+)
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark result."""
+
+    name: str
+    group: str
+    mean_seconds: float
+    extra: dict[str, Any]
+
+
+def load_benchmark_json(path: str | Path) -> list[BenchRecord]:
+    """Parse a pytest-benchmark JSON file.
+
+    Raises
+    ------
+    ReproError
+        If the file is not a pytest-benchmark report.
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if "benchmarks" not in data:
+        raise ReproError(f"{path} is not a pytest-benchmark JSON report")
+    records = []
+    for bench in data["benchmarks"]:
+        name = bench.get("name", "?")
+        group = bench.get("group")
+        if not group:
+            # pytest-benchmark only persists groups assigned before the
+            # timed call; fall back to the test name sans parameters.
+            group = name.split("[", 1)[0].removeprefix("test_")
+        records.append(
+            BenchRecord(
+                name=name,
+                group=group,
+                mean_seconds=float(bench["stats"]["mean"]),
+                extra=dict(bench.get("extra_info", {})),
+            )
+        )
+    return records
+
+
+def ascii_chart(
+    points: list[tuple[float, float]],
+    width: int = 56,
+    height: int = 10,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A minimal scatter/line chart on a character grid."""
+    if not points:
+        return "(no data)"
+    points = sorted(points)
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    previous_row = None
+    previous_col = None
+    for x, y in points:
+        col = round((x - x_low) / x_span * (width - 1))
+        row = height - 1 - round((y - y_low) / y_span * (height - 1))
+        if previous_col is not None:
+            # Connect with a sparse line for readability.
+            steps = max(abs(col - previous_col), abs(row - previous_row), 1)
+            for step in range(1, steps):
+                c = previous_col + (col - previous_col) * step // steps
+                r = previous_row + (row - previous_row) * step // steps
+                if grid[r][c] == " ":
+                    grid[r][c] = "·"
+        grid[row][col] = "o"
+        previous_row, previous_col = row, col
+
+    lines = []
+    for index, row_chars in enumerate(grid):
+        if index == 0:
+            margin = f"{y_high:>10.4g} ┤"
+        elif index == height - 1:
+            margin = f"{y_low:>10.4g} ┤"
+        else:
+            margin = " " * 10 + " │"
+        lines.append(margin + "".join(row_chars))
+    lines.append(" " * 11 + "└" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_low:<.4g}"
+        + " " * max(1, width - len(f"{x_low:<.4g}") - len(f"{x_high:.4g}"))
+        + f"{x_high:.4g}"
+    )
+    lines.append(" " * 12 + f"({x_label} → ; {y_label} ↑)")
+    return "\n".join(lines)
+
+
+def _sweep_key(records: list[BenchRecord]) -> str | None:
+    for key in SWEEP_KEYS:
+        values = [r.extra.get(key) for r in records]
+        numeric = [v for v in values if isinstance(v, (int, float))]
+        if len(numeric) == len(records) and len(set(numeric)) > 1:
+            return key
+    return None
+
+
+def _value_key(records: list[BenchRecord]) -> str | None:
+    for key in VALUE_KEYS:
+        if all(isinstance(r.extra.get(key), (int, float)) for r in records):
+            return key
+    return None
+
+
+def render_group(group: str, records: list[BenchRecord]) -> str:
+    """Table plus chart(s) for one benchmark group."""
+    lines = [f"== {group} ({len(records)} benchmarks) =="]
+    extra_keys: list[str] = []
+    for record in records:
+        for key in record.extra:
+            if key not in extra_keys:
+                extra_keys.append(key)
+    header = "  " + "  ".join(
+        [f"{'mean s':>9}"] + [f"{key:>18}" for key in extra_keys]
+    )
+    lines.append(header)
+    for record in sorted(records, key=lambda r: r.name):
+        row = [f"{record.mean_seconds:>9.4f}"]
+        for key in extra_keys:
+            value = record.extra.get(key, "")
+            if isinstance(value, float):
+                value = f"{value:.4g}"
+            row.append(f"{str(value):>18.18}")
+        lines.append("  " + "  ".join(row))
+
+    sweep = _sweep_key(records)
+    if sweep is not None:
+        value = _value_key(records)
+        for category, series in _split_series(records):
+            suffix = f" — {category}" if category else ""
+            time_points = [
+                (float(r.extra[sweep]), r.mean_seconds) for r in series
+            ]
+            lines.append("")
+            lines.append(
+                ascii_chart(
+                    time_points,
+                    x_label=sweep,
+                    y_label=f"mean seconds{suffix}",
+                )
+            )
+            if value is not None:
+                value_points = [
+                    (float(r.extra[sweep]), float(r.extra[value]))
+                    for r in series
+                ]
+                lines.append("")
+                lines.append(
+                    ascii_chart(
+                        value_points,
+                        x_label=sweep,
+                        y_label=f"{value}{suffix}",
+                    )
+                )
+    return "\n".join(lines)
+
+
+def _split_series(
+    records: list[BenchRecord],
+) -> list[tuple[str, list[BenchRecord]]]:
+    """Split a group into per-category series (e.g. one per constraint
+    setting), mirroring the multi-line figures in the paper."""
+    categorical = None
+    for key in records[0].extra if records else ():
+        values = [r.extra.get(key) for r in records]
+        if (
+            all(isinstance(v, str) for v in values)
+            and 1 < len(set(values)) <= 8
+        ):
+            categorical = key
+            break
+    if categorical is None:
+        return [("", records)]
+    series: dict[str, list[BenchRecord]] = {}
+    for record in records:
+        series.setdefault(str(record.extra[categorical]), []).append(record)
+    return sorted(series.items())
+
+
+def render_figures(path: str | Path) -> str:
+    """Render every group of a pytest-benchmark JSON report."""
+    records = load_benchmark_json(path)
+    groups: dict[str, list[BenchRecord]] = {}
+    for record in records:
+        groups.setdefault(record.group, []).append(record)
+    sections = [
+        render_group(group, group_records)
+        for group, group_records in sorted(groups.items())
+    ]
+    return "\n\n".join(sections)

@@ -1,0 +1,333 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    mube demo                    # the paper's theater example, end to end
+    mube solve [options]         # solve a Books universe and print the answer
+    mube optimizers              # compare all optimizers on one instance
+
+The CLI is a thin veneer over the :class:`repro.Session` API; everything it
+does can be done programmatically (see ``examples/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .core import CharacteristicSpec, default_weights
+from .search import OPTIMIZERS, OptimizerConfig
+from .session import Session, render_history, render_solution
+from .workload import generate_books_universe, theater_universe
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``mube`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="mube",
+        description="µBE: user guided source selection and schema mediation",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    demo = sub.add_parser("demo", help="run the theater-tickets demo")
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(handler=run_demo)
+
+    solve = sub.add_parser("solve", help="solve a synthetic Books universe")
+    solve.add_argument("--sources", type=int, default=200, help="universe size")
+    solve.add_argument("--choose", type=int, default=10, help="budget m")
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--theta", type=float, default=0.65)
+    solve.add_argument(
+        "--optimizer", choices=sorted(OPTIMIZERS), default="tabu"
+    )
+    solve.add_argument("--iterations", type=int, default=60)
+    solve.set_defaults(handler=run_solve)
+
+    compare = sub.add_parser(
+        "optimizers", help="compare all optimizers on one instance"
+    )
+    compare.add_argument("--sources", type=int, default=100)
+    compare.add_argument("--choose", type=int, default=10)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(handler=run_optimizers)
+
+    discover = sub.add_parser(
+        "discover",
+        help="search a mixed multi-domain catalog, then integrate the hits",
+    )
+    discover.add_argument("query", nargs="+", help="search keywords")
+    discover.add_argument("--per-domain", type=int, default=60)
+    discover.add_argument("--hits", type=int, default=25)
+    discover.add_argument("--choose", type=int, default=8)
+    discover.add_argument("--seed", type=int, default=0)
+    discover.set_defaults(handler=run_discover)
+
+    query = sub.add_parser(
+        "query",
+        help="solve a Books universe, then execute queries against it",
+    )
+    query.add_argument("--sources", type=int, default=80)
+    query.add_argument("--choose", type=int, default=8)
+    query.add_argument("--queries", type=int, default=6)
+    query.add_argument("--seed", type=int, default=0)
+    query.set_defaults(handler=run_query)
+
+    interactive = sub.add_parser(
+        "interactive",
+        help="drive a session with line commands (the Figure-4 UI, in text)",
+    )
+    interactive.add_argument("--sources", type=int, default=100)
+    interactive.add_argument("--choose", type=int, default=8)
+    interactive.add_argument("--seed", type=int, default=0)
+    interactive.set_defaults(handler=run_interactive)
+
+    catalog = sub.add_parser(
+        "catalog",
+        help="generate a universe catalog, save/inspect it as JSON",
+    )
+    catalog.add_argument("--sources", type=int, default=100)
+    catalog.add_argument("--seed", type=int, default=0)
+    catalog.add_argument(
+        "--domain", choices=["books", "airfares", "automobiles"],
+        default="books",
+    )
+    catalog.add_argument("--out", help="write the catalog JSON here")
+    catalog.add_argument(
+        "--inspect", help="describe an existing catalog JSON instead"
+    )
+    catalog.set_defaults(handler=run_catalog)
+
+    figures = sub.add_parser(
+        "figures",
+        help="render a pytest-benchmark JSON report as ASCII figures",
+    )
+    figures.add_argument("report", help="path to --benchmark-json output")
+    figures.set_defaults(handler=run_figures)
+
+    return parser
+
+
+def run_demo(args: argparse.Namespace) -> int:
+    """The motivating example: integrate theater-ticket sources."""
+    universe = theater_universe(seed=args.seed)
+    specs = (
+        CharacteristicSpec("latency", "latency_ms", higher_is_better=False),
+        CharacteristicSpec("fee", "fee", higher_is_better=False),
+    )
+    session = Session(
+        universe,
+        max_sources=6,
+        theta=0.5,
+        characteristic_qefs=specs,
+        optimizer_config=OptimizerConfig(max_iterations=60, seed=args.seed),
+    )
+    print("== iteration 1: unconstrained ==")
+    first = session.solve()
+    print(render_solution(first.solution, universe))
+
+    print()
+    print("== iteration 2: bridge 'keyword' with 'search term' ==")
+    session.require_match(
+        [("londontheatre.co.uk", "keyword"), ("canadiantheatre.com", "search term")]
+    )
+    second = session.solve()
+    print(render_solution(second.solution, universe))
+    print()
+    print(render_history(session.history))
+    return 0
+
+
+def run_solve(args: argparse.Namespace) -> int:
+    """Solve one Books instance and print the solution."""
+    workload = generate_books_universe(n_sources=args.sources, seed=args.seed)
+    spec = CharacteristicSpec("mttf", "mttf")
+    session = Session(
+        workload.universe,
+        max_sources=args.choose,
+        theta=args.theta,
+        weights=default_weights([spec]),
+        characteristic_qefs=[spec],
+        optimizer=args.optimizer,
+        optimizer_config=OptimizerConfig(
+            max_iterations=args.iterations, seed=args.seed
+        ),
+    )
+    iteration = session.solve()
+    print(render_solution(iteration.solution, workload.universe))
+    stats = iteration.result.stats
+    print(
+        f"\n{args.optimizer}: {stats.iterations} iterations, "
+        f"{stats.evaluations} evaluations, {stats.elapsed_seconds:.2f}s"
+    )
+    return 0
+
+
+def run_optimizers(args: argparse.Namespace) -> int:
+    """Run every optimizer on the same instance and print a table."""
+    workload = generate_books_universe(n_sources=args.sources, seed=args.seed)
+    spec = CharacteristicSpec("mttf", "mttf")
+    print(f"{'optimizer':<12} {'Q':>8} {'evals':>7} {'seconds':>8}")
+    for name in sorted(OPTIMIZERS):
+        if name == "exhaustive":
+            continue  # intractable at CLI scales
+        session = Session(
+            workload.universe,
+            max_sources=args.choose,
+            weights=default_weights([spec]),
+            characteristic_qefs=[spec],
+            optimizer=name,
+            optimizer_config=OptimizerConfig(
+                max_iterations=60, seed=args.seed
+            ),
+        )
+        iteration = session.solve()
+        stats = iteration.result.stats
+        print(
+            f"{name:<12} {iteration.solution.quality:>8.4f} "
+            f"{stats.evaluations:>7} {stats.elapsed_seconds:>8.2f}"
+        )
+    return 0
+
+
+def run_discover(args: argparse.Namespace) -> int:
+    """Discovery → integration over a mixed catalog (paper §1 workflow)."""
+    from collections import Counter
+
+    from .workload import SourceSearchEngine, build_catalog
+
+    catalog = build_catalog(
+        sources_per_domain=args.per_domain, seed=args.seed
+    )
+    engine = SourceSearchEngine(catalog.universe)
+    query = " ".join(args.query)
+    hits = engine.search(query, limit=args.hits)
+    if not hits:
+        print(f"no sources match {query!r}")
+        return 1
+    domains = Counter(catalog.domain_of[hit.source_id] for hit in hits)
+    print(
+        f"{len(hits)} hits for {query!r} across "
+        f"{len(catalog.universe)} sources — by domain: {dict(domains)}"
+    )
+    universe = engine.subuniverse(query, limit=args.hits)
+    session = Session(
+        universe,
+        max_sources=min(args.choose, len(universe)),
+        optimizer_config=OptimizerConfig(max_iterations=40, seed=args.seed),
+    )
+    iteration = session.solve()
+    print()
+    print(render_solution(iteration.solution, universe))
+    picked = Counter(
+        catalog.domain_of[sid] for sid in iteration.solution.selected
+    )
+    print(f"\nselected sources by domain: {dict(picked)}")
+    return 0
+
+
+def run_query(args: argparse.Namespace) -> int:
+    """Solve, build the integration system, and execute queries."""
+    from .execution import (
+        IntegrationSystem,
+        QueryWorkloadConfig,
+        full_answer_count,
+        random_queries,
+    )
+    from .workload import DataConfig
+
+    workload = generate_books_universe(
+        n_sources=args.sources,
+        seed=args.seed,
+        data_config=DataConfig(
+            pool_size=100_000, min_cardinality=500, max_cardinality=20_000
+        ),
+        keep_tuples=True,
+    )
+    session = Session(
+        workload.universe,
+        max_sources=args.choose,
+        optimizer_config=OptimizerConfig(max_iterations=40, seed=args.seed),
+    )
+    solution = session.solve().solution
+    print(render_solution(solution, workload.universe))
+    system = IntegrationSystem.from_solution(workload.universe, solution)
+    queries = random_queries(
+        solution.schema, args.queries, QueryWorkloadConfig(seed=args.seed)
+    )
+    print(f"\n{'query':<40} {'answer':>7} {'dup%':>6} {'complete':>9} "
+          f"{'cost':>8}")
+    for query in queries:
+        result = system.execute(query)
+        full = full_answer_count(workload.universe, query)
+        print(
+            f"{query.describe():<40} {result.answer_count:>7} "
+            f"{result.duplicate_ratio:>6.1%} "
+            f"{result.completeness_against(full):>8.0%} "
+            f"{result.cost.total_ms:>6.0f}ms"
+        )
+    return 0
+
+
+def run_catalog(args: argparse.Namespace) -> int:
+    """Generate/save or inspect a universe catalog."""
+    from .io import load_universe, save_universe
+    from .workload import describe_universe, generate_universe, get_domain
+    from .workload import render_stats
+
+    if args.inspect:
+        universe = load_universe(args.inspect)
+        print(render_stats(describe_universe(universe)))
+        return 0
+    workload = generate_universe(
+        domain=get_domain(args.domain),
+        n_sources=args.sources,
+        seed=args.seed,
+    )
+    print(render_stats(describe_universe(workload.universe)))
+    if args.out:
+        save_universe(workload.universe, args.out)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+def run_figures(args: argparse.Namespace) -> int:
+    """Render benchmark JSON as the paper's figures in ASCII."""
+    from .analysis import render_figures
+
+    print(render_figures(args.report))
+    return 0
+
+
+def run_interactive(args: argparse.Namespace) -> int:
+    """Start the interactive console over a Books universe."""
+    from .session import interactive_loop
+
+    workload = generate_books_universe(
+        n_sources=args.sources, seed=args.seed
+    )
+    spec = CharacteristicSpec("mttf", "mttf")
+    session = Session(
+        workload.universe,
+        max_sources=args.choose,
+        weights=default_weights([spec]),
+        characteristic_qefs=[spec],
+        optimizer_config=OptimizerConfig(max_iterations=40, seed=args.seed),
+    )
+    interactive_loop(session)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

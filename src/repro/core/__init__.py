@@ -1,0 +1,46 @@
+"""Core data model: sources, GAs, mediated schemas, problems, solutions.
+
+This subpackage is dependency-free within :mod:`repro` (nothing here imports
+the similarity, matching, sketch, quality or search layers), so every other
+layer can build on it without cycles.
+"""
+
+from .attribute import AttributeRef
+from .global_attribute import GlobalAttribute
+from .mediated_schema import MediatedSchema
+from .problem import (
+    CARDINALITY,
+    COVERAGE,
+    MATCHING,
+    REDUNDANCY,
+    STANDARD_QEF_NAMES,
+    CharacteristicSpec,
+    Problem,
+    QualityFunction,
+    default_weights,
+    normalize_weights,
+)
+from .solution import Solution, worst_solution
+from .source import Source
+from .universe import Universe, subuniverse
+
+__all__ = [
+    "AttributeRef",
+    "CARDINALITY",
+    "COVERAGE",
+    "CharacteristicSpec",
+    "GlobalAttribute",
+    "MATCHING",
+    "MediatedSchema",
+    "Problem",
+    "QualityFunction",
+    "REDUNDANCY",
+    "STANDARD_QEF_NAMES",
+    "Solution",
+    "Source",
+    "Universe",
+    "default_weights",
+    "normalize_weights",
+    "subuniverse",
+    "worst_solution",
+]

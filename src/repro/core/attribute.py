@@ -1,0 +1,40 @@
+"""Attribute references.
+
+A source schema is an ordered list of attribute names.  Everywhere else in
+the system an attribute is identified by an :class:`AttributeRef`: the id of
+the source it belongs to, its position within that source's schema, and the
+(display) name.  Two refs are equal iff all three fields are equal, so refs
+are safe to place in sets and to use as GA members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeRef:
+    """A single attribute of a single data source.
+
+    Parameters
+    ----------
+    source_id:
+        Id of the owning source within its universe.
+    index:
+        Zero-based position of the attribute in the source schema.
+    name:
+        The attribute name as it appears in the source schema.  Names are
+        what similarity measures compare; they need not be unique, either
+        within a source or across sources.
+    """
+
+    source_id: int
+    index: int
+    name: str
+
+    def __str__(self) -> str:
+        return f"s{self.source_id}.{self.name}"
+
+    def qualified_name(self) -> str:
+        """Return an unambiguous ``source.index:name`` rendering."""
+        return f"s{self.source_id}[{self.index}]:{self.name}"

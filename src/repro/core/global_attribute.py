@@ -1,0 +1,112 @@
+"""Global Attributes (Definition 1 of the paper).
+
+A Global Attribute (GA) is an *unnamed* mediated-schema attribute: a set of
+source attributes that all express the same concept and therefore map to the
+same mediated attribute.  µBE never names GAs; the set itself is the mediated
+attribute.
+
+A GA is *valid* iff it is non-empty and no two of its members come from the
+same source (one concept cannot be expressed twice by one source).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..exceptions import InvalidGAError
+from .attribute import AttributeRef
+
+
+class GlobalAttribute:
+    """An immutable, hashable set of :class:`AttributeRef` members.
+
+    The constructor enforces Definition 1: the attribute set must be
+    non-empty and must contain at most one attribute per source.  Use
+    :meth:`is_mergeable_with` to test whether two GAs may be merged into a
+    larger valid GA (the clustering algorithm's validity check).
+    """
+
+    __slots__ = ("_attributes", "_source_ids", "_hash")
+
+    def __init__(self, attributes: Iterable[AttributeRef]):
+        attrs = frozenset(attributes)
+        if not attrs:
+            raise InvalidGAError("a GA must contain at least one attribute")
+        source_ids = frozenset(a.source_id for a in attrs)
+        if len(source_ids) != len(attrs):
+            raise InvalidGAError(
+                "a GA may contain at most one attribute per source; got "
+                + ", ".join(sorted(str(a) for a in attrs))
+            )
+        self._attributes = attrs
+        self._source_ids = source_ids
+        self._hash = hash(attrs)
+
+    @property
+    def attributes(self) -> frozenset[AttributeRef]:
+        """The member attributes."""
+        return self._attributes
+
+    @property
+    def source_ids(self) -> frozenset[int]:
+        """Ids of the sources contributing an attribute to this GA."""
+        return self._source_ids
+
+    def names(self) -> tuple[str, ...]:
+        """Member attribute names, sorted for stable display."""
+        return tuple(sorted(a.name for a in self._attributes))
+
+    def display_label(self) -> str:
+        """A human-facing label: the most common member name.
+
+        µBE deliberately does not *name* GAs (the set is the mediated
+        attribute); this is a presentation convenience only.  Ties break
+        lexicographically, so the label is deterministic.
+        """
+        counts: dict[str, int] = {}
+        for attr in self._attributes:
+            counts[attr.name] = counts.get(attr.name, 0) + 1
+        return min(counts, key=lambda name: (-counts[name], name))
+
+    def is_mergeable_with(self, other: "GlobalAttribute") -> bool:
+        """True iff ``self | other`` would still be a valid GA."""
+        return self._source_ids.isdisjoint(other._source_ids)
+
+    def merge(self, other: "GlobalAttribute") -> "GlobalAttribute":
+        """Return the union GA; raises :class:`InvalidGAError` if invalid."""
+        if not self.is_mergeable_with(other):
+            raise InvalidGAError(
+                "cannot merge GAs that share a source: "
+                f"{sorted(self._source_ids & other._source_ids)}"
+            )
+        return GlobalAttribute(self._attributes | other._attributes)
+
+    def issubset(self, other: "GlobalAttribute") -> bool:
+        """True iff every member of this GA is a member of ``other``."""
+        return self._attributes <= other._attributes
+
+    def restricted_to(self, source_ids: Iterable[int]) -> frozenset[AttributeRef]:
+        """Members of this GA owned by any of the given sources."""
+        wanted = frozenset(source_ids)
+        return frozenset(a for a in self._attributes if a.source_id in wanted)
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._attributes
+
+    def __iter__(self) -> Iterator[AttributeRef]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GlobalAttribute):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        members = ", ".join(sorted(str(a) for a in self._attributes))
+        return f"GA({{{members}}})"

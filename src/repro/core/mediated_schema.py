@@ -1,0 +1,139 @@
+"""Mediated schemas (Definitions 2 and 3 of the paper).
+
+A mediated schema is a set of GAs.  It is *valid on* a set of sources iff
+its GAs are pairwise disjoint (an attribute cannot express two concepts) and
+every one of those sources contributes at least one attribute to some GA
+(the schema *spans* the sources).
+
+Schema ``M1`` *subsumes* ``M2`` iff every GA of ``M2`` is contained in some
+GA of ``M1``; this is how GA constraints are checked against µBE's output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..exceptions import InvalidSchemaError
+from .attribute import AttributeRef
+from .global_attribute import GlobalAttribute
+
+
+class MediatedSchema:
+    """An immutable collection of :class:`GlobalAttribute` values.
+
+    The constructor enforces pairwise disjointness of the GAs (the part of
+    Definition 2 that is independent of any source set).  Spanning is a
+    relation between a schema and a source set, so it is checked separately
+    with :meth:`is_valid_on` / :meth:`spans`.
+    """
+
+    __slots__ = ("_gas", "_hash")
+
+    def __init__(self, gas: Iterable[GlobalAttribute]):
+        unique = frozenset(gas)
+        seen: set[AttributeRef] = set()
+        for ga in unique:
+            overlap = seen & ga.attributes
+            if overlap:
+                raise InvalidSchemaError(
+                    "GAs of a mediated schema must be disjoint; attribute(s) "
+                    + ", ".join(sorted(str(a) for a in overlap))
+                    + " appear in more than one GA"
+                )
+            seen |= ga.attributes
+        self._gas = unique
+        self._hash = hash(unique)
+
+    @classmethod
+    def empty(cls) -> "MediatedSchema":
+        """The schema with no GAs (valid only on the empty source set)."""
+        return cls(())
+
+    @property
+    def gas(self) -> frozenset[GlobalAttribute]:
+        """The schema's GAs."""
+        return self._gas
+
+    def attributes(self) -> frozenset[AttributeRef]:
+        """All source attributes mapped by this schema."""
+        out: set[AttributeRef] = set()
+        for ga in self._gas:
+            out |= ga.attributes
+        return frozenset(out)
+
+    def covered_source_ids(self) -> frozenset[int]:
+        """Ids of all sources contributing at least one attribute."""
+        out: set[int] = set()
+        for ga in self._gas:
+            out |= ga.source_ids
+        return frozenset(out)
+
+    def spans(self, source_ids: Iterable[int]) -> bool:
+        """True iff every given source contributes to some GA."""
+        return frozenset(source_ids) <= self.covered_source_ids()
+
+    def is_valid_on(self, source_ids: Iterable[int]) -> bool:
+        """Definition 2: disjoint GAs (guaranteed) that span ``source_ids``."""
+        return self.spans(source_ids)
+
+    def unspanned_source_ids(self, source_ids: Iterable[int]) -> frozenset[int]:
+        """The given sources that contribute to no GA of this schema."""
+        return frozenset(source_ids) - self.covered_source_ids()
+
+    def subsumes(self, other: "MediatedSchema") -> bool:
+        """Definition 3: every GA of ``other`` is contained in one of ours."""
+        return all(
+            any(ga.issubset(mine) for mine in self._gas) for ga in other._gas
+        )
+
+    def subsumes_gas(self, gas: Iterable[GlobalAttribute]) -> bool:
+        """True iff every given GA is contained in some GA of this schema.
+
+        Unlike :meth:`subsumes`, the given GAs need not be pairwise
+        disjoint, which is the form GA *constraints* arrive in.
+        """
+        return all(
+            any(ga.issubset(mine) for mine in self._gas) for ga in gas
+        )
+
+    def ga_containing(self, attribute: AttributeRef) -> GlobalAttribute | None:
+        """The GA that maps ``attribute``, or None if it is unmapped."""
+        for ga in self._gas:
+            if attribute in ga:
+                return ga
+        return None
+
+    def restricted_to(self, source_ids: Iterable[int]) -> "MediatedSchema":
+        """Project the schema onto a subset of sources.
+
+        GA members owned by other sources are dropped; GAs left empty
+        disappear.  The result is always a valid (disjoint) schema.
+        """
+        wanted = frozenset(source_ids)
+        kept: list[GlobalAttribute] = []
+        for ga in self._gas:
+            members = ga.restricted_to(wanted)
+            if members:
+                kept.append(GlobalAttribute(members))
+        return MediatedSchema(kept)
+
+    def __contains__(self, ga: object) -> bool:
+        return ga in self._gas
+
+    def __iter__(self) -> Iterator[GlobalAttribute]:
+        return iter(self._gas)
+
+    def __len__(self) -> int:
+        return len(self._gas)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MediatedSchema):
+            return NotImplemented
+        return self._gas == other._gas
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        gas = sorted(repr(ga) for ga in self._gas)
+        return f"MediatedSchema([{', '.join(gas)}])"

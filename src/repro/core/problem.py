@@ -1,0 +1,232 @@
+"""The constrained optimization problem solved by µBE (paper §2.5).
+
+Given the universe ``U``, QEFs ``F`` with weights ``W``, source constraints
+``C``, GA constraints ``G``, a source budget ``m``, a matching threshold
+``θ`` and a minimum GA size ``β``, µBE looks for::
+
+    argmax_{S ⊆ U}  Q(S) = Σ_i w_i F_i(S)
+
+subject to  |S| ≤ m,  C ⊆ S,  G ⊑ M,
+            F1({g}) ≥ θ and |g| ≥ β  for every g ∈ M − G,
+
+where ``M`` is the mediated schema the matching operator produces for ``S``.
+
+This module defines the immutable :class:`Problem` description.  Wiring the
+description to concrete QEF implementations is the job of
+:class:`repro.quality.Objective`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Protocol, runtime_checkable
+
+from ..exceptions import ConstraintError, WeightError
+from .global_attribute import GlobalAttribute
+from .source import Source
+from .universe import Universe
+
+#: Names of the four built-in QEFs, in the paper's order F1..F4.
+MATCHING = "matching"
+CARDINALITY = "cardinality"
+COVERAGE = "coverage"
+REDUNDANCY = "redundancy"
+STANDARD_QEF_NAMES = (MATCHING, CARDINALITY, COVERAGE, REDUNDANCY)
+
+#: Tolerance when checking that weights sum to one.
+WEIGHT_SUM_TOLERANCE = 1e-9
+
+
+@runtime_checkable
+class QualityFunction(Protocol):
+    """A QEF: maps a set of selected sources to a quality in [0, 1].
+
+    Implementations must expose a unique ``name`` used to key weights.
+    The built-in matching QEF (F1) is handled specially by the objective
+    because it also produces the mediated schema; custom QEFs only see the
+    selected sources.
+    """
+
+    name: str
+
+    def __call__(self, sources: Sequence[Source]) -> float:
+        """Evaluate the QEF on the given selection."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True, slots=True)
+class CharacteristicSpec:
+    """Declarative description of a source-characteristic QEF (paper §5).
+
+    Parameters
+    ----------
+    name:
+        The QEF name, used to key its weight (e.g. ``"mttf"``).
+    characteristic:
+        The per-source characteristic to aggregate (e.g. ``"mttf"``).
+    aggregator:
+        Name of an aggregation function registered in
+        :mod:`repro.quality.characteristics` (``"wsum"``, ``"mean"``,
+        ``"min"``, ``"max"``).
+    higher_is_better:
+        If False the characteristic is a cost (latency, fees) and its
+        normalization is flipped so that smaller raw values score higher.
+    """
+
+    name: str
+    characteristic: str
+    aggregator: str = "wsum"
+    higher_is_better: bool = True
+
+
+def normalize_weights(weights: Mapping[str, float]) -> dict[str, float]:
+    """Validate and return a weight mapping that sums to exactly one.
+
+    Each weight must be in [0, 1] and the sum must be 1 within
+    :data:`WEIGHT_SUM_TOLERANCE`; tiny floating-point drift is repaired by
+    rescaling.
+    """
+    if not weights:
+        raise WeightError("at least one QEF weight is required")
+    total = 0.0
+    for name, value in weights.items():
+        if not 0.0 <= value <= 1.0:
+            raise WeightError(
+                f"weight for {name!r} must be in [0, 1], got {value}"
+            )
+        total += value
+    if abs(total - 1.0) > 1e-6:
+        raise WeightError(f"QEF weights must sum to 1, got {total:.6f}")
+    if total <= 0.0:
+        raise WeightError("QEF weights must not all be zero")
+    return {name: value / total for name, value in weights.items()}
+
+
+@dataclass(frozen=True)
+class Problem:
+    """Immutable description of one µBE optimization problem.
+
+    Use :meth:`evolve` to derive the next iteration's problem from user
+    feedback; the universe and all settings are copy-on-write.
+    """
+
+    universe: Universe
+    weights: Mapping[str, float]
+    source_constraints: frozenset[int] = frozenset()
+    ga_constraints: tuple[GlobalAttribute, ...] = ()
+    max_sources: int = 10
+    theta: float = 0.65
+    beta: int = 2
+    characteristic_qefs: tuple[CharacteristicSpec, ...] = ()
+    custom_qefs: tuple[QualityFunction, ...] = ()
+    _effective_constraints: frozenset[int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "weights", normalize_weights(self.weights))
+        self._validate_parameters()
+        self._validate_constraints()
+        implied = {
+            attr.source_id for ga in self.ga_constraints for attr in ga
+        }
+        effective = frozenset(self.source_constraints) | frozenset(implied)
+        object.__setattr__(self, "_effective_constraints", effective)
+        if len(effective) > self.max_sources:
+            raise ConstraintError(
+                f"constraints pin {len(effective)} sources but max_sources "
+                f"is {self.max_sources}"
+            )
+        self._validate_weight_names()
+
+    @property
+    def effective_source_constraints(self) -> frozenset[int]:
+        """Source constraints, including those implied by GA constraints.
+
+        A GA constraint containing an attribute of source ``s`` requires
+        ``s`` to be part of the solution (paper §2.4).
+        """
+        return self._effective_constraints
+
+    def qef_names(self) -> tuple[str, ...]:
+        """All QEF names this problem can evaluate."""
+        names = list(STANDARD_QEF_NAMES)
+        names.extend(spec.name for spec in self.characteristic_qefs)
+        names.extend(qef.name for qef in self.custom_qefs)
+        return tuple(names)
+
+    def evolve(self, **changes: object) -> "Problem":
+        """Return a copy of the problem with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    # -- validation helpers -------------------------------------------------
+
+    def _validate_parameters(self) -> None:
+        if not 1 <= self.max_sources <= len(self.universe):
+            raise ConstraintError(
+                f"max_sources must be in [1, {len(self.universe)}], "
+                f"got {self.max_sources}"
+            )
+        if not 0.0 <= self.theta <= 1.0:
+            raise ConstraintError(f"theta must be in [0, 1], got {self.theta}")
+        if self.beta < 1:
+            raise ConstraintError(f"beta must be >= 1, got {self.beta}")
+
+    def _validate_constraints(self) -> None:
+        unknown = set(self.source_constraints) - set(self.universe.source_ids)
+        if unknown:
+            raise ConstraintError(
+                f"source constraints reference unknown ids: {sorted(unknown)}"
+            )
+        for ga in self.ga_constraints:
+            for attr in ga:
+                if attr.source_id not in self.universe:
+                    raise ConstraintError(
+                        f"GA constraint references unknown source "
+                        f"{attr.source_id}"
+                    )
+                source = self.universe.source(attr.source_id)
+                if attr.index >= len(source.schema):
+                    raise ConstraintError(
+                        f"GA constraint references attribute index "
+                        f"{attr.index} of source {source.name!r}, which has "
+                        f"only {len(source.schema)} attributes"
+                    )
+                if source.schema[attr.index] != attr.name:
+                    raise ConstraintError(
+                        f"GA constraint names attribute {attr.name!r} but "
+                        f"source {source.name!r} has "
+                        f"{source.schema[attr.index]!r} at index {attr.index}"
+                    )
+
+    def _validate_weight_names(self) -> None:
+        allowed = set(self.qef_names())
+        if len(allowed) != len(self.qef_names()):
+            raise WeightError("QEF names must be unique")
+        unknown = set(self.weights) - allowed
+        if unknown:
+            raise WeightError(
+                f"weights reference unknown QEFs: {sorted(unknown)}; "
+                f"known QEFs: {sorted(allowed)}"
+            )
+
+
+def default_weights(
+    characteristic_qefs: Iterable[CharacteristicSpec] = (),
+) -> dict[str, float]:
+    """The paper's default weights (§7.1).
+
+    Matching 0.25, cardinality 0.25, coverage 0.2, redundancy 0.15, and the
+    remaining 0.15 split evenly over the characteristic QEFs (the paper has
+    exactly one, MTTF).  With no characteristic QEFs the 0.15 is
+    redistributed proportionally over the four data QEFs.
+    """
+    base = {MATCHING: 0.25, CARDINALITY: 0.25, COVERAGE: 0.2, REDUNDANCY: 0.15}
+    specs = tuple(characteristic_qefs)
+    if specs:
+        share = 0.15 / len(specs)
+        weights = dict(base)
+        for spec in specs:
+            weights[spec.name] = share
+        return weights
+    scale = 1.0 / sum(base.values())
+    return {name: value * scale for name, value in base.items()}

@@ -1,0 +1,84 @@
+"""Solutions: the output of one µBE iteration.
+
+A solution pairs the selected source set ``S`` with the mediated schema
+``M`` the matching operator produced for it, the overall quality ``Q(S)``
+and the per-QEF breakdown.  Infeasible selections (constraints violated or
+schema not spanning ``S``) still carry diagnostic scores so that optimizers
+can reason about them, but are flagged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from .mediated_schema import MediatedSchema
+from .source import Source
+from .universe import Universe
+
+
+@dataclass(frozen=True, slots=True)
+class Solution:
+    """One evaluated selection of sources.
+
+    Attributes
+    ----------
+    selected:
+        Ids of the selected sources ``S``.
+    schema:
+        The mediated schema ``M`` for ``S`` (GA constraints grown by the
+        clustering algorithm plus every discovered GA of size ≥ β), or
+        None when the matching operator could not satisfy the constraints.
+    objective:
+        The value the optimizer maximised.  Equal to :attr:`quality` for
+        feasible solutions; a guidance penalty below it otherwise.
+    quality:
+        ``Q(S) = Σ w_i F_i(S)``, the paper's overall quality.
+    qef_scores:
+        Per-QEF values ``F_i(S)`` keyed by QEF name.
+    feasible:
+        True iff all problem constraints hold for this selection.
+    infeasibility:
+        Human-readable reasons the selection is infeasible (empty when
+        feasible).
+    """
+
+    selected: frozenset[int]
+    schema: MediatedSchema | None
+    objective: float
+    quality: float
+    qef_scores: Mapping[str, float] = field(default_factory=dict)
+    feasible: bool = True
+    infeasibility: tuple[str, ...] = ()
+
+    def sources(self, universe: Universe) -> tuple[Source, ...]:
+        """Resolve the selected ids against a universe, sorted by id."""
+        return universe.select(self.selected)
+
+    def ga_count(self) -> int:
+        """Number of GAs in the mediated schema (0 if none)."""
+        return len(self.schema) if self.schema is not None else 0
+
+    def summary(self) -> str:
+        """A one-line human-readable summary."""
+        status = "feasible" if self.feasible else "INFEASIBLE"
+        return (
+            f"{len(self.selected)} sources, {self.ga_count()} GAs, "
+            f"Q={self.quality:.4f} ({status})"
+        )
+
+    def __lt__(self, other: "Solution") -> bool:
+        return self.objective < other.objective
+
+
+def worst_solution() -> Solution:
+    """A sentinel solution strictly worse than any real evaluation."""
+    return Solution(
+        selected=frozenset(),
+        schema=None,
+        objective=float("-inf"),
+        quality=0.0,
+        qef_scores={},
+        feasible=False,
+        infeasibility=("sentinel",),
+    )

@@ -1,0 +1,143 @@
+"""Data sources.
+
+From µBE's point of view a source is three things (paper §2.1):
+
+* a flat relational *schema* — an ordered list of attribute names;
+* a set of *tuples* — represented here by opaque integer tuple ids, plus an
+  optional PCSA hash signature summarising them (see :mod:`repro.sketch`);
+* a set of *characteristics* — positive real numbers describing
+  non-functional properties the user cares about (latency, MTTF, fees, …).
+
+Sources may be *uncooperative*: they refuse to report a cardinality and a
+hash signature.  µBE still considers them, but their coverage/redundancy
+contribution is zero (paper §4, last paragraph).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import TYPE_CHECKING
+
+from ..exceptions import ReproError
+from .attribute import AttributeRef
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    import numpy as np
+
+    from ..sketch.pcsa import PCSASketch
+
+
+class Source:
+    """One data source in the universe.
+
+    Parameters
+    ----------
+    source_id:
+        Unique non-negative id within the universe.
+    name:
+        Human-readable name (e.g. a host name).
+    schema:
+        Ordered attribute names.  Duplicates are allowed in principle but
+        unusual; they are distinct attributes at different indexes.
+    cardinality:
+        Number of tuples at the source, or None if the source does not
+        cooperate.
+    characteristics:
+        Mapping of characteristic name to a positive real value.
+    tuple_ids:
+        Optional array of opaque tuple ids.  Only synthetic workloads and
+        exact-counting baselines keep this; µBE proper never reads it.
+    sketch:
+        Optional PCSA signature of the tuples, used for coverage and
+        redundancy estimation.
+    """
+
+    __slots__ = (
+        "source_id",
+        "name",
+        "schema",
+        "cardinality",
+        "characteristics",
+        "tuple_ids",
+        "sketch",
+        "_attributes",
+    )
+
+    def __init__(
+        self,
+        source_id: int,
+        name: str,
+        schema: Iterable[str],
+        cardinality: int | None = None,
+        characteristics: Mapping[str, float] | None = None,
+        tuple_ids: "np.ndarray | None" = None,
+        sketch: "PCSASketch | None" = None,
+    ):
+        if source_id < 0:
+            raise ReproError(f"source_id must be non-negative, got {source_id}")
+        schema_tuple = tuple(str(a) for a in schema)
+        if not schema_tuple:
+            raise ReproError(f"source {name!r} must have at least one attribute")
+        if cardinality is not None and cardinality < 0:
+            raise ReproError(
+                f"source {name!r} cardinality must be non-negative, got {cardinality}"
+            )
+        chars = dict(characteristics or {})
+        for key, value in chars.items():
+            if value < 0:
+                raise ReproError(
+                    f"characteristic {key!r} of source {name!r} must be a "
+                    f"non-negative real, got {value}"
+                )
+        if cardinality is None and tuple_ids is not None:
+            cardinality = int(len(tuple_ids))
+
+        self.source_id = source_id
+        self.name = name
+        self.schema = schema_tuple
+        self.cardinality = cardinality
+        self.characteristics = chars
+        self.tuple_ids = tuple_ids
+        self.sketch = sketch
+        self._attributes = tuple(
+            AttributeRef(source_id, index, attr_name)
+            for index, attr_name in enumerate(schema_tuple)
+        )
+
+    @property
+    def attributes(self) -> tuple[AttributeRef, ...]:
+        """The source's attributes as :class:`AttributeRef` values."""
+        return self._attributes
+
+    @property
+    def is_cooperative(self) -> bool:
+        """True iff the source reported both a cardinality and a sketch."""
+        return self.cardinality is not None and self.sketch is not None
+
+    def attribute(self, index: int) -> AttributeRef:
+        """The attribute at schema position ``index``."""
+        return self._attributes[index]
+
+    def attribute_named(self, name: str) -> AttributeRef:
+        """The first attribute with the given name.
+
+        Raises
+        ------
+        KeyError
+            If no attribute has that name.
+        """
+        for ref in self._attributes:
+            if ref.name == name:
+                return ref
+        raise KeyError(f"source {self.name!r} has no attribute named {name!r}")
+
+    def characteristic(self, name: str) -> float:
+        """The value of a characteristic; raises KeyError if absent."""
+        return self.characteristics[name]
+
+    def __repr__(self) -> str:
+        card = self.cardinality if self.cardinality is not None else "?"
+        return (
+            f"Source(id={self.source_id}, name={self.name!r}, "
+            f"attrs={len(self.schema)}, card={card})"
+        )

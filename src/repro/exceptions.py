@@ -1,0 +1,47 @@
+"""Exception hierarchy for the µBE reproduction.
+
+All exceptions raised by this package derive from :class:`ReproError`, so
+callers can catch a single type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class InvalidGAError(ReproError):
+    """A Global Attribute violates Definition 1 of the paper.
+
+    A GA is valid iff it is non-empty and contains at most one attribute
+    from any single source.
+    """
+
+
+class InvalidSchemaError(ReproError):
+    """A mediated schema violates Definition 2 of the paper.
+
+    A mediated schema is valid on a set of sources iff its GAs are pairwise
+    disjoint and every source contributes at least one attribute to some GA.
+    """
+
+
+class ConstraintError(ReproError):
+    """A user constraint is malformed or references unknown sources/attributes."""
+
+
+class WeightError(ReproError):
+    """QEF weights are out of range, mis-keyed, or do not sum to one."""
+
+
+class SketchError(ReproError):
+    """A probabilistic-counting sketch was misconfigured or misused."""
+
+
+class SearchError(ReproError):
+    """An optimizer was misconfigured or could not produce any solution."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload generator received inconsistent parameters."""

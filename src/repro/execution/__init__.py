@@ -1,0 +1,23 @@
+"""Query execution over integration systems (the paper's §1 cost story)."""
+
+from .cost import ZERO_COST, CostModel, QueryCost
+from .engine import IntegrationSystem, QueryResult, full_answer_count
+from .predicate import (
+    Predicate,
+    Query,
+    QueryWorkloadConfig,
+    random_queries,
+)
+
+__all__ = [
+    "CostModel",
+    "IntegrationSystem",
+    "Predicate",
+    "Query",
+    "QueryCost",
+    "QueryResult",
+    "QueryWorkloadConfig",
+    "ZERO_COST",
+    "full_answer_count",
+    "random_queries",
+]

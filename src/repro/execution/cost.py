@@ -1,0 +1,85 @@
+"""The query cost model (paper §1's motivation, made measurable).
+
+"There are networking and processing costs associated with including a
+data source in the data integration system.  These are the costs to
+retrieve data from the source while executing queries, map this data to
+the global mediated schema, and resolve any inconsistencies with data
+retrieved from other sources.  The more sources we have, the higher these
+costs become."
+
+The model is deliberately simple and additive:
+
+* one round-trip *latency* per contacted source (from a configurable
+  source characteristic when present, else a constant);
+* a *transfer* cost per tuple fetched from a source;
+* a *merge* cost per fetched tuple for mapping to the mediated schema and
+  deduplicating against the other sources' answers.
+
+Duplicated data is therefore paid for twice — once in transfer and once in
+merge — which is exactly why the Redundancy QEF exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import Source
+from ..exceptions import ReproError
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Per-source and per-tuple simulated costs, in milliseconds."""
+
+    default_latency_ms: float = 150.0
+    latency_characteristic: str | None = "latency_ms"
+    transfer_ms_per_tuple: float = 0.02
+    merge_ms_per_tuple: float = 0.005
+
+    def __post_init__(self) -> None:
+        for name in (
+            "default_latency_ms", "transfer_ms_per_tuple",
+            "merge_ms_per_tuple",
+        ):
+            if getattr(self, name) < 0:
+                raise ReproError(f"{name} must be non-negative")
+
+    def latency_of(self, source: Source) -> float:
+        """Round-trip latency for one source."""
+        if (
+            self.latency_characteristic is not None
+            and self.latency_characteristic in source.characteristics
+        ):
+            return float(
+                source.characteristics[self.latency_characteristic]
+            )
+        return self.default_latency_ms
+
+
+@dataclass(frozen=True, slots=True)
+class QueryCost:
+    """Additive cost breakdown of one executed query."""
+
+    latency_ms: float
+    transfer_ms: float
+    merge_ms: float
+    sources_contacted: int
+    tuples_fetched: int
+
+    @property
+    def total_ms(self) -> float:
+        """Total simulated execution cost."""
+        return self.latency_ms + self.transfer_ms + self.merge_ms
+
+    def __add__(self, other: "QueryCost") -> "QueryCost":
+        return QueryCost(
+            latency_ms=self.latency_ms + other.latency_ms,
+            transfer_ms=self.transfer_ms + other.transfer_ms,
+            merge_ms=self.merge_ms + other.merge_ms,
+            sources_contacted=self.sources_contacted
+            + other.sources_contacted,
+            tuples_fetched=self.tuples_fetched + other.tuples_fetched,
+        )
+
+
+ZERO_COST = QueryCost(0.0, 0.0, 0.0, 0, 0)

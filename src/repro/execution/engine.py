@@ -1,0 +1,191 @@
+"""Query execution over a µBE integration system.
+
+Takes µBE's output — a selected source set and its mediated schema — and
+runs conjunctive queries against it the way a mediator would: route each
+query to the selected sources that can evaluate it, fetch and union their
+answers, deduplicate, and account the costs.  Executed against synthetic
+workloads that kept their tuple ids (``keep_tuples=True``), it turns the
+QEFs' *predictions* into measured outcomes:
+
+* Coverage  ↦ answer completeness vs the whole universe;
+* Redundancy ↦ fraction of fetched tuples that were duplicates;
+* source characteristics ↦ realized latency.
+
+`benchmarks/bench_execution.py` quantifies those correlations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import MediatedSchema, Solution, Universe
+from ..exceptions import ReproError
+from .cost import CostModel, QueryCost
+from .predicate import Query
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one executed query."""
+
+    query: Query
+    answer_ids: np.ndarray
+    per_source_counts: dict[int, int]
+    skipped_source_ids: tuple[int, ...]
+    cost: QueryCost
+
+    @property
+    def answer_count(self) -> int:
+        """Distinct tuples in the final answer."""
+        return int(self.answer_ids.size)
+
+    @property
+    def fetched_count(self) -> int:
+        """Total tuples fetched from all contacted sources."""
+        return sum(self.per_source_counts.values())
+
+    @property
+    def duplicate_count(self) -> int:
+        """Fetched tuples that were already supplied by another source."""
+        return self.fetched_count - self.answer_count
+
+    @property
+    def duplicate_ratio(self) -> float:
+        """Duplicates as a fraction of fetched tuples (0 when none fetched)."""
+        fetched = self.fetched_count
+        if fetched == 0:
+            return 0.0
+        return self.duplicate_count / fetched
+
+    def completeness_against(self, full_answer_count: int) -> float:
+        """Fraction of the full (universe-wide) answer this result reached.
+
+        Sound because every source draws from the same global tuple-id
+        space: the integration answer is always a subset of the universe
+        answer.
+        """
+        if full_answer_count <= 0:
+            return 1.0
+        return self.answer_count / full_answer_count
+
+
+class IntegrationSystem:
+    """A queryable data integration system built from a µBE solution."""
+
+    def __init__(
+        self,
+        universe: Universe,
+        selected: frozenset[int],
+        schema: MediatedSchema,
+        cost_model: CostModel | None = None,
+    ):
+        unknown = selected - universe.source_ids
+        if unknown:
+            raise ReproError(
+                f"selected sources {sorted(unknown)} are not in the universe"
+            )
+        self.universe = universe
+        self.selected = frozenset(selected)
+        self.schema = schema
+        self.cost_model = cost_model or CostModel()
+
+    @classmethod
+    def from_solution(
+        cls,
+        universe: Universe,
+        solution: Solution,
+        cost_model: CostModel | None = None,
+    ) -> "IntegrationSystem":
+        """Build the system µBE's solution describes.
+
+        Raises
+        ------
+        ReproError
+            If the solution carries no mediated schema.
+        """
+        if solution.schema is None:
+            raise ReproError(
+                "cannot build an integration system from a NULL schema"
+            )
+        return cls(
+            universe, solution.selected, solution.schema, cost_model
+        )
+
+    def answerable_source_ids(self, query: Query) -> tuple[int, ...]:
+        """Selected sources able to evaluate every predicate of a query."""
+        return tuple(
+            sid
+            for sid in sorted(self.selected)
+            if query.evaluable_by(self.universe.source(sid))
+        )
+
+    def execute(self, query: Query) -> QueryResult:
+        """Run a query: route, fetch, union, deduplicate, account costs.
+
+        Raises
+        ------
+        ReproError
+            If an answerable source did not retain its tuple ids (the
+            synthetic workload must be generated with ``keep_tuples=True``).
+        """
+        answerable = self.answerable_source_ids(query)
+        skipped = tuple(sorted(self.selected - set(answerable)))
+
+        per_source_counts: dict[int, int] = {}
+        answers = []
+        latency = 0.0
+        for sid in answerable:
+            source = self.universe.source(sid)
+            if source.tuple_ids is None:
+                raise ReproError(
+                    f"source {source.name!r} has no tuple data; generate "
+                    "the workload with keep_tuples=True to execute queries"
+                )
+            matching = source.tuple_ids[query.mask(source.tuple_ids)]
+            per_source_counts[sid] = int(matching.size)
+            answers.append(matching)
+            latency += self.cost_model.latency_of(source)
+
+        if answers:
+            fetched = np.concatenate(answers)
+            answer_ids = np.unique(fetched)
+        else:
+            fetched = np.empty(0, dtype=np.uint64)
+            answer_ids = fetched
+        cost = QueryCost(
+            latency_ms=latency,
+            transfer_ms=float(fetched.size)
+            * self.cost_model.transfer_ms_per_tuple,
+            merge_ms=float(fetched.size) * self.cost_model.merge_ms_per_tuple,
+            sources_contacted=len(answerable),
+            tuples_fetched=int(fetched.size),
+        )
+        return QueryResult(
+            query=query,
+            answer_ids=answer_ids,
+            per_source_counts=per_source_counts,
+            skipped_source_ids=skipped,
+            cost=cost,
+        )
+
+    def execute_all(self, queries) -> list[QueryResult]:
+        """Execute a batch of queries."""
+        return [self.execute(query) for query in queries]
+
+
+def full_answer_count(universe: Universe, query: Query) -> int:
+    """Distinct tuples matching a query across the *whole* universe.
+
+    The ground truth for completeness.  Ignores query interfaces — this is
+    what an omniscient system holding every source's data would return.
+    """
+    answers = []
+    for source in universe:
+        if source.tuple_ids is None:
+            continue
+        answers.append(source.tuple_ids[query.mask(source.tuple_ids)])
+    if not answers:
+        return 0
+    return int(np.unique(np.concatenate(answers)).size)

@@ -1,0 +1,186 @@
+"""Synthetic query predicates over opaque tuples.
+
+The paper's cost argument (§1) is about *executing queries* against the
+data integration system: every selected source must be contacted, its
+answer transferred, mapped to the mediated schema, and deduplicated against
+the other sources' answers.  Our tuples are opaque ids, so predicates are
+simulated: a predicate deterministically selects a pseudo-random
+``selectivity`` fraction of the whole tuple-id space (via a seeded hash),
+the way "price < 20" selects a fixed subset of real tuples.
+
+A predicate is *addressed* at a mediated-schema GA: a source can evaluate
+it only if the source expresses that GA (it has one of the GA's
+attributes) — query interfaces only filter on fields they expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import GlobalAttribute, Source
+from ..exceptions import ReproError
+from ..sketch.hashing import splitmix64
+
+#: Hash-space threshold scale (2**64 as float for mask comparisons).
+_HASH_SPACE = float(2**64)
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One simulated selection predicate.
+
+    Attributes
+    ----------
+    field:
+        The mediated-schema GA the predicate filters on.
+    selectivity:
+        Fraction of the tuple space the predicate keeps, in (0, 1].
+    seed:
+        Identity of the predicate: two predicates with the same seed select
+        the same tuples (like re-running the same condition), different
+        seeds select independent subsets.
+    label:
+        Optional human-readable description for reports.
+    """
+
+    field: GlobalAttribute
+    selectivity: float
+    seed: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.selectivity <= 1.0:
+            raise ReproError(
+                f"selectivity must be in (0, 1], got {self.selectivity}"
+            )
+
+    def mask(self, tuple_ids: np.ndarray) -> np.ndarray:
+        """Boolean mask of the tuples this predicate keeps."""
+        if tuple_ids.size == 0:
+            return np.zeros(0, dtype=bool)
+        hashed = splitmix64(
+            tuple_ids.astype(np.uint64, copy=False),
+            seed=self.seed * 2_654_435_761 + 1,
+        )
+        threshold = np.uint64(
+            min(int(self.selectivity * _HASH_SPACE), 2**64 - 1)
+        )
+        return hashed < threshold
+
+    def field_names(self) -> frozenset[str]:
+        """The synonymous attribute names the predicate's GA collects."""
+        return frozenset(attr.name for attr in self.field)
+
+    def evaluable_by(self, source: Source) -> bool:
+        """True iff the source exposes the predicate's field.
+
+        Name-based: the GA doubles as a *field description* — the set of
+        synonymous names for one concept — so any source exposing one of
+        those names can evaluate the predicate, even a source that was not
+        part of the schema the GA came from.  This is what lets one query
+        workload run against integration systems of different sizes.
+        """
+        names = self.field_names()
+        return any(name in names for name in source.schema)
+
+    def describe(self) -> str:
+        """Short rendering for reports."""
+        name = self.label or "/".join(sorted(set(self.field.names()))[:2])
+        return f"{name}~{self.selectivity:.0%}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A conjunctive query: tuples must satisfy every predicate."""
+
+    predicates: tuple[Predicate, ...]
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.predicates:
+            raise ReproError("a query needs at least one predicate")
+
+    def mask(self, tuple_ids: np.ndarray) -> np.ndarray:
+        """Conjunction of the predicate masks."""
+        combined = np.ones(tuple_ids.shape, dtype=bool)
+        for predicate in self.predicates:
+            combined &= predicate.mask(tuple_ids)
+        return combined
+
+    def expected_selectivity(self) -> float:
+        """Product of the predicate selectivities (independent hashes)."""
+        result = 1.0
+        for predicate in self.predicates:
+            result *= predicate.selectivity
+        return result
+
+    def evaluable_by(self, source: Source) -> bool:
+        """True iff the source can evaluate *every* predicate."""
+        return all(p.evaluable_by(source) for p in self.predicates)
+
+    def describe(self) -> str:
+        """Short rendering for reports."""
+        body = " AND ".join(p.describe() for p in self.predicates)
+        return f"{self.label or 'query'}[{body}]"
+
+
+@dataclass(frozen=True)
+class QueryWorkloadConfig:
+    """Parameters for random query generation."""
+
+    predicates_per_query: tuple[int, int] = (1, 2)
+    selectivity_range: tuple[float, float] = (0.05, 0.4)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        low, high = self.predicates_per_query
+        if not 1 <= low <= high:
+            raise ReproError(
+                "predicates_per_query must satisfy 1 <= low <= high"
+            )
+        slow, shigh = self.selectivity_range
+        if not 0.0 < slow <= shigh <= 1.0:
+            raise ReproError(
+                "selectivity_range must satisfy 0 < low <= high <= 1"
+            )
+
+
+def random_queries(
+    schema,
+    count: int,
+    config: QueryWorkloadConfig = QueryWorkloadConfig(),
+) -> tuple[Query, ...]:
+    """Random conjunctive queries over a mediated schema's GAs.
+
+    Predicates prefer large GAs (widely expressed concepts are queried
+    more), mirroring how users query the fields most interfaces share.
+    """
+    gas = sorted(schema, key=len, reverse=True)
+    if not gas:
+        raise ReproError("cannot generate queries over an empty schema")
+    rng = np.random.default_rng(config.seed)
+    weights = np.array([len(ga) for ga in gas], dtype=np.float64)
+    weights /= weights.sum()
+    queries = []
+    low, high = config.predicates_per_query
+    slow, shigh = config.selectivity_range
+    for index in range(count):
+        n_predicates = int(rng.integers(low, high + 1))
+        chosen = rng.choice(
+            len(gas),
+            size=min(n_predicates, len(gas)),
+            replace=False,
+            p=weights,
+        )
+        predicates = tuple(
+            Predicate(
+                field=gas[i],
+                selectivity=float(rng.uniform(slow, shigh)),
+                seed=config.seed * 10_007 + index * 101 + int(i),
+            )
+            for i in chosen
+        )
+        queries.append(Query(predicates, label=f"q{index}"))
+    return tuple(queries)

@@ -1,0 +1,238 @@
+"""JSON persistence for universes, schemas and solutions.
+
+µBE's input is a catalog of source descriptions — schemas, data statistics
+and characteristics "obtained from a hidden Web search engine or some other
+source discovery mechanism, or … provided by the user" (paper §1).  This
+module defines that catalog format: a stable, human-editable JSON encoding
+of a :class:`~repro.core.Universe` (PCSA signatures travel as base64
+payloads so cooperative sources round-trip losslessly), plus encodings for
+mediated schemas and solutions so session results can be archived and
+diffed between iterations.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .core import (
+    AttributeRef,
+    GlobalAttribute,
+    MediatedSchema,
+    Solution,
+    Source,
+    Universe,
+)
+from .exceptions import ReproError
+from .sketch.pcsa import PCSASketch
+
+#: Format tag written into every file for forward compatibility.
+FORMAT_VERSION = 1
+
+
+# -- sketches -----------------------------------------------------------------
+
+def sketch_to_dict(sketch: PCSASketch) -> dict[str, Any]:
+    """Encode a PCSA signature (parameters + base64 words)."""
+    return {
+        "num_maps": sketch.num_maps,
+        "map_bits": sketch.map_bits,
+        "seed": sketch.seed,
+        "words": base64.b64encode(sketch.words.tobytes()).decode("ascii"),
+    }
+
+
+def sketch_from_dict(data: dict[str, Any]) -> PCSASketch:
+    """Decode a PCSA signature."""
+    words = np.frombuffer(
+        base64.b64decode(data["words"]), dtype=np.uint64
+    ).copy()
+    return PCSASketch(
+        num_maps=int(data["num_maps"]),
+        map_bits=int(data["map_bits"]),
+        seed=int(data["seed"]),
+        words=words,
+    )
+
+
+# -- sources and universes ----------------------------------------------------
+
+def source_to_dict(source: Source) -> dict[str, Any]:
+    """Encode one source description (tuple data is never persisted)."""
+    encoded: dict[str, Any] = {
+        "id": source.source_id,
+        "name": source.name,
+        "schema": list(source.schema),
+    }
+    if source.cardinality is not None:
+        encoded["cardinality"] = source.cardinality
+    if source.characteristics:
+        encoded["characteristics"] = dict(source.characteristics)
+    if source.sketch is not None:
+        encoded["sketch"] = sketch_to_dict(source.sketch)
+    return encoded
+
+
+def source_from_dict(data: dict[str, Any]) -> Source:
+    """Decode one source description."""
+    sketch = None
+    if "sketch" in data:
+        sketch = sketch_from_dict(data["sketch"])
+    return Source(
+        int(data["id"]),
+        name=str(data["name"]),
+        schema=data["schema"],
+        cardinality=(
+            int(data["cardinality"]) if "cardinality" in data else None
+        ),
+        characteristics=data.get("characteristics"),
+        sketch=sketch,
+    )
+
+
+def universe_to_dict(universe: Universe) -> dict[str, Any]:
+    """Encode a full universe catalog."""
+    return {
+        "format": "mube-universe",
+        "version": FORMAT_VERSION,
+        "sources": [source_to_dict(s) for s in universe],
+    }
+
+
+def universe_from_dict(data: dict[str, Any]) -> Universe:
+    """Decode a universe catalog.
+
+    Raises
+    ------
+    ReproError
+        If the payload is not a supported universe catalog.
+    """
+    if data.get("format") != "mube-universe":
+        raise ReproError(
+            f"not a universe catalog (format={data.get('format')!r})"
+        )
+    if int(data.get("version", 0)) > FORMAT_VERSION:
+        raise ReproError(
+            f"catalog version {data['version']} is newer than supported "
+            f"version {FORMAT_VERSION}"
+        )
+    return Universe(source_from_dict(s) for s in data["sources"])
+
+
+def save_universe(universe: Universe, path: str | Path) -> None:
+    """Write a universe catalog as JSON."""
+    Path(path).write_text(
+        json.dumps(universe_to_dict(universe), indent=2), encoding="utf-8"
+    )
+
+
+def load_universe(path: str | Path) -> Universe:
+    """Read a universe catalog from JSON."""
+    return universe_from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )
+
+
+# -- schemas and solutions ------------------------------------------------------
+
+def ga_to_list(ga: GlobalAttribute) -> list[list[Any]]:
+    """Encode a GA as sorted ``[source_id, index, name]`` triples."""
+    return [
+        [a.source_id, a.index, a.name]
+        for a in sorted(ga, key=lambda a: (a.source_id, a.index))
+    ]
+
+
+def ga_from_list(data: list[list[Any]]) -> GlobalAttribute:
+    """Decode a GA."""
+    return GlobalAttribute(
+        AttributeRef(int(sid), int(idx), str(name))
+        for sid, idx, name in data
+    )
+
+
+def schema_to_dict(schema: MediatedSchema) -> dict[str, Any]:
+    """Encode a mediated schema."""
+    gas = sorted(
+        (ga_to_list(ga) for ga in schema),
+        key=lambda triples: triples[0],
+    )
+    return {"format": "mube-schema", "version": FORMAT_VERSION, "gas": gas}
+
+
+def schema_from_dict(data: dict[str, Any]) -> MediatedSchema:
+    """Decode a mediated schema.
+
+    Raises
+    ------
+    ReproError
+        If the payload is not a supported schema encoding.
+    """
+    if data.get("format") != "mube-schema":
+        raise ReproError(
+            f"not a mediated schema (format={data.get('format')!r})"
+        )
+    return MediatedSchema(ga_from_list(ga) for ga in data["gas"])
+
+
+def solution_to_dict(solution: Solution) -> dict[str, Any]:
+    """Encode a solution for archiving (schema, scores, feasibility)."""
+    return {
+        "format": "mube-solution",
+        "version": FORMAT_VERSION,
+        "selected": sorted(solution.selected),
+        "quality": solution.quality,
+        "objective": solution.objective,
+        "qef_scores": dict(solution.qef_scores),
+        "feasible": solution.feasible,
+        "infeasibility": list(solution.infeasibility),
+        "schema": (
+            schema_to_dict(solution.schema)
+            if solution.schema is not None
+            else None
+        ),
+    }
+
+
+def solution_from_dict(data: dict[str, Any]) -> Solution:
+    """Decode an archived solution.
+
+    Raises
+    ------
+    ReproError
+        If the payload is not a supported solution encoding.
+    """
+    if data.get("format") != "mube-solution":
+        raise ReproError(
+            f"not a solution (format={data.get('format')!r})"
+        )
+    schema = None
+    if data.get("schema") is not None:
+        schema = schema_from_dict(data["schema"])
+    return Solution(
+        selected=frozenset(int(s) for s in data["selected"]),
+        schema=schema,
+        objective=float(data["objective"]),
+        quality=float(data["quality"]),
+        qef_scores=dict(data["qef_scores"]),
+        feasible=bool(data["feasible"]),
+        infeasibility=tuple(data.get("infeasibility", ())),
+    )
+
+
+def save_solution(solution: Solution, path: str | Path) -> None:
+    """Write an archived solution as JSON."""
+    Path(path).write_text(
+        json.dumps(solution_to_dict(solution), indent=2), encoding="utf-8"
+    )
+
+
+def load_solution(path: str | Path) -> Solution:
+    """Read an archived solution from JSON."""
+    return solution_from_dict(
+        json.loads(Path(path).read_text(encoding="utf-8"))
+    )

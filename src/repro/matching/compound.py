@@ -1,0 +1,254 @@
+"""Compound schema elements: n:m matching via 1:1 on compounds (paper §2.1).
+
+The paper's formulation is 1:1, but it notes that it "may be extended to
+accommodate compound schema elements by replacing the attributes in our
+definitions with compound elements (e.g., elements consisting of sets of
+attributes).  This would enable us to handle matching with n:m cardinality
+by mapping n:m matches to 1:1 matches on compound elements."
+
+This module implements exactly that reduction:
+
+1. the user (or the :func:`suggest_compounds` heuristic) declares
+   *compounds* — sets of attributes within one source that jointly express
+   a single concept, e.g. ``{after date, before date}`` as a date range;
+2. :func:`apply_compounds` derives a universe in which each compound is a
+   single attribute, so the ordinary clustering machinery applies
+   unchanged;
+3. :meth:`CompoundMapping.expand` translates the resulting mediated schema
+   back to the original attributes, where a GA becomes an *n:m match*:
+   one attribute group per member source.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..core import AttributeRef, GlobalAttribute, MediatedSchema, Source, Universe
+from ..exceptions import ConstraintError
+from ..similarity.ngram import normalize_name
+
+
+@dataclass(frozen=True, slots=True)
+class CompoundSpec:
+    """A declared compound: ≥2 attributes of one source acting as one.
+
+    Attributes
+    ----------
+    source_id:
+        The owning source.
+    indexes:
+        Schema positions of the member attributes (at least two).
+    label:
+        Display/matching name for the compound.  When omitted, the common
+        final word of the member names is used if they share one
+        ("after date" + "before date" → "date"), else the names joined.
+    """
+
+    source_id: int
+    indexes: tuple[int, ...]
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if len(set(self.indexes)) < 2:
+            raise ConstraintError(
+                "a compound needs at least two distinct attributes"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class NMMatch:
+    """An n:m match: per-source attribute groups expressing one concept."""
+
+    groups: tuple[tuple[AttributeRef, ...], ...]
+
+    @property
+    def cardinality(self) -> str:
+        """The match arity, e.g. ``"2:1:1"`` (sorted descending)."""
+        return ":".join(
+            str(size) for size in sorted(
+                (len(group) for group in self.groups), reverse=True
+            )
+        )
+
+    def attributes(self) -> frozenset[AttributeRef]:
+        """All original attributes taking part in the match."""
+        return frozenset(a for group in self.groups for a in group)
+
+    def is_one_to_one(self) -> bool:
+        """True iff every group is a single attribute."""
+        return all(len(group) == 1 for group in self.groups)
+
+
+class CompoundMapping:
+    """A derived universe plus the translation back to the original."""
+
+    def __init__(
+        self,
+        original: Universe,
+        derived: Universe,
+        expansion: dict[AttributeRef, tuple[AttributeRef, ...]],
+    ):
+        self.original = original
+        self.derived = derived
+        self._expansion = expansion
+
+    def expand_attribute(
+        self, attribute: AttributeRef
+    ) -> tuple[AttributeRef, ...]:
+        """The original attribute(s) behind a derived attribute."""
+        return self._expansion[attribute]
+
+    def expand_ga(self, ga: GlobalAttribute) -> NMMatch:
+        """Translate one derived GA into an n:m match."""
+        groups = tuple(
+            self.expand_attribute(attribute)
+            for attribute in sorted(
+                ga, key=lambda a: (a.source_id, a.index)
+            )
+        )
+        return NMMatch(groups)
+
+    def expand(self, schema: MediatedSchema) -> tuple[NMMatch, ...]:
+        """Translate a whole derived mediated schema."""
+        return tuple(
+            self.expand_ga(ga)
+            for ga in sorted(
+                schema,
+                key=lambda ga: sorted(
+                    (a.source_id, a.index) for a in ga
+                ),
+            )
+        )
+
+
+def compound_label(members: Sequence[AttributeRef]) -> str:
+    """Default label: the members' common final word, else joined names."""
+    final_words = {
+        normalize_name(member.name).split()[-1]
+        for member in members
+        if normalize_name(member.name)
+    }
+    if len(final_words) == 1:
+        return next(iter(final_words))
+    return " ".join(
+        member.name for member in
+        sorted(members, key=lambda a: a.index)
+    )
+
+
+def apply_compounds(
+    universe: Universe, specs: Iterable[CompoundSpec]
+) -> CompoundMapping:
+    """Derive the universe in which each compound is a single attribute.
+
+    Source ids, data, sketches and characteristics are preserved; only the
+    schemas change.  Compounds of one source must not overlap.
+
+    Raises
+    ------
+    ConstraintError
+        On unknown sources/indexes or overlapping compounds.
+    """
+    by_source: dict[int, list[CompoundSpec]] = defaultdict(list)
+    for spec in specs:
+        if spec.source_id not in universe:
+            raise ConstraintError(
+                f"compound references unknown source {spec.source_id}"
+            )
+        source = universe.source(spec.source_id)
+        for index in spec.indexes:
+            if not 0 <= index < len(source.schema):
+                raise ConstraintError(
+                    f"compound index {index} out of range for source "
+                    f"{source.name!r}"
+                )
+        by_source[spec.source_id].append(spec)
+    for source_id, source_specs in by_source.items():
+        claimed: set[int] = set()
+        for spec in source_specs:
+            overlap = claimed & set(spec.indexes)
+            if overlap:
+                raise ConstraintError(
+                    f"compounds of source {source_id} overlap on "
+                    f"attribute index(es) {sorted(overlap)}"
+                )
+            claimed |= set(spec.indexes)
+
+    derived_sources: list[Source] = []
+    expansion: dict[AttributeRef, tuple[AttributeRef, ...]] = {}
+    for source in universe:
+        source_specs = by_source.get(source.source_id, [])
+        compound_of: dict[int, CompoundSpec] = {}
+        for spec in source_specs:
+            for index in spec.indexes:
+                compound_of[index] = spec
+        new_names: list[str] = []
+        new_groups: list[tuple[AttributeRef, ...]] = []
+        emitted: set[int] = set()
+        for index, attribute in enumerate(source.attributes):
+            spec = compound_of.get(index)
+            if spec is None:
+                new_names.append(attribute.name)
+                new_groups.append((attribute,))
+            elif id(spec) not in emitted:
+                emitted.add(id(spec))
+                members = tuple(
+                    source.attributes[i] for i in sorted(set(spec.indexes))
+                )
+                new_names.append(spec.label or compound_label(members))
+                new_groups.append(members)
+        derived = Source(
+            source.source_id,
+            name=source.name,
+            schema=new_names,
+            cardinality=source.cardinality,
+            characteristics=source.characteristics,
+            tuple_ids=source.tuple_ids,
+            sketch=source.sketch,
+        )
+        derived_sources.append(derived)
+        for derived_attr, group in zip(derived.attributes, new_groups):
+            expansion[derived_attr] = group
+
+    return CompoundMapping(universe, Universe(derived_sources), expansion)
+
+
+def suggest_compounds(
+    universe: Universe,
+    min_members: int = 2,
+    head_words: Iterable[str] | None = None,
+) -> tuple[CompoundSpec, ...]:
+    """Heuristic compound detection by shared final word.
+
+    Attributes of one source whose names end in the same word express
+    facets of one concept on real query interfaces: "after date" /
+    "before date" (a range), "first name" / "last name" (a person).
+    ``head_words`` optionally restricts which final words may anchor a
+    compound.
+    """
+    allowed = (
+        {normalize_name(word) for word in head_words}
+        if head_words is not None
+        else None
+    )
+    suggestions: list[CompoundSpec] = []
+    for source in universe:
+        groups: dict[str, list[int]] = defaultdict(list)
+        for index, name in enumerate(source.schema):
+            words = normalize_name(name).split()
+            if len(words) < 2:
+                continue  # single words are whole concepts by themselves
+            head = words[-1]
+            if allowed is not None and head not in allowed:
+                continue
+            groups[head].append(index)
+        for head, indexes in sorted(groups.items()):
+            if len(indexes) >= min_members:
+                suggestions.append(
+                    CompoundSpec(
+                        source.source_id, tuple(indexes), label=head
+                    )
+                )
+    return tuple(suggestions)

@@ -1,0 +1,187 @@
+"""Incremental matching: warm-starting Match(S ± {u}) from Match(S).
+
+The optimizer's hot loop evaluates ``Match`` on selections that differ from
+the current one by a single source.  Cold clustering rebuilds everything
+from singletons; the warm start reuses the previous clusters:
+
+* **ADD** — start from the base selection's final clusters plus singletons
+  for the new source's attributes, and resume the round loop.  Finished
+  clusters may re-activate: the new attributes can be similar to them.
+* **DROP** — clusters that lose a member are decomposed back into
+  singletons (a single-linkage chain may fall apart when its bridge
+  leaves), untouched clusters stay intact, and the round loop resumes —
+  which also re-checks cross-cluster merges that the departed source's
+  validity constraint used to block.
+
+Under single linkage *without* the validity constraint the result provably
+equals cold clustering (threshold components are order-independent).  With
+the one-attribute-per-source constraint, merge order matters, so the warm
+result can differ from the cold one in rare conflict cases.  The operator
+is therefore an explicit opt-in; ``benchmarks/bench_incremental.py``
+measures both the agreement rate (≈100 % on the Books workloads) and the
+speedup.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable
+
+from ..core import AttributeRef
+from .cluster import Cluster
+from .greedy import greedy_constrained_clustering, run_clustering_rounds
+from .operator import MatchOperator, MatchResult
+
+
+class IncrementalMatchOperator(MatchOperator):
+    """A :class:`MatchOperator` that warm-starts from cached clusterings.
+
+    Drop-in compatible: same constructor, same ``match`` contract.  Keeps
+    a bounded LRU cache of final cluster states keyed by selection.
+    """
+
+    def __init__(self, *args, cluster_cache_size: int = 4_096, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._clusters: OrderedDict[frozenset[int], list[Cluster]] = (
+            OrderedDict()
+        )
+        self._cluster_cache_size = cluster_cache_size
+        self.warm_hits = 0
+        self.cold_runs = 0
+
+    # -- internals ----------------------------------------------------------
+
+    def _match_uncached(self, selection: frozenset[int]) -> MatchResult:
+        missing = self.required_source_ids - selection
+        if missing:
+            return MatchResult(
+                None,
+                0.0,
+                reasons=(
+                    f"selection omits constrained source(s) {sorted(missing)}",
+                ),
+            )
+        base = self._closest_base(selection)
+        if base is None:
+            self.cold_runs += 1
+            clusters = greedy_constrained_clustering(
+                self._free_attributes(selection),
+                self.seeds,
+                self.matrix,
+                self.theta,
+                linkage=self.linkage,
+                prune=self.prune,
+            )
+        else:
+            self.warm_hits += 1
+            clusters = self._warm_clustering(selection, base)
+        self._remember(selection, clusters)
+        return self._result_from_clusters(selection, clusters)
+
+    def _closest_base(self, selection: frozenset[int]) -> frozenset[int] | None:
+        """A cached selection one source away (prefer ADD, then DROP)."""
+        for source_id in selection:
+            base = selection - {source_id}
+            if base in self._clusters:
+                return base
+        universe_ids = self.universe.source_ids
+        for source_id in sorted(universe_ids - selection):
+            base = selection | {source_id}
+            if base in self._clusters:
+                return base
+        return None
+
+    def _warm_clustering(
+        self, selection: frozenset[int], base: frozenset[int]
+    ) -> list[Cluster]:
+        prior = self._clusters[base]
+        self._clusters.move_to_end(base)
+        added = selection - base
+        removed = base - selection
+
+        initial: list[Cluster] = []
+        loose: list[AttributeRef] = []
+        for cluster in prior:
+            if not (removed and cluster.source_ids & removed):
+                # Untouched: pass through intact (including grown seeds
+                # and singletons; singletons are harmless as-is).
+                initial.append(cluster)
+                continue
+            # The cluster loses members; a single-linkage chain may fall
+            # apart, so decompose the survivors.  Seed cores are
+            # indivisible (their sources are required and thus never
+            # removed): re-emit each contained seed as a cluster and
+            # release only the grown extras.
+            survivor_attrs = {
+                attr for attr in cluster.attrs
+                if attr.source_id not in removed
+            }
+            if cluster.keep:
+                for seed in self.seeds:
+                    if set(seed.attributes) <= set(cluster.attrs):
+                        initial.append(Cluster.from_ga(seed, self.matrix))
+                        survivor_attrs -= set(seed.attributes)
+            loose.extend(
+                sorted(survivor_attrs, key=lambda a: (a.source_id, a.index))
+            )
+        seed_attrs = {attr for seed in self.seeds for attr in seed}
+        for source_id in sorted(added):
+            loose.extend(
+                attr
+                for attr in self.universe.source(source_id).attributes
+                if attr not in seed_attrs
+            )
+        initial.extend(
+            Cluster.singleton(attr, self.matrix) for attr in loose
+        )
+        return run_clustering_rounds(
+            initial,
+            self.matrix,
+            self.theta,
+            linkage=self.linkage,
+            prune=self.prune,
+        )
+
+    def _remember(
+        self, selection: frozenset[int], clusters: list[Cluster]
+    ) -> None:
+        if len(self._clusters) >= self._cluster_cache_size:
+            self._clusters.popitem(last=False)
+        self._clusters[selection] = clusters
+
+    def _result_from_clusters(
+        self, selection: frozenset[int], clusters: Iterable[Cluster]
+    ) -> MatchResult:
+        from ..core import MediatedSchema
+
+        gas = [
+            cluster.to_ga()
+            for cluster in clusters
+            if cluster.keep or len(cluster) >= self.beta
+        ]
+        schema = MediatedSchema(gas)
+        unspanned = schema.unspanned_source_ids(selection)
+        constrained_unspanned = unspanned & self.required_source_ids
+        if constrained_unspanned:
+            return MatchResult(
+                None,
+                0.0,
+                unspanned_source_ids=unspanned,
+                reasons=(
+                    "no matching satisfies θ for constrained source(s) "
+                    f"{sorted(constrained_unspanned)}",
+                ),
+            )
+        return MatchResult(
+            schema,
+            self._schema_quality(schema),
+            unspanned_source_ids=unspanned,
+        )
+
+    def incremental_info(self) -> dict[str, int]:
+        """Warm/cold statistics for diagnostics and benchmarks."""
+        return {
+            "warm_hits": self.warm_hits,
+            "cold_runs": self.cold_runs,
+            "cached_clusterings": len(self._clusters),
+        }

@@ -1,0 +1,241 @@
+"""The schema matching operator ``Match(S, C, G)`` (paper §3).
+
+``Match`` determines the best matching between the schemas of the sources in
+``S``, returning the mediated schema ``M`` and the matching-quality QEF
+value ``F1(S)``.  It must honour the user's source constraints ``C`` (the
+result must be valid on ``C``) and GA constraints ``G`` (``G ⊑ M``).
+
+:class:`MatchOperator` binds a universe, a similarity matrix and the problem
+parameters once, then evaluates arbitrary selections with memoization —
+the operator is a pure function of the selection, so caching by source-set
+is sound and is what makes iterative search affordable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..core import (
+    GlobalAttribute,
+    MediatedSchema,
+    Problem,
+    Universe,
+)
+from ..exceptions import ConstraintError
+from ..similarity.matrix import NameSimilarityMatrix
+from ..similarity.measures import SimilarityMeasure, default_measure
+from .cluster import Cluster
+from .greedy import greedy_constrained_clustering
+
+
+@dataclass(frozen=True, slots=True)
+class MatchResult:
+    """Outcome of one ``Match(S, C, G)`` call.
+
+    Attributes
+    ----------
+    schema:
+        The mediated schema, or None when the constraints are unsatisfiable
+        for this selection (the paper's NULL result).
+    quality:
+        ``F1(S)`` — the mean internal matching quality over the schema's
+        GAs (0 for a NULL or empty schema).
+    unspanned_source_ids:
+        Selected sources that contribute no attribute to any GA.  Only
+        constrained sources among these make the result NULL; the rest are
+        diagnostic.
+    reasons:
+        Human-readable explanations when ``schema`` is None.
+    """
+
+    schema: MediatedSchema | None
+    quality: float
+    unspanned_source_ids: frozenset[int] = frozenset()
+    reasons: tuple[str, ...] = ()
+
+    @property
+    def is_null(self) -> bool:
+        """True when Match returned the paper's NULL result."""
+        return self.schema is None
+
+
+class MatchOperator:
+    """``Match(S)`` with the constraints and parameters bound at creation."""
+
+    def __init__(
+        self,
+        universe: Universe,
+        source_constraints: Iterable[int] = (),
+        ga_constraints: Sequence[GlobalAttribute] = (),
+        theta: float = 0.65,
+        beta: int = 2,
+        similarity: SimilarityMeasure | NameSimilarityMatrix | None = None,
+        linkage: str = "single",
+        prune: bool = True,
+        cache_size: int = 200_000,
+    ):
+        self.universe = universe
+        self.theta = theta
+        self.beta = beta
+        self.linkage = linkage
+        self.prune = prune
+        self.matrix = _resolve_matrix(universe, similarity)
+        self.seeds = coalesce_ga_constraints(ga_constraints)
+        implied = {
+            attr.source_id for seed in self.seeds for attr in seed
+        }
+        self.required_source_ids = frozenset(source_constraints) | frozenset(
+            implied
+        )
+        self._cache: dict[frozenset[int], MatchResult] = {}
+        self._cache_size = cache_size
+
+    @classmethod
+    def for_problem(
+        cls,
+        problem: Problem,
+        similarity: SimilarityMeasure | NameSimilarityMatrix | None = None,
+        linkage: str = "single",
+        prune: bool = True,
+        **kwargs,
+    ) -> "MatchOperator":
+        """Build the operator a :class:`~repro.core.Problem` describes."""
+        return cls(
+            problem.universe,
+            source_constraints=problem.source_constraints,
+            ga_constraints=problem.ga_constraints,
+            theta=problem.theta,
+            beta=problem.beta,
+            similarity=similarity,
+            linkage=linkage,
+            prune=prune,
+            **kwargs,
+        )
+
+    def match(self, source_ids: Iterable[int]) -> MatchResult:
+        """Evaluate ``Match(S)`` for the given selection (memoized)."""
+        selection = frozenset(source_ids)
+        cached = self._cache.get(selection)
+        if cached is not None:
+            return cached
+        result = self._match_uncached(selection)
+        if len(self._cache) >= self._cache_size:
+            self._cache.clear()
+        self._cache[selection] = result
+        return result
+
+    def ga_quality(self, ga: GlobalAttribute) -> float:
+        """``F1({g})`` — internal matching quality of a single GA."""
+        cluster = Cluster.from_ga(ga, self.matrix)
+        return cluster.internal_quality(self.matrix)
+
+    def cache_info(self) -> dict[str, int]:
+        """Cache statistics for diagnostics."""
+        return {"entries": len(self._cache), "capacity": self._cache_size}
+
+    # -- internals ----------------------------------------------------------
+
+    def _match_uncached(self, selection: frozenset[int]) -> MatchResult:
+        reasons: list[str] = []
+        missing = self.required_source_ids - selection
+        if missing:
+            reasons.append(
+                f"selection omits constrained source(s) {sorted(missing)}"
+            )
+            return MatchResult(None, 0.0, reasons=tuple(reasons))
+
+        free_attrs = self._free_attributes(selection)
+        clusters = greedy_constrained_clustering(
+            free_attrs,
+            self.seeds,
+            self.matrix,
+            self.theta,
+            linkage=self.linkage,
+            prune=self.prune,
+        )
+        gas = [
+            cluster.to_ga()
+            for cluster in clusters
+            if cluster.keep or len(cluster) >= self.beta
+        ]
+        schema = MediatedSchema(gas)
+
+        unspanned = schema.unspanned_source_ids(selection)
+        constrained_unspanned = unspanned & self.required_source_ids
+        if constrained_unspanned:
+            # M is not valid on C: a constrained source matched nothing.
+            reasons.append(
+                "no matching satisfies θ for constrained source(s) "
+                f"{sorted(constrained_unspanned)}"
+            )
+            return MatchResult(
+                None, 0.0, unspanned_source_ids=unspanned,
+                reasons=tuple(reasons),
+            )
+
+        quality = self._schema_quality(schema)
+        return MatchResult(schema, quality, unspanned_source_ids=unspanned)
+
+    def _free_attributes(self, selection: frozenset[int]):
+        seed_attrs = {attr for seed in self.seeds for attr in seed}
+        return [
+            attr
+            for sid in sorted(selection)
+            for attr in self.universe.source(sid).attributes
+            if attr not in seed_attrs
+        ]
+
+    def _schema_quality(self, schema: MediatedSchema) -> float:
+        if not len(schema):
+            return 0.0
+        total = 0.0
+        for ga in schema:
+            cluster = Cluster.from_ga(ga, self.matrix)
+            total += cluster.internal_quality(self.matrix)
+        return total / len(schema)
+
+
+def coalesce_ga_constraints(
+    ga_constraints: Sequence[GlobalAttribute],
+) -> tuple[GlobalAttribute, ...]:
+    """Merge GA constraints that share attributes into disjoint seeds.
+
+    Two constraints sharing an attribute necessarily describe one concept,
+    so their union must be a single seed.  If that union is not a valid GA
+    (it would take two attributes from one source) the constraints are
+    contradictory and a :class:`ConstraintError` is raised.
+    """
+    groups: list[set] = []
+    for ga in ga_constraints:
+        attrs = set(ga.attributes)
+        touching = [g for g in groups if g & attrs]
+        for g in touching:
+            attrs |= g
+            groups.remove(g)
+        groups.append(attrs)
+    seeds = []
+    for group in groups:
+        sources = [a.source_id for a in group]
+        if len(set(sources)) != len(sources):
+            raise ConstraintError(
+                "GA constraints are contradictory: their union would take "
+                "two attributes from one source"
+            )
+        seeds.append(GlobalAttribute(group))
+    return tuple(
+        sorted(
+            seeds,
+            key=lambda ga: sorted((a.source_id, a.index) for a in ga),
+        )
+    )
+
+
+def _resolve_matrix(
+    universe: Universe,
+    similarity: SimilarityMeasure | NameSimilarityMatrix | None,
+) -> NameSimilarityMatrix:
+    if isinstance(similarity, NameSimilarityMatrix):
+        return similarity
+    measure = similarity if similarity is not None else default_measure()
+    return NameSimilarityMatrix.build(universe.attribute_names(), measure)

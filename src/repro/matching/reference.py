@@ -1,0 +1,55 @@
+"""Reference clustering: naive sequential single-linkage.
+
+A deliberately simple O(rounds × n²) agglomerative clusterer used to
+cross-check Algorithm 1 in tests and to ablate its round structure and
+elimination step in benchmarks.  It repeatedly merges the globally most
+similar *valid* cluster pair with similarity ≥ θ, recomputing similarities
+after every merge, until no such pair remains.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core import AttributeRef, GlobalAttribute
+from ..similarity.matrix import NameSimilarityMatrix
+from .cluster import Cluster, cluster_similarity
+
+
+def sequential_clustering(
+    attributes: Sequence[AttributeRef],
+    seeds: Sequence[GlobalAttribute],
+    matrix: NameSimilarityMatrix,
+    theta: float,
+    linkage: str = "single",
+) -> list[Cluster]:
+    """Best-first agglomerative clustering under the GA validity constraint.
+
+    Same contract as
+    :func:`repro.matching.greedy.greedy_constrained_clustering`: returns all
+    final clusters including singletons.
+    """
+    clusters: list[Cluster] = [Cluster.from_ga(ga, matrix) for ga in seeds]
+    clusters.extend(Cluster.singleton(attr, matrix) for attr in attributes)
+
+    while True:
+        best_sim = -1.0
+        best_pair: tuple[int, int] | None = None
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                if not clusters[i].can_merge(clusters[j]):
+                    continue
+                sim = cluster_similarity(
+                    clusters[i], clusters[j], matrix, linkage
+                )
+                if sim >= theta and sim > best_sim:
+                    best_sim = sim
+                    best_pair = (i, j)
+        if best_pair is None:
+            return clusters
+        i, j = best_pair
+        merged = clusters[i].merged_with(clusters[j])
+        clusters = [
+            c for k, c in enumerate(clusters) if k not in (i, j)
+        ]
+        clusters.append(merged)

@@ -1,0 +1,45 @@
+"""Quality evaluation: the four built-in QEFs, characteristic QEFs, Q(S)."""
+
+from .base import QEF, clamp_unit
+from .characteristics import (
+    AGGREGATORS,
+    CharacteristicQEF,
+    get_aggregator,
+    max_agg,
+    mean,
+    median,
+    min_agg,
+    product,
+    wsum,
+)
+from .data_metrics import (
+    CardinalityQEF,
+    CoverageQEF,
+    RedundancyQEF,
+    RedundancyRatioQEF,
+    estimated_distinct,
+)
+from .matching_quality import MatchingQEF
+from .overall import INFEASIBLE_PENALTY, Objective
+
+__all__ = [
+    "AGGREGATORS",
+    "CardinalityQEF",
+    "CharacteristicQEF",
+    "CoverageQEF",
+    "INFEASIBLE_PENALTY",
+    "MatchingQEF",
+    "Objective",
+    "QEF",
+    "RedundancyQEF",
+    "RedundancyRatioQEF",
+    "clamp_unit",
+    "estimated_distinct",
+    "get_aggregator",
+    "max_agg",
+    "mean",
+    "median",
+    "min_agg",
+    "product",
+    "wsum",
+]

@@ -1,0 +1,38 @@
+"""Quality Evaluation Function (QEF) base class.
+
+A QEF ``F_k(S)`` maps a set of selected sources to an aggregate quality in
+[0, 1] — higher is better (paper §2.3).  The abstract base class here is a
+convenience for implementers; any object satisfying the structural
+:class:`repro.core.QualityFunction` protocol (a ``name`` plus a call taking
+the selected sources) is accepted everywhere.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from ..core import Source
+
+
+class QEF(ABC):
+    """Base class for quality evaluation functions."""
+
+    #: Unique QEF name; weights are keyed by it.
+    name: str = "abstract"
+
+    @abstractmethod
+    def __call__(self, sources: Sequence[Source]) -> float:
+        """Evaluate the QEF on the selected sources; result in [0, 1]."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def clamp_unit(value: float) -> float:
+    """Clamp a score into [0, 1] (guards estimator noise at the edges)."""
+    if value < 0.0:
+        return 0.0
+    if value > 1.0:
+        return 1.0
+    return value

@@ -1,0 +1,157 @@
+"""QEFs over source characteristics (paper §5).
+
+Source characteristics are per-source positive reals of any magnitude —
+latency, availability, fees, reputation, MTTF, ….  A characteristic QEF
+aggregates the characteristic over the selected sources into [0, 1] after
+normalizing each value against the universe-wide range.
+
+The paper's example aggregator is the cardinality-weighted sum::
+
+    wsum(S) = Σ_{s∈S} (q_s − min_U q)·|s|  /  (Σ_{s∈S} |s| · (max_U q − min_U q))
+
+which is the cardinality-weighted mean of the normalized characteristic —
+"a source with high availability and a large number of tuples is more
+valuable than a source with high availability but only a few tuples."
+
+Cost-like characteristics (latency, fees) set ``higher_is_better=False``,
+which flips the normalization so smaller raw values score higher.  Sources
+that do not report the characteristic are skipped; if every source's value
+is identical the normalized score is defined to be 1.0 (no selection can do
+better than any other on that dimension).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from ..core import CharacteristicSpec, Source, Universe
+from ..exceptions import ReproError
+from .base import QEF, clamp_unit
+
+#: An aggregator folds (normalized value, cardinality) pairs into [0, 1].
+Aggregator = Callable[[Sequence[tuple[float, int]]], float]
+
+
+def wsum(pairs: Sequence[tuple[float, int]]) -> float:
+    """Cardinality-weighted mean of normalized values (the paper's wsum)."""
+    total_weight = sum(weight for _, weight in pairs)
+    if total_weight <= 0:
+        # No cardinalities known: fall back to the unweighted mean.
+        return mean(pairs)
+    return sum(value * weight for value, weight in pairs) / total_weight
+
+
+def mean(pairs: Sequence[tuple[float, int]]) -> float:
+    """Unweighted mean of normalized values."""
+    if not pairs:
+        return 0.0
+    return sum(value for value, _ in pairs) / len(pairs)
+
+
+def min_agg(pairs: Sequence[tuple[float, int]]) -> float:
+    """Worst normalized value — for must-hold properties like availability."""
+    if not pairs:
+        return 0.0
+    return min(value for value, _ in pairs)
+
+
+def max_agg(pairs: Sequence[tuple[float, int]]) -> float:
+    """Best normalized value — rewards having one excellent source."""
+    if not pairs:
+        return 0.0
+    return max(value for value, _ in pairs)
+
+
+def product(pairs: Sequence[tuple[float, int]]) -> float:
+    """Product of normalized values.
+
+    Models conjunctive properties: if the normalized characteristic is a
+    per-source success probability (availability, reliability), the product
+    is the probability that *every* selected source succeeds — so adding a
+    mediocre source actively hurts, unlike under wsum/mean.
+    """
+    if not pairs:
+        return 0.0
+    result = 1.0
+    for value, _ in pairs:
+        result *= value
+    return result
+
+
+def median(pairs: Sequence[tuple[float, int]]) -> float:
+    """Median normalized value — a mean robust to one terrible source."""
+    if not pairs:
+        return 0.0
+    values = sorted(value for value, _ in pairs)
+    middle = len(values) // 2
+    if len(values) % 2:
+        return values[middle]
+    return (values[middle - 1] + values[middle]) / 2.0
+
+
+AGGREGATORS: dict[str, Aggregator] = {
+    "wsum": wsum,
+    "mean": mean,
+    "min": min_agg,
+    "max": max_agg,
+    "product": product,
+    "median": median,
+}
+
+
+def get_aggregator(name: str) -> Aggregator:
+    """Look an aggregator up by name.
+
+    Raises
+    ------
+    ReproError
+        If the name is unknown.
+    """
+    try:
+        return AGGREGATORS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown aggregator {name!r}; "
+            f"available: {', '.join(sorted(AGGREGATORS))}"
+        ) from None
+
+
+class CharacteristicQEF(QEF):
+    """A QEF over one source characteristic, per a :class:`CharacteristicSpec`."""
+
+    def __init__(self, universe: Universe, spec: CharacteristicSpec):
+        self.spec = spec
+        self.name = spec.name
+        self._aggregate = get_aggregator(spec.aggregator)
+        self._minimum, self._maximum = universe.characteristic_range(
+            spec.characteristic
+        )
+
+    def normalized(self, value: float) -> float:
+        """Normalize a raw characteristic value into [0, 1]."""
+        span = self._maximum - self._minimum
+        if span <= 0.0:
+            return 1.0
+        fraction = (value - self._minimum) / span
+        if not self.spec.higher_is_better:
+            fraction = 1.0 - fraction
+        return clamp_unit(fraction)
+
+    def __call__(self, sources: Sequence[Source]) -> float:
+        pairs = [
+            (
+                self.normalized(s.characteristics[self.spec.characteristic]),
+                s.cardinality or 0,
+            )
+            for s in sources
+            if self.spec.characteristic in s.characteristics
+        ]
+        if not pairs:
+            return 0.0
+        return clamp_unit(self._aggregate(pairs))
+
+    def __repr__(self) -> str:
+        return (
+            f"CharacteristicQEF({self.spec.characteristic!r}, "
+            f"aggregator={self.spec.aggregator!r})"
+        )

@@ -1,0 +1,168 @@
+"""Data-dependent QEFs: cardinality, coverage, redundancy (paper §4).
+
+With ``Σ(S) = Σ_{s∈S} |s|`` (sum of source cardinalities) and
+``D(S) = |∪_{s∈S} s|`` (distinct tuples across the selection):
+
+* ``Card(S) = Σ(S) / Σ(U)`` — how much data the selection holds;
+* ``Coverage(S) = D(S) / D(U)`` — how much of the universe's distinct data
+  the selection reaches;
+* ``Redundancy(S)`` — how little the selected sources overlap, normalized
+  so that 1 is best (pairwise-disjoint sources) and 0 is worst (all
+  sources identical).  See DESIGN.md §2 for the reconstruction of the
+  paper's (OCR-garbled) formula:
+
+  ``Redundancy(S) = 1 − |S|·(Σ(S) − D(S)) / ((|S|−1)·Σ(S))``
+
+``D`` is never computed from data: every cooperative source ships a PCSA
+signature once, and unions are estimated by ORing signatures
+(:mod:`repro.sketch`).  Uncooperative sources are excluded from all three
+metrics — they contribute zero, exactly as the paper prescribes for
+sources that refuse to provide cardinalities and hash signatures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core import Source, Universe
+from ..exceptions import SketchError
+from ..sketch.exact import ExactDistinct, exact_union_count
+from ..sketch.pcsa import PCSASketch, union_sketch
+from .base import QEF, clamp_unit
+
+
+def cooperative(sources: Sequence[Source]) -> list[Source]:
+    """The sources that reported both a cardinality and a sketch."""
+    return [s for s in sources if s.is_cooperative]
+
+
+class CardinalityQEF(QEF):
+    """F2: total selected cardinality, normalized by the universe's."""
+
+    name = "cardinality"
+
+    def __init__(self, universe: Universe):
+        self._total = universe.total_cardinality()
+
+    def __call__(self, sources: Sequence[Source]) -> float:
+        if self._total <= 0:
+            return 0.0
+        selected = sum(s.cardinality or 0 for s in cooperative(sources))
+        return clamp_unit(selected / self._total)
+
+
+class CoverageQEF(QEF):
+    """F3: estimated distinct tuples reached, normalized by the universe's.
+
+    ``exact=True`` switches from PCSA estimation to true distinct counts
+    over retained tuple ids — slow and only possible on workloads with
+    ``keep_tuples=True``, used to ablate the sketch's impact.
+    """
+
+    name = "coverage"
+
+    def __init__(self, universe: Universe, exact: bool = False):
+        self._exact = exact
+        self._universe_distinct = estimated_distinct(
+            universe.sources, exact=exact
+        )
+
+    def __call__(self, sources: Sequence[Source]) -> float:
+        if self._universe_distinct <= 0.0:
+            return 0.0
+        distinct = estimated_distinct(sources, exact=self._exact)
+        return clamp_unit(distinct / self._universe_distinct)
+
+
+class RedundancyQEF(QEF):
+    """F4: one minus the normalized overlap among the selected sources.
+
+    The overlap fraction ``(Σ − D)/Σ`` ranges from 0 (disjoint) up to
+    ``(n−1)/n`` when all ``n`` sources are identical, so dividing by that
+    worst case maps the QEF onto the full [0, 1] range with 1 best,
+    matching the paper's convention.  Selections with at most one
+    cooperative source cannot overlap and score 1.
+    """
+
+    name = "redundancy"
+
+    def __init__(self, exact: bool = False):
+        self._exact = exact
+
+    def __call__(self, sources: Sequence[Source]) -> float:
+        coop = cooperative(sources)
+        if len(coop) <= 1:
+            return 1.0
+        total = sum(s.cardinality or 0 for s in coop)
+        if total <= 0:
+            return 1.0
+        distinct = estimated_distinct(
+            coop, clamp_total=total, exact=self._exact
+        )
+        overlap = (total - distinct) / total
+        worst = (len(coop) - 1) / len(coop)
+        return clamp_unit(1.0 - overlap / worst)
+
+
+class RedundancyRatioQEF(QEF):
+    """Ablation variant: ``D(S) / Σ(S)`` without worst-case normalization.
+
+    Also 1 when disjoint, but bottoms out at ``1/n`` rather than 0 for
+    ``n`` identical sources.  Used by the ablation benchmark to show the
+    normalization's effect on source selection.
+    """
+
+    name = "redundancy_ratio"
+
+    def __call__(self, sources: Sequence[Source]) -> float:
+        coop = cooperative(sources)
+        if len(coop) <= 1:
+            return 1.0
+        total = sum(s.cardinality or 0 for s in coop)
+        if total <= 0:
+            return 1.0
+        distinct = estimated_distinct(coop, clamp_total=total)
+        return clamp_unit(distinct / total)
+
+
+def estimated_distinct(
+    sources: Sequence[Source],
+    clamp_total: int | None = None,
+    exact: bool = False,
+) -> float:
+    """Distinct tuples across the cooperative sources.
+
+    By default the PCSA estimate (the paper's mechanism), clamped to the
+    feasible range: it can be neither below the largest single source nor
+    above the cardinality sum.  With ``exact=True`` the true distinct
+    count is computed from retained tuple ids — the ablation baseline for
+    measuring what the sketch error costs (sources without tuple data are
+    skipped, mirroring the cooperative-only rule).
+    """
+    if exact:
+        return float(
+            exact_union_count(
+                [
+                    ExactDistinct(source.tuple_ids)
+                    for source in sources
+                    if source.is_cooperative and source.tuple_ids is not None
+                ]
+            )
+        )
+    sketches: list[PCSASketch] = []
+    largest = 0
+    total = 0
+    for source in sources:
+        if not source.is_cooperative:
+            continue
+        if source.sketch is None:  # pragma: no cover - is_cooperative guards
+            raise SketchError(f"source {source.name!r} has no sketch")
+        sketches.append(source.sketch)
+        cardinality = source.cardinality or 0
+        largest = max(largest, cardinality)
+        total += cardinality
+    if not sketches:
+        return 0.0
+    estimate = union_sketch(sketches).estimate()
+    upper = float(clamp_total if clamp_total is not None else total)
+    return min(max(estimate, float(largest)), upper)

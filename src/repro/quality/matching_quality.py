@@ -1,0 +1,33 @@
+"""F1: the matching-quality QEF (paper §3).
+
+``F1(S)`` is the quality of the best matching the clustering algorithm
+finds among the schemas of the selected sources — the mean, over the GAs of
+the generated mediated schema, of each GA's internal quality (the maximum
+similarity between any two of its member attributes).
+
+The standalone QEF below wraps a bound :class:`~repro.matching.MatchOperator`
+so F1 can be used like any other QEF; the central
+:class:`~repro.quality.Objective` calls the operator directly instead
+because it also needs the schema itself.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..core import Source
+from ..matching.operator import MatchOperator
+from .base import QEF
+
+
+class MatchingQEF(QEF):
+    """F1 as a plain QEF over selected sources."""
+
+    name = "matching"
+
+    def __init__(self, operator: MatchOperator):
+        self.operator = operator
+
+    def __call__(self, sources: Sequence[Source]) -> float:
+        result = self.operator.match(s.source_id for s in sources)
+        return result.quality

@@ -1,0 +1,175 @@
+"""The overall objective ``Q(S) = Σ w_i F_i(S)`` (paper §2.3, §2.5).
+
+:class:`Objective` wires a :class:`~repro.core.Problem` to concrete QEF
+implementations and evaluates selections for the optimizers:
+
+* the matching operator is invoked once per selection (memoized) and its
+  result feeds both ``F1`` and the feasibility check — the mediated schema
+  must be valid on the constrained sources (the paper's NULL result);
+* QEFs with zero weight are skipped;
+* infeasible selections receive a discounted *objective* below their raw
+  quality so metaheuristics can traverse them without ever preferring them
+  to a feasible solution (an implementation device, not part of the
+  paper's model — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..core import (
+    CARDINALITY,
+    COVERAGE,
+    MATCHING,
+    REDUNDANCY,
+    Problem,
+    QualityFunction,
+    Solution,
+)
+from ..exceptions import WeightError
+from ..matching.incremental import IncrementalMatchOperator
+from ..matching.operator import MatchOperator
+from ..similarity.matrix import NameSimilarityMatrix
+from ..similarity.measures import SimilarityMeasure
+from .characteristics import CharacteristicQEF
+from .data_metrics import CardinalityQEF, CoverageQEF, RedundancyQEF
+
+#: Multiplier applied to the quality of infeasible selections when forming
+#: their search objective.  Any value in (0, 1) preserves the invariant
+#: that a feasible selection always outranks an infeasible one of equal
+#: quality.
+INFEASIBLE_PENALTY = 0.25
+
+
+class Objective:
+    """Memoizing evaluator of ``Q(S)`` for a fixed problem."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        similarity: SimilarityMeasure | NameSimilarityMatrix | None = None,
+        linkage: str = "single",
+        prune: bool = True,
+        cache_size: int = 200_000,
+        exact_data_metrics: bool = False,
+        incremental: bool = False,
+        match_operator: MatchOperator | None = None,
+    ):
+        self.problem = problem
+        if match_operator is not None:
+            # Reuse a pre-built (already warmed) operator.  The caller is
+            # responsible for it matching the problem's θ/β/constraints —
+            # the session layer keys its operator cache on exactly those.
+            self.match_operator = match_operator
+        else:
+            operator_cls = (
+                IncrementalMatchOperator if incremental else MatchOperator
+            )
+            self.match_operator = operator_cls.for_problem(
+                problem, similarity=similarity, linkage=linkage, prune=prune
+            )
+        self._exact_data_metrics = exact_data_metrics
+        self._qefs = self._build_qefs(problem)
+        self._cache: dict[frozenset[int], Solution] = {}
+        self._cache_size = cache_size
+        self._evaluations = 0
+
+    @property
+    def evaluations(self) -> int:
+        """Number of *distinct* selections evaluated so far."""
+        return self._evaluations
+
+    @property
+    def universe(self):
+        """The problem's universe (convenience for optimizers)."""
+        return self.problem.universe
+
+    def evaluate(self, source_ids: Iterable[int]) -> Solution:
+        """Evaluate a selection, returning a :class:`~repro.core.Solution`."""
+        selection = frozenset(source_ids)
+        cached = self._cache.get(selection)
+        if cached is not None:
+            return cached
+        solution = self._evaluate_uncached(selection)
+        if len(self._cache) >= self._cache_size:
+            self._cache.clear()
+        self._cache[selection] = solution
+        self._evaluations += 1
+        return solution
+
+    def __call__(self, source_ids: Iterable[int]) -> Solution:
+        return self.evaluate(source_ids)
+
+    # -- internals ----------------------------------------------------------
+
+    def _build_qefs(self, problem: Problem) -> dict[str, QualityFunction]:
+        universe = problem.universe
+        exact = self._exact_data_metrics
+        qefs: dict[str, QualityFunction] = {
+            CARDINALITY: CardinalityQEF(universe),
+            COVERAGE: CoverageQEF(universe, exact=exact),
+            REDUNDANCY: RedundancyQEF(exact=exact),
+        }
+        for spec in problem.characteristic_qefs:
+            qefs[spec.name] = CharacteristicQEF(universe, spec)
+        for qef in problem.custom_qefs:
+            qefs[qef.name] = qef
+        weighted = set(problem.weights) - {MATCHING}
+        missing = weighted - set(qefs)
+        if missing:
+            raise WeightError(
+                f"no QEF implementation for weighted name(s) "
+                f"{sorted(missing)}"
+            )
+        return qefs
+
+    def _evaluate_uncached(self, selection: frozenset[int]) -> Solution:
+        problem = self.problem
+        reasons: list[str] = []
+        if not selection:
+            reasons.append("empty selection")
+        if len(selection) > problem.max_sources:
+            reasons.append(
+                f"{len(selection)} sources exceed the budget m="
+                f"{problem.max_sources}"
+            )
+        unknown = selection - problem.universe.source_ids
+        if unknown:
+            reasons.append(f"unknown source ids {sorted(unknown)}")
+            return Solution(
+                selected=selection,
+                schema=None,
+                objective=float("-inf"),
+                quality=0.0,
+                feasible=False,
+                infeasibility=tuple(reasons),
+            )
+
+        match = self.match_operator.match(selection)
+        if match.is_null:
+            reasons.extend(match.reasons)
+
+        sources = problem.universe.select(selection)
+        scores: dict[str, float] = {}
+        quality = 0.0
+        for name, weight in problem.weights.items():
+            if name == MATCHING:
+                value = match.quality
+            elif weight == 0.0:
+                continue
+            else:
+                value = self._qefs[name](sources)
+            scores[name] = value
+            quality += weight * value
+
+        feasible = not reasons
+        objective = quality if feasible else INFEASIBLE_PENALTY * quality
+        return Solution(
+            selected=selection,
+            schema=match.schema,
+            objective=objective,
+            quality=quality,
+            qef_scores=scores,
+            feasible=feasible,
+            infeasibility=tuple(reasons),
+        )

@@ -1,0 +1,80 @@
+"""Combinatorial optimizers for the µBE source-selection problem (paper §6)."""
+
+from ..exceptions import SearchError
+from .annealing import SimulatedAnnealing
+from .base import (
+    Optimizer,
+    OptimizerConfig,
+    SearchResult,
+    SearchStats,
+    best_of,
+    free_ids,
+    random_selection,
+    required_ids,
+)
+from .exhaustive import ExhaustiveSearch
+from .greedy_select import GreedySelector
+from .local_search import StochasticLocalSearch
+from .neighborhood import Move, MoveKind, Neighborhood
+from .pso import ParticleSwarm
+from .random_search import RandomSearch
+from .tabu import TabuSearch, default_tenure
+
+#: Optimizer classes by registry name.
+OPTIMIZERS: dict[str, type[Optimizer]] = {
+    cls.name: cls
+    for cls in (
+        TabuSearch,
+        SimulatedAnnealing,
+        StochasticLocalSearch,
+        ParticleSwarm,
+        GreedySelector,
+        RandomSearch,
+        ExhaustiveSearch,
+    )
+}
+
+
+def get_optimizer(
+    name: str, config: OptimizerConfig | None = None
+) -> Optimizer:
+    """Instantiate an optimizer by registry name.
+
+    Raises
+    ------
+    SearchError
+        If the name is unknown.
+    """
+    try:
+        cls = OPTIMIZERS[name]
+    except KeyError:
+        raise SearchError(
+            f"unknown optimizer {name!r}; "
+            f"available: {', '.join(sorted(OPTIMIZERS))}"
+        ) from None
+    return cls(config)
+
+
+__all__ = [
+    "ExhaustiveSearch",
+    "GreedySelector",
+    "Move",
+    "MoveKind",
+    "Neighborhood",
+    "OPTIMIZERS",
+    "Optimizer",
+    "OptimizerConfig",
+    "ParticleSwarm",
+    "RandomSearch",
+    "SearchResult",
+    "SearchStats",
+    "SimulatedAnnealing",
+    "StochasticLocalSearch",
+    "TabuSearch",
+    "best_of",
+    "default_tenure",
+    "free_ids",
+    "get_optimizer",
+    "random_selection",
+    "required_ids",
+]

@@ -1,0 +1,98 @@
+"""Constrained simulated annealing — one of the paper's rejected baselines.
+
+Standard Metropolis acceptance over the add/drop/swap neighborhood with a
+geometric cooling schedule.  Constraints are enforced structurally by the
+move generator, so every visited selection honours ``C`` and ``m``.  The
+paper reports that tabu search beat this (and the other metaheuristics);
+:mod:`benchmarks.bench_optimizers` reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..quality.overall import Objective
+from .base import (
+    Optimizer,
+    OptimizerConfig,
+    RunClock,
+    SearchResult,
+    SearchStats,
+    required_ids,
+)
+from .neighborhood import Neighborhood
+
+
+class SimulatedAnnealing(Optimizer):
+    """Metropolis sampling with geometric cooling."""
+
+    name = "annealing"
+
+    def __init__(
+        self,
+        config: OptimizerConfig | None = None,
+        initial_temperature: float = 0.05,
+        cooling: float = 0.995,
+        steps_per_iteration: int = 8,
+    ):
+        super().__init__(config)
+        if not 0.0 < cooling < 1.0:
+            raise ValueError(f"cooling must be in (0, 1), got {cooling}")
+        self.initial_temperature = initial_temperature
+        self.cooling = cooling
+        self.steps_per_iteration = steps_per_iteration
+
+    def optimize(
+        self,
+        objective: Objective,
+        initial: frozenset[int] | None = None,
+    ) -> SearchResult:
+        rng = self._rng()
+        clock = RunClock(self.config.time_limit)
+        problem = objective.problem
+        neighborhood = Neighborhood(
+            problem.universe.source_ids,
+            required_ids(objective),
+            problem.max_sources,
+        )
+
+        current = objective.evaluate(
+            self._start_selection(objective, initial, rng)
+        )
+        best = current
+        best_found_at = 0
+        temperature = self.initial_temperature
+        trajectory = [best.objective]
+        iterations = 0
+        stale = 0
+
+        for iteration in range(1, self.config.max_iterations + 1):
+            if clock.expired() or stale >= self.config.patience:
+                break
+            iterations = iteration
+            improved = False
+            for _ in range(self.steps_per_iteration):
+                move = neighborhood.random_move(current.selected, rng)
+                if move is None:
+                    break
+                candidate = objective.evaluate(move.apply(current.selected))
+                delta = candidate.objective - current.objective
+                if delta >= 0 or rng.random() < math.exp(
+                    delta / max(temperature, 1e-12)
+                ):
+                    current = candidate
+                if current.objective > best.objective:
+                    best = current
+                    best_found_at = iteration
+                    improved = True
+            temperature *= self.cooling
+            stale = 0 if improved else stale + 1
+            trajectory.append(best.objective)
+
+        stats = SearchStats(
+            iterations=iterations,
+            evaluations=objective.evaluations,
+            elapsed_seconds=clock.elapsed(),
+            best_found_at=best_found_at,
+        )
+        return SearchResult(best, stats, tuple(trajectory))

@@ -1,0 +1,89 @@
+"""Exhaustive enumeration — exact optima for small instances.
+
+Used in tests and ablations to measure how close the metaheuristics get to
+the true optimum.  Refuses instances whose search space exceeds
+``max_subsets`` rather than silently running forever.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+from ..core import worst_solution
+from ..exceptions import SearchError
+from ..quality.overall import Objective
+from .base import (
+    Optimizer,
+    OptimizerConfig,
+    RunClock,
+    SearchResult,
+    SearchStats,
+    free_ids,
+    required_ids,
+)
+
+
+class ExhaustiveSearch(Optimizer):
+    """Enumerate every selection with ``C ⊆ S`` and ``|S| ≤ m``."""
+
+    name = "exhaustive"
+
+    def __init__(
+        self,
+        config: OptimizerConfig | None = None,
+        max_subsets: int = 200_000,
+    ):
+        super().__init__(config)
+        self.max_subsets = max_subsets
+
+    def optimize(
+        self,
+        objective: Objective,
+        initial: frozenset[int] | None = None,
+    ) -> SearchResult:
+        del initial  # enumeration needs no start state
+        clock = RunClock(self.config.time_limit)
+        problem = objective.problem
+        required = required_ids(objective)
+        pool = free_ids(objective)
+        budget = problem.max_sources
+
+        total = self._count_subsets(len(pool), len(required), budget)
+        if total > self.max_subsets:
+            raise SearchError(
+                f"exhaustive search over {total} subsets exceeds the "
+                f"limit of {self.max_subsets}"
+            )
+
+        best = worst_solution()
+        best_found_at = 0
+        evaluated = 0
+        min_free = 0 if required else 1
+        for size in range(min_free, budget - len(required) + 1):
+            for extra in combinations(pool, size):
+                if clock.expired():
+                    break
+                evaluated += 1
+                solution = objective.evaluate(required | frozenset(extra))
+                if solution.objective > best.objective:
+                    best = solution
+                    best_found_at = evaluated
+        if required and best.objective == float("-inf"):
+            best = objective.evaluate(required)
+
+        stats = SearchStats(
+            iterations=evaluated,
+            evaluations=objective.evaluations,
+            elapsed_seconds=clock.elapsed(),
+            best_found_at=best_found_at,
+        )
+        return SearchResult(best, stats, ())
+
+    @staticmethod
+    def _count_subsets(pool: int, required: int, budget: int) -> int:
+        lowest = 0 if required else 1
+        return sum(
+            comb(pool, size)
+            for size in range(lowest, max(budget - required, lowest - 1) + 1)
+        )

@@ -1,0 +1,91 @@
+"""Greedy construction — a deterministic, cheap baseline.
+
+Starts from the constrained sources and repeatedly adds the sampled
+candidate that maximizes the objective until the budget ``m`` is reached,
+then returns the best prefix seen (adding can hurt, e.g. through
+redundancy, so the best selection is not necessarily the full one).
+"""
+
+from __future__ import annotations
+
+from ..quality.overall import Objective
+from .base import (
+    Optimizer,
+    OptimizerConfig,
+    RunClock,
+    SearchResult,
+    SearchStats,
+    free_ids,
+    required_ids,
+)
+
+
+class GreedySelector(Optimizer):
+    """Best-first greedy subset construction."""
+
+    name = "greedy"
+
+    def __init__(self, config: OptimizerConfig | None = None):
+        super().__init__(config)
+
+    def optimize(
+        self,
+        objective: Objective,
+        initial: frozenset[int] | None = None,
+    ) -> SearchResult:
+        rng = self._rng()
+        clock = RunClock(self.config.time_limit)
+        problem = objective.problem
+        budget = problem.max_sources
+        selection = set(required_ids(objective))
+        if initial is not None:
+            selection = set(self._start_selection(objective, initial, rng))
+        pool = [sid for sid in free_ids(objective) if sid not in selection]
+
+        if selection:
+            best = objective.evaluate(frozenset(selection))
+        else:
+            # Seed with the best sampled single source.
+            candidates = self._sample(pool, rng)
+            singles = [objective.evaluate(frozenset({sid})) for sid in candidates]
+            best = max(singles, key=lambda s: s.objective)
+            selection = set(best.selected)
+            pool = [sid for sid in pool if sid not in selection]
+
+        best_found_at = 0
+        trajectory = [best.objective]
+        steps = 0
+
+        while len(selection) < budget and pool and not clock.expired():
+            steps += 1
+            candidates = self._sample(pool, rng)
+            step_best = None
+            step_best_sid = None
+            for sid in candidates:
+                solution = objective.evaluate(frozenset(selection | {sid}))
+                if step_best is None or solution.objective > step_best.objective:
+                    step_best = solution
+                    step_best_sid = sid
+            if step_best is None:
+                break
+            selection.add(step_best_sid)
+            pool.remove(step_best_sid)
+            if step_best.objective > best.objective:
+                best = step_best
+                best_found_at = steps
+            trajectory.append(best.objective)
+
+        stats = SearchStats(
+            iterations=steps,
+            evaluations=objective.evaluations,
+            elapsed_seconds=clock.elapsed(),
+            best_found_at=best_found_at,
+        )
+        return SearchResult(best, stats, tuple(trajectory))
+
+    def _sample(self, pool: list[int], rng) -> list[int]:
+        size = self.config.sample_size
+        if not size or len(pool) <= size:
+            return list(pool)
+        chosen = rng.choice(len(pool), size=size, replace=False)
+        return [pool[i] for i in sorted(chosen)]

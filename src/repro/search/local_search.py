@@ -1,0 +1,110 @@
+"""Stochastic local search — hill climbing with random walk and restarts.
+
+Another of the optimizers the paper compared against tabu search.  From a
+random start, each iteration samples the neighborhood and takes the best
+improving move; with probability ``walk_probability`` it takes a random
+move instead (the stochastic component that escapes shallow local optima).
+When no improving move exists the search restarts from a fresh random
+selection, keeping the best solution across restarts.
+"""
+
+from __future__ import annotations
+
+from ..quality.overall import Objective
+from .base import (
+    Optimizer,
+    OptimizerConfig,
+    RunClock,
+    SearchResult,
+    SearchStats,
+    random_selection,
+    required_ids,
+)
+from .neighborhood import Neighborhood
+
+
+class StochasticLocalSearch(Optimizer):
+    """Best-improvement hill climbing with random walk and restarts."""
+
+    name = "local"
+
+    def __init__(
+        self,
+        config: OptimizerConfig | None = None,
+        walk_probability: float = 0.1,
+        max_restarts: int = 5,
+    ):
+        super().__init__(config)
+        if not 0.0 <= walk_probability <= 1.0:
+            raise ValueError(
+                f"walk_probability must be in [0, 1], got {walk_probability}"
+            )
+        self.walk_probability = walk_probability
+        self.max_restarts = max_restarts
+
+    def optimize(
+        self,
+        objective: Objective,
+        initial: frozenset[int] | None = None,
+    ) -> SearchResult:
+        rng = self._rng()
+        clock = RunClock(self.config.time_limit)
+        problem = objective.problem
+        neighborhood = Neighborhood(
+            problem.universe.source_ids,
+            required_ids(objective),
+            problem.max_sources,
+            sample_size=self.config.sample_size,
+        )
+
+        current = objective.evaluate(
+            self._start_selection(objective, initial, rng)
+        )
+        best = current
+        best_found_at = 0
+        restarts = 0
+        trajectory = [best.objective]
+        iterations = 0
+
+        for iteration in range(1, self.config.max_iterations + 1):
+            if clock.expired():
+                break
+            iterations = iteration
+            if rng.random() < self.walk_probability:
+                move = neighborhood.random_move(current.selected, rng)
+                if move is not None:
+                    current = objective.evaluate(move.apply(current.selected))
+            else:
+                improved = self._climb(objective, neighborhood, current, rng)
+                if improved is None:
+                    restarts += 1
+                    if restarts > self.max_restarts:
+                        break
+                    current = objective.evaluate(
+                        random_selection(objective, rng)
+                    )
+                else:
+                    current = improved
+            if current.objective > best.objective:
+                best = current
+                best_found_at = iteration
+            trajectory.append(best.objective)
+
+        stats = SearchStats(
+            iterations=iterations,
+            evaluations=objective.evaluations,
+            elapsed_seconds=clock.elapsed(),
+            best_found_at=best_found_at,
+        )
+        return SearchResult(best, stats, tuple(trajectory))
+
+    def _climb(self, objective, neighborhood, current, rng):
+        """The best strictly improving neighbor, or None at a local optimum."""
+        best_neighbor = None
+        best_objective = current.objective
+        for move in neighborhood.moves(current.selected, rng):
+            candidate = objective.evaluate(move.apply(current.selected))
+            if candidate.objective > best_objective:
+                best_neighbor = candidate
+                best_objective = candidate.objective
+        return best_neighbor

@@ -1,0 +1,158 @@
+"""Neighborhood moves over source selections.
+
+A *move* transforms one selection into another while preserving the
+structural constraints: constrained sources are never dropped, the budget
+``m`` is never exceeded, and the selection never becomes empty.  Three move
+kinds are supported — ADD, DROP and SWAP — and the generator can sample the
+(large) ADD side so a single optimizer iteration stays affordable on
+universes with hundreds of sources.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+
+class MoveKind(Enum):
+    """The three structural move types."""
+
+    ADD = "add"
+    DROP = "drop"
+    SWAP = "swap"
+
+
+@dataclass(frozen=True, slots=True)
+class Move:
+    """One candidate transition between selections."""
+
+    kind: MoveKind
+    added: int | None = None
+    dropped: int | None = None
+
+    def apply(self, selection: frozenset[int]) -> frozenset[int]:
+        """The selection this move leads to."""
+        result = set(selection)
+        if self.dropped is not None:
+            result.discard(self.dropped)
+        if self.added is not None:
+            result.add(self.added)
+        return frozenset(result)
+
+    def touched(self) -> tuple[int, ...]:
+        """The source ids the move manipulates (for tabu bookkeeping)."""
+        out = []
+        if self.added is not None:
+            out.append(self.added)
+        if self.dropped is not None:
+            out.append(self.dropped)
+        return tuple(out)
+
+
+class Neighborhood:
+    """Generates legal moves around a selection."""
+
+    def __init__(
+        self,
+        universe_ids: frozenset[int],
+        required: frozenset[int],
+        max_sources: int,
+        sample_size: int = 0,
+        include_swaps: bool = False,
+    ):
+        self.universe_ids = universe_ids
+        self.required = required
+        self.max_sources = max_sources
+        self.sample_size = sample_size
+        self.include_swaps = include_swaps
+        self._min_size = max(1, len(required))
+
+    def droppable(self, selection: frozenset[int]) -> tuple[int, ...]:
+        """Sources that may be removed from the selection."""
+        if len(selection) <= self._min_size:
+            return ()
+        return tuple(sorted(selection - self.required))
+
+    def addable(self, selection: frozenset[int]) -> tuple[int, ...]:
+        """Sources that may be added to the selection."""
+        if len(selection) >= self.max_sources:
+            return ()
+        return tuple(sorted(self.universe_ids - selection))
+
+    def moves(
+        self, selection: frozenset[int], rng: np.random.Generator
+    ) -> Iterator[Move]:
+        """Yield candidate moves, sampling the ADD/SWAP side if configured."""
+        for sid in self.droppable(selection):
+            yield Move(MoveKind.DROP, dropped=sid)
+        additions = self._sampled_additions(selection, rng)
+        for sid in additions:
+            yield Move(MoveKind.ADD, added=sid)
+        if self.include_swaps:
+            drops = self.droppable(selection)
+            # At the budget boundary ADD is impossible, so swaps are what
+            # keeps a full selection mobile.
+            swap_ins = (
+                additions
+                if additions
+                else self._sampled_outside(selection, rng)
+            )
+            for out_id in drops:
+                for in_id in swap_ins:
+                    yield Move(MoveKind.SWAP, added=in_id, dropped=out_id)
+
+    def random_move(
+        self, selection: frozenset[int], rng: np.random.Generator
+    ) -> Move | None:
+        """A single uniformly chosen legal move (used by annealing/SLS)."""
+        kinds: list[MoveKind] = []
+        drops = self.droppable(selection)
+        adds = self.addable(selection)
+        outside = tuple(sorted(self.universe_ids - selection))
+        if drops:
+            kinds.append(MoveKind.DROP)
+        if adds:
+            kinds.append(MoveKind.ADD)
+        if drops and outside:
+            kinds.append(MoveKind.SWAP)
+        if not kinds:
+            return None
+        kind = kinds[int(rng.integers(len(kinds)))]
+        if kind is MoveKind.DROP:
+            return Move(MoveKind.DROP, dropped=_pick(drops, rng))
+        if kind is MoveKind.ADD:
+            return Move(MoveKind.ADD, added=_pick(adds, rng))
+        return Move(
+            MoveKind.SWAP,
+            added=_pick(outside, rng),
+            dropped=_pick(drops, rng),
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _sampled_additions(
+        self, selection: frozenset[int], rng: np.random.Generator
+    ) -> tuple[int, ...]:
+        additions = self.addable(selection)
+        return self._sample(additions, rng)
+
+    def _sampled_outside(
+        self, selection: frozenset[int], rng: np.random.Generator
+    ) -> tuple[int, ...]:
+        outside = tuple(sorted(self.universe_ids - selection))
+        return self._sample(outside, rng)
+
+    def _sample(
+        self, candidates: tuple[int, ...], rng: np.random.Generator
+    ) -> tuple[int, ...]:
+        if not self.sample_size or len(candidates) <= self.sample_size:
+            return candidates
+        chosen = rng.choice(len(candidates), size=self.sample_size, replace=False)
+        return tuple(candidates[i] for i in sorted(chosen))
+
+
+def _pick(candidates: tuple[int, ...], rng: np.random.Generator) -> int:
+    return candidates[int(rng.integers(len(candidates)))]

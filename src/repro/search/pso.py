@@ -1,0 +1,169 @@
+"""Binary particle swarm optimization — the paper's third rejected baseline.
+
+Each particle carries a real-valued velocity per source; a sigmoid of the
+velocity gives the probability that the source is selected.  After the
+standard velocity update toward the particle's personal best and the
+swarm's global best, the sampled position is *repaired* to the constraint
+region: constrained sources are forced in and, if the budget overflows, the
+lowest-probability free sources are evicted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quality.overall import Objective
+from .base import (
+    Optimizer,
+    OptimizerConfig,
+    RunClock,
+    SearchResult,
+    SearchStats,
+    required_ids,
+)
+
+
+class ParticleSwarm(Optimizer):
+    """Discrete (binary) PSO with constraint repair."""
+
+    name = "pso"
+
+    def __init__(
+        self,
+        config: OptimizerConfig | None = None,
+        particles: int = 16,
+        inertia: float = 0.72,
+        cognitive: float = 1.5,
+        social: float = 1.5,
+        velocity_clip: float = 4.0,
+    ):
+        super().__init__(config)
+        self.particles = particles
+        self.inertia = inertia
+        self.cognitive = cognitive
+        self.social = social
+        self.velocity_clip = velocity_clip
+
+    def optimize(
+        self,
+        objective: Objective,
+        initial: frozenset[int] | None = None,
+    ) -> SearchResult:
+        rng = self._rng()
+        clock = RunClock(self.config.time_limit)
+        problem = objective.problem
+        ids = np.array(sorted(problem.universe.source_ids), dtype=np.int64)
+        index_of = {sid: i for i, sid in enumerate(ids.tolist())}
+        required_mask = np.zeros(len(ids), dtype=bool)
+        for sid in required_ids(objective):
+            required_mask[index_of[sid]] = True
+        budget = problem.max_sources
+
+        positions = np.zeros((self.particles, len(ids)), dtype=bool)
+        velocities = rng.uniform(-1, 1, size=(self.particles, len(ids)))
+        for p in range(self.particles):
+            positions[p] = self._repair(
+                rng.random(len(ids)) < budget / len(ids),
+                rng.random(len(ids)),
+                required_mask,
+                budget,
+            )
+        if initial is not None:
+            # Seed particle 0 with the (repaired) warm start.
+            start = self._start_selection(objective, initial, rng)
+            positions[0] = np.isin(ids, sorted(start))
+
+        personal_best = [
+            objective.evaluate(self._to_selection(positions[p], ids))
+            for p in range(self.particles)
+        ]
+        personal_positions = positions.copy()
+        best_index = int(
+            np.argmax([s.objective for s in personal_best])
+        )
+        best = personal_best[best_index]
+        best_position = positions[best_index].copy()
+        best_found_at = 0
+        trajectory = [best.objective]
+        iterations = 0
+        stale = 0
+
+        for iteration in range(1, self.config.max_iterations + 1):
+            if clock.expired() or stale >= self.config.patience:
+                break
+            iterations = iteration
+            improved = False
+            for p in range(self.particles):
+                r1 = rng.random(len(ids))
+                r2 = rng.random(len(ids))
+                velocities[p] = (
+                    self.inertia * velocities[p]
+                    + self.cognitive
+                    * r1
+                    * (personal_positions[p].astype(float) - positions[p])
+                    + self.social
+                    * r2
+                    * (best_position.astype(float) - positions[p])
+                )
+                np.clip(
+                    velocities[p],
+                    -self.velocity_clip,
+                    self.velocity_clip,
+                    out=velocities[p],
+                )
+                probabilities = 1.0 / (1.0 + np.exp(-velocities[p]))
+                sampled = rng.random(len(ids)) < probabilities
+                positions[p] = self._repair(
+                    sampled, probabilities, required_mask, budget
+                )
+                solution = objective.evaluate(
+                    self._to_selection(positions[p], ids)
+                )
+                if solution.objective > personal_best[p].objective:
+                    personal_best[p] = solution
+                    personal_positions[p] = positions[p].copy()
+                if solution.objective > best.objective:
+                    best = solution
+                    best_position = positions[p].copy()
+                    best_found_at = iteration
+                    improved = True
+            stale = 0 if improved else stale + 1
+            trajectory.append(best.objective)
+
+        stats = SearchStats(
+            iterations=iterations,
+            evaluations=objective.evaluations,
+            elapsed_seconds=clock.elapsed(),
+            best_found_at=best_found_at,
+        )
+        return SearchResult(best, stats, tuple(trajectory))
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _to_selection(position: np.ndarray, ids: np.ndarray) -> frozenset[int]:
+        return frozenset(int(sid) for sid in ids[position])
+
+    @staticmethod
+    def _repair(
+        position: np.ndarray,
+        probabilities: np.ndarray,
+        required_mask: np.ndarray,
+        budget: int,
+    ) -> np.ndarray:
+        """Force the position into the constraint region.
+
+        Constrained sources are switched on.  If the selection exceeds the
+        budget, the free members with the lowest probabilities are evicted;
+        if it is empty, the single highest-probability source is selected.
+        """
+        repaired = position | required_mask
+        over = int(repaired.sum()) - budget
+        if over > 0:
+            free = repaired & ~required_mask
+            free_indexes = np.nonzero(free)[0]
+            order = free_indexes[np.argsort(probabilities[free_indexes])]
+            repaired[order[:over]] = False
+        if not repaired.any():
+            repaired[int(np.argmax(probabilities))] = True
+        return repaired

@@ -1,0 +1,51 @@
+"""Random search — the sanity-check floor every metaheuristic must beat."""
+
+from __future__ import annotations
+
+from ..quality.overall import Objective
+from .base import (
+    Optimizer,
+    OptimizerConfig,
+    RunClock,
+    SearchResult,
+    SearchStats,
+    random_selection,
+)
+
+
+class RandomSearch(Optimizer):
+    """Evaluate independent random feasible selections; keep the best."""
+
+    name = "random"
+
+    def __init__(self, config: OptimizerConfig | None = None):
+        super().__init__(config)
+
+    def optimize(
+        self,
+        objective: Objective,
+        initial: frozenset[int] | None = None,
+    ) -> SearchResult:
+        del initial  # stateless by design
+        rng = self._rng()
+        clock = RunClock(self.config.time_limit)
+        best = objective.evaluate(random_selection(objective, rng))
+        best_found_at = 0
+        trajectory = [best.objective]
+        iterations = 0
+        for iteration in range(1, self.config.max_iterations + 1):
+            if clock.expired():
+                break
+            iterations = iteration
+            solution = objective.evaluate(random_selection(objective, rng))
+            if solution.objective > best.objective:
+                best = solution
+                best_found_at = iteration
+            trajectory.append(best.objective)
+        stats = SearchStats(
+            iterations=iterations,
+            evaluations=objective.evaluations,
+            elapsed_seconds=clock.elapsed(),
+            best_found_at=best_found_at,
+        )
+        return SearchResult(best, stats, tuple(trajectory))

@@ -1,0 +1,131 @@
+"""Tabu search — µBE's default optimizer (paper §6).
+
+Classic add/drop tabu search over source subsets.  Each iteration evaluates
+every legal DROP and a sample of legal ADDs, then makes the best admissible
+move even if it worsens the current selection — that is what lets the
+search cross valleys.  A move is *tabu* while any source it touches is on
+the tabu list: dropping a source forbids re-adding it for ``tenure``
+iterations and vice versa, which is the short-term memory that prevents
+cycling.  The aspiration criterion overrides the list whenever a move would
+beat the best solution seen so far.
+
+The user's constraints are permanently tabu regions: constrained sources
+are simply never droppable and over-budget selections are never generated
+(see :mod:`repro.search.neighborhood`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core import Solution
+from ..quality.overall import Objective
+from .base import (
+    Optimizer,
+    OptimizerConfig,
+    RunClock,
+    SearchResult,
+    SearchStats,
+    required_ids,
+)
+from .neighborhood import Move, Neighborhood
+
+
+class TabuSearch(Optimizer):
+    """Tabu search with recency-based memory and aspiration."""
+
+    name = "tabu"
+
+    def __init__(
+        self,
+        config: OptimizerConfig | None = None,
+        tenure: int | None = None,
+    ):
+        super().__init__(config)
+        self.tenure = tenure
+
+    def optimize(
+        self,
+        objective: Objective,
+        initial: frozenset[int] | None = None,
+    ) -> SearchResult:
+        rng = self._rng()
+        clock = RunClock(self.config.time_limit)
+        problem = objective.problem
+        tenure = self.tenure or default_tenure(len(problem.universe))
+        neighborhood = Neighborhood(
+            problem.universe.source_ids,
+            required_ids(objective),
+            problem.max_sources,
+            sample_size=self.config.sample_size,
+        )
+
+        current = self._start_selection(objective, initial, rng)
+        best = objective.evaluate(current)
+        best_found_at = 0
+        tabu_until: dict[int, int] = {}
+        trajectory = [best.objective]
+        iterations = 0
+        stale = 0
+
+        for iteration in range(1, self.config.max_iterations + 1):
+            if clock.expired() or stale >= self.config.patience:
+                break
+            iterations = iteration
+            chosen = self._best_admissible(
+                objective, neighborhood, current, tabu_until, iteration,
+                best, rng,
+            )
+            if chosen is None:
+                break
+            move, solution = chosen
+            current = solution.selected
+            for touched in move.touched():
+                tabu_until[touched] = iteration + tenure
+            if solution.objective > best.objective:
+                best = solution
+                best_found_at = iteration
+                stale = 0
+            else:
+                stale += 1
+            trajectory.append(best.objective)
+
+        stats = SearchStats(
+            iterations=iterations,
+            evaluations=objective.evaluations,
+            elapsed_seconds=clock.elapsed(),
+            best_found_at=best_found_at,
+        )
+        return SearchResult(best, stats, tuple(trajectory))
+
+    def _best_admissible(
+        self,
+        objective: Objective,
+        neighborhood: Neighborhood,
+        current: frozenset[int],
+        tabu_until: dict[int, int],
+        iteration: int,
+        best: Solution,
+        rng,
+    ) -> tuple[Move, Solution] | None:
+        chosen: tuple[Move, Solution] | None = None
+        chosen_objective = -math.inf
+        for move in neighborhood.moves(current, rng):
+            candidate = move.apply(current)
+            if candidate == current:
+                continue
+            solution = objective.evaluate(candidate)
+            is_tabu = any(
+                tabu_until.get(t, 0) >= iteration for t in move.touched()
+            )
+            if is_tabu and solution.objective <= best.objective:
+                continue
+            if solution.objective > chosen_objective:
+                chosen = (move, solution)
+                chosen_objective = solution.objective
+        return chosen
+
+
+def default_tenure(universe_size: int) -> int:
+    """Recency tenure scaled to the universe: ``max(5, √|U|)``."""
+    return max(5, round(math.sqrt(universe_size)))

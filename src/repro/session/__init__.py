@@ -1,0 +1,22 @@
+"""Interactive session model and text rendering (paper §6)."""
+
+from .diff import SolutionDiff, diff_solutions, render_diff
+from .export import save_session_markdown, session_to_markdown
+from .interactive import InteractiveConsole, interactive_loop
+from .report import render_history, render_schema, render_solution
+from .session import Iteration, Session
+
+__all__ = [
+    "InteractiveConsole",
+    "Iteration",
+    "Session",
+    "interactive_loop",
+    "SolutionDiff",
+    "diff_solutions",
+    "render_diff",
+    "render_history",
+    "render_schema",
+    "render_solution",
+    "save_session_markdown",
+    "session_to_markdown",
+]

@@ -1,0 +1,132 @@
+"""Diffing consecutive iterations.
+
+The paper's interaction loop is solve → inspect → adjust → re-solve; what
+the user actually inspects after the second solve is *what changed*.  This
+module computes and renders that: sources that entered or left the
+selection, GAs that appeared, disappeared, grew (e.g. after a bridging
+constraint) or shrank, and the quality movement — also the machinery behind
+the §7.4 sensitivity accounting ("perturbing the weights caused at most 1
+GA in the solution to change").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core import GlobalAttribute, Solution, Universe
+
+
+@dataclass(frozen=True)
+class SolutionDiff:
+    """Structured difference between two solutions."""
+
+    sources_added: tuple[int, ...]
+    sources_removed: tuple[int, ...]
+    gas_added: tuple[GlobalAttribute, ...]
+    gas_removed: tuple[GlobalAttribute, ...]
+    gas_grown: tuple[tuple[GlobalAttribute, GlobalAttribute], ...]
+    gas_shrunk: tuple[tuple[GlobalAttribute, GlobalAttribute], ...]
+    quality_delta: float
+    unchanged_ga_count: int = field(default=0)
+
+    @property
+    def source_change_count(self) -> int:
+        """Sources that entered or left."""
+        return len(self.sources_added) + len(self.sources_removed)
+
+    @property
+    def ga_change_count(self) -> int:
+        """GAs that appeared, disappeared, grew or shrank."""
+        return (
+            len(self.gas_added)
+            + len(self.gas_removed)
+            + len(self.gas_grown)
+            + len(self.gas_shrunk)
+        )
+
+    @property
+    def is_identical(self) -> bool:
+        """True iff nothing changed at all (quality may still drift)."""
+        return self.source_change_count == 0 and self.ga_change_count == 0
+
+
+def diff_solutions(before: Solution, after: Solution) -> SolutionDiff:
+    """Compute the structured diff from ``before`` to ``after``.
+
+    GA correspondence: an old and a new GA correspond when one contains
+    the other (strict containment → grown/shrunk, equality → unchanged);
+    old GAs with no corresponding new GA are removed, and vice versa.
+    """
+    sources_added = tuple(sorted(after.selected - before.selected))
+    sources_removed = tuple(sorted(before.selected - after.selected))
+
+    old_gas = set(before.schema.gas) if before.schema is not None else set()
+    new_gas = set(after.schema.gas) if after.schema is not None else set()
+    unchanged = old_gas & new_gas
+    old_open = old_gas - unchanged
+    new_open = new_gas - unchanged
+
+    grown: list[tuple[GlobalAttribute, GlobalAttribute]] = []
+    shrunk: list[tuple[GlobalAttribute, GlobalAttribute]] = []
+    matched_new: set[GlobalAttribute] = set()
+    removed: list[GlobalAttribute] = []
+    for old in sorted(old_open, key=_ga_key):
+        partner = None
+        for new in sorted(new_open - matched_new, key=_ga_key):
+            if old.issubset(new) or new.issubset(old):
+                partner = new
+                break
+        if partner is None:
+            removed.append(old)
+        elif old.issubset(partner):
+            grown.append((old, partner))
+            matched_new.add(partner)
+        else:
+            shrunk.append((old, partner))
+            matched_new.add(partner)
+    added = sorted(new_open - matched_new, key=_ga_key)
+
+    return SolutionDiff(
+        sources_added=sources_added,
+        sources_removed=sources_removed,
+        gas_added=tuple(added),
+        gas_removed=tuple(removed),
+        gas_grown=tuple(grown),
+        gas_shrunk=tuple(shrunk),
+        quality_delta=after.quality - before.quality,
+        unchanged_ga_count=len(unchanged),
+    )
+
+
+def render_diff(diff: SolutionDiff, universe: Universe) -> str:
+    """Human-readable rendering of a diff."""
+    lines = [f"Quality: {diff.quality_delta:+.4f}"]
+    if diff.is_identical:
+        lines.append("  (solution unchanged)")
+        return "\n".join(lines)
+    for sid in diff.sources_added:
+        lines.append(f"  + source {universe.source(sid).name}")
+    for sid in diff.sources_removed:
+        lines.append(f"  - source {universe.source(sid).name}")
+    for ga in diff.gas_added:
+        lines.append(f"  + GA {{{', '.join(ga.names())}}}")
+    for ga in diff.gas_removed:
+        lines.append(f"  - GA {{{', '.join(ga.names())}}}")
+    for old, new in diff.gas_grown:
+        gained = sorted(a.name for a in new.attributes - old.attributes)
+        lines.append(
+            f"  ~ GA {{{', '.join(old.names())}}} grew by "
+            f"{{{', '.join(gained)}}}"
+        )
+    for old, new in diff.gas_shrunk:
+        lost = sorted(a.name for a in old.attributes - new.attributes)
+        lines.append(
+            f"  ~ GA {{{', '.join(old.names())}}} lost "
+            f"{{{', '.join(lost)}}}"
+        )
+    lines.append(f"  ({diff.unchanged_ga_count} GAs unchanged)")
+    return "\n".join(lines)
+
+
+def _ga_key(ga: GlobalAttribute):
+    return sorted((a.source_id, a.index) for a in ga)

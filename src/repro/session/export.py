@@ -1,0 +1,87 @@
+"""Markdown export of a whole session.
+
+Archives the exploratory process itself — every iteration's problem
+parameters, solution summary, and the diff against the previous iteration —
+as a Markdown document.  The paper frames µBE as a *process* ("the user is
+gaining a better understanding of the problem domain"); this is the
+artifact of that process.
+"""
+
+from __future__ import annotations
+
+from .diff import diff_solutions, render_diff
+from .report import render_schema
+from .session import Session
+
+
+def session_to_markdown(session: Session, title: str = "µBE session") -> str:
+    """Render the full session history as a Markdown document."""
+    lines = [f"# {title}", ""]
+    lines.append(
+        f"Universe: {len(session.universe)} sources, "
+        f"{len(session.universe.attribute_names())} distinct attribute "
+        "names."
+    )
+    lines.append("")
+    if not session.history:
+        lines.append("_No iterations yet._")
+        return "\n".join(lines)
+
+    for iteration in session.history:
+        problem = iteration.problem
+        solution = iteration.solution
+        stats = iteration.result.stats
+        lines.append(f"## Iteration {iteration.index}")
+        lines.append("")
+        lines.append(
+            f"- **Parameters:** m={problem.max_sources}, "
+            f"θ={problem.theta}, β={problem.beta}, "
+            f"|C|={len(problem.source_constraints)}, "
+            f"|G|={len(problem.ga_constraints)}"
+        )
+        weights = ", ".join(
+            f"{name}={value:.2f}"
+            for name, value in sorted(problem.weights.items())
+        )
+        lines.append(f"- **Weights:** {weights}")
+        lines.append(
+            f"- **Result:** {solution.summary()} "
+            f"({stats.evaluations} evaluations, "
+            f"{stats.elapsed_seconds:.2f}s)"
+        )
+        if solution.qef_scores:
+            scores = ", ".join(
+                f"{name}={value:.3f}"
+                for name, value in sorted(solution.qef_scores.items())
+            )
+            lines.append(f"- **QEF scores:** {scores}")
+        if iteration.index > 0:
+            previous = session.history[iteration.index - 1].solution
+            diff = diff_solutions(previous, solution)
+            lines.append("- **Changes since previous iteration:**")
+            lines.append("")
+            lines.append("  ```")
+            for diff_line in render_diff(diff, session.universe).splitlines():
+                lines.append(f"  {diff_line}")
+            lines.append("  ```")
+        lines.append("")
+
+    final = session.history[-1].solution
+    lines.append("## Final mediated schema")
+    lines.append("")
+    lines.append("```")
+    lines.append(render_schema(final.schema, session.universe))
+    lines.append("```")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def save_session_markdown(
+    session: Session, path, title: str = "µBE session"
+) -> None:
+    """Write the session report to a file."""
+    from pathlib import Path
+
+    Path(path).write_text(
+        session_to_markdown(session, title=title), encoding="utf-8"
+    )

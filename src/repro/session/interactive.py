@@ -1,0 +1,261 @@
+"""An interactive text console for µBE sessions.
+
+The paper demonstrates a GUI (Figure 4) whose essential property is that
+the *output format is the input format*: the user edits the previous
+answer into the next problem.  This console reproduces that interaction in
+a terminal:
+
+    > solve                 # run the optimizer
+    > show                  # the current solution and mediated schema
+    > stats                 # what's in the universe
+    > pin 17                # source constraint (id or name)
+    > unpin 17
+    > match 3.author 17.written_by      # GA constraint (bridging)
+    > accept 2              # adopt GA #2 of the last schema as a constraint
+    > weight coverage 0.5   # emphasize one QEF, others split equally
+    > theta 0.8 | beta 2 | budget 12
+    > diff                  # what changed since the previous iteration
+    > history | help | quit
+
+Commands are line-oriented and side-effect free until ``solve``, so the
+console is fully scriptable (and tested) by feeding it lines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+
+from ..exceptions import ReproError
+from .diff import render_diff
+from .report import render_history, render_schema, render_solution
+from .session import Session
+
+
+class InteractiveConsole:
+    """Drive a :class:`Session` with line commands."""
+
+    def __init__(self, session: Session, write: Callable[[str], None] = print):
+        self.session = session
+        self.write = write
+        self._commands: dict[str, Callable[[list[str]], bool]] = {
+            "solve": self._cmd_solve,
+            "show": self._cmd_show,
+            "stats": self._cmd_stats,
+            "pin": self._cmd_pin,
+            "unpin": self._cmd_unpin,
+            "match": self._cmd_match,
+            "accept": self._cmd_accept,
+            "weight": self._cmd_weight,
+            "theta": self._cmd_theta,
+            "beta": self._cmd_beta,
+            "budget": self._cmd_budget,
+            "diff": self._cmd_diff,
+            "history": self._cmd_history,
+            "save": self._cmd_save,
+            "export": self._cmd_export,
+            "help": self._cmd_help,
+            "quit": self._cmd_quit,
+            "exit": self._cmd_quit,
+        }
+
+    def run(self, lines: Iterable[str]) -> None:
+        """Process command lines until exhausted or ``quit``."""
+        for line in lines:
+            if not self.handle(line):
+                break
+
+    def handle(self, line: str) -> bool:
+        """Process one line; returns False when the console should stop."""
+        parts = line.strip().split()
+        if not parts:
+            return True
+        command, args = parts[0].lower(), parts[1:]
+        handler = self._commands.get(command)
+        if handler is None:
+            self.write(f"unknown command {command!r}; try 'help'")
+            return True
+        try:
+            return handler(args)
+        except ReproError as exc:
+            self.write(f"error: {exc}")
+            return True
+        except (ValueError, IndexError, KeyError) as exc:
+            self.write(f"bad arguments: {exc}")
+            return True
+
+    # -- commands ------------------------------------------------------------
+
+    def _cmd_solve(self, args: list[str]) -> bool:
+        optimizer = args[0] if args else None
+        iteration = self.session.solve(optimizer=optimizer)
+        stats = iteration.result.stats
+        self.write(
+            f"iteration {iteration.index}: "
+            f"{iteration.solution.summary()} "
+            f"({stats.evaluations} evaluations, "
+            f"{stats.elapsed_seconds:.2f}s)"
+        )
+        return True
+
+    def _cmd_show(self, args: list[str]) -> bool:
+        del args
+        solution = self.session.last_solution
+        if solution is None:
+            self.write("nothing solved yet; run 'solve'")
+            return True
+        self.write(render_solution(solution, self.session.universe))
+        return True
+
+    def _cmd_stats(self, args: list[str]) -> bool:
+        del args
+        from ..workload.stats import describe_universe, render_stats
+
+        self.write(render_stats(describe_universe(self.session.universe)))
+        return True
+
+    def _cmd_pin(self, args: list[str]) -> bool:
+        source = _source_token(args[0])
+        source_id = self.session.require_source(source)
+        self.write(f"pinned source {source_id}")
+        return True
+
+    def _cmd_unpin(self, args: list[str]) -> bool:
+        source = _source_token(args[0])
+        self.session.release_source(source)
+        self.write("released")
+        return True
+
+    def _cmd_match(self, args: list[str]) -> bool:
+        if len(args) < 2:
+            raise ValueError("match needs at least two source.attribute pairs")
+        refs = [_attribute_token(token) for token in args]
+        ga = self.session.require_match(refs)
+        self.write(f"pinned matching of {{{', '.join(ga.names())}}}")
+        return True
+
+    def _cmd_accept(self, args: list[str]) -> bool:
+        solution = self.session.last_solution
+        if solution is None or solution.schema is None:
+            self.write("nothing to accept; run 'solve' first")
+            return True
+        number = int(args[0])
+        gas = _numbered_gas(solution.schema)
+        if not 1 <= number <= len(gas):
+            raise ValueError(f"GA number must be in 1..{len(gas)}")
+        ga = gas[number - 1]
+        self.session.accept_ga(ga)
+        self.write(f"accepted GA{number}: {{{', '.join(ga.names())}}}")
+        return True
+
+    def _cmd_weight(self, args: list[str]) -> bool:
+        name, value = args[0], float(args[1])
+        self.session.emphasize(name, value)
+        weights = ", ".join(
+            f"{key}={weight:.2f}"
+            for key, weight in sorted(self.session.weights.items())
+        )
+        self.write(f"weights: {weights}")
+        return True
+
+    def _cmd_theta(self, args: list[str]) -> bool:
+        self.session.set_theta(float(args[0]))
+        self.write(f"theta = {self.session.theta}")
+        return True
+
+    def _cmd_beta(self, args: list[str]) -> bool:
+        self.session.set_beta(int(args[0]))
+        self.write(f"beta = {self.session.beta}")
+        return True
+
+    def _cmd_budget(self, args: list[str]) -> bool:
+        self.session.set_max_sources(int(args[0]))
+        self.write(f"budget m = {self.session.max_sources}")
+        return True
+
+    def _cmd_diff(self, args: list[str]) -> bool:
+        del args
+        diff = self.session.diff_last()
+        if diff is None:
+            self.write("need two iterations to diff")
+            return True
+        self.write(render_diff(diff, self.session.universe))
+        return True
+
+    def _cmd_history(self, args: list[str]) -> bool:
+        del args
+        self.write(render_history(self.session.history))
+        return True
+
+    def _cmd_save(self, args: list[str]) -> bool:
+        from .export import save_session_markdown
+
+        path = args[0]
+        save_session_markdown(self.session, path)
+        self.write(f"session report written to {path}")
+        return True
+
+    def _cmd_export(self, args: list[str]) -> bool:
+        from ..io import save_solution
+
+        solution = self.session.last_solution
+        if solution is None:
+            self.write("nothing to export; run 'solve' first")
+            return True
+        path = args[0]
+        save_solution(solution, path)
+        self.write(f"solution written to {path}")
+        return True
+
+    def _cmd_help(self, args: list[str]) -> bool:
+        del args
+        self.write(
+            "commands: solve [optimizer], show, stats, pin <source>, "
+            "unpin <source>, match <s.attr> <s.attr> ..., accept <ga#>, "
+            "weight <qef> <w>, theta <t>, beta <b>, budget <m>, diff, "
+            "history, save <file.md>, export <file.json>, help, quit"
+        )
+        return True
+
+    def _cmd_quit(self, args: list[str]) -> bool:
+        del args
+        self.write("bye")
+        return False
+
+
+def _source_token(token: str) -> int | str:
+    """Parse a source reference: an id or a name."""
+    return int(token) if token.isdigit() else token
+
+
+def _attribute_token(token: str) -> tuple[int | str, str | int]:
+    """Parse ``source.attribute`` (underscores stand in for spaces)."""
+    source_part, _, attr_part = token.partition(".")
+    if not attr_part:
+        raise ValueError(
+            f"expected source.attribute, got {token!r}"
+        )
+    attribute: str | int
+    attribute = int(attr_part) if attr_part.isdigit() else attr_part.replace(
+        "_", " "
+    )
+    return _source_token(source_part), attribute
+
+
+def _numbered_gas(schema) -> list:
+    """GA numbering identical to :func:`render_schema`'s display order."""
+    return sorted(schema, key=lambda ga: (-len(ga), ga.names()))
+
+
+def interactive_loop(session: Session) -> None:  # pragma: no cover - tty only
+    """Run the console on stdin until EOF or quit."""
+    console = InteractiveConsole(session)
+    console.write("µBE interactive console — 'help' for commands")
+    console.run(_stdin_lines())
+
+
+def _stdin_lines() -> Iterator[str]:  # pragma: no cover - tty only
+    while True:
+        try:
+            yield input("µbe> ")
+        except EOFError:
+            return

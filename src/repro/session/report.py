@@ -1,0 +1,77 @@
+"""Plain-text rendering of solutions and mediated schemas.
+
+The paper's GUI (Figure 4) is out of scope; these renderers reproduce the
+*information* it shows — the chosen sources, the discovered GAs, and the
+per-QEF quality breakdown — as terminal-friendly tables that the examples
+and the CLI print.
+"""
+
+from __future__ import annotations
+
+from ..core import MediatedSchema, Solution, Universe
+from .session import Iteration
+
+
+def render_schema(schema: MediatedSchema | None, universe: Universe) -> str:
+    """Render a mediated schema as one line per GA."""
+    if schema is None:
+        return "  (no valid mediated schema)"
+    if not len(schema):
+        return "  (empty mediated schema)"
+    lines = []
+    gas = sorted(
+        schema,
+        key=lambda ga: (-len(ga), ga.names()),
+    )
+    for number, ga in enumerate(gas, start=1):
+        members = sorted(ga, key=lambda a: (a.source_id, a.index))
+        rendered = ", ".join(
+            f"{universe.source(a.source_id).name}.{a.name}" for a in members
+        )
+        lines.append(
+            f"  GA{number:>2} «{ga.display_label()}» "
+            f"({len(ga)} attrs): {rendered}"
+        )
+    return "\n".join(lines)
+
+
+def render_solution(solution: Solution, universe: Universe) -> str:
+    """Render a full solution: status, scores, sources, schema."""
+    lines = [f"Solution: {solution.summary()}"]
+    if solution.qef_scores:
+        scores = "  ".join(
+            f"{name}={value:.3f}"
+            for name, value in sorted(solution.qef_scores.items())
+        )
+        lines.append(f"  QEFs: {scores}")
+    if solution.infeasibility:
+        for reason in solution.infeasibility:
+            lines.append(f"  ! {reason}")
+    lines.append("  Sources:")
+    for source in solution.sources(universe):
+        card = source.cardinality if source.cardinality is not None else "?"
+        lines.append(
+            f"    [{source.source_id:>3}] {source.name}  "
+            f"(|s|={card}, attrs={len(source.schema)})"
+        )
+    lines.append("  Mediated schema:")
+    lines.append(render_schema(solution.schema, universe))
+    return "\n".join(lines)
+
+
+def render_history(iterations: list[Iteration]) -> str:
+    """One summary line per session iteration."""
+    if not iterations:
+        return "(no iterations yet)"
+    lines = []
+    for iteration in iterations:
+        problem = iteration.problem
+        solution = iteration.solution
+        lines.append(
+            f"iter {iteration.index}: Q={solution.quality:.4f} "
+            f"({len(solution.selected)} sources, {solution.ga_count()} GAs, "
+            f"|C|={len(problem.source_constraints)}, "
+            f"|G|={len(problem.ga_constraints)}, "
+            f"{iteration.result.stats.elapsed_seconds:.2f}s)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,375 @@
+"""The iterative user-feedback session (paper §6).
+
+µBE is used as a loop: solve, inspect, adjust, solve again.  The key design
+point the paper stresses is that *input constraints have the same structure
+as the output schema*, so feedback means editing the previous answer:
+
+* pin a source that must stay (:meth:`Session.require_source`);
+* pin a matching the evidence alone cannot justify
+  (:meth:`Session.require_match` — the "Matching By Example" bridging
+  constraint);
+* adopt a GA µBE discovered so later iterations must preserve it
+  (:meth:`Session.accept_ga`);
+* shift the quality trade-off (:meth:`Session.set_weights`,
+  :meth:`Session.emphasize`);
+* tighten or loosen θ, β and the source budget.
+
+Every :meth:`Session.solve` snapshot is kept in :attr:`Session.history`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from ..core import (
+    AttributeRef,
+    CharacteristicSpec,
+    GlobalAttribute,
+    Problem,
+    Solution,
+    Universe,
+    default_weights,
+    normalize_weights,
+)
+from ..exceptions import ConstraintError, ReproError, WeightError
+from ..quality.overall import Objective
+from ..search import OptimizerConfig, SearchResult, get_optimizer
+from ..similarity.matrix import NameSimilarityMatrix
+from ..similarity.measures import SimilarityMeasure, default_measure
+
+
+@dataclass(frozen=True, slots=True)
+class Iteration:
+    """One solve step: the problem as posed and the result found."""
+
+    index: int
+    problem: Problem
+    result: SearchResult
+
+    @property
+    def solution(self) -> Solution:
+        """The best solution of this iteration."""
+        return self.result.solution
+
+
+class Session:
+    """An interactive µBE session over a fixed universe.
+
+    Parameters
+    ----------
+    universe:
+        The candidate sources.
+    max_sources:
+        Initial source budget ``m``.
+    weights:
+        Initial QEF weights; defaults to the paper's §7.1 values adapted to
+        the declared characteristic QEFs.
+    theta, beta:
+        Matching threshold and minimum GA size.
+    characteristic_qefs:
+        Source-characteristic QEFs available from the start.
+    similarity:
+        Attribute similarity measure (default: 3-gram Jaccard).  The
+        name-pair matrix is built once and shared across iterations.
+    optimizer:
+        Registry name of the optimizer to use (default ``"tabu"``).
+    optimizer_config:
+        Budgets and seed for the optimizer.
+    incremental:
+        Use the warm-started matching operator
+        (:class:`~repro.matching.IncrementalMatchOperator`) inside each
+        solve — faster on large universes, see DESIGN.md.
+    """
+
+    def __init__(
+        self,
+        universe: Universe,
+        max_sources: int = 10,
+        weights: Mapping[str, float] | None = None,
+        theta: float = 0.65,
+        beta: int = 2,
+        characteristic_qefs: Sequence[CharacteristicSpec] = (),
+        similarity: SimilarityMeasure | None = None,
+        optimizer: str = "tabu",
+        optimizer_config: OptimizerConfig | None = None,
+        incremental: bool = False,
+    ):
+        self.universe = universe
+        self.max_sources = max_sources
+        self.theta = theta
+        self.beta = beta
+        self.characteristic_qefs: list[CharacteristicSpec] = list(
+            characteristic_qefs
+        )
+        self.weights: dict[str, float] = dict(
+            weights
+            if weights is not None
+            else default_weights(self.characteristic_qefs)
+        )
+        self.source_constraints: set[int] = set()
+        self.ga_constraints: list[GlobalAttribute] = []
+        self.optimizer_name = optimizer
+        self.optimizer_config = optimizer_config or OptimizerConfig()
+        self.incremental = incremental
+        self.history: list[Iteration] = []
+        measure = similarity or default_measure()
+        self._matrix = NameSimilarityMatrix.build(
+            universe.attribute_names(), measure
+        )
+        self._operator_key: tuple | None = None
+        self._operator = None
+
+    # -- solving -------------------------------------------------------------
+
+    def problem(self) -> Problem:
+        """The optimization problem the next :meth:`solve` will pose."""
+        return Problem(
+            universe=self.universe,
+            weights=dict(self.weights),
+            source_constraints=frozenset(self.source_constraints),
+            ga_constraints=tuple(self.ga_constraints),
+            max_sources=self.max_sources,
+            theta=self.theta,
+            beta=self.beta,
+            characteristic_qefs=tuple(self.characteristic_qefs),
+        )
+
+    def solve(
+        self, optimizer: str | None = None, warm_start: bool = True
+    ) -> Iteration:
+        """Solve the current problem and record the iteration.
+
+        With ``warm_start`` (the default), the search starts from the
+        previous iteration's selection when one exists — consecutive
+        problems in a feedback loop usually differ by one constraint or a
+        reweighting, so the previous answer is close to the new optimum
+        and convergence is much faster.  The warm start is repaired to the
+        new constraints automatically.
+        """
+        problem = self.problem()
+        objective = Objective(
+            problem,
+            similarity=self._matrix,
+            incremental=self.incremental,
+            match_operator=self._cached_operator(problem),
+        )
+        engine = get_optimizer(
+            optimizer or self.optimizer_name, self.optimizer_config
+        )
+        initial = None
+        if warm_start and self.history:
+            initial = self.history[-1].solution.selected
+        result = engine.optimize(objective, initial=initial)
+        iteration = Iteration(len(self.history), problem, result)
+        self.history.append(iteration)
+        return iteration
+
+    @property
+    def last_solution(self) -> Solution | None:
+        """The most recent solution, if any iteration has run."""
+        if not self.history:
+            return None
+        return self.history[-1].solution
+
+    def diff_last(self):
+        """Diff the last two iterations, or None with fewer than two.
+
+        Returns a :class:`repro.session.diff.SolutionDiff`; render it for
+        the user with :func:`repro.session.diff.render_diff`.
+        """
+        if len(self.history) < 2:
+            return None
+        from .diff import diff_solutions
+
+        return diff_solutions(
+            self.history[-2].solution, self.history[-1].solution
+        )
+
+    # -- source feedback -----------------------------------------------------
+
+    def require_source(self, source: int | str) -> int:
+        """Pin a source (by id or name) into every future solution."""
+        source_id = self._resolve_source(source)
+        self.source_constraints.add(source_id)
+        return source_id
+
+    def release_source(self, source: int | str) -> None:
+        """Remove a previously pinned source constraint."""
+        source_id = self._resolve_source(source)
+        self.source_constraints.discard(source_id)
+
+    # -- GA feedback ---------------------------------------------------------
+
+    def require_match(
+        self,
+        attributes: Iterable[AttributeRef | tuple[int | str, str | int]],
+    ) -> GlobalAttribute:
+        """Pin a matching: the given attributes must share one GA.
+
+        Attributes may be :class:`AttributeRef` values or
+        ``(source, attribute)`` pairs where the source is an id or a name
+        and the attribute a name or an index — the ergonomic form for
+        interactive use::
+
+            session.require_match([(3, "author"), (17, "written by")])
+        """
+        refs = [self._resolve_attribute(a) for a in attributes]
+        ga = GlobalAttribute(refs)
+        self.ga_constraints.append(ga)
+        return ga
+
+    def accept_ga(self, ga: GlobalAttribute) -> GlobalAttribute:
+        """Adopt a GA from a previous output as a constraint.
+
+        This is the paper's core interaction: the output format *is* the
+        constraint format, so accepting an answer pins it for the next
+        round.
+        """
+        for attr in ga:
+            self._resolve_attribute(attr)
+        self.ga_constraints.append(ga)
+        return ga
+
+    def drop_ga_constraint(self, ga: GlobalAttribute) -> None:
+        """Remove one GA constraint.
+
+        Raises
+        ------
+        ConstraintError
+            If the constraint is not currently set.
+        """
+        try:
+            self.ga_constraints.remove(ga)
+        except ValueError:
+            raise ConstraintError(f"{ga!r} is not a current constraint") from None
+
+    def clear_constraints(self) -> None:
+        """Drop all source and GA constraints."""
+        self.source_constraints.clear()
+        self.ga_constraints.clear()
+
+    # -- weight feedback -----------------------------------------------------
+
+    def set_weights(self, weights: Mapping[str, float]) -> None:
+        """Replace the full weight assignment (must sum to 1)."""
+        self.weights = normalize_weights(weights)
+
+    def emphasize(self, qef_name: str, weight: float) -> None:
+        """Give one QEF the stated weight; split the rest equally.
+
+        This is the paper's Figure-8 protocol ("vary the weight on the
+        Card QEF … with the remaining weights all set to equal values").
+        """
+        if not 0.0 <= weight <= 1.0:
+            raise WeightError(f"weight must be in [0, 1], got {weight}")
+        others = [name for name in self.weights if name != qef_name]
+        if qef_name not in self.weights and qef_name not in self._known_qefs():
+            raise WeightError(f"unknown QEF {qef_name!r}")
+        share = (1.0 - weight) / len(others) if others else 0.0
+        new_weights = {name: share for name in others}
+        new_weights[qef_name] = weight
+        self.weights = normalize_weights(new_weights)
+
+    # -- QEF feedback ----------------------------------------------------------
+
+    def add_characteristic_qef(
+        self, spec: CharacteristicSpec, weight: float
+    ) -> None:
+        """Register a new characteristic QEF and give it a weight.
+
+        The other weights are scaled down proportionally to make room.
+        """
+        if spec.name in self._known_qefs():
+            raise WeightError(f"QEF name {spec.name!r} already in use")
+        if not 0.0 < weight < 1.0:
+            raise WeightError(f"weight must be in (0, 1), got {weight}")
+        self.universe.characteristic_range(spec.characteristic)
+        self.characteristic_qefs.append(spec)
+        scale = 1.0 - weight
+        new_weights = {
+            name: value * scale for name, value in self.weights.items()
+        }
+        new_weights[spec.name] = weight
+        self.weights = normalize_weights(new_weights)
+
+    # -- parameter feedback ----------------------------------------------------
+
+    def set_theta(self, theta: float) -> None:
+        """Change the matching threshold θ."""
+        if not 0.0 <= theta <= 1.0:
+            raise ConstraintError(f"theta must be in [0, 1], got {theta}")
+        self.theta = theta
+
+    def set_beta(self, beta: int) -> None:
+        """Change the minimum GA size β."""
+        if beta < 1:
+            raise ConstraintError(f"beta must be >= 1, got {beta}")
+        self.beta = beta
+
+    def set_max_sources(self, max_sources: int) -> None:
+        """Change the source budget m."""
+        if not 1 <= max_sources <= len(self.universe):
+            raise ConstraintError(
+                f"max_sources must be in [1, {len(self.universe)}], "
+                f"got {max_sources}"
+            )
+        self.max_sources = max_sources
+
+    # -- internals ---------------------------------------------------------
+
+    def _cached_operator(self, problem: Problem):
+        """Reuse the match operator (and its memo) across iterations.
+
+        Matching depends only on θ, β and the constraints — *not* on the
+        weights or the budget — so weight-only feedback keeps the entire
+        match cache warm between solves.
+        """
+        from ..matching import IncrementalMatchOperator, MatchOperator
+
+        key = (
+            problem.theta,
+            problem.beta,
+            problem.source_constraints,
+            problem.ga_constraints,
+        )
+        if key != self._operator_key:
+            operator_cls = (
+                IncrementalMatchOperator if self.incremental
+                else MatchOperator
+            )
+            self._operator = operator_cls.for_problem(
+                problem, similarity=self._matrix
+            )
+            self._operator_key = key
+        return self._operator
+
+    def _known_qefs(self) -> set[str]:
+        names = {"matching", "cardinality", "coverage", "redundancy"}
+        names.update(spec.name for spec in self.characteristic_qefs)
+        return names
+
+    def _resolve_source(self, source: int | str) -> int:
+        if isinstance(source, int):
+            self.universe.source(source)
+            return source
+        for candidate in self.universe:
+            if candidate.name == source:
+                return candidate.source_id
+        raise ReproError(f"no source named {source!r} in universe")
+
+    def _resolve_attribute(
+        self, attribute: AttributeRef | tuple[int | str, str | int]
+    ) -> AttributeRef:
+        if isinstance(attribute, AttributeRef):
+            resolved = self.universe.resolve_attribute(
+                attribute.source_id, attribute.index
+            )
+            if resolved.name != attribute.name:
+                raise ConstraintError(
+                    f"attribute {attribute} does not exist in the universe"
+                )
+            return resolved
+        source, attr = attribute
+        source_id = self._resolve_source(source)
+        return self.universe.resolve_attribute(source_id, attr)

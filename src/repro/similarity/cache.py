@@ -1,0 +1,45 @@
+"""Memoized pairwise similarity.
+
+Attribute names repeat heavily across an Internet-scale universe (perturbed
+copies of the same query interface keep most names verbatim), so caching by
+unordered name pair turns the clustering algorithm's similarity lookups into
+dictionary hits.
+"""
+
+from __future__ import annotations
+
+from .measures import SimilarityMeasure
+
+
+class CachedSimilarity:
+    """Wrap a :class:`SimilarityMeasure` with an unordered-pair memo table.
+
+    The wrapper is itself a valid measure (same call signature, same
+    ``name``), so it can be passed anywhere a raw measure is accepted.
+    """
+
+    __slots__ = ("measure", "name", "_cache")
+
+    def __init__(self, measure: SimilarityMeasure):
+        self.measure = measure
+        self.name = measure.name
+        self._cache: dict[tuple[str, str], float] = {}
+
+    def __call__(self, a: str, b: str) -> float:
+        key = (a, b) if a <= b else (b, a)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self.measure(a, b)
+            self._cache[key] = cached
+        return cached
+
+    def cache_size(self) -> int:
+        """Number of memoized pairs."""
+        return len(self._cache)
+
+    def clear(self) -> None:
+        """Drop all memoized pairs."""
+        self._cache.clear()
+
+    def __repr__(self) -> str:
+        return f"CachedSimilarity({self.measure!r}, cached={len(self._cache)})"

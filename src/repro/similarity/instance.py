@@ -1,0 +1,97 @@
+"""Data-based (instance) similarity measures.
+
+The paper's matching operator accepts *any* pairwise attribute similarity,
+"whether it is schema based [18] or data based [14]" (§3).  These measures
+implement the data-based family: two attributes are similar when the values
+observed under them overlap, which catches synonyms that share no
+characters ("binding" ↔ "format", "author" ↔ "written by") and separates
+homonyms whose values differ.
+
+The measures are keyed by attribute *name*: the caller supplies a mapping
+from each vocabulary name to a sample of its observed values (for synthetic
+workloads, :func:`repro.workload.values.value_samples_for_universe`).  This
+keeps the measures drop-in compatible with the name-matrix machinery; the
+simplification — one value profile per name per universe — is documented in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ReproError
+from .measures import SimilarityMeasure
+from .ngram import normalize_name
+
+# Mapping from attribute name to a sample of its values.
+ValueSamples = "dict[str, frozenset[str]]"
+
+
+class InstanceSimilarity(SimilarityMeasure):
+    """Jaccard coefficient over per-attribute value samples."""
+
+    name = "instance_jaccard"
+
+    def __init__(self, value_samples):
+        self.value_samples = dict(value_samples)
+
+    def __call__(self, a: str, b: str) -> float:
+        if a == b:
+            return 1.0
+        sample_a = self.value_samples.get(a)
+        sample_b = self.value_samples.get(b)
+        if not sample_a or not sample_b:
+            return 0.0
+        intersection = len(sample_a & sample_b)
+        if intersection == 0:
+            return 0.0
+        return intersection / (len(sample_a) + len(sample_b) - intersection)
+
+    def __repr__(self) -> str:
+        return f"InstanceSimilarity({len(self.value_samples)} profiles)"
+
+
+class HybridSimilarity(SimilarityMeasure):
+    """Combine a schema-based and a data-based measure.
+
+    Two modes:
+
+    * ``mode="max"`` (default) — evidence from either side suffices; this
+      is the natural reading of "the attributes match if their names look
+      alike *or* their data looks alike";
+    * ``mode="weighted"`` — convex combination
+      ``alpha·schema + (1−alpha)·instance``, for when both kinds of
+      evidence should corroborate.
+    """
+
+    def __init__(
+        self,
+        schema_measure: SimilarityMeasure,
+        instance_measure: SimilarityMeasure,
+        mode: str = "max",
+        alpha: float = 0.5,
+    ):
+        if mode not in ("max", "weighted"):
+            raise ReproError(
+                f"mode must be 'max' or 'weighted', got {mode!r}"
+            )
+        if not 0.0 <= alpha <= 1.0:
+            raise ReproError(f"alpha must be in [0, 1], got {alpha}")
+        self.schema_measure = schema_measure
+        self.instance_measure = instance_measure
+        self.mode = mode
+        self.alpha = alpha
+        self.name = f"hybrid_{mode}"
+
+    def __call__(self, a: str, b: str) -> float:
+        if normalize_name(a) == normalize_name(b):
+            return 1.0
+        schema_score = self.schema_measure(a, b)
+        instance_score = self.instance_measure(a, b)
+        if self.mode == "max":
+            return max(schema_score, instance_score)
+        return self.alpha * schema_score + (1.0 - self.alpha) * instance_score
+
+    def __repr__(self) -> str:
+        return (
+            f"HybridSimilarity({self.schema_measure!r}, "
+            f"{self.instance_measure!r}, mode={self.mode!r})"
+        )

@@ -1,0 +1,110 @@
+"""Precomputed name-pair similarity matrices.
+
+The optimizer evaluates the matching QEF thousands of times per run, and
+each evaluation clusters a fresh attribute set.  Because the *vocabulary* of
+distinct attribute names in a universe is small (hundreds) even when the
+number of attributes is large (thousands), precomputing the full
+vocabulary-by-vocabulary similarity matrix once per universe makes every
+later lookup an O(1) array read and lets the clustering algorithm gather
+whole cluster-pair blocks with numpy fancy indexing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import ReproError
+from .measures import SimilarityMeasure
+
+
+class NameSimilarityMatrix:
+    """Dense symmetric similarity matrix over a fixed name vocabulary."""
+
+    __slots__ = ("names", "_index", "matrix", "measure_name")
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        matrix: np.ndarray,
+        measure_name: str = "custom",
+    ):
+        if matrix.shape != (len(names), len(names)):
+            raise ReproError(
+                f"matrix shape {matrix.shape} does not match vocabulary "
+                f"size {len(names)}"
+            )
+        self.names = tuple(names)
+        self._index = {name: i for i, name in enumerate(self.names)}
+        if len(self._index) != len(self.names):
+            raise ReproError("vocabulary names must be unique")
+        self.matrix = matrix
+        self.measure_name = measure_name
+
+    @classmethod
+    def build(
+        cls, names: Iterable[str], measure: SimilarityMeasure
+    ) -> "NameSimilarityMatrix":
+        """Compute the full matrix for a vocabulary under a measure.
+
+        The measure is assumed symmetric with self-similarity 1.0; only the
+        upper triangle is computed.
+        """
+        vocabulary = tuple(dict.fromkeys(names))
+        size = len(vocabulary)
+        matrix = np.eye(size, dtype=np.float64)
+        for i in range(size):
+            for j in range(i + 1, size):
+                value = measure(vocabulary[i], vocabulary[j])
+                matrix[i, j] = value
+                matrix[j, i] = value
+        return cls(vocabulary, matrix, measure_name=measure.name)
+
+    def name_id(self, name: str) -> int:
+        """The row/column index of a vocabulary name.
+
+        Raises
+        ------
+        ReproError
+            If the name is not in the vocabulary.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ReproError(
+                f"name {name!r} is not in the similarity vocabulary"
+            ) from None
+
+    def name_ids(self, names: Iterable[str]) -> np.ndarray:
+        """Vectorized :meth:`name_id` returning an int64 array."""
+        return np.fromiter(
+            (self.name_id(n) for n in names), dtype=np.int64
+        )
+
+    def pair(self, a_id: int, b_id: int) -> float:
+        """Similarity of two vocabulary ids."""
+        return float(self.matrix[a_id, b_id])
+
+    def block(self, a_ids: np.ndarray, b_ids: np.ndarray) -> np.ndarray:
+        """The |A|×|B| sub-matrix of similarities between two id sets."""
+        return self.matrix[np.ix_(a_ids, b_ids)]
+
+    def max_cross(self, a_ids: np.ndarray, b_ids: np.ndarray) -> float:
+        """Single-linkage similarity: max over all cross pairs."""
+        if len(a_ids) == 0 or len(b_ids) == 0:
+            return 0.0
+        return float(self.block(a_ids, b_ids).max())
+
+    def __call__(self, a: str, b: str) -> float:
+        """Measure-compatible call interface on raw names."""
+        return self.pair(self.name_id(a), self.name_id(b))
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __repr__(self) -> str:
+        return (
+            f"NameSimilarityMatrix({len(self.names)} names, "
+            f"measure={self.measure_name!r})"
+        )

@@ -1,0 +1,61 @@
+"""Character n-gram extraction.
+
+The µBE prototype measures attribute similarity with the Jaccard coefficient
+over the 3-grams of the attribute names (paper §3).  This module provides
+the n-gram tokenizer all set-based measures share.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ReproError
+
+
+def normalize_name(name: str) -> str:
+    """Canonical form of an attribute name for similarity purposes.
+
+    Lower-cases, strips, and collapses runs of whitespace/punctuation into
+    single spaces, so that ``"Book  Title"`` and ``"book_title"`` compare
+    equal before tokenization.
+    """
+    cleaned = []
+    previous_space = True
+    for char in name.lower():
+        if char.isalnum():
+            cleaned.append(char)
+            previous_space = False
+        elif not previous_space:
+            cleaned.append(" ")
+            previous_space = True
+    return "".join(cleaned).strip()
+
+
+def ngrams(text: str, n: int = 3, normalize: bool = True) -> frozenset[str]:
+    """The set of character n-grams of ``text``.
+
+    Strings shorter than ``n`` (after normalization) yield themselves as a
+    single gram, so short names like ``"id"`` still compare sensibly.
+    An empty (post-normalization) string yields the empty set.
+
+    Parameters
+    ----------
+    text:
+        The string to tokenize.
+    n:
+        Gram length; the paper uses 3.
+    normalize:
+        Apply :func:`normalize_name` first (recommended).
+    """
+    if n < 1:
+        raise ReproError(f"n-gram length must be >= 1, got {n}")
+    if normalize:
+        text = normalize_name(text)
+    if not text:
+        return frozenset()
+    if len(text) < n:
+        return frozenset((text,))
+    return frozenset(text[i : i + n] for i in range(len(text) - n + 1))
+
+
+def word_tokens(text: str) -> frozenset[str]:
+    """The set of whitespace-delimited word tokens of a normalized name."""
+    return frozenset(normalize_name(text).split())

@@ -1,0 +1,28 @@
+"""Cardinality sketches: PCSA signatures and exact baselines (paper §4)."""
+
+from .exact import ExactDistinct, exact_union_count, relative_error
+from .hashing import hash_ints, hash_strings, splitmix64, trailing_zeros
+from .pcsa import (
+    KAPPA,
+    PHI,
+    PCSASketch,
+    estimate_union,
+    independent_hash,
+    union_sketch,
+)
+
+__all__ = [
+    "ExactDistinct",
+    "KAPPA",
+    "PCSASketch",
+    "PHI",
+    "estimate_union",
+    "exact_union_count",
+    "hash_ints",
+    "hash_strings",
+    "independent_hash",
+    "relative_error",
+    "splitmix64",
+    "trailing_zeros",
+    "union_sketch",
+]

@@ -1,0 +1,80 @@
+"""Deterministic 64-bit hashing for sketches.
+
+All sketch hashing goes through a seeded splitmix64 finalizer so that
+signatures are reproducible across runs and processes (Python's built-in
+``hash`` is salted per process and unusable here).  Strings are first
+reduced to 64 bits with blake2b, then mixed the same way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from hashlib import blake2b
+
+import numpy as np
+
+_U64 = np.uint64
+_GOLDEN = _U64(0x9E3779B97F4A7C15)
+_MIX1 = _U64(0xBF58476D1CE4E5B9)
+_MIX2 = _U64(0x94D049BB133111EB)
+
+
+def splitmix64(values: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over a uint64 array.
+
+    A high-quality, invertible mixing function: distinct inputs map to
+    distinct outputs, and output bits are uniform for sketching purposes.
+
+    Parameters
+    ----------
+    values:
+        Integer array; values are taken modulo 2**64.
+    seed:
+        Stream selector; different seeds give independent hash functions.
+    """
+    z = values.astype(_U64, copy=True)
+    with np.errstate(over="ignore"):
+        z += _GOLDEN * _U64(seed % (1 << 64) + 1)
+        z ^= z >> _U64(30)
+        z *= _MIX1
+        z ^= z >> _U64(27)
+        z *= _MIX2
+        z ^= z >> _U64(31)
+    return z
+
+
+def hash_ints(values: Iterable[int] | np.ndarray, seed: int = 0) -> np.ndarray:
+    """Hash a collection of Python ints / an integer array to uint64."""
+    array = np.asarray(values)
+    if array.dtype.kind not in ("i", "u"):
+        raise TypeError(f"expected integer values, got dtype {array.dtype}")
+    return splitmix64(array, seed=seed)
+
+
+def hash_strings(values: Iterable[str], seed: int = 0) -> np.ndarray:
+    """Hash strings to uint64 via blake2b, then splitmix64."""
+    digests = np.fromiter(
+        (
+            int.from_bytes(
+                blake2b(v.encode("utf-8"), digest_size=8).digest(), "little"
+            )
+            for v in values
+        ),
+        dtype=_U64,
+    )
+    return splitmix64(digests, seed=seed)
+
+
+def trailing_zeros(values: np.ndarray) -> np.ndarray:
+    """Number of trailing zero bits of each uint64 (64 for zero).
+
+    ``v & -v`` isolates the lowest set bit; subtracting one turns it into a
+    mask of the trailing zeros, whose popcount is the answer.  For ``v == 0``
+    the wraparound arithmetic yields an all-ones mask, i.e. 64 — exactly the
+    convention we want.
+    """
+    v = values.astype(_U64, copy=False)
+    with np.errstate(over="ignore"):
+        lowest = v & (~v + _U64(1))
+        mask = lowest - _U64(1)
+    return np.bitwise_count(mask).astype(np.int64)

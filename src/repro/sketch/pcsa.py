@@ -1,0 +1,204 @@
+"""Probabilistic Counting with Stochastic Averaging (Flajolet–Martin PCSA).
+
+µBE needs the cardinality of *unions* of data sources without fetching any
+data (paper §4).  Each cooperative source builds a PCSA hash signature over
+its tuples once; µBE then ORs signatures together — the OR of per-source
+signatures equals the signature of the union of the tuple sets — and runs
+the PCSA estimator on the result.
+
+The sketch uses ``num_maps`` bitmaps.  Each hashed tuple selects a bitmap
+with its low bits and sets the bit indexed by ρ(rest), the number of
+trailing zeros of the remaining bits.  The estimate is::
+
+    n ≈ (num_maps / φ) · 2^Ā        φ = 0.77351,  Ā = mean lowest-zero index
+
+with the standard small-range correction ``2^Ā → 2^Ā − 2^(−κ·Ā)``
+(κ = 1.75), which removes the estimator's bias when ``n`` is comparable to
+``num_maps``.  Expected relative standard error is about
+``0.78 / sqrt(num_maps)`` (~4.9 % at the default 256 maps; the paper reports
+a worst case of 7 %).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import SketchError
+from .hashing import hash_ints, hash_strings, splitmix64, trailing_zeros
+
+#: Flajolet–Martin magic constant.
+PHI = 0.77351
+#: Small-range correction exponent (Scheuermann & Mauve).
+KAPPA = 1.75
+
+_U64 = np.uint64
+
+
+class PCSASketch:
+    """An OR-mergeable PCSA signature.
+
+    Instances are immutable by convention: :meth:`add_hashes` exists for
+    incremental construction, but all µBE code paths build a signature once
+    per source and only ever combine signatures with :meth:`union` /
+    ``operator |``, which return new sketches.
+    """
+
+    __slots__ = ("num_maps", "map_bits", "seed", "words")
+
+    def __init__(
+        self,
+        num_maps: int = 256,
+        map_bits: int = 32,
+        seed: int = 0,
+        words: np.ndarray | None = None,
+    ):
+        if num_maps < 1 or num_maps & (num_maps - 1):
+            raise SketchError(
+                f"num_maps must be a positive power of two, got {num_maps}"
+            )
+        if not 1 <= map_bits <= 64:
+            raise SketchError(f"map_bits must be in [1, 64], got {map_bits}")
+        self.num_maps = num_maps
+        self.map_bits = map_bits
+        self.seed = seed
+        if words is None:
+            words = np.zeros(num_maps, dtype=_U64)
+        elif words.shape != (num_maps,) or words.dtype != _U64:
+            raise SketchError(
+                f"words must be a uint64 array of shape ({num_maps},)"
+            )
+        self.words = words
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_ints(
+        cls,
+        values: Iterable[int] | np.ndarray,
+        num_maps: int = 256,
+        map_bits: int = 32,
+        seed: int = 0,
+    ) -> "PCSASketch":
+        """Build a signature over integer tuple ids."""
+        sketch = cls(num_maps, map_bits, seed)
+        sketch.add_hashes(hash_ints(values, seed=seed))
+        return sketch
+
+    @classmethod
+    def from_strings(
+        cls,
+        values: Iterable[str],
+        num_maps: int = 256,
+        map_bits: int = 32,
+        seed: int = 0,
+    ) -> "PCSASketch":
+        """Build a signature over string tuples."""
+        sketch = cls(num_maps, map_bits, seed)
+        sketch.add_hashes(hash_strings(values, seed=seed))
+        return sketch
+
+    def add_hashes(self, hashes: np.ndarray) -> None:
+        """Fold pre-hashed uint64 values into the signature (vectorized)."""
+        if hashes.size == 0:
+            return
+        h = hashes.astype(_U64, copy=False)
+        map_index = (h & _U64(self.num_maps - 1)).astype(np.int64)
+        rest = h >> _U64(int(self.num_maps).bit_length() - 1)
+        rho = np.minimum(trailing_zeros(rest), self.map_bits - 1)
+        bits = (_U64(1) << rho.astype(_U64))
+        np.bitwise_or.at(self.words, map_index, bits)
+
+    def add_ints(self, values: Iterable[int] | np.ndarray) -> None:
+        """Fold raw integer ids into the signature."""
+        self.add_hashes(hash_ints(values, seed=self.seed))
+
+    # -- algebra -------------------------------------------------------------
+
+    def compatible_with(self, other: "PCSASketch") -> bool:
+        """True iff the two sketches may be ORed together."""
+        return (
+            self.num_maps == other.num_maps
+            and self.map_bits == other.map_bits
+            and self.seed == other.seed
+        )
+
+    def union(self, other: "PCSASketch") -> "PCSASketch":
+        """Signature of the union of the two underlying tuple sets."""
+        if not self.compatible_with(other):
+            raise SketchError(
+                "cannot union sketches with different parameters: "
+                f"({self.num_maps},{self.map_bits},{self.seed}) vs "
+                f"({other.num_maps},{other.map_bits},{other.seed})"
+            )
+        return PCSASketch(
+            self.num_maps, self.map_bits, self.seed, self.words | other.words
+        )
+
+    def __or__(self, other: "PCSASketch") -> "PCSASketch":
+        return self.union(other)
+
+    def copy(self) -> "PCSASketch":
+        """An independent copy of this signature."""
+        return PCSASketch(
+            self.num_maps, self.map_bits, self.seed, self.words.copy()
+        )
+
+    def is_empty(self) -> bool:
+        """True iff no value has been added."""
+        return not self.words.any()
+
+    # -- estimation ----------------------------------------------------------
+
+    def estimate(self) -> float:
+        """PCSA estimate of the number of distinct values added."""
+        if self.is_empty():
+            return 0.0
+        lowest_zero = trailing_zeros(~self.words)
+        mean_r = float(np.minimum(lowest_zero, self.map_bits).mean())
+        scale = self.num_maps / PHI
+        return scale * (2.0**mean_r - 2.0 ** (-KAPPA * mean_r))
+
+    def estimate_int(self) -> int:
+        """The estimate rounded to the nearest integer."""
+        return int(round(self.estimate()))
+
+    def nbytes(self) -> int:
+        """Size of the signature payload in bytes."""
+        return int(self.words.nbytes)
+
+    def __repr__(self) -> str:
+        return (
+            f"PCSASketch(num_maps={self.num_maps}, map_bits={self.map_bits}, "
+            f"seed={self.seed}, estimate~{self.estimate_int()})"
+        )
+
+
+def union_sketch(sketches: Sequence[PCSASketch]) -> PCSASketch:
+    """OR a non-empty sequence of compatible sketches together."""
+    if not sketches:
+        raise SketchError("union_sketch requires at least one sketch")
+    first = sketches[0]
+    words = first.words.copy()
+    for other in sketches[1:]:
+        if not first.compatible_with(other):
+            raise SketchError("sketches have incompatible parameters")
+        words |= other.words
+    return PCSASketch(first.num_maps, first.map_bits, first.seed, words)
+
+
+def estimate_union(sketches: Sequence[PCSASketch]) -> float:
+    """Estimated distinct count of the union of the sketched sets."""
+    if not sketches:
+        return 0.0
+    return union_sketch(sketches).estimate()
+
+
+def independent_hash(values: np.ndarray, index: int, seed: int = 0) -> np.ndarray:
+    """One member of a family of independent hash functions.
+
+    Exposed for experiments that want multiple independent PCSA sketches of
+    the same data (e.g. to study estimator variance).
+    """
+    return splitmix64(values, seed=seed * 1_000_003 + index)

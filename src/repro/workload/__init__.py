@@ -1,0 +1,115 @@
+"""Synthetic workloads: Books universe, theater example, ground truth."""
+
+from .bamm import (
+    BASE_SCHEMA_COUNT,
+    REPOSITORY_SEED,
+    BaseSchema,
+    base_schemas_for,
+    books_base_schemas,
+    variant_weights,
+)
+from .concepts import (
+    BOOKS_CONCEPTS,
+    CONCEPT_COUNT,
+    CONCEPT_FREQUENCY,
+    NOISE_VOCABULARY,
+    concept_names,
+    concept_of_name,
+    variants_of,
+)
+from .data import (
+    DataConfig,
+    MTTFConfig,
+    sample_source_tuples,
+    zipf_cardinalities,
+)
+from .discovery import (
+    Catalog,
+    SearchHit,
+    SourceSearchEngine,
+    build_catalog,
+    precision_of_hits,
+)
+from .domains import (
+    AIRFARES,
+    AUTOMOBILES,
+    BOOKS,
+    DOMAINS,
+    Domain,
+    get_domain,
+    noise_vocabulary_for,
+)
+from .evaluation import GAQualityReport, GroundTruth, score_schema
+from .forms import extract_schema, source_from_form
+from .generator import (
+    BooksWorkload,
+    Workload,
+    generate_books_universe,
+    generate_universe,
+    pick_ga_constraints,
+    pick_source_constraints,
+)
+from .perturb import IDENTITY, LabelledAttribute, PerturbationModel
+from .stats import UniverseStats, describe_universe, render_stats
+from .theater import THEATER_SCHEMAS, theater_universe
+from .values import (
+    ValueConfig,
+    build_value_samples,
+    concept_value_pool,
+    value_samples_for_universe,
+)
+
+__all__ = [
+    "AIRFARES",
+    "AUTOMOBILES",
+    "BASE_SCHEMA_COUNT",
+    "BOOKS",
+    "BOOKS_CONCEPTS",
+    "BaseSchema",
+    "BooksWorkload",
+    "CONCEPT_COUNT",
+    "CONCEPT_FREQUENCY",
+    "Catalog",
+    "DOMAINS",
+    "DataConfig",
+    "Domain",
+    "GAQualityReport",
+    "GroundTruth",
+    "IDENTITY",
+    "LabelledAttribute",
+    "MTTFConfig",
+    "NOISE_VOCABULARY",
+    "PerturbationModel",
+    "REPOSITORY_SEED",
+    "SearchHit",
+    "SourceSearchEngine",
+    "THEATER_SCHEMAS",
+    "UniverseStats",
+    "ValueConfig",
+    "Workload",
+    "base_schemas_for",
+    "books_base_schemas",
+    "build_catalog",
+    "build_value_samples",
+    "concept_value_pool",
+    "concept_names",
+    "concept_of_name",
+    "describe_universe",
+    "extract_schema",
+    "generate_books_universe",
+    "generate_universe",
+    "get_domain",
+    "noise_vocabulary_for",
+    "pick_ga_constraints",
+    "pick_source_constraints",
+    "precision_of_hits",
+    "render_stats",
+    "sample_source_tuples",
+    "score_schema",
+    "source_from_form",
+    "theater_universe",
+    "value_samples_for_universe",
+    "variant_weights",
+    "variants_of",
+    "zipf_cardinalities",
+]

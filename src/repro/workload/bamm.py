@@ -1,0 +1,102 @@
+"""Synthetic base schemas standing in for the BAMM Books repository.
+
+The paper builds its 700-source universe from the 50 Books-domain schemas
+of the BAMM/UIUC repository plus perturbed copies (§7.1).  This module
+deterministically generates 50 base schemas from the concept corpus in
+:mod:`repro.workload.concepts`: each schema includes a concept with that
+concept's real-world frequency and renders it with one of its name
+variants, common variants being likelier.  The generation seed is a fixed
+constant, so the "repository" is identical for every user and every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+from .domains import BOOKS, Domain
+
+#: Fixed seed freezing the synthetic repository.
+REPOSITORY_SEED = 2007_04_15
+
+#: Number of base schemas, matching BAMM's Books domain.
+BASE_SCHEMA_COUNT = 50
+
+
+@dataclass(frozen=True, slots=True)
+class BaseSchema:
+    """One base schema: an ordered list of (concept, attribute-name) pairs."""
+
+    name: str
+    attributes: tuple[tuple[str, str], ...]
+
+    def attribute_names(self) -> tuple[str, ...]:
+        """Just the attribute names, in schema order."""
+        return tuple(name for _, name in self.attributes)
+
+    def concepts(self) -> frozenset[str]:
+        """The set of concepts the schema expresses."""
+        return frozenset(concept for concept, _ in self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+
+def variant_weights(count: int) -> np.ndarray:
+    """Geometric preference for earlier (more common) variants."""
+    weights = 0.5 ** np.arange(count, dtype=np.float64)
+    return weights / weights.sum()
+
+
+@lru_cache(maxsize=32)
+def base_schemas_for(
+    domain: Domain,
+    count: int = BASE_SCHEMA_COUNT,
+    seed: int = REPOSITORY_SEED,
+) -> tuple[BaseSchema, ...]:
+    """The frozen synthetic repository of base schemas for a domain.
+
+    Every schema has at least two attributes (the two most frequent
+    concepts are forced in if the frequency draws produce fewer), and at
+    most one attribute per concept — real query interfaces do not ask for
+    the same field twice.
+    """
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    fallback = sorted(
+        domain.concept_names(),
+        key=lambda c: -domain.frequencies[c],
+    )[:2]
+    schemas = []
+    for index in range(count):
+        attributes: list[tuple[str, str]] = []
+        for concept in domain.concept_names():
+            if rng.random() >= domain.frequencies[concept]:
+                continue
+            variants = domain.variants_of(concept)
+            weights = variant_weights(len(variants))
+            variant = variants[int(rng.choice(len(variants), p=weights))]
+            attributes.append((concept, variant))
+        if len(attributes) < 2:
+            attributes = [
+                (concept, domain.variants_of(concept)[0])
+                for concept in fallback
+            ]
+        schemas.append(
+            BaseSchema(
+                name=f"{domain.name}-base-{index:02d}",
+                attributes=tuple(attributes),
+            )
+        )
+    return tuple(schemas)
+
+
+def books_base_schemas(
+    count: int = BASE_SCHEMA_COUNT, seed: int = REPOSITORY_SEED
+) -> tuple[BaseSchema, ...]:
+    """The Books repository (the paper's 50 BAMM schemas)."""
+    return base_schemas_for(BOOKS, count, seed)

@@ -1,0 +1,154 @@
+"""The Books domain: concepts, attribute-name variants, noise vocabulary.
+
+The paper's experiments use the 50 Books-domain schemas of the BAMM/UIUC
+web-integration repository, which contain **14 distinct concepts** (§7.3).
+The repository is not redistributable, so this module defines a synthetic
+equivalent: 14 concepts, each with a curated list of attribute-name
+variants as they appear on real book search forms, plus an off-domain noise
+vocabulary used by the perturbation model's *replace* operation.
+
+Two properties matter for fidelity (and are pinned by tests):
+
+* cross-concept name pairs stay safely below the default matching
+  threshold θ = 0.65 under 3-gram Jaccard, so pure GAs are learnable;
+* concepts have lexically close variants (e.g. plural forms) that clear θ,
+  so clusters can grow beyond exact duplicates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+#: Concept → attribute-name variants.  The first variant is the most
+#: common rendering and is weighted accordingly by the schema generator.
+BOOKS_CONCEPTS: Mapping[str, tuple[str, ...]] = {
+    "title": ("title", "titles", "book title", "exact title"),
+    "author": ("author", "authors", "author name", "author last name"),
+    "isbn": ("isbn", "isbn number", "isbn code"),
+    "publisher": ("publisher", "publishers", "publisher name", "publishing house"),
+    "keyword": ("keyword", "keywords", "search keywords", "any keyword"),
+    "price": ("price", "prices", "price range", "maximum price"),
+    "subject": ("subject", "subjects", "subject area", "category"),
+    "format": ("format", "formats", "binding", "book format"),
+    "year": ("publication year", "pub year", "release year", "year"),
+    "edition": ("edition", "editions", "edition number"),
+    "language": ("language", "languages", "book language"),
+    "condition": ("condition", "book condition", "item condition", "used or new"),
+    "age": ("age range", "age group", "reader age", "age level"),
+    "series": ("series", "series name", "book series"),
+}
+
+#: Per-concept probability that a base schema includes the concept.
+#: Mirrors how often each field shows up on real book search interfaces.
+CONCEPT_FREQUENCY: Mapping[str, float] = {
+    "title": 0.95,
+    "author": 0.90,
+    "keyword": 0.70,
+    "isbn": 0.60,
+    "publisher": 0.50,
+    "subject": 0.45,
+    "price": 0.40,
+    "format": 0.35,
+    "year": 0.35,
+    "series": 0.25,
+    "edition": 0.25,
+    "language": 0.25,
+    "condition": 0.20,
+    "age": 0.15,
+}
+
+#: Words unrelated to the Books domain, used when a perturbation replaces a
+#: real attribute (paper §7.1: "a list of words unrelated to the Books
+#: domain").  Drawn from travel, automotive, real-estate, food, finance,
+#: sports and weather forms.
+NOISE_VOCABULARY: tuple[str, ...] = (
+    "airline",
+    "arrival city",
+    "bedrooms",
+    "body style",
+    "cabin class",
+    "calories",
+    "checkin",
+    "checkout",
+    "cuisine",
+    "cylinders",
+    "departure city",
+    "destination",
+    "dividend yield",
+    "dosage",
+    "engine size",
+    "exterior color",
+    "flight number",
+    "fuel economy",
+    "gate",
+    "horsepower",
+    "humidity",
+    "ingredient",
+    "jersey number",
+    "lot size",
+    "mileage",
+    "model year of car",
+    "monthly rent",
+    "neighborhood",
+    "nightly rate",
+    "nutrition facts",
+    "odometer",
+    "opponent",
+    "passengers",
+    "payload capacity",
+    "pet policy",
+    "playoff round",
+    "precipitation",
+    "property tax",
+    "return flight",
+    "room count",
+    "roster spot",
+    "seat assignment",
+    "serving size",
+    "square feet",
+    "stadium",
+    "stock symbol",
+    "stopovers",
+    "team standings",
+    "ticker",
+    "tire size",
+    "transmission",
+    "travel insurance",
+    "upholstery",
+    "vehicle make",
+    "vin",
+    "wind speed",
+    "wingspan",
+    "zoning",
+)
+
+#: The number of distinct concepts — the paper's "up to 14 true GAs".
+CONCEPT_COUNT = len(BOOKS_CONCEPTS)
+
+
+def concept_names() -> tuple[str, ...]:
+    """The 14 concept names in canonical order."""
+    return tuple(BOOKS_CONCEPTS)
+
+
+def variants_of(concept: str) -> tuple[str, ...]:
+    """Attribute-name variants of a concept.
+
+    Raises
+    ------
+    KeyError
+        If the concept is unknown.
+    """
+    return BOOKS_CONCEPTS[concept]
+
+
+def concept_of_name(name: str) -> str | None:
+    """Reverse lookup: which concept a variant name belongs to, if any."""
+    return _NAME_TO_CONCEPT.get(name)
+
+
+_NAME_TO_CONCEPT: dict[str, str] = {
+    variant: concept
+    for concept, variants in BOOKS_CONCEPTS.items()
+    for variant in variants
+}

@@ -1,0 +1,176 @@
+"""Synthetic source data: tuple pools, Zipf cardinalities, MTTF (paper §7.1).
+
+Tuples are opaque integer ids drawn from a fixed pool, half labelled
+*General* and half *Specialty*.  Half the sources draw only from the
+General pool; the other half mix in a small share of Specialty tuples —
+"there are general items available in all Web sources dealing with a
+certain domain, and there are specialty items only available in a few
+sources" — which is what gives coverage and redundancy their structure.
+
+Source cardinalities follow a bounded Zipf distribution, and each source
+carries a mean-time-to-failure characteristic drawn from a clipped normal.
+The paper's absolute scales (4M tuples, cardinalities 10k–1M) are
+configurable; the defaults are a 10× reduction that preserves every ratio
+while keeping universe generation fast on a laptop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+
+
+@dataclass(frozen=True, slots=True)
+class DataConfig:
+    """Parameters of the synthetic data generator.
+
+    ``paper_scale()`` returns the exact magnitudes from §7.1.
+    """
+
+    pool_size: int = 400_000
+    tuple_id_offset: int = 0
+    specialty_fraction: float = 0.5
+    min_cardinality: int = 1_000
+    max_cardinality: int = 100_000
+    zipf_exponent: float = 1.0
+    specialty_share: float = 0.05
+    general_source_fraction: float = 0.5
+    sketch_maps: int = 256
+    sketch_map_bits: int = 32
+    sketch_seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.pool_size < 2:
+            raise WorkloadError(f"pool_size must be >= 2, got {self.pool_size}")
+        if self.tuple_id_offset < 0:
+            raise WorkloadError(
+                f"tuple_id_offset must be >= 0, got {self.tuple_id_offset}"
+            )
+        if not 0.0 < self.specialty_fraction < 1.0:
+            raise WorkloadError(
+                "specialty_fraction must be in (0, 1), got "
+                f"{self.specialty_fraction}"
+            )
+        if not 0 < self.min_cardinality <= self.max_cardinality:
+            raise WorkloadError(
+                "need 0 < min_cardinality <= max_cardinality, got "
+                f"[{self.min_cardinality}, {self.max_cardinality}]"
+            )
+        if not 0.0 <= self.specialty_share <= 1.0:
+            raise WorkloadError(
+                f"specialty_share must be in [0, 1], got {self.specialty_share}"
+            )
+        if not 0.0 <= self.general_source_fraction <= 1.0:
+            raise WorkloadError(
+                "general_source_fraction must be in [0, 1], got "
+                f"{self.general_source_fraction}"
+            )
+        if self.zipf_exponent <= 0.0:
+            raise WorkloadError(
+                f"zipf_exponent must be positive, got {self.zipf_exponent}"
+            )
+
+    @classmethod
+    def paper_scale(cls) -> "DataConfig":
+        """The exact magnitudes of §7.1 (4M tuples, 10k–1M cardinalities)."""
+        return cls(
+            pool_size=4_000_000,
+            min_cardinality=10_000,
+            max_cardinality=1_000_000,
+        )
+
+    @classmethod
+    def tiny(cls) -> "DataConfig":
+        """A fast configuration for unit tests."""
+        return cls(
+            pool_size=5_000,
+            min_cardinality=50,
+            max_cardinality=1_000,
+            sketch_maps=64,
+        )
+
+    @property
+    def general_pool_size(self) -> int:
+        """Number of tuple ids in the General pool (ids below the split)."""
+        return self.pool_size - self.specialty_pool_size
+
+    @property
+    def specialty_pool_size(self) -> int:
+        """Number of tuple ids in the Specialty pool (ids at/above the split)."""
+        return int(round(self.pool_size * self.specialty_fraction))
+
+
+@dataclass(frozen=True, slots=True)
+class MTTFConfig:
+    """Mean-time-to-failure characteristic: N(mean, std) clipped positive."""
+
+    mean: float = 100.0
+    std: float = 40.0
+    minimum: float = 1.0
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw MTTF values for ``count`` sources."""
+        values = rng.normal(self.mean, self.std, size=count)
+        return np.maximum(values, self.minimum)
+
+
+def zipf_cardinalities(
+    count: int, config: DataConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Bounded Zipf cardinalities: the rank-``k`` source holds ``max/kᶻ``.
+
+    Ranks are randomly assigned so cardinality is independent of source id,
+    and the result is clipped into [min_cardinality, max_cardinality] and
+    into the pool size (a source cannot hold more distinct tuples than
+    exist).
+    """
+    ranks = rng.permutation(count).astype(np.float64) + 1.0
+    raw = config.max_cardinality / ranks**config.zipf_exponent
+    clipped = np.clip(raw, config.min_cardinality, config.max_cardinality)
+    return np.minimum(clipped, config.pool_size).astype(np.int64)
+
+
+def sample_source_tuples(
+    cardinality: int,
+    is_specialty_source: bool,
+    config: DataConfig,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw a source's tuple ids without replacement from the pools.
+
+    General sources draw everything from the General pool; Specialty
+    sources replace a ``specialty_share`` slice with Specialty-pool ids.
+    The config's ``tuple_id_offset`` shifts the whole id space, which is
+    how multi-domain catalogs keep their pools disjoint.
+    """
+    general_size = config.general_pool_size
+    specialty_size = config.specialty_pool_size
+    specialty_count = 0
+    if is_specialty_source and specialty_size > 0:
+        specialty_count = min(
+            int(round(cardinality * config.specialty_share)), specialty_size
+        )
+    general_count = min(cardinality - specialty_count, general_size)
+
+    parts = []
+    if general_count > 0:
+        parts.append(
+            rng.choice(general_size, size=general_count, replace=False)
+        )
+    if specialty_count > 0:
+        parts.append(
+            rng.choice(specialty_size, size=specialty_count, replace=False)
+            + general_size
+        )
+    if not parts:
+        raise WorkloadError(
+            f"cannot sample {cardinality} tuples from pool of "
+            f"{config.pool_size}"
+        )
+    ids = np.concatenate(parts).astype(np.uint64)
+    if config.tuple_id_offset:
+        ids += np.uint64(config.tuple_id_offset)
+    return ids

@@ -1,0 +1,149 @@
+"""Ground-truth scoring of mediated schemas (Table 1 of the paper).
+
+The synthetic workload knows which concept every attribute expresses, so a
+generated mediated schema can be scored exactly:
+
+* a GA is **pure** if all its members carry the same concept label —
+  a *true GA* in the paper's terminology;
+* a GA is **false** if it mixes two concepts, or a concept with noise;
+* a GA is **noise** if every member is a noise attribute (off-domain words
+  that genuinely repeat across sources; they match correctly but express
+  no Books concept, so the paper's accounting ignores them);
+* a concept is **missed** if it was *present* in the selected sources —
+  at least β of its attributes available across distinct sources, so a GA
+  was formable — but no pure GA found it.
+
+Table 1's columns map to :class:`GAQualityReport` as: "True GAs selected" →
+``true_ga_concepts`` (count of distinct concepts found), "Attributes in
+true GAs" → ``attributes_in_true_gas``, "True GAs missed" → ``missed``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from ..core import AttributeRef, GlobalAttribute, MediatedSchema, Universe
+
+
+class GroundTruth:
+    """Concept labels for every attribute of a synthetic universe."""
+
+    __slots__ = ("_labels", "concepts")
+
+    def __init__(
+        self,
+        labels: Mapping[AttributeRef, str | None],
+        concepts: Iterable[str],
+    ):
+        self._labels = dict(labels)
+        self.concepts = tuple(concepts)
+
+    def concept_of(self, attribute: AttributeRef) -> str | None:
+        """The attribute's concept, or None for a noise attribute."""
+        return self._labels.get(attribute)
+
+    def labels_of(self, ga: GlobalAttribute) -> set[str | None]:
+        """The distinct concept labels inside a GA."""
+        return {self.concept_of(attr) for attr in ga}
+
+    def concepts_present(
+        self,
+        universe: Universe,
+        source_ids: Iterable[int],
+        min_sources: int = 2,
+    ) -> frozenset[str]:
+        """Concepts for which a GA is formable within the selection.
+
+        A concept is present when at least ``min_sources`` *distinct*
+        selected sources carry an attribute labelled with it (a valid GA
+        needs one attribute per source).
+        """
+        per_concept: dict[str, set[int]] = {}
+        for sid in source_ids:
+            for attr in universe.source(sid).attributes:
+                concept = self.concept_of(attr)
+                if concept is not None:
+                    per_concept.setdefault(concept, set()).add(sid)
+        return frozenset(
+            concept
+            for concept, sources in per_concept.items()
+            if len(sources) >= min_sources
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class GAQualityReport:
+    """Exact quality accounting for one mediated schema."""
+
+    true_ga_concepts: int
+    concepts_found: frozenset[str]
+    pure_ga_count: int
+    attributes_in_true_gas: int
+    false_gas: int
+    noise_gas: int
+    missed: int
+    concepts_present: frozenset[str]
+
+    @property
+    def precision_proxy(self) -> float:
+        """Fraction of concept-bearing GAs that are pure (1.0 = no false GAs)."""
+        concept_gas = self.pure_ga_count + self.false_gas
+        if concept_gas == 0:
+            return 1.0
+        return self.pure_ga_count / concept_gas
+
+    @property
+    def recall_proxy(self) -> float:
+        """Fraction of present concepts that were found."""
+        if not self.concepts_present:
+            return 1.0
+        return len(self.concepts_found & self.concepts_present) / len(
+            self.concepts_present
+        )
+
+
+def score_schema(
+    schema: MediatedSchema | None,
+    ground_truth: GroundTruth,
+    universe: Universe,
+    selected: Iterable[int],
+    min_sources: int = 2,
+) -> GAQualityReport:
+    """Score a mediated schema against the ground truth.
+
+    ``min_sources`` should equal the problem's β so "present" matches what
+    the matching operator was allowed to output.
+    """
+    selected_ids = frozenset(selected)
+    present = ground_truth.concepts_present(
+        universe, selected_ids, min_sources=min_sources
+    )
+    concepts_found: set[str] = set()
+    pure_gas = 0
+    attributes_in_true = 0
+    false_gas = 0
+    noise_gas = 0
+    for ga in schema or ():
+        labels = ground_truth.labels_of(ga)
+        if labels == {None}:
+            noise_gas += 1
+        elif len(labels) == 1:
+            concept = next(iter(labels))
+            assert concept is not None
+            concepts_found.add(concept)
+            pure_gas += 1
+            attributes_in_true += len(ga)
+        else:
+            false_gas += 1
+    missed = len(present - concepts_found)
+    return GAQualityReport(
+        true_ga_concepts=len(concepts_found),
+        concepts_found=frozenset(concepts_found),
+        pure_ga_count=pure_gas,
+        attributes_in_true_gas=attributes_in_true,
+        false_gas=false_gas,
+        noise_gas=noise_gas,
+        missed=missed,
+        concepts_present=present,
+    )

@@ -1,0 +1,292 @@
+"""Full synthetic-universe generation (paper §7.1).
+
+Builds the experimental universe: the first ``min(n, 50)`` sources are the
+original base schemas, the rest are perturbed copies; every source gets
+Zipf-distributed data drawn from the General/Specialty pools, a PCSA
+signature, and an MTTF characteristic.  The result carries a
+:class:`~repro.workload.evaluation.GroundTruth` so Table-1-style accuracy
+accounting stays possible after generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import AttributeRef, GlobalAttribute, Source, Universe
+from ..exceptions import WorkloadError
+from ..sketch.pcsa import PCSASketch
+from .bamm import BaseSchema, base_schemas_for
+from .data import (
+    DataConfig,
+    MTTFConfig,
+    sample_source_tuples,
+    zipf_cardinalities,
+)
+from .domains import BOOKS, Domain, noise_vocabulary_for
+from .evaluation import GroundTruth
+from .perturb import PerturbationModel
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A generated universe plus everything needed to score solutions."""
+
+    universe: Universe
+    ground_truth: GroundTruth
+    base_schemas: tuple[BaseSchema, ...]
+    base_index: tuple[int, ...]
+    seed: int
+    data_config: DataConfig | None
+    domain: Domain = BOOKS
+    source_id_offset: int = 0
+    exact_ids: tuple[np.ndarray | None, ...] = field(repr=False, default=())
+
+    def conformant_source_ids(self) -> tuple[int, ...]:
+        """Sources whose schema equals its base schema exactly.
+
+        These are the paper's constraint candidates: "random sources with
+        schemas that are fully conformant to one of the original BAMM
+        schemas".
+        """
+        out = []
+        for source in self.universe:
+            position = source.source_id - self.source_id_offset
+            base = self.base_schemas[self.base_index[position]]
+            if source.schema == base.attribute_names():
+                out.append(source.source_id)
+        return tuple(out)
+
+
+#: Backwards-compatible alias: the paper's workload is the Books domain.
+BooksWorkload = Workload
+
+
+def generate_universe(
+    domain: Domain = BOOKS,
+    n_sources: int = 200,
+    seed: int = 0,
+    perturbation: PerturbationModel | None = None,
+    data_config: DataConfig | None = None,
+    mttf: MTTFConfig | None = MTTFConfig(),
+    with_data: bool = True,
+    keep_tuples: bool = False,
+    source_id_offset: int = 0,
+) -> Workload:
+    """Generate a synthetic universe for any registered domain.
+
+    Parameters
+    ----------
+    domain:
+        The concept corpus to draw schemas from (default: Books, the
+        paper's experimental domain).
+    n_sources:
+        Universe size (the paper sweeps 100-700).
+    seed:
+        Seed for perturbation, data and characteristics.  The base schemas
+        themselves come from the frozen repository seed and do not vary.
+    perturbation:
+        The schema perturbation model.  Defaults to the standard
+        probabilities with a noise vocabulary filtered to be safely
+        unrelated to the domain (see
+        :func:`repro.workload.domains.noise_vocabulary_for`).
+    data_config:
+        Tuple-pool and cardinality parameters; pass
+        ``DataConfig.paper_scale()`` for the paper's exact magnitudes.
+    mttf:
+        MTTF characteristic parameters, or None to omit the characteristic.
+    with_data:
+        Generate tuples, cardinalities and PCSA signatures.  Without data,
+        sources are *uncooperative* and only schema-based QEFs are usable.
+    keep_tuples:
+        Retain exact tuple-id arrays (for PCSA accuracy experiments).
+        They are dropped by default - µBE itself only needs the sketches.
+    source_id_offset:
+        First source id to assign; lets multiple domain universes combine
+        into one catalog without id collisions (see
+        :mod:`repro.workload.discovery`).
+    """
+    if n_sources < 1:
+        raise WorkloadError(f"n_sources must be >= 1, got {n_sources}")
+    if perturbation is None:
+        perturbation = PerturbationModel(
+            noise_vocabulary=noise_vocabulary_for(domain)
+        )
+    config = data_config or DataConfig()
+    rng = np.random.default_rng(seed)
+
+    bases = base_schemas_for(domain)
+    labelled_schemas: list[tuple[tuple[str | None, str], ...]] = []
+    base_index: list[int] = []
+    for position in range(n_sources):
+        if position < len(bases):
+            base = bases[position]
+            labelled_schemas.append(tuple(base.attributes))
+            base_index.append(position)
+        else:
+            which = int(rng.integers(len(bases)))
+            base_index.append(which)
+            labelled_schemas.append(perturbation.perturb(bases[which], rng))
+
+    cardinalities = (
+        zipf_cardinalities(n_sources, config, rng) if with_data else None
+    )
+    specialty_flags = (
+        rng.random(n_sources) >= config.general_source_fraction
+        if with_data
+        else None
+    )
+    mttf_values = mttf.sample(n_sources, rng) if mttf is not None else None
+
+    sources: list[Source] = []
+    labels: dict[AttributeRef, str | None] = {}
+    exact_ids: list[np.ndarray | None] = []
+    for position, labelled in enumerate(labelled_schemas):
+        source_id = source_id_offset + position
+        schema = tuple(name for _, name in labelled)
+        name = f"{domain.name}-src-{position:03d}"
+        characteristics = {}
+        if mttf_values is not None:
+            characteristics["mttf"] = float(mttf_values[position])
+        if with_data:
+            assert cardinalities is not None and specialty_flags is not None
+            tuple_ids = sample_source_tuples(
+                int(cardinalities[position]),
+                bool(specialty_flags[position]),
+                config,
+                rng,
+            )
+            sketch = PCSASketch.from_ints(
+                tuple_ids,
+                num_maps=config.sketch_maps,
+                map_bits=config.sketch_map_bits,
+                seed=config.sketch_seed,
+            )
+            source = Source(
+                source_id,
+                name=name,
+                schema=schema,
+                cardinality=int(tuple_ids.size),
+                characteristics=characteristics,
+                tuple_ids=tuple_ids if keep_tuples else None,
+                sketch=sketch,
+            )
+            exact_ids.append(tuple_ids if keep_tuples else None)
+        else:
+            source = Source(
+                source_id,
+                name=name,
+                schema=schema,
+                characteristics=characteristics,
+            )
+            exact_ids.append(None)
+        sources.append(source)
+        for index, (concept, _) in enumerate(labelled):
+            labels[source.attributes[index]] = concept
+
+    return Workload(
+        universe=Universe(sources),
+        ground_truth=GroundTruth(labels, domain.concept_names()),
+        base_schemas=bases,
+        base_index=tuple(base_index),
+        seed=seed,
+        data_config=config if with_data else None,
+        domain=domain,
+        source_id_offset=source_id_offset,
+        exact_ids=tuple(exact_ids),
+    )
+
+
+def generate_books_universe(
+    n_sources: int = 200,
+    seed: int = 0,
+    perturbation: PerturbationModel | None = None,
+    data_config: DataConfig | None = None,
+    mttf: MTTFConfig | None = MTTFConfig(),
+    with_data: bool = True,
+    keep_tuples: bool = False,
+) -> Workload:
+    """Generate the paper's experimental universe (the Books domain).
+
+    See :func:`generate_universe` for the parameters.  Kept as the primary
+    entry point because every experiment in the paper uses this workload.
+    """
+    if perturbation is None:
+        # The paper's noise vocabulary: the fixed Books-unrelated word list.
+        perturbation = PerturbationModel()
+    return generate_universe(
+        domain=BOOKS,
+        n_sources=n_sources,
+        seed=seed,
+        perturbation=perturbation,
+        data_config=data_config,
+        mttf=mttf,
+        with_data=with_data,
+        keep_tuples=keep_tuples,
+    )
+
+
+def pick_source_constraints(
+    workload: Workload, count: int, rng: np.random.Generator
+) -> frozenset[int]:
+    """Random conformant sources to use as source constraints.
+
+    Raises
+    ------
+    WorkloadError
+        If fewer than ``count`` conformant sources exist.
+    """
+    candidates = workload.conformant_source_ids()
+    if len(candidates) < count:
+        raise WorkloadError(
+            f"only {len(candidates)} conformant sources available, "
+            f"need {count}"
+        )
+    chosen = rng.choice(len(candidates), size=count, replace=False)
+    return frozenset(candidates[i] for i in chosen)
+
+
+def pick_ga_constraints(
+    workload: Workload,
+    count: int,
+    rng: np.random.Generator,
+    max_attributes: int = 5,
+) -> tuple[GlobalAttribute, ...]:
+    """Accurate GA constraints built from the ground truth.
+
+    For each of ``count`` distinct random concepts, collects up to
+    ``max_attributes`` attributes of that concept from *different* sources
+    (the paper's constraints: "up to 5 attributes that represent accurate
+    matchings of attributes that appear in different sources").
+    """
+    truth = workload.ground_truth
+    per_concept: dict[str, dict[int, AttributeRef]] = {}
+    for source in workload.universe:
+        for attr in source.attributes:
+            concept = truth.concept_of(attr)
+            if concept is None:
+                continue
+            per_concept.setdefault(concept, {}).setdefault(
+                source.source_id, attr
+            )
+    eligible = sorted(
+        concept
+        for concept, by_source in per_concept.items()
+        if len(by_source) >= 2
+    )
+    if len(eligible) < count:
+        raise WorkloadError(
+            f"only {len(eligible)} concepts span >= 2 sources, need {count}"
+        )
+    chosen = rng.choice(len(eligible), size=count, replace=False)
+    constraints = []
+    for concept_index in sorted(chosen):
+        by_source = per_concept[eligible[concept_index]]
+        source_ids = sorted(by_source)
+        take = min(max_attributes, len(source_ids))
+        picked = rng.choice(len(source_ids), size=take, replace=False)
+        constraints.append(
+            GlobalAttribute(by_source[source_ids[i]] for i in picked)
+        )
+    return tuple(constraints)

@@ -1,0 +1,97 @@
+"""Schema perturbation (paper §7.1).
+
+Each of the 700 experimental sources is either an original base schema or a
+*perturbed copy*: attributes are removed, replaced with off-domain noise
+words, or noise attributes are added, "following a probability distribution
+that allows us to retain some of the characteristics of the original
+schemas, while at the same time having variability".
+
+The perturbed copy keeps the ground-truth concept label of every surviving
+original attribute; noise attributes are labelled ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+from .bamm import BaseSchema
+from .concepts import NOISE_VOCABULARY
+
+#: A labelled attribute: (concept or None for noise, attribute name).
+LabelledAttribute = tuple[str | None, str]
+
+
+@dataclass(frozen=True, slots=True)
+class PerturbationModel:
+    """Probabilities of the three perturbation operations.
+
+    Attributes
+    ----------
+    p_remove:
+        Per-attribute probability of deletion.
+    p_replace:
+        Per-attribute probability of replacement with a noise word
+        (evaluated after deletion; a removed attribute cannot be replaced).
+    add_rate:
+        Poisson mean of the number of noise attributes appended.
+    noise_vocabulary:
+        The words replacement/addition draws from.
+    """
+
+    p_remove: float = 0.10
+    p_replace: float = 0.10
+    add_rate: float = 0.5
+    noise_vocabulary: tuple[str, ...] = NOISE_VOCABULARY
+
+    def __post_init__(self) -> None:
+        for field_name in ("p_remove", "p_replace"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise WorkloadError(
+                    f"{field_name} must be in [0, 1], got {value}"
+                )
+        if self.add_rate < 0.0:
+            raise WorkloadError(
+                f"add_rate must be non-negative, got {self.add_rate}"
+            )
+        if not self.noise_vocabulary and (
+            self.p_replace > 0.0 or self.add_rate > 0.0
+        ):
+            raise WorkloadError(
+                "replacement/addition requires a non-empty noise vocabulary"
+            )
+
+    def perturb(
+        self, base: BaseSchema, rng: np.random.Generator
+    ) -> tuple[LabelledAttribute, ...]:
+        """A perturbed labelled copy of a base schema.
+
+        Never returns an empty schema: if every attribute was removed, one
+        original attribute survives.
+        """
+        attributes: list[LabelledAttribute] = []
+        for concept, name in base.attributes:
+            if rng.random() < self.p_remove:
+                continue
+            if rng.random() < self.p_replace:
+                attributes.append((None, self._noise_word(rng)))
+            else:
+                attributes.append((concept, name))
+        for _ in range(int(rng.poisson(self.add_rate))):
+            attributes.append((None, self._noise_word(rng)))
+        if not attributes:
+            keep = int(rng.integers(len(base.attributes)))
+            attributes.append(base.attributes[keep])
+        return tuple(attributes)
+
+    def _noise_word(self, rng: np.random.Generator) -> str:
+        return self.noise_vocabulary[
+            int(rng.integers(len(self.noise_vocabulary)))
+        ]
+
+
+#: The no-op model: every copy is fully conformant to its base schema.
+IDENTITY = PerturbationModel(p_remove=0.0, p_replace=0.0, add_rate=0.0)

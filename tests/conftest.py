@@ -1,0 +1,99 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AttributeRef, GlobalAttribute, Source, Universe
+from repro.sketch import PCSASketch
+from repro.workload import DataConfig, generate_books_universe, theater_universe
+
+
+def make_source(
+    source_id: int,
+    schema: tuple[str, ...],
+    tuple_ids=None,
+    characteristics=None,
+    sketch_maps: int = 64,
+) -> Source:
+    """A test source; if tuple ids are given, a sketch is built over them."""
+    sketch = None
+    cardinality = None
+    if tuple_ids is not None:
+        tuple_ids = np.asarray(tuple_ids, dtype=np.uint64)
+        sketch = PCSASketch.from_ints(tuple_ids, num_maps=sketch_maps)
+        cardinality = int(tuple_ids.size)
+    return Source(
+        source_id,
+        name=f"src{source_id}",
+        schema=schema,
+        cardinality=cardinality,
+        characteristics=characteristics or {},
+        tuple_ids=tuple_ids,
+        sketch=sketch,
+    )
+
+
+def make_universe(*schemas: tuple[str, ...], data: bool = False) -> Universe:
+    """A universe of plain sources, one per schema.
+
+    With ``data=True`` each source i holds tuples ``[1000*i, 1000*i + 99]``
+    (pairwise disjoint, 100 tuples each).
+    """
+    sources = []
+    for source_id, schema in enumerate(schemas):
+        tuple_ids = None
+        if data:
+            tuple_ids = np.arange(1000 * source_id, 1000 * source_id + 100)
+        sources.append(make_source(source_id, schema, tuple_ids=tuple_ids))
+    return Universe(sources)
+
+
+def ga(*pairs: tuple[int, int], universe: Universe) -> GlobalAttribute:
+    """Build a GA from (source_id, attribute_index) pairs."""
+    return GlobalAttribute(
+        universe.source(sid).attribute(idx) for sid, idx in pairs
+    )
+
+
+def attr(source_id: int, index: int, name: str) -> AttributeRef:
+    """Shorthand AttributeRef constructor."""
+    return AttributeRef(source_id, index, name)
+
+
+@pytest.fixture
+def books_schemas() -> tuple[tuple[str, ...], ...]:
+    """Four small book-store style schemas with clear match structure."""
+    return (
+        ("title", "author", "isbn"),
+        ("title", "authors", "price"),
+        ("book title", "author name", "isbn"),
+        ("titles", "publisher"),
+    )
+
+
+@pytest.fixture
+def small_universe(books_schemas) -> Universe:
+    """A four-source universe without data."""
+    return make_universe(*books_schemas)
+
+
+@pytest.fixture
+def small_data_universe(books_schemas) -> Universe:
+    """A four-source universe with disjoint synthetic data."""
+    return make_universe(*books_schemas, data=True)
+
+
+@pytest.fixture(scope="session")
+def books_workload():
+    """A small cached Books workload shared across test modules."""
+    return generate_books_universe(
+        n_sources=60, seed=3, data_config=DataConfig.tiny()
+    )
+
+
+@pytest.fixture(scope="session")
+def theater():
+    """The Figure-1 theater universe with tiny synthetic data."""
+    return theater_universe(seed=0)

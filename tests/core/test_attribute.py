@@ -1,0 +1,39 @@
+"""Tests for AttributeRef."""
+
+from repro.core import AttributeRef
+
+
+class TestAttributeRef:
+    def test_fields(self):
+        ref = AttributeRef(3, 1, "author")
+        assert ref.source_id == 3
+        assert ref.index == 1
+        assert ref.name == "author"
+
+    def test_equality_requires_all_fields(self):
+        ref = AttributeRef(1, 0, "title")
+        assert ref == AttributeRef(1, 0, "title")
+        assert ref != AttributeRef(2, 0, "title")
+        assert ref != AttributeRef(1, 1, "title")
+        assert ref != AttributeRef(1, 0, "titles")
+
+    def test_hashable_and_set_semantics(self):
+        refs = {
+            AttributeRef(1, 0, "title"),
+            AttributeRef(1, 0, "title"),
+            AttributeRef(1, 1, "author"),
+        }
+        assert len(refs) == 2
+
+    def test_immutable(self):
+        import pytest
+
+        ref = AttributeRef(1, 0, "title")
+        with pytest.raises(AttributeError):
+            ref.name = "other"  # type: ignore[misc]
+
+    def test_str_shows_source_and_name(self):
+        assert str(AttributeRef(7, 2, "isbn")) == "s7.isbn"
+
+    def test_qualified_name_is_unambiguous(self):
+        assert AttributeRef(7, 2, "isbn").qualified_name() == "s7[2]:isbn"

@@ -1,0 +1,106 @@
+"""Tests for GlobalAttribute (Definition 1)."""
+
+import pytest
+
+from repro.core import AttributeRef, GlobalAttribute
+from repro.exceptions import InvalidGAError
+
+
+def ref(sid: int, idx: int = 0, name: str = "a") -> AttributeRef:
+    return AttributeRef(sid, idx, name)
+
+
+class TestValidity:
+    def test_singleton_is_valid(self):
+        ga = GlobalAttribute([ref(1)])
+        assert len(ga) == 1
+
+    def test_empty_ga_rejected(self):
+        with pytest.raises(InvalidGAError):
+            GlobalAttribute([])
+
+    def test_two_attributes_same_source_rejected(self):
+        # Definition 1: a concept cannot be expressed twice by one source.
+        with pytest.raises(InvalidGAError):
+            GlobalAttribute([ref(1, 0, "title"), ref(1, 1, "titles")])
+
+    def test_attributes_from_distinct_sources_accepted(self):
+        ga = GlobalAttribute([ref(1, 0, "title"), ref(2, 3, "book title")])
+        assert ga.source_ids == frozenset({1, 2})
+
+    def test_duplicate_attribute_collapses(self):
+        ga = GlobalAttribute([ref(1, 0, "title"), ref(1, 0, "title")])
+        assert len(ga) == 1
+
+
+class TestMerging:
+    def test_mergeable_when_sources_disjoint(self):
+        a = GlobalAttribute([ref(1)])
+        b = GlobalAttribute([ref(2)])
+        assert a.is_mergeable_with(b)
+        merged = a.merge(b)
+        assert len(merged) == 2
+        assert merged.source_ids == frozenset({1, 2})
+
+    def test_not_mergeable_when_sources_overlap(self):
+        a = GlobalAttribute([ref(1), ref(2)])
+        b = GlobalAttribute([ref(2, 1, "b")])
+        assert not a.is_mergeable_with(b)
+        with pytest.raises(InvalidGAError):
+            a.merge(b)
+
+    def test_merge_preserves_members(self):
+        a = GlobalAttribute([ref(1, 0, "title")])
+        b = GlobalAttribute([ref(2, 1, "book title")])
+        merged = a.merge(b)
+        assert ref(1, 0, "title") in merged
+        assert ref(2, 1, "book title") in merged
+
+
+class TestSetBehaviour:
+    def test_equality_by_members(self):
+        assert GlobalAttribute([ref(1), ref(2)]) == GlobalAttribute(
+            [ref(2), ref(1)]
+        )
+
+    def test_hash_consistent_with_equality(self):
+        a = GlobalAttribute([ref(1), ref(2)])
+        b = GlobalAttribute([ref(2), ref(1)])
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_issubset(self):
+        small = GlobalAttribute([ref(1)])
+        big = GlobalAttribute([ref(1), ref(2)])
+        assert small.issubset(big)
+        assert not big.issubset(small)
+
+    def test_names_sorted(self):
+        ga = GlobalAttribute([ref(2, 0, "b"), ref(1, 0, "a")])
+        assert ga.names() == ("a", "b")
+
+    def test_restricted_to(self):
+        ga = GlobalAttribute([ref(1), ref(2), ref(3)])
+        kept = ga.restricted_to({1, 3})
+        assert {a.source_id for a in kept} == {1, 3}
+
+    def test_iteration_yields_members(self):
+        members = {ref(1), ref(2)}
+        assert set(GlobalAttribute(members)) == members
+
+    def test_not_equal_to_other_types(self):
+        assert GlobalAttribute([ref(1)]) != frozenset([ref(1)])
+
+    def test_display_label_is_modal_name(self):
+        ga = GlobalAttribute(
+            [
+                ref(1, 0, "title"),
+                ref(2, 0, "title"),
+                ref(3, 0, "book title"),
+            ]
+        )
+        assert ga.display_label() == "title"
+
+    def test_display_label_tie_breaks_lexicographically(self):
+        ga = GlobalAttribute([ref(1, 0, "b"), ref(2, 0, "a")])
+        assert ga.display_label() == "a"

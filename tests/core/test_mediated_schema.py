@@ -1,0 +1,110 @@
+"""Tests for MediatedSchema (Definitions 2 and 3)."""
+
+import pytest
+
+from repro.core import AttributeRef, GlobalAttribute, MediatedSchema
+from repro.exceptions import InvalidSchemaError
+
+
+def ref(sid: int, idx: int = 0, name: str = "a") -> AttributeRef:
+    return AttributeRef(sid, idx, name)
+
+
+def ga(*refs: AttributeRef) -> GlobalAttribute:
+    return GlobalAttribute(refs)
+
+
+class TestValidity:
+    def test_disjoint_gas_accepted(self):
+        schema = MediatedSchema([ga(ref(1), ref(2)), ga(ref(3), ref(4))])
+        assert len(schema) == 2
+
+    def test_overlapping_gas_rejected(self):
+        # Definition 2: an attribute cannot represent two concepts.
+        shared = ref(1, 0, "title")
+        with pytest.raises(InvalidSchemaError):
+            MediatedSchema([ga(shared, ref(2)), ga(shared, ref(3))])
+
+    def test_duplicate_ga_collapses(self):
+        schema = MediatedSchema([ga(ref(1), ref(2)), ga(ref(2), ref(1))])
+        assert len(schema) == 1
+
+    def test_empty_schema_allowed(self):
+        assert len(MediatedSchema.empty()) == 0
+
+    def test_spans_when_all_sources_covered(self):
+        schema = MediatedSchema([ga(ref(1), ref(2)), ga(ref(3, 1, "b"))])
+        assert schema.spans({1, 2, 3})
+        assert schema.is_valid_on({1, 2, 3})
+
+    def test_does_not_span_uncovered_source(self):
+        schema = MediatedSchema([ga(ref(1), ref(2))])
+        assert not schema.spans({1, 2, 3})
+        assert schema.unspanned_source_ids({1, 2, 3}) == frozenset({3})
+
+    def test_empty_schema_valid_only_on_empty_source_set(self):
+        schema = MediatedSchema.empty()
+        assert schema.is_valid_on(set())
+        assert not schema.is_valid_on({1})
+
+
+class TestSubsumption:
+    def test_subsumes_smaller_gas(self):
+        # Definition 3: every GA of M2 is contained in some GA of M1.
+        big = MediatedSchema([ga(ref(1), ref(2), ref(3))])
+        small = MediatedSchema([ga(ref(1), ref(2))])
+        assert big.subsumes(small)
+        assert not small.subsumes(big)
+
+    def test_schema_subsumes_itself(self):
+        schema = MediatedSchema([ga(ref(1), ref(2))])
+        assert schema.subsumes(schema)
+
+    def test_every_schema_subsumes_empty(self):
+        schema = MediatedSchema([ga(ref(1))])
+        assert schema.subsumes(MediatedSchema.empty())
+
+    def test_ga_split_across_two_gas_not_subsumed(self):
+        split = MediatedSchema([ga(ref(1)), ga(ref(2))])
+        joint = MediatedSchema([ga(ref(1), ref(2))])
+        assert joint.subsumes(split)
+        assert not split.subsumes(joint)
+
+    def test_subsumes_gas_accepts_overlapping_constraints(self):
+        schema = MediatedSchema([ga(ref(1), ref(2), ref(3))])
+        constraints = [ga(ref(1), ref(2)), ga(ref(2), ref(3))]
+        assert schema.subsumes_gas(constraints)
+
+
+class TestAccessors:
+    def test_attributes_union(self):
+        schema = MediatedSchema([ga(ref(1), ref(2)), ga(ref(3))])
+        assert schema.attributes() == frozenset({ref(1), ref(2), ref(3)})
+
+    def test_covered_source_ids(self):
+        schema = MediatedSchema([ga(ref(1), ref(2)), ga(ref(5))])
+        assert schema.covered_source_ids() == frozenset({1, 2, 5})
+
+    def test_ga_containing(self):
+        target = ga(ref(1), ref(2))
+        schema = MediatedSchema([target, ga(ref(3))])
+        assert schema.ga_containing(ref(1)) == target
+        assert schema.ga_containing(ref(9)) is None
+
+    def test_restricted_to_drops_foreign_members(self):
+        schema = MediatedSchema([ga(ref(1), ref(2)), ga(ref(3))])
+        projected = schema.restricted_to({1, 3})
+        assert projected.covered_source_ids() == frozenset({1, 3})
+        # The GA that lost a member shrinks but survives.
+        assert len(projected) == 2
+
+    def test_restricted_to_removes_emptied_gas(self):
+        schema = MediatedSchema([ga(ref(1)), ga(ref(2))])
+        projected = schema.restricted_to({1})
+        assert len(projected) == 1
+
+    def test_equality_and_hash(self):
+        a = MediatedSchema([ga(ref(1), ref(2))])
+        b = MediatedSchema([ga(ref(2), ref(1))])
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,213 @@
+"""Tests for Problem and weight handling (paper §2.3–§2.5)."""
+
+import pytest
+
+from repro.core import (
+    CharacteristicSpec,
+    GlobalAttribute,
+    Problem,
+    default_weights,
+    normalize_weights,
+)
+from repro.exceptions import ConstraintError, WeightError
+
+from ..conftest import make_universe
+
+WEIGHTS = {
+    "matching": 0.4,
+    "cardinality": 0.3,
+    "coverage": 0.2,
+    "redundancy": 0.1,
+}
+
+
+@pytest.fixture
+def universe():
+    return make_universe(
+        ("title", "author"), ("title", "isbn"), ("book title",)
+    )
+
+
+class TestWeights:
+    def test_weights_must_sum_to_one(self, universe):
+        bad = dict(WEIGHTS, matching=0.9)
+        with pytest.raises(WeightError):
+            Problem(universe=universe, weights=bad, max_sources=2)
+
+    def test_weight_out_of_range_rejected(self):
+        with pytest.raises(WeightError):
+            normalize_weights({"matching": 1.5, "coverage": -0.5})
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(WeightError):
+            normalize_weights({})
+
+    def test_float_drift_repaired(self):
+        weights = normalize_weights(
+            {"matching": 0.1 + 0.2, "coverage": 0.7 - 1e-12}
+        )
+        assert sum(weights.values()) == pytest.approx(1.0, abs=1e-15)
+
+    def test_unknown_qef_name_rejected(self, universe):
+        weights = dict(WEIGHTS)
+        weights["matching"] = 0.3
+        weights["nonsense"] = 0.1
+        with pytest.raises(WeightError):
+            Problem(universe=universe, weights=weights, max_sources=2)
+
+    def test_characteristic_qef_name_allowed(self, universe):
+        spec = CharacteristicSpec("mttf", "mttf")
+        weights = {
+            "matching": 0.5,
+            "mttf": 0.5,
+        }
+        problem = Problem(
+            universe=universe,
+            weights=weights,
+            max_sources=2,
+            characteristic_qefs=(spec,),
+        )
+        assert problem.weights["mttf"] == 0.5
+
+
+class TestDefaultWeights:
+    def test_paper_defaults_with_mttf(self):
+        # §7.1: 0.25, 0.25, 0.2, 0.15, 0.15.
+        weights = default_weights([CharacteristicSpec("mttf", "mttf")])
+        assert weights == {
+            "matching": 0.25,
+            "cardinality": 0.25,
+            "coverage": 0.2,
+            "redundancy": 0.15,
+            "mttf": 0.15,
+        }
+
+    def test_defaults_without_characteristics_sum_to_one(self):
+        weights = default_weights()
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert set(weights) == {
+            "matching",
+            "cardinality",
+            "coverage",
+            "redundancy",
+        }
+
+    def test_characteristic_share_split_evenly(self):
+        specs = [
+            CharacteristicSpec("mttf", "mttf"),
+            CharacteristicSpec("latency", "latency"),
+        ]
+        weights = default_weights(specs)
+        assert weights["mttf"] == pytest.approx(0.075)
+        assert weights["latency"] == pytest.approx(0.075)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+
+class TestParameters:
+    def test_max_sources_bounds(self, universe):
+        with pytest.raises(ConstraintError):
+            Problem(universe=universe, weights=WEIGHTS, max_sources=0)
+        with pytest.raises(ConstraintError):
+            Problem(universe=universe, weights=WEIGHTS, max_sources=4)
+
+    def test_theta_bounds(self, universe):
+        with pytest.raises(ConstraintError):
+            Problem(
+                universe=universe, weights=WEIGHTS, max_sources=2, theta=1.5
+            )
+
+    def test_beta_bounds(self, universe):
+        with pytest.raises(ConstraintError):
+            Problem(
+                universe=universe, weights=WEIGHTS, max_sources=2, beta=0
+            )
+
+
+class TestConstraints:
+    def test_unknown_source_constraint_rejected(self, universe):
+        with pytest.raises(ConstraintError):
+            Problem(
+                universe=universe,
+                weights=WEIGHTS,
+                max_sources=2,
+                source_constraints=frozenset({99}),
+            )
+
+    def test_ga_constraint_implies_source_constraints(self, universe):
+        # Paper §2.4: an attribute in a GA constraint pins its source.
+        ga = GlobalAttribute(
+            [
+                universe.source(0).attribute(0),
+                universe.source(2).attribute(0),
+            ]
+        )
+        problem = Problem(
+            universe=universe,
+            weights=WEIGHTS,
+            max_sources=3,
+            source_constraints=frozenset({1}),
+            ga_constraints=(ga,),
+        )
+        assert problem.effective_source_constraints == frozenset({0, 1, 2})
+
+    def test_constraints_exceeding_budget_rejected(self, universe):
+        with pytest.raises(ConstraintError):
+            Problem(
+                universe=universe,
+                weights=WEIGHTS,
+                max_sources=1,
+                source_constraints=frozenset({0, 1}),
+            )
+
+    def test_ga_constraint_with_wrong_name_rejected(self, universe):
+        from repro.core import AttributeRef
+
+        bogus = GlobalAttribute([AttributeRef(0, 0, "wrong name")])
+        with pytest.raises(ConstraintError):
+            Problem(
+                universe=universe,
+                weights=WEIGHTS,
+                max_sources=2,
+                ga_constraints=(bogus,),
+            )
+
+    def test_ga_constraint_with_bad_index_rejected(self, universe):
+        from repro.core import AttributeRef
+
+        bogus = GlobalAttribute([AttributeRef(0, 9, "title")])
+        with pytest.raises(ConstraintError):
+            Problem(
+                universe=universe,
+                weights=WEIGHTS,
+                max_sources=2,
+                ga_constraints=(bogus,),
+            )
+
+
+class TestEvolve:
+    def test_evolve_replaces_fields(self, universe):
+        problem = Problem(universe=universe, weights=WEIGHTS, max_sources=2)
+        tightened = problem.evolve(theta=0.8, max_sources=3)
+        assert tightened.theta == 0.8
+        assert tightened.max_sources == 3
+        assert problem.theta == 0.65  # original untouched
+
+    def test_evolve_revalidates(self, universe):
+        problem = Problem(universe=universe, weights=WEIGHTS, max_sources=2)
+        with pytest.raises(ConstraintError):
+            problem.evolve(theta=2.0)
+
+    def test_qef_names_include_custom(self, universe):
+        class FakeQEF:
+            name = "custom"
+
+            def __call__(self, sources):
+                return 1.0
+
+        problem = Problem(
+            universe=universe,
+            weights={"matching": 0.5, "custom": 0.5},
+            max_sources=2,
+            custom_qefs=(FakeQEF(),),
+        )
+        assert "custom" in problem.qef_names()

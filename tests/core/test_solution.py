@@ -1,0 +1,55 @@
+"""Tests for Solution."""
+
+from repro.core import (
+    AttributeRef,
+    GlobalAttribute,
+    MediatedSchema,
+    Solution,
+    worst_solution,
+)
+
+from ..conftest import make_universe
+
+
+def build_solution(**overrides):
+    defaults = dict(
+        selected=frozenset({0, 1}),
+        schema=MediatedSchema(
+            [
+                GlobalAttribute(
+                    [AttributeRef(0, 0, "a"), AttributeRef(1, 0, "b")]
+                )
+            ]
+        ),
+        objective=0.5,
+        quality=0.5,
+        qef_scores={"matching": 1.0},
+        feasible=True,
+    )
+    defaults.update(overrides)
+    return Solution(**defaults)
+
+
+class TestSolution:
+    def test_ga_count(self):
+        assert build_solution().ga_count() == 1
+        assert build_solution(schema=None).ga_count() == 0
+
+    def test_sources_resolved_sorted(self):
+        universe = make_universe(("a",), ("b",), ("c",))
+        solution = build_solution(selected=frozenset({2, 0}))
+        assert [s.source_id for s in solution.sources(universe)] == [0, 2]
+
+    def test_summary_mentions_feasibility(self):
+        assert "feasible" in build_solution().summary()
+        assert "INFEASIBLE" in build_solution(feasible=False).summary()
+
+    def test_ordering_by_objective(self):
+        low = build_solution(objective=0.1)
+        high = build_solution(objective=0.9)
+        assert low < high
+        assert max([low, high]) is high
+
+    def test_worst_solution_below_everything(self):
+        assert worst_solution() < build_solution(objective=-1000.0)
+        assert not worst_solution().feasible

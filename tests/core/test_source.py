@@ -1,0 +1,83 @@
+"""Tests for Source."""
+
+import numpy as np
+import pytest
+
+from repro.core import Source
+from repro.exceptions import ReproError
+from repro.sketch import PCSASketch
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        source = Source(1, "store", ("title", "author"))
+        assert source.source_id == 1
+        assert source.name == "store"
+        assert source.schema == ("title", "author")
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ReproError):
+            Source(-1, "bad", ("a",))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ReproError):
+            Source(0, "bad", ())
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(ReproError):
+            Source(0, "bad", ("a",), cardinality=-5)
+
+    def test_negative_characteristic_rejected(self):
+        # Paper §5: characteristics are positive reals.
+        with pytest.raises(ReproError):
+            Source(0, "bad", ("a",), characteristics={"latency": -1.0})
+
+    def test_cardinality_derived_from_tuples(self):
+        source = Source(0, "s", ("a",), tuple_ids=np.arange(42))
+        assert source.cardinality == 42
+
+
+class TestAttributes:
+    def test_attribute_refs_enumerate_schema(self):
+        source = Source(2, "s", ("title", "author"))
+        refs = source.attributes
+        assert [r.name for r in refs] == ["title", "author"]
+        assert [r.index for r in refs] == [0, 1]
+        assert all(r.source_id == 2 for r in refs)
+
+    def test_attribute_by_index(self):
+        source = Source(0, "s", ("title", "author"))
+        assert source.attribute(1).name == "author"
+
+    def test_attribute_named(self):
+        source = Source(0, "s", ("title", "author"))
+        assert source.attribute_named("author").index == 1
+
+    def test_attribute_named_missing_raises(self):
+        source = Source(0, "s", ("title",))
+        with pytest.raises(KeyError):
+            source.attribute_named("isbn")
+
+    def test_duplicate_names_resolve_to_first(self):
+        source = Source(0, "s", ("keyword", "keyword"))
+        assert source.attribute_named("keyword").index == 0
+
+
+class TestCooperation:
+    def test_cooperative_requires_cardinality_and_sketch(self):
+        sketch = PCSASketch.from_ints(np.arange(10), num_maps=64)
+        full = Source(0, "s", ("a",), cardinality=10, sketch=sketch)
+        assert full.is_cooperative
+
+    def test_uncooperative_without_sketch(self):
+        assert not Source(0, "s", ("a",), cardinality=10).is_cooperative
+
+    def test_uncooperative_without_cardinality(self):
+        sketch = PCSASketch.from_ints(np.arange(10), num_maps=64)
+        assert not Source(0, "s", ("a",), sketch=sketch).is_cooperative
+
+    def test_characteristic_lookup(self):
+        source = Source(0, "s", ("a",), characteristics={"mttf": 120.0})
+        assert source.characteristic("mttf") == 120.0
+        with pytest.raises(KeyError):
+            source.characteristic("latency")

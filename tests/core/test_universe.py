@@ -1,0 +1,105 @@
+"""Tests for Universe."""
+
+import pytest
+
+from repro.core import Source, Universe, subuniverse
+from repro.exceptions import ReproError
+
+from ..conftest import make_source, make_universe
+
+
+class TestConstruction:
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ReproError):
+            Universe([])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ReproError):
+            Universe([make_source(1, ("a",)), make_source(1, ("b",))])
+
+    def test_len_and_iteration(self):
+        universe = make_universe(("a",), ("b",), ("c",))
+        assert len(universe) == 3
+        assert [s.source_id for s in universe] == [0, 1, 2]
+
+
+class TestLookup:
+    def test_source_by_id(self):
+        universe = make_universe(("a",), ("b",))
+        assert universe.source(1).schema == ("b",)
+
+    def test_unknown_id_raises(self):
+        universe = make_universe(("a",))
+        with pytest.raises(ReproError):
+            universe.source(5)
+
+    def test_contains(self):
+        universe = make_universe(("a",), ("b",))
+        assert 0 in universe
+        assert 9 not in universe
+
+    def test_select_sorted_and_deduplicated(self):
+        universe = make_universe(("a",), ("b",), ("c",))
+        picked = universe.select([2, 0, 2])
+        assert [s.source_id for s in picked] == [0, 2]
+
+    def test_contains_ids(self):
+        universe = make_universe(("a",), ("b",))
+        assert universe.contains_ids({0, 1})
+        assert not universe.contains_ids({0, 7})
+
+    def test_resolve_attribute_by_name_and_index(self):
+        universe = make_universe(("title", "author"))
+        assert universe.resolve_attribute(0, "author").index == 1
+        assert universe.resolve_attribute(0, 0).name == "title"
+
+
+class TestAggregates:
+    def test_total_cardinality_sums_cooperative(self):
+        universe = Universe(
+            [
+                make_source(0, ("a",), tuple_ids=range(10)),
+                make_source(1, ("b",), tuple_ids=range(20)),
+                make_source(2, ("c",)),  # no data: excluded
+            ]
+        )
+        assert universe.total_cardinality() == 30
+
+    def test_attribute_names_sorted_vocabulary(self):
+        universe = make_universe(("title", "author"), ("author", "isbn"))
+        assert universe.attribute_names() == ("author", "isbn", "title")
+
+    def test_attributes_iterates_all(self):
+        universe = make_universe(("a", "b"), ("c",))
+        assert len(list(universe.attributes())) == 3
+
+    def test_characteristic_names(self):
+        universe = Universe(
+            [
+                make_source(0, ("a",), characteristics={"mttf": 1.0}),
+                make_source(1, ("b",), characteristics={"fee": 2.0}),
+            ]
+        )
+        assert universe.characteristic_names() == ("fee", "mttf")
+
+    def test_characteristic_range(self):
+        universe = Universe(
+            [
+                make_source(0, ("a",), characteristics={"mttf": 10.0}),
+                make_source(1, ("b",), characteristics={"mttf": 50.0}),
+            ]
+        )
+        assert universe.characteristic_range("mttf") == (10.0, 50.0)
+
+    def test_characteristic_range_missing_raises(self):
+        universe = make_universe(("a",))
+        with pytest.raises(ReproError):
+            universe.characteristic_range("latency")
+
+
+class TestSubuniverse:
+    def test_subuniverse_preserves_ids(self):
+        universe = make_universe(("a",), ("b",), ("c",))
+        sub = subuniverse(universe, [2, 0])
+        assert sub.source_ids == frozenset({0, 2})
+        assert sub.source(2).schema == ("c",)

@@ -1,0 +1,252 @@
+"""Tests for the integration-system query engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import GlobalAttribute, MediatedSchema, Universe
+from repro.exceptions import ReproError
+from repro.execution import (
+    CostModel,
+    IntegrationSystem,
+    Predicate,
+    Query,
+    full_answer_count,
+)
+
+from ..conftest import make_source
+
+
+def build_universe(overlap: bool):
+    """Three sources with 'title'; identical data when overlap=True."""
+    if overlap:
+        id_sets = [np.arange(0, 5_000)] * 3
+    else:
+        id_sets = [
+            np.arange(0, 5_000),
+            np.arange(5_000, 10_000),
+            np.arange(10_000, 15_000),
+        ]
+    sources = [
+        make_source(
+            i, ("title", "extra"), tuple_ids=ids,
+            characteristics={"latency_ms": 100.0 * (i + 1)},
+        )
+        for i, ids in enumerate(id_sets)
+    ]
+    return Universe(sources)
+
+
+def title_system(universe, selected=(0, 1, 2), cost_model=None):
+    ga = GlobalAttribute(
+        [universe.source(i).attribute_named("title") for i in selected]
+    )
+    return (
+        IntegrationSystem(
+            universe,
+            frozenset(selected),
+            MediatedSchema([ga]),
+            cost_model=cost_model,
+        ),
+        ga,
+    )
+
+
+class TestExecution:
+    def test_answer_is_distinct_union(self):
+        universe = build_universe(overlap=False)
+        system, ga = title_system(universe)
+        result = system.execute(Query((Predicate(ga, 0.5, seed=1),)))
+        assert result.answer_count == result.fetched_count
+        assert result.duplicate_count == 0
+        assert result.answer_count == pytest.approx(7_500, rel=0.05)
+
+    def test_identical_sources_fetch_duplicates(self):
+        universe = build_universe(overlap=True)
+        system, ga = title_system(universe)
+        result = system.execute(Query((Predicate(ga, 0.5, seed=1),)))
+        # Three identical sources: two thirds of the fetch is duplicate.
+        assert result.duplicate_ratio == pytest.approx(2 / 3, abs=0.01)
+
+    def test_unanswerable_sources_skipped(self):
+        # Source 2 exposes a different field vocabulary entirely.
+        sources = [
+            make_source(0, ("title", "extra"), tuple_ids=np.arange(0, 100)),
+            make_source(1, ("title", "extra"), tuple_ids=np.arange(100, 200)),
+            make_source(2, ("heading", "extra"), tuple_ids=np.arange(200, 300)),
+        ]
+        universe = Universe(sources)
+        title_ga = GlobalAttribute(
+            [universe.source(i).attribute_named("title") for i in (0, 1)]
+        )
+        system = IntegrationSystem(
+            universe, frozenset({0, 1, 2}), MediatedSchema([title_ga])
+        )
+        result = system.execute(Query((Predicate(title_ga, 0.5, seed=1),)))
+        assert result.skipped_source_ids == (2,)
+        assert set(result.per_source_counts) == {0, 1}
+
+    def test_name_based_answerability_transfers(self):
+        # A source outside the GA but exposing the same field name can
+        # still answer — queries transfer across integration systems.
+        universe = build_universe(overlap=False)
+        ga_01 = GlobalAttribute(
+            [universe.source(i).attribute_named("title") for i in (0, 1)]
+        )
+        system = IntegrationSystem(
+            universe, frozenset({2}), MediatedSchema(
+                [GlobalAttribute([universe.source(2).attribute_named("title")])]
+            )
+        )
+        result = system.execute(Query((Predicate(ga_01, 0.5, seed=1),)))
+        assert result.per_source_counts.keys() == {2}
+
+    def test_deterministic(self):
+        universe = build_universe(overlap=False)
+        system, ga = title_system(universe)
+        query = Query((Predicate(ga, 0.3, seed=7),))
+        first = system.execute(query)
+        second = system.execute(query)
+        assert np.array_equal(first.answer_ids, second.answer_ids)
+
+    def test_execute_all(self):
+        universe = build_universe(overlap=False)
+        system, ga = title_system(universe)
+        queries = [
+            Query((Predicate(ga, 0.2, seed=s),)) for s in range(3)
+        ]
+        results = system.execute_all(queries)
+        assert len(results) == 3
+
+    def test_missing_tuple_data_raises(self):
+        source = make_source(0, ("title",))
+        universe = Universe([source])
+        ga = GlobalAttribute([source.attribute_named("title")])
+        system = IntegrationSystem(
+            universe, frozenset({0}), MediatedSchema([ga])
+        )
+        with pytest.raises(ReproError):
+            system.execute(Query((Predicate(ga, 0.5),)))
+
+    def test_unknown_selected_source_rejected(self):
+        universe = build_universe(overlap=False)
+        with pytest.raises(ReproError):
+            IntegrationSystem(universe, frozenset({9}), MediatedSchema.empty())
+
+
+class TestCosts:
+    def test_latency_from_characteristic(self):
+        universe = build_universe(overlap=False)
+        system, ga = title_system(universe)
+        result = system.execute(Query((Predicate(ga, 0.5, seed=1),)))
+        # Sources carry 100/200/300 ms latencies.
+        assert result.cost.latency_ms == pytest.approx(600.0)
+        assert result.cost.sources_contacted == 3
+
+    def test_default_latency_fallback(self):
+        source = make_source(0, ("title",), tuple_ids=np.arange(100))
+        universe = Universe([source])
+        ga = GlobalAttribute([source.attribute_named("title")])
+        system = IntegrationSystem(
+            universe, frozenset({0}), MediatedSchema([ga]),
+            cost_model=CostModel(default_latency_ms=42.0),
+        )
+        result = system.execute(Query((Predicate(ga, 1.0),)))
+        assert result.cost.latency_ms == 42.0
+
+    def test_transfer_and_merge_proportional_to_fetch(self):
+        universe = build_universe(overlap=True)
+        model = CostModel(transfer_ms_per_tuple=0.1, merge_ms_per_tuple=0.01)
+        system, ga = title_system(universe, cost_model=model)
+        result = system.execute(Query((Predicate(ga, 0.5, seed=1),)))
+        fetched = result.fetched_count
+        assert result.cost.transfer_ms == pytest.approx(fetched * 0.1)
+        assert result.cost.merge_ms == pytest.approx(fetched * 0.01)
+        assert result.cost.total_ms == pytest.approx(
+            result.cost.latency_ms + fetched * 0.11
+        )
+
+    def test_more_sources_cost_more(self):
+        # The paper's §1 claim, directly.
+        universe = build_universe(overlap=True)
+        small, ga_small = title_system(universe, selected=(0,))
+        large, ga_large = title_system(universe, selected=(0, 1, 2))
+        q_small = Query((Predicate(ga_small, 0.5, seed=1),))
+        q_large = Query((Predicate(ga_large, 0.5, seed=1),))
+        assert (
+            large.execute(q_large).cost.total_ms
+            > small.execute(q_small).cost.total_ms
+        )
+
+    def test_invalid_cost_model_rejected(self):
+        with pytest.raises(ReproError):
+            CostModel(default_latency_ms=-1.0)
+
+    def test_cost_addition(self):
+        from repro.execution import ZERO_COST
+
+        universe = build_universe(overlap=False)
+        system, ga = title_system(universe)
+        result = system.execute(Query((Predicate(ga, 0.5, seed=1),)))
+        doubled = result.cost + result.cost
+        assert doubled.total_ms == pytest.approx(2 * result.cost.total_ms)
+        assert (ZERO_COST + result.cost).total_ms == pytest.approx(
+            result.cost.total_ms
+        )
+
+
+class TestCompleteness:
+    def test_full_selection_fully_complete(self):
+        universe = build_universe(overlap=False)
+        system, ga = title_system(universe)
+        query = Query((Predicate(ga, 0.4, seed=3),))
+        result = system.execute(query)
+        full = full_answer_count(universe, query)
+        assert result.completeness_against(full) == pytest.approx(1.0)
+
+    def test_partial_selection_partially_complete(self):
+        universe = build_universe(overlap=False)
+        system, ga = title_system(universe, selected=(0,))
+        query = Query((Predicate(ga, 0.4, seed=3),))
+        result = system.execute(query)
+        full = full_answer_count(universe, query)
+        assert result.completeness_against(full) == pytest.approx(
+            1 / 3, abs=0.05
+        )
+
+    def test_zero_full_answer_is_complete(self):
+        universe = build_universe(overlap=False)
+        system, ga = title_system(universe)
+        result = system.execute(Query((Predicate(ga, 0.4, seed=3),)))
+        assert result.completeness_against(0) == 1.0
+
+    def test_from_solution_null_schema_rejected(self):
+        from repro.core import Solution
+
+        universe = build_universe(overlap=False)
+        bad = Solution(
+            selected=frozenset({0}), schema=None, objective=0.0,
+            quality=0.0, feasible=False,
+        )
+        with pytest.raises(ReproError):
+            IntegrationSystem.from_solution(universe, bad)
+
+
+class TestQEFPredictions:
+    """The QEFs must predict realized execution metrics."""
+
+    def test_redundancy_qef_predicts_duplicate_ratio(self):
+        from repro.quality import RedundancyQEF
+
+        disjoint = build_universe(overlap=False)
+        identical = build_universe(overlap=True)
+        qef = RedundancyQEF()
+        realized = {}
+        predicted = {}
+        for tag, universe in (("disjoint", disjoint), ("identical", identical)):
+            system, ga = title_system(universe)
+            result = system.execute(Query((Predicate(ga, 0.5, seed=1),)))
+            realized[tag] = result.duplicate_ratio
+            predicted[tag] = qef(list(universe))
+        # Higher QEF (better) ↔ lower realized duplicate ratio.
+        assert predicted["disjoint"] > predicted["identical"]
+        assert realized["disjoint"] < realized["identical"]

@@ -1,0 +1,133 @@
+"""Tests for simulated query predicates."""
+
+import numpy as np
+import pytest
+
+from repro.core import AttributeRef, GlobalAttribute, MediatedSchema
+from repro.exceptions import ReproError
+from repro.execution import Predicate, Query, QueryWorkloadConfig, random_queries
+
+from ..conftest import make_universe
+
+GA = GlobalAttribute([AttributeRef(0, 0, "title"), AttributeRef(1, 0, "title")])
+IDS = np.arange(100_000, dtype=np.uint64)
+
+
+class TestPredicate:
+    def test_selectivity_bounds(self):
+        with pytest.raises(ReproError):
+            Predicate(GA, 0.0)
+        with pytest.raises(ReproError):
+            Predicate(GA, 1.5)
+
+    def test_mask_matches_selectivity(self):
+        predicate = Predicate(GA, 0.25, seed=1)
+        fraction = predicate.mask(IDS).mean()
+        assert fraction == pytest.approx(0.25, abs=0.01)
+
+    def test_full_selectivity_keeps_everything(self):
+        predicate = Predicate(GA, 1.0, seed=1)
+        assert predicate.mask(IDS).all()
+
+    def test_deterministic(self):
+        predicate = Predicate(GA, 0.3, seed=2)
+        assert np.array_equal(predicate.mask(IDS), predicate.mask(IDS))
+
+    def test_different_seeds_independent(self):
+        a = Predicate(GA, 0.5, seed=1).mask(IDS)
+        b = Predicate(GA, 0.5, seed=2).mask(IDS)
+        overlap = (a & b).mean()
+        assert overlap == pytest.approx(0.25, abs=0.02)
+
+    def test_same_seed_same_tuples(self):
+        # The same condition re-run elsewhere selects the same tuples.
+        other_ga = GlobalAttribute([AttributeRef(5, 0, "isbn")])
+        a = Predicate(GA, 0.5, seed=9).mask(IDS)
+        b = Predicate(other_ga, 0.5, seed=9).mask(IDS)
+        assert np.array_equal(a, b)
+
+    def test_empty_ids(self):
+        assert Predicate(GA, 0.5).mask(np.empty(0, dtype=np.uint64)).size == 0
+
+    def test_evaluable_by(self):
+        universe = make_universe(("title",), ("title",), ("isbn",))
+        ga = GlobalAttribute(
+            [universe.source(0).attribute(0), universe.source(1).attribute(0)]
+        )
+        predicate = Predicate(ga, 0.5)
+        assert predicate.evaluable_by(universe.source(0))
+        assert not predicate.evaluable_by(universe.source(2))
+
+
+class TestQuery:
+    def test_needs_predicates(self):
+        with pytest.raises(ReproError):
+            Query(())
+
+    def test_conjunction_mask(self):
+        a = Predicate(GA, 0.5, seed=1)
+        b = Predicate(GA, 0.5, seed=2)
+        query = Query((a, b))
+        expected = a.mask(IDS) & b.mask(IDS)
+        assert np.array_equal(query.mask(IDS), expected)
+
+    def test_expected_selectivity_is_product(self):
+        query = Query((Predicate(GA, 0.5, seed=1), Predicate(GA, 0.2, seed=2)))
+        assert query.expected_selectivity() == pytest.approx(0.1)
+        measured = query.mask(IDS).mean()
+        assert measured == pytest.approx(0.1, abs=0.01)
+
+    def test_evaluable_requires_all_predicates(self):
+        universe = make_universe(("title", "isbn"), ("title",))
+        title_ga = GlobalAttribute(
+            [universe.source(0).attribute(0), universe.source(1).attribute(0)]
+        )
+        isbn_ga = GlobalAttribute([universe.source(0).attribute(1)])
+        query = Query(
+            (Predicate(title_ga, 0.5), Predicate(isbn_ga, 0.5, seed=1))
+        )
+        assert query.evaluable_by(universe.source(0))
+        assert not query.evaluable_by(universe.source(1))
+
+    def test_describe(self):
+        query = Query((Predicate(GA, 0.25, label="cheap"),), label="q")
+        assert "cheap~25%" in query.describe()
+
+
+class TestRandomQueries:
+    def schema(self):
+        attrs = [AttributeRef(i, 0, "title") for i in range(4)]
+        big = GlobalAttribute(attrs)
+        small = GlobalAttribute(
+            [AttributeRef(0, 1, "isbn"), AttributeRef(1, 1, "isbn")]
+        )
+        return MediatedSchema([big, small])
+
+    def test_count_and_determinism(self):
+        schema = self.schema()
+        a = random_queries(schema, 6, QueryWorkloadConfig(seed=3))
+        b = random_queries(schema, 6, QueryWorkloadConfig(seed=3))
+        assert len(a) == 6
+        assert a == b
+
+    def test_selectivities_in_range(self):
+        config = QueryWorkloadConfig(selectivity_range=(0.1, 0.2), seed=0)
+        for query in random_queries(self.schema(), 20, config):
+            for predicate in query.predicates:
+                assert 0.1 <= predicate.selectivity <= 0.2
+
+    def test_predicates_target_schema_gas(self):
+        schema = self.schema()
+        for query in random_queries(schema, 10):
+            for predicate in query.predicates:
+                assert predicate.field in schema.gas
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ReproError):
+            random_queries(MediatedSchema.empty(), 3)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ReproError):
+            QueryWorkloadConfig(predicates_per_query=(0, 2))
+        with pytest.raises(ReproError):
+            QueryWorkloadConfig(selectivity_range=(0.5, 0.1))

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "mube" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.sources == 200
+        assert args.choose == 10
+        assert args.optimizer == "tabu"
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "iteration 1" in out
+        assert "search term" in out  # the bridging demo fired
+
+    def test_solve_runs_small(self, capsys):
+        assert (
+            main(
+                [
+                    "solve", "--sources", "40", "--choose", "5",
+                    "--iterations", "10", "--seed", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Solution:" in out
+        assert "tabu:" in out
+
+    def test_optimizers_table(self, capsys):
+        assert (
+            main(["optimizers", "--sources", "30", "--choose", "4"]) == 0
+        )
+        out = capsys.readouterr().out
+        for name in ("tabu", "annealing", "local", "pso", "greedy", "random"):
+            assert name in out
+
+    def test_discover_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "discover", "title", "author",
+                    "--per-domain", "20", "--hits", "10", "--choose", "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "hits for" in out
+        assert "selected sources by domain" in out
+
+    def test_discover_no_hits(self, capsys):
+        assert (
+            main(["discover", "zzzqqq", "--per-domain", "10"]) == 1
+        )
+        assert "no sources match" in capsys.readouterr().out
+
+    def test_catalog_generate_and_inspect(self, capsys, tmp_path):
+        out = tmp_path / "catalog.json"
+        assert (
+            main(["catalog", "--sources", "20", "--out", str(out)]) == 0
+        )
+        assert "20 sources" in capsys.readouterr().out
+        assert main(["catalog", "--inspect", str(out)]) == 0
+        assert "20 sources" in capsys.readouterr().out
+
+    def test_catalog_other_domain(self, capsys):
+        assert (
+            main(
+                ["catalog", "--sources", "10", "--domain", "airfares"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "10 sources" in out
+
+    def test_figures_command(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "bench.json"
+        report.write_text(
+            json.dumps(
+                {
+                    "benchmarks": [
+                        {
+                            "name": f"test_fig[{m}]",
+                            "group": None,
+                            "stats": {"mean": m / 10},
+                            "extra_info": {"choose": m},
+                        }
+                        for m in (5, 10, 20)
+                    ]
+                }
+            )
+        )
+        assert main(["figures", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "choose" in out
+        assert "┤" in out
+
+    def test_query_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "query", "--sources", "30", "--choose", "4",
+                    "--queries", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "complete" in out
+        assert out.count("ms") >= 3

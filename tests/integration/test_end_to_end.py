@@ -1,0 +1,146 @@
+"""End-to-end integration tests over the Books workload."""
+
+import numpy as np
+import pytest
+
+from repro.core import CharacteristicSpec, Problem, default_weights
+from repro.quality import Objective
+from repro.search import OptimizerConfig, TabuSearch
+from repro.workload import score_schema
+from repro.workload.generator import pick_ga_constraints, pick_source_constraints
+
+MTTF = CharacteristicSpec("mttf", "mttf")
+FAST = OptimizerConfig(max_iterations=40, patience=15, sample_size=24, seed=0)
+
+
+def solve(workload, **problem_kwargs):
+    defaults = dict(
+        universe=workload.universe,
+        weights=default_weights([MTTF]),
+        max_sources=10,
+        characteristic_qefs=(MTTF,),
+    )
+    defaults.update(problem_kwargs)
+    problem = Problem(**defaults)
+    objective = Objective(problem)
+    return TabuSearch(FAST).optimize(objective), objective
+
+
+class TestUnconstrainedSolve:
+    def test_finds_feasible_high_quality_solution(self, books_workload):
+        result, _ = solve(books_workload)
+        solution = result.solution
+        assert solution.feasible
+        assert len(solution.selected) == 10  # budget fully used
+        assert solution.quality > 0.5
+
+    def test_no_false_gas(self, books_workload):
+        # The paper's headline: "µBE never produced false GAs."
+        result, _ = solve(books_workload)
+        report = score_schema(
+            result.solution.schema,
+            books_workload.ground_truth,
+            books_workload.universe,
+            result.solution.selected,
+        )
+        assert report.false_gas == 0
+
+    def test_finds_most_present_concepts(self, books_workload):
+        result, _ = solve(books_workload)
+        report = score_schema(
+            result.solution.schema,
+            books_workload.ground_truth,
+            books_workload.universe,
+            result.solution.selected,
+        )
+        assert report.true_ga_concepts >= 6
+        assert report.recall_proxy >= 0.7
+
+
+class TestConstrainedSolve:
+    def test_source_constraints_honoured(self, books_workload):
+        rng = np.random.default_rng(0)
+        constraints = pick_source_constraints(books_workload, 3, rng)
+        result, _ = solve(books_workload, source_constraints=constraints)
+        assert constraints <= result.solution.selected
+        assert result.solution.feasible
+
+    def test_ga_constraints_subsumed(self, books_workload):
+        rng = np.random.default_rng(1)
+        gas = pick_ga_constraints(books_workload, 2, rng, max_attributes=3)
+        result, _ = solve(books_workload, ga_constraints=gas)
+        solution = result.solution
+        assert solution.feasible
+        assert solution.schema.subsumes_gas(gas)
+
+    def test_constraints_reduce_quality(self, books_workload):
+        # Figure 7's observation: constraints restrict the feasible space.
+        free, _ = solve(books_workload)
+        rng = np.random.default_rng(2)
+        constraints = pick_source_constraints(books_workload, 5, rng)
+        pinned, _ = solve(books_workload, source_constraints=constraints)
+        assert pinned.solution.quality <= free.solution.quality + 0.02
+
+
+class TestBudgetEffect:
+    def test_more_sources_more_quality(self, books_workload):
+        # Figure 7: quality increases with the number of sources to choose.
+        small, _ = solve(books_workload, max_sources=5)
+        large, _ = solve(books_workload, max_sources=15)
+        assert large.solution.quality >= small.solution.quality
+
+    def test_more_sources_more_true_gas(self, books_workload):
+        # Table 1: more sources → more true GAs and covered attributes.
+        reports = []
+        for budget in (5, 15):
+            result, _ = solve(books_workload, max_sources=budget)
+            reports.append(
+                score_schema(
+                    result.solution.schema,
+                    books_workload.ground_truth,
+                    books_workload.universe,
+                    result.solution.selected,
+                )
+            )
+        assert reports[1].true_ga_concepts >= reports[0].true_ga_concepts
+        assert (
+            reports[1].attributes_in_true_gas
+            >= reports[0].attributes_in_true_gas
+        )
+
+
+class TestWeightSteering:
+    def test_cardinality_weight_steers_selection(self, books_workload):
+        # Figure 8: raising the Card weight biases toward large sources.
+        def cardinality_of(weight):
+            names = ("matching", "cardinality", "coverage", "redundancy", "mttf")
+            others = (1.0 - weight) / (len(names) - 1)
+            weights = {name: others for name in names}
+            weights["cardinality"] = weight
+            result, objective = solve(books_workload, weights=weights)
+            return sum(
+                s.cardinality
+                for s in result.solution.sources(objective.universe)
+            )
+
+        assert cardinality_of(0.8) >= cardinality_of(0.1)
+
+
+class TestIterativeRefinement:
+    def test_session_loop_converges_on_books(self, books_workload):
+        from repro.session import Session
+
+        session = Session(
+            books_workload.universe,
+            max_sources=8,
+            weights=default_weights([MTTF]),
+            characteristic_qefs=[MTTF],
+            optimizer_config=FAST,
+        )
+        first = session.solve()
+        # Accept the largest discovered GA and re-solve.
+        ga = max(first.solution.schema, key=len)
+        session.accept_ga(ga)
+        second = session.solve()
+        assert second.solution.schema.subsumes_gas([ga])
+        assert second.solution.feasible

@@ -1,0 +1,27 @@
+"""The README's code examples must run exactly as written."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parents[2] / "README.md"
+
+
+def python_blocks():
+    text = README.read_text(encoding="utf-8")
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadmeSnippets:
+    def test_readme_has_python_examples(self):
+        assert python_blocks()
+
+    @pytest.mark.parametrize(
+        "index,block",
+        list(enumerate(python_blocks())),
+        ids=lambda value: str(value) if isinstance(value, int) else "code",
+    )
+    def test_python_blocks_execute(self, index, block):
+        namespace: dict = {}
+        exec(compile(block, f"README.md[{index}]", "exec"), namespace)

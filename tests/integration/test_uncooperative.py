@@ -1,0 +1,105 @@
+"""Integration: universes with uncooperative sources (paper §4, end).
+
+If some sources refuse to provide cardinalities and hash signatures, µBE
+still runs: the uncooperative sources get zero coverage/redundancy/
+cardinality contributions but can be selected on the strength of their
+other QEFs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Problem, Source, Universe, default_weights
+from repro.quality import Objective
+from repro.search import OptimizerConfig, TabuSearch
+from repro.sketch import PCSASketch
+
+
+def mixed_universe():
+    """Five cooperative sources plus one uncooperative with a great schema."""
+    sources = []
+    for i in range(5):
+        ids = np.arange(i * 800, i * 800 + 1_000, dtype=np.uint64)
+        sources.append(
+            Source(
+                i,
+                name=f"coop{i}",
+                schema=("title", "author"),
+                cardinality=len(ids),
+                sketch=PCSASketch.from_ints(ids, num_maps=64),
+            )
+        )
+    sources.append(
+        Source(
+            5,
+            name="silent",
+            schema=("title", "author", "isbn", "price"),
+        )
+    )
+    return Universe(sources)
+
+
+@pytest.fixture
+def universe():
+    return mixed_universe()
+
+
+class TestUncooperativeSources:
+    def test_solve_succeeds_with_mixed_cooperation(self, universe):
+        problem = Problem(
+            universe=universe, weights=default_weights(), max_sources=3
+        )
+        objective = Objective(problem)
+        result = TabuSearch(
+            OptimizerConfig(max_iterations=30, seed=0)
+        ).optimize(objective)
+        assert result.solution.feasible
+
+    def test_uncooperative_source_scores_zero_on_data_qefs(self, universe):
+        problem = Problem(
+            universe=universe, weights=default_weights(), max_sources=3
+        )
+        objective = Objective(problem)
+        silent_only = objective.evaluate({5, 0})
+        # Selecting the silent source adds nothing to cardinality beyond
+        # source 0's contribution.
+        coop_only = objective.evaluate({0, 1})
+        assert (
+            silent_only.qef_scores["cardinality"]
+            < coop_only.qef_scores["cardinality"]
+        )
+
+    def test_uncooperative_source_still_selectable(self, universe):
+        # With matching dominating, the silent source's rich schema wins.
+        problem = Problem(
+            universe=universe,
+            weights={
+                "matching": 0.9,
+                "cardinality": 0.1,
+                "coverage": 0.0,
+                "redundancy": 0.0,
+            },
+            max_sources=3,
+        )
+        objective = Objective(problem)
+        with_silent = objective.evaluate({0, 1, 5})
+        assert with_silent.feasible
+        assert 5 in with_silent.selected
+
+    def test_all_uncooperative_universe_usable(self):
+        sources = [
+            Source(i, name=f"s{i}", schema=("title", "author"))
+            for i in range(4)
+        ]
+        problem = Problem(
+            universe=Universe(sources),
+            weights=default_weights(),
+            max_sources=2,
+        )
+        objective = Objective(problem)
+        solution = objective.evaluate({0, 1})
+        assert solution.feasible
+        assert solution.qef_scores["coverage"] == 0.0
+        assert solution.qef_scores["cardinality"] == 0.0
+        # Redundancy defines zero cooperative sources as overlap-free.
+        assert solution.qef_scores["redundancy"] == 1.0

@@ -1,0 +1,185 @@
+"""Tests for compound elements and n:m matching."""
+
+import pytest
+
+from repro.core import AttributeRef
+from repro.exceptions import ConstraintError
+from repro.matching import (
+    CompoundSpec,
+    MatchOperator,
+    apply_compounds,
+    compound_label,
+    suggest_compounds,
+)
+from repro.workload import theater_universe
+
+from ..conftest import make_universe
+
+
+@pytest.fixture
+def date_universe():
+    return make_universe(
+        ("keyword", "after date", "before date"),  # 0: a date range
+        ("keyword", "date"),                       # 1: a single date
+        ("first name", "last name"),               # 2: a split name
+        ("name",),                                 # 3: a whole name
+    )
+
+
+class TestCompoundSpec:
+    def test_requires_two_members(self):
+        with pytest.raises(ConstraintError):
+            CompoundSpec(0, (1,))
+        with pytest.raises(ConstraintError):
+            CompoundSpec(0, (1, 1))
+
+
+class TestCompoundLabel:
+    def test_common_final_word(self):
+        members = [
+            AttributeRef(0, 1, "after date"),
+            AttributeRef(0, 2, "before date"),
+        ]
+        assert compound_label(members) == "date"
+
+    def test_no_common_word_joins_names(self):
+        members = [
+            AttributeRef(0, 0, "city"),
+            AttributeRef(0, 1, "state"),
+        ]
+        assert compound_label(members) == "city state"
+
+
+class TestApplyCompounds:
+    def test_derived_schema_replaces_members(self, date_universe):
+        mapping = apply_compounds(
+            date_universe, [CompoundSpec(0, (1, 2))]
+        )
+        derived = mapping.derived.source(0)
+        assert derived.schema == ("keyword", "date")
+
+    def test_expansion_recovers_members(self, date_universe):
+        mapping = apply_compounds(
+            date_universe, [CompoundSpec(0, (1, 2))]
+        )
+        compound_attr = mapping.derived.source(0).attribute_named("date")
+        members = mapping.expand_attribute(compound_attr)
+        assert [a.name for a in members] == ["after date", "before date"]
+
+    def test_untouched_sources_preserved(self, date_universe):
+        mapping = apply_compounds(
+            date_universe, [CompoundSpec(0, (1, 2))]
+        )
+        assert mapping.derived.source(1).schema == ("keyword", "date")
+        assert mapping.derived.source(3).schema == ("name",)
+
+    def test_explicit_label_used(self, date_universe):
+        mapping = apply_compounds(
+            date_universe, [CompoundSpec(0, (1, 2), label="date range")]
+        )
+        assert "date range" in mapping.derived.source(0).schema
+
+    def test_source_metadata_preserved(self, date_universe):
+        mapping = apply_compounds(
+            date_universe, [CompoundSpec(0, (1, 2))]
+        )
+        original = date_universe.source(0)
+        derived = mapping.derived.source(0)
+        assert derived.name == original.name
+        assert derived.cardinality == original.cardinality
+
+    def test_unknown_source_rejected(self, date_universe):
+        with pytest.raises(ConstraintError):
+            apply_compounds(date_universe, [CompoundSpec(9, (0, 1))])
+
+    def test_bad_index_rejected(self, date_universe):
+        with pytest.raises(ConstraintError):
+            apply_compounds(date_universe, [CompoundSpec(0, (0, 9))])
+
+    def test_overlapping_compounds_rejected(self, date_universe):
+        with pytest.raises(ConstraintError):
+            apply_compounds(
+                date_universe,
+                [CompoundSpec(0, (0, 1)), CompoundSpec(0, (1, 2))],
+            )
+
+
+class TestNMMatching:
+    def test_two_to_one_match(self, date_universe):
+        # {after date, before date} ↔ {date}: a 2:1 match via compounds.
+        mapping = apply_compounds(
+            date_universe, [CompoundSpec(0, (1, 2))]
+        )
+        result = MatchOperator(mapping.derived, theta=0.65).match({0, 1})
+        matches = mapping.expand(result.schema)
+        date_match = next(
+            m for m in matches
+            if any(a.name == "date" for a in m.attributes())
+        )
+        assert date_match.cardinality == "2:1"
+        assert not date_match.is_one_to_one()
+        assert {a.name for a in date_match.attributes()} == {
+            "after date", "before date", "date",
+        }
+
+    def test_plain_matches_stay_one_to_one(self, date_universe):
+        mapping = apply_compounds(
+            date_universe, [CompoundSpec(0, (1, 2))]
+        )
+        result = MatchOperator(mapping.derived, theta=0.65).match({0, 1})
+        keyword_match = next(
+            m for m in mapping.expand(result.schema)
+            if any(a.name == "keyword" for a in m.attributes())
+        )
+        assert keyword_match.cardinality == "1:1"
+        assert keyword_match.is_one_to_one()
+
+    def test_name_split_matches_whole_name(self, date_universe):
+        # {first name, last name} ↔ {name}: 2:1 via the "name" head word.
+        mapping = apply_compounds(
+            date_universe, [CompoundSpec(2, (0, 1))]
+        )
+        result = MatchOperator(mapping.derived, theta=0.65).match({2, 3})
+        matches = mapping.expand(result.schema)
+        assert len(matches) == 1
+        assert matches[0].cardinality == "2:1"
+
+
+class TestSuggestCompounds:
+    def test_finds_shared_final_word_groups(self, date_universe):
+        suggestions = suggest_compounds(date_universe)
+        assert CompoundSpec(0, (1, 2), label="date") in suggestions
+        assert CompoundSpec(2, (0, 1), label="name") in suggestions
+
+    def test_single_word_names_never_grouped(self, date_universe):
+        # Source 1 has "keyword" and "date": single words, no compound.
+        suggestions = suggest_compounds(date_universe)
+        assert not any(s.source_id == 1 for s in suggestions)
+
+    def test_head_word_filter(self, date_universe):
+        suggestions = suggest_compounds(date_universe, head_words=["date"])
+        assert {s.label for s in suggestions} == {"date"}
+
+    def test_theater_date_ranges_detected(self, theater):
+        # The Figure-1 workload: wstonline.org and
+        # officiallondontheatre.co.uk both carry {after date, before date}.
+        suggestions = suggest_compounds(theater, head_words=["date"])
+        sources = {s.source_id for s in suggestions}
+        by_name = {theater.source(sid).name for sid in sources}
+        assert by_name == {"wstonline.org", "officiallondontheatre.co.uk"}
+
+    def test_theater_compound_matching_end_to_end(self, theater):
+        # Compounds let the date-range sites match lastminute.com's plain
+        # "date" — an n:m match the 1:1 formulation cannot express.
+        mapping = apply_compounds(
+            theater, suggest_compounds(theater, head_words=["date"])
+        )
+        result = MatchOperator(mapping.derived, theta=0.6).match(
+            {8, 9, 10}  # wstonline, officiallondontheatre, lastminute
+        )
+        matches = mapping.expand(result.schema)
+        date_match = next(
+            m for m in matches
+            if any(a.name == "date" for a in m.attributes())
+        )
+        assert date_match.cardinality == "2:2:1"

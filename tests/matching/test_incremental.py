@@ -1,0 +1,164 @@
+"""Tests for the incremental (warm-started) matching operator."""
+
+import numpy as np
+import pytest
+
+from repro.core import GlobalAttribute
+from repro.matching import IncrementalMatchOperator, MatchOperator
+from repro.workload import DataConfig, generate_books_universe
+
+from ..conftest import make_universe
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_books_universe(
+        n_sources=60, seed=3, data_config=DataConfig.tiny()
+    )
+
+
+def random_walk(universe, steps, seed=0, start=10):
+    """Yield selections along a random add/drop walk."""
+    rng = np.random.default_rng(seed)
+    ids = sorted(universe.source_ids)
+    selection = set(rng.choice(ids, size=start, replace=False).tolist())
+    for _ in range(steps):
+        if len(selection) > 3 and rng.random() < 0.5:
+            selection.remove(int(rng.choice(sorted(selection))))
+        else:
+            outside = [i for i in ids if i not in selection]
+            selection.add(int(rng.choice(outside)))
+        yield frozenset(selection)
+
+
+class TestAgreementWithColdOperator:
+    def test_add_drop_walk_agrees_exactly(self, workload):
+        cold = MatchOperator(workload.universe, theta=0.65)
+        warm = IncrementalMatchOperator(workload.universe, theta=0.65)
+        for selection in random_walk(workload.universe, steps=80, seed=1):
+            assert (
+                warm.match(selection).schema
+                == cold.match(selection).schema
+            ), f"diverged at {sorted(selection)}"
+        info = warm.incremental_info()
+        assert info["warm_hits"] > info["cold_runs"]
+
+    def test_quality_agrees(self, workload):
+        cold = MatchOperator(workload.universe, theta=0.65)
+        warm = IncrementalMatchOperator(workload.universe, theta=0.65)
+        for selection in random_walk(workload.universe, steps=20, seed=2):
+            assert warm.match(selection).quality == pytest.approx(
+                cold.match(selection).quality
+            )
+
+    def test_agrees_under_ga_constraints(self, workload):
+        # Seeds must survive warm decomposition (grown members released,
+        # the seed core preserved).
+        universe = workload.universe
+        truth = workload.ground_truth
+        attrs = {}
+        for source in universe:
+            for attr in source.attributes:
+                concept = truth.concept_of(attr)
+                if concept == "title" and attr.source_id not in attrs:
+                    attrs[attr.source_id] = attr
+            if len(attrs) >= 2:
+                break
+        seed = GlobalAttribute(list(attrs.values())[:2])
+        cold = MatchOperator(universe, ga_constraints=(seed,), theta=0.65)
+        warm = IncrementalMatchOperator(
+            universe, ga_constraints=(seed,), theta=0.65
+        )
+        pinned = frozenset(attrs)  # the seed's sources
+        for selection in random_walk(universe, steps=40, seed=3):
+            selection = selection | pinned
+            cold_result = cold.match(selection)
+            warm_result = warm.match(selection)
+            assert warm_result.schema == cold_result.schema
+            if warm_result.schema is not None:
+                assert warm_result.schema.subsumes_gas([seed])
+
+
+class TestWarmMechanics:
+    def test_first_match_is_cold(self):
+        universe = make_universe(("title",), ("title",), ("isbn",))
+        warm = IncrementalMatchOperator(universe, theta=0.65)
+        warm.match({0, 1})
+        assert warm.incremental_info()["cold_runs"] == 1
+
+    def test_add_one_source_is_warm(self):
+        universe = make_universe(("title",), ("title",), ("isbn",))
+        warm = IncrementalMatchOperator(universe, theta=0.65)
+        warm.match({0, 1})
+        warm.match({0, 1, 2})
+        assert warm.incremental_info()["warm_hits"] == 1
+
+    def test_drop_one_source_is_warm(self):
+        universe = make_universe(("title",), ("title",), ("titles",))
+        warm = IncrementalMatchOperator(universe, theta=0.65)
+        warm.match({0, 1, 2})
+        result = warm.match({0, 1})
+        assert warm.incremental_info()["warm_hits"] == 1
+        # And the chain through the dropped source re-forms correctly.
+        cold = MatchOperator(universe, theta=0.65).match({0, 1})
+        assert result.schema == cold.schema
+
+    def test_chain_break_on_drop(self):
+        # a(0)~ab(1)~b(2) chain: dropping the bridge must split the GA.
+        from repro.similarity import NameSimilarityMatrix
+        import numpy as np_
+
+        names = ("aaaa", "aabb", "bbbb")
+        matrix_values = np_.eye(3)
+        matrix_values[0, 1] = matrix_values[1, 0] = 0.8
+        matrix_values[1, 2] = matrix_values[2, 1] = 0.8
+        matrix = NameSimilarityMatrix(names, matrix_values)
+        universe = make_universe(("aaaa",), ("aabb",), ("bbbb",))
+        warm = IncrementalMatchOperator(
+            universe, theta=0.65, similarity=matrix
+        )
+        full = warm.match({0, 1, 2})
+        assert max(len(ga) for ga in full.schema) == 3
+        split = warm.match({0, 2})  # bridge source 1 gone
+        assert len(split.schema) == 0  # nothing ≥ θ remains
+
+    def test_cluster_cache_bounded(self):
+        universe = make_universe(*[("title",)] * 6)
+        warm = IncrementalMatchOperator(
+            universe, theta=0.65, cluster_cache_size=2
+        )
+        walk = [
+            frozenset({0, 1}), frozenset({0, 1, 2}),
+            frozenset({0, 1, 2, 3}), frozenset({0, 1, 2, 3, 4}),
+        ]
+        for selection in walk:
+            warm.match(selection)
+        assert warm.incremental_info()["cached_clusterings"] <= 2
+
+    def test_missing_constraint_still_null(self):
+        universe = make_universe(("title",), ("title",))
+        warm = IncrementalMatchOperator(
+            universe, source_constraints={0}, theta=0.65
+        )
+        assert warm.match({1}).is_null
+
+
+class TestObjectiveIntegration:
+    def test_incremental_objective_matches_plain(self, workload):
+        from repro.core import Problem, default_weights
+        from repro.quality import Objective
+        from repro.search import OptimizerConfig, TabuSearch
+
+        problem = Problem(
+            universe=workload.universe,
+            weights=default_weights(),
+            max_sources=8,
+        )
+        plain = TabuSearch(
+            OptimizerConfig(max_iterations=20, seed=4)
+        ).optimize(Objective(problem))
+        fast = TabuSearch(
+            OptimizerConfig(max_iterations=20, seed=4)
+        ).optimize(Objective(problem, incremental=True))
+        assert fast.solution.selected == plain.solution.selected
+        assert fast.solution.quality == pytest.approx(plain.solution.quality)

@@ -1,0 +1,75 @@
+"""Tests for the naive sequential reference clusterer."""
+
+import pytest
+
+from repro.core import AttributeRef, GlobalAttribute
+from repro.matching import sequential_clustering
+from repro.similarity import NGramJaccard, NameSimilarityMatrix
+
+VOCAB = ("title", "titles", "book title", "isbn", "author", "authors")
+
+
+@pytest.fixture
+def matrix():
+    return NameSimilarityMatrix.build(VOCAB, NGramJaccard(3))
+
+
+def attrs(*triples):
+    return [AttributeRef(s, i, n) for s, i, n in triples]
+
+
+class TestSequentialClustering:
+    def test_merges_best_pair_first(self, matrix):
+        clusters = sequential_clustering(
+            attrs((0, 0, "title"), (1, 0, "title"), (2, 0, "titles")),
+            (),
+            matrix,
+            theta=0.65,
+        )
+        assert len(clusters) == 1
+        assert len(clusters[0]) == 3
+
+    def test_respects_theta(self, matrix):
+        clusters = sequential_clustering(
+            attrs((0, 0, "title"), (1, 0, "isbn")), (), matrix, theta=0.65
+        )
+        assert all(len(c) == 1 for c in clusters)
+
+    def test_respects_validity(self, matrix):
+        clusters = sequential_clustering(
+            attrs((0, 0, "title"), (0, 1, "titles"), (1, 0, "title")),
+            (),
+            matrix,
+            theta=0.65,
+        )
+        for cluster in clusters:
+            sources = [a.source_id for a in cluster.attrs]
+            assert len(sources) == len(set(sources))
+
+    def test_seeds_survive(self, matrix):
+        seed = GlobalAttribute(
+            [AttributeRef(0, 0, "isbn"), AttributeRef(1, 0, "author")]
+        )
+        clusters = sequential_clustering((), (seed,), matrix, theta=0.65)
+        assert len(clusters) == 1
+        assert clusters[0].keep
+
+    def test_agrees_with_greedy_on_clean_input(self, matrix):
+        # With distinct similarities and no validity conflicts, the
+        # round-based algorithm and best-first merging coincide.
+        from repro.matching import greedy_constrained_clustering
+
+        attributes = attrs(
+            (0, 0, "title"), (1, 0, "titles"), (2, 0, "author"),
+            (3, 0, "authors"), (4, 0, "isbn"),
+        )
+        sequential = sequential_clustering(attributes, (), matrix, 0.65)
+        greedy = greedy_constrained_clustering(attributes, (), matrix, 0.65)
+
+        def partition(clusters):
+            return {
+                frozenset((a.source_id, a.index) for a in c.attrs)
+                for c in clusters
+            }
+
+        assert partition(sequential) == partition(greedy)

@@ -1,0 +1,138 @@
+"""Tests for characteristic QEFs and aggregators (paper §5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CharacteristicSpec, Universe
+from repro.exceptions import ReproError
+from repro.quality import (
+    CharacteristicQEF,
+    get_aggregator,
+    max_agg,
+    mean,
+    min_agg,
+    wsum,
+)
+
+from ..conftest import make_source
+
+
+def universe_with(values, cardinalities=None):
+    sources = []
+    for i, value in enumerate(values):
+        tuple_ids = None
+        if cardinalities is not None:
+            tuple_ids = np.arange(cardinalities[i])
+        sources.append(
+            make_source(
+                i, ("a",), tuple_ids=tuple_ids,
+                characteristics={"mttf": value},
+            )
+        )
+    return Universe(sources)
+
+
+class TestAggregators:
+    def test_wsum_weighs_by_cardinality(self):
+        # Paper: high availability + many tuples beats high availability
+        # + few tuples.
+        assert wsum([(1.0, 900), (0.0, 100)]) == pytest.approx(0.9)
+
+    def test_wsum_without_cardinalities_falls_back_to_mean(self):
+        assert wsum([(1.0, 0), (0.0, 0)]) == pytest.approx(0.5)
+
+    def test_mean(self):
+        assert mean([(0.2, 10), (0.8, 99)]) == pytest.approx(0.5)
+        assert mean([]) == 0.0
+
+    def test_min_max(self):
+        pairs = [(0.2, 1), (0.8, 1)]
+        assert min_agg(pairs) == 0.2
+        assert max_agg(pairs) == 0.8
+        assert min_agg([]) == 0.0
+        assert max_agg([]) == 0.0
+
+    def test_product_models_conjunction(self):
+        from repro.quality import product
+
+        # Two 90%-available sources together: 81%.
+        assert product([(0.9, 1), (0.9, 1)]) == pytest.approx(0.81)
+        assert product([]) == 0.0
+        # One dead source kills the whole selection.
+        assert product([(1.0, 1), (0.0, 1)]) == 0.0
+
+    def test_median_robust_to_outlier(self):
+        from repro.quality import median
+
+        assert median([(0.9, 1), (0.8, 1), (0.0, 1)]) == pytest.approx(0.8)
+        assert median([(0.2, 1), (0.8, 1)]) == pytest.approx(0.5)
+        assert median([]) == 0.0
+
+    def test_registry(self):
+        assert get_aggregator("wsum") is wsum
+        assert set(
+            ("wsum", "mean", "min", "max", "product", "median")
+        ) <= set(__import__("repro.quality", fromlist=["AGGREGATORS"]).AGGREGATORS)
+        with pytest.raises(ReproError):
+            get_aggregator("mode")
+
+
+class TestCharacteristicQEF:
+    def test_normalization_uses_universe_range(self):
+        universe = universe_with([10.0, 60.0, 110.0])
+        qef = CharacteristicQEF(
+            universe, CharacteristicSpec("mttf", "mttf", aggregator="mean")
+        )
+        assert qef.normalized(10.0) == 0.0
+        assert qef.normalized(60.0) == 0.5
+        assert qef.normalized(110.0) == 1.0
+
+    def test_lower_is_better_flips_normalization(self):
+        universe = universe_with([10.0, 110.0])
+        qef = CharacteristicQEF(
+            universe,
+            CharacteristicSpec(
+                "latency", "mttf", aggregator="mean", higher_is_better=False
+            ),
+        )
+        assert qef.normalized(10.0) == 1.0
+        assert qef.normalized(110.0) == 0.0
+
+    def test_constant_characteristic_scores_one(self):
+        universe = universe_with([42.0, 42.0])
+        qef = CharacteristicQEF(
+            universe, CharacteristicSpec("mttf", "mttf", aggregator="mean")
+        )
+        assert qef(list(universe)) == 1.0
+
+    def test_wsum_matches_paper_formula(self):
+        # wsum(S) = Σ (q_s − min)·|s| / (Σ|s| · (max − min)).
+        universe = universe_with([50.0, 150.0], cardinalities=[100, 300])
+        qef = CharacteristicQEF(universe, CharacteristicSpec("mttf", "mttf"))
+        sources = list(universe)
+        expected = ((50.0 - 50.0) * 100 + (150.0 - 50.0) * 300) / (
+            400 * (150.0 - 50.0)
+        )
+        assert qef(sources) == pytest.approx(expected)
+
+    def test_sources_without_characteristic_skipped(self):
+        universe = universe_with([10.0, 110.0])
+        silent = make_source(9, ("a",))
+        qef = CharacteristicQEF(
+            universe, CharacteristicSpec("mttf", "mttf", aggregator="mean")
+        )
+        with_silent = qef([universe.source(1), silent])
+        without = qef([universe.source(1)])
+        assert with_silent == without
+
+    def test_no_reporting_sources_scores_zero(self):
+        universe = universe_with([10.0, 110.0])
+        qef = CharacteristicQEF(universe, CharacteristicSpec("mttf", "mttf"))
+        assert qef([make_source(9, ("a",))]) == 0.0
+
+    def test_unknown_characteristic_rejected(self):
+        universe = universe_with([10.0])
+        with pytest.raises(ReproError):
+            CharacteristicQEF(
+                universe, CharacteristicSpec("fee", "fee")
+            )

@@ -1,0 +1,144 @@
+"""Tests for the data QEFs: cardinality, coverage, redundancy (paper §4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Universe
+from repro.quality import (
+    CardinalityQEF,
+    CoverageQEF,
+    RedundancyQEF,
+    RedundancyRatioQEF,
+    estimated_distinct,
+)
+
+from ..conftest import make_source
+
+MAPS = 1024  # high map count → ~2.4 % expected error in these tests
+
+
+def data_universe(id_sets):
+    sources = [
+        make_source(i, ("a",), tuple_ids=np.asarray(ids), sketch_maps=MAPS)
+        for i, ids in enumerate(id_sets)
+    ]
+    return Universe(sources)
+
+
+@pytest.fixture
+def disjoint():
+    """Three pairwise-disjoint sources of 10k tuples each."""
+    return data_universe(
+        [np.arange(0, 10_000), np.arange(10_000, 20_000), np.arange(20_000, 30_000)]
+    )
+
+
+@pytest.fixture
+def identical():
+    """Three sources holding exactly the same 10k tuples."""
+    ids = np.arange(10_000)
+    return data_universe([ids, ids, ids])
+
+
+class TestCardinality:
+    def test_full_selection_is_one(self, disjoint):
+        qef = CardinalityQEF(disjoint)
+        assert qef(list(disjoint)) == pytest.approx(1.0)
+
+    def test_proportional_to_selected_tuples(self, disjoint):
+        qef = CardinalityQEF(disjoint)
+        assert qef([disjoint.source(0)]) == pytest.approx(1 / 3)
+        assert qef([disjoint.source(0), disjoint.source(1)]) == pytest.approx(
+            2 / 3
+        )
+
+    def test_empty_selection_is_zero(self, disjoint):
+        assert CardinalityQEF(disjoint)([]) == 0.0
+
+    def test_uncooperative_sources_contribute_zero(self, disjoint):
+        silent = make_source(9, ("a",))  # no data, no sketch
+        qef = CardinalityQEF(disjoint)
+        assert qef([silent]) == 0.0
+
+
+class TestCoverage:
+    def test_full_selection_is_one(self, disjoint):
+        qef = CoverageQEF(disjoint)
+        assert qef(list(disjoint)) == pytest.approx(1.0, abs=0.1)
+
+    def test_disjoint_sources_add_up(self, disjoint):
+        qef = CoverageQEF(disjoint)
+        one = qef([disjoint.source(0)])
+        two = qef([disjoint.source(0), disjoint.source(1)])
+        assert one == pytest.approx(1 / 3, abs=0.08)
+        assert two == pytest.approx(2 / 3, abs=0.08)
+
+    def test_identical_sources_do_not_add_coverage(self, identical):
+        # The paper's point: repeated data gains nothing.
+        qef = CoverageQEF(identical)
+        one = qef([identical.source(0)])
+        all_three = qef(list(identical))
+        # The selection-dependent clamp can nudge the two apart by at most
+        # the estimator error; coverage must not meaningfully grow.
+        assert one <= all_three <= one + 0.05
+        assert all_three == pytest.approx(1.0, abs=0.1)
+
+    def test_empty_selection_is_zero(self, disjoint):
+        assert CoverageQEF(disjoint)([]) == 0.0
+
+
+class TestRedundancy:
+    def test_disjoint_sources_score_best(self, disjoint):
+        qef = RedundancyQEF()
+        assert qef(list(disjoint)) == pytest.approx(1.0, abs=0.1)
+
+    def test_identical_sources_score_worst(self, identical):
+        # Σ = 3·|s|, D = |s| → overlap hits the worst case (n−1)/n.
+        qef = RedundancyQEF()
+        assert qef(list(identical)) == pytest.approx(0.0, abs=0.1)
+
+    def test_single_source_has_no_overlap(self, identical):
+        assert RedundancyQEF()([identical.source(0)]) == 1.0
+
+    def test_partial_overlap_in_between(self):
+        # Two sources sharing half their tuples.
+        universe = data_universe(
+            [np.arange(0, 10_000), np.arange(5_000, 15_000)]
+        )
+        value = RedundancyQEF()(list(universe))
+        # Overlap fraction 0.25 of worst case 0.5 → redundancy 0.5.
+        assert value == pytest.approx(0.5, abs=0.12)
+
+    def test_empty_selection_scores_one(self):
+        assert RedundancyQEF()([]) == 1.0
+
+
+class TestRedundancyRatio:
+    def test_disjoint_is_one(self, disjoint):
+        assert RedundancyRatioQEF()(list(disjoint)) == pytest.approx(
+            1.0, abs=0.1
+        )
+
+    def test_identical_bottoms_at_one_over_n(self, identical):
+        assert RedundancyRatioQEF()(list(identical)) == pytest.approx(
+            1 / 3, abs=0.08
+        )
+
+    def test_normalized_variant_spreads_wider(self, identical):
+        # The normalized QEF uses the full [0, 1] range; the ratio stops
+        # at 1/n.  This gap is what the ablation benchmark measures.
+        sources = list(identical)
+        assert RedundancyQEF()(sources) < RedundancyRatioQEF()(sources)
+
+
+class TestEstimatedDistinct:
+    def test_clamped_to_feasible_range(self):
+        ids = np.arange(1_000)
+        universe = data_universe([ids, ids])
+        sources = list(universe)
+        estimate = estimated_distinct(sources)
+        total = sum(s.cardinality for s in sources)
+        assert max(s.cardinality for s in sources) <= estimate <= total
+
+    def test_no_cooperative_sources_is_zero(self):
+        assert estimated_distinct([make_source(0, ("a",))]) == 0.0

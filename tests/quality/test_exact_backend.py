@@ -1,0 +1,84 @@
+"""Tests for the exact-counting data-metric backend (sketch ablation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Problem, Universe, default_weights
+from repro.quality import CoverageQEF, Objective, RedundancyQEF
+from repro.quality.data_metrics import estimated_distinct
+from repro.workload import DataConfig, generate_books_universe
+
+from ..conftest import make_source
+
+
+@pytest.fixture
+def overlapping_universe():
+    return Universe(
+        [
+            make_source(0, ("a",), tuple_ids=np.arange(0, 6_000)),
+            make_source(1, ("a",), tuple_ids=np.arange(3_000, 9_000)),
+            make_source(2, ("a",), tuple_ids=np.arange(9_000, 12_000)),
+        ]
+    )
+
+
+class TestExactDistinct:
+    def test_exact_counts_are_exact(self, overlapping_universe):
+        sources = list(overlapping_universe)
+        assert estimated_distinct(sources, exact=True) == 12_000.0
+        assert estimated_distinct(sources[:2], exact=True) == 9_000.0
+
+    def test_exact_skips_sources_without_tuples(self):
+        silent = make_source(5, ("a",))
+        assert estimated_distinct([silent], exact=True) == 0.0
+
+    def test_pcsa_estimate_close_to_exact(self, overlapping_universe):
+        sources = list(overlapping_universe)
+        exact = estimated_distinct(sources, exact=True)
+        approx = estimated_distinct(sources)
+        assert approx == pytest.approx(exact, rel=0.15)
+
+
+class TestExactQEFs:
+    def test_coverage_exact_backend(self, overlapping_universe):
+        exact_qef = CoverageQEF(overlapping_universe, exact=True)
+        sources = [overlapping_universe.source(0)]
+        assert exact_qef(sources) == pytest.approx(6_000 / 12_000)
+
+    def test_redundancy_exact_backend(self, overlapping_universe):
+        exact_qef = RedundancyQEF(exact=True)
+        sources = [
+            overlapping_universe.source(0), overlapping_universe.source(1)
+        ]
+        # Overlap 3000 of 12000 fetched = 0.25; worst case 0.5 → 0.5.
+        assert exact_qef(sources) == pytest.approx(0.5)
+
+    def test_exact_and_pcsa_qefs_agree(self, overlapping_universe):
+        sources = list(overlapping_universe)
+        assert CoverageQEF(overlapping_universe)(sources) == pytest.approx(
+            CoverageQEF(overlapping_universe, exact=True)(sources), abs=0.1
+        )
+
+
+class TestObjectiveBackendSwitch:
+    def test_objective_accepts_exact_flag(self):
+        workload = generate_books_universe(
+            n_sources=20, seed=0, data_config=DataConfig.tiny(),
+            keep_tuples=True,
+        )
+        problem = Problem(
+            universe=workload.universe,
+            weights=default_weights(),
+            max_sources=5,
+        )
+        selection = frozenset(range(5))
+        pcsa = Objective(problem).evaluate(selection)
+        exact = Objective(problem, exact_data_metrics=True).evaluate(
+            selection
+        )
+        assert exact.qef_scores["coverage"] == pytest.approx(
+            pcsa.qef_scores["coverage"], abs=0.15
+        )
+        assert exact.qef_scores["redundancy"] == pytest.approx(
+            pcsa.qef_scores["redundancy"], abs=0.15
+        )

@@ -1,0 +1,101 @@
+"""Tests for the move generator."""
+
+import numpy as np
+import pytest
+
+from repro.search import Move, MoveKind, Neighborhood
+
+UNIVERSE = frozenset(range(10))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestMove:
+    def test_add(self):
+        move = Move(MoveKind.ADD, added=5)
+        assert move.apply(frozenset({1})) == frozenset({1, 5})
+        assert move.touched() == (5,)
+
+    def test_drop(self):
+        move = Move(MoveKind.DROP, dropped=1)
+        assert move.apply(frozenset({1, 2})) == frozenset({2})
+
+    def test_swap(self):
+        move = Move(MoveKind.SWAP, added=5, dropped=1)
+        assert move.apply(frozenset({1, 2})) == frozenset({2, 5})
+        assert set(move.touched()) == {1, 5}
+
+
+class TestLegality:
+    def test_required_sources_never_droppable(self, rng):
+        hood = Neighborhood(UNIVERSE, frozenset({3}), max_sources=5)
+        assert 3 not in hood.droppable(frozenset({3, 4, 5}))
+
+    def test_no_adds_at_budget(self, rng):
+        hood = Neighborhood(UNIVERSE, frozenset(), max_sources=3)
+        assert hood.addable(frozenset({0, 1, 2})) == ()
+
+    def test_no_drop_below_min_size(self, rng):
+        hood = Neighborhood(UNIVERSE, frozenset(), max_sources=3)
+        assert hood.droppable(frozenset({0})) == ()
+
+    def test_all_moves_stay_legal(self, rng):
+        hood = Neighborhood(UNIVERSE, frozenset({0}), max_sources=4)
+        selection = frozenset({0, 1, 2})
+        for move in hood.moves(selection, rng):
+            result = move.apply(selection)
+            assert 0 in result
+            assert 1 <= len(result) <= 4
+            assert result <= UNIVERSE
+
+    def test_random_moves_stay_legal(self, rng):
+        hood = Neighborhood(UNIVERSE, frozenset({0}), max_sources=4)
+        selection = frozenset({0, 1, 2, 3})
+        for _ in range(100):
+            move = hood.random_move(selection, rng)
+            assert move is not None
+            result = move.apply(selection)
+            assert 0 in result
+            assert 1 <= len(result) <= 4
+
+    def test_random_move_none_when_frozen(self, rng):
+        # Universe of one required source: nothing can move.
+        hood = Neighborhood(frozenset({0}), frozenset({0}), max_sources=1)
+        assert hood.random_move(frozenset({0}), rng) is None
+
+
+class TestSampling:
+    def test_sample_size_caps_additions(self, rng):
+        hood = Neighborhood(
+            frozenset(range(100)), frozenset(), max_sources=99,
+            sample_size=7,
+        )
+        adds = [
+            m for m in hood.moves(frozenset({0}), rng)
+            if m.kind is MoveKind.ADD
+        ]
+        assert len(adds) == 7
+
+    def test_zero_sample_size_means_all(self, rng):
+        hood = Neighborhood(
+            frozenset(range(20)), frozenset(), max_sources=19, sample_size=0
+        )
+        adds = [
+            m for m in hood.moves(frozenset({0}), rng)
+            if m.kind is MoveKind.ADD
+        ]
+        assert len(adds) == 19
+
+    def test_swaps_generated_at_budget_when_enabled(self, rng):
+        hood = Neighborhood(
+            frozenset(range(6)), frozenset(), max_sources=2,
+            include_swaps=True,
+        )
+        moves = list(hood.moves(frozenset({0, 1}), rng))
+        kinds = {m.kind for m in moves}
+        assert MoveKind.SWAP in kinds
+        for move in moves:
+            assert len(move.apply(frozenset({0, 1}))) <= 2

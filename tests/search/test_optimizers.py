@@ -1,0 +1,226 @@
+"""Cross-optimizer contract tests.
+
+Every optimizer must honour the structural constraints, be deterministic
+under a fixed seed, and find the true optimum on instances small enough to
+enumerate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GlobalAttribute, Problem, Universe, default_weights
+from repro.exceptions import SearchError
+from repro.quality import Objective
+from repro.search import (
+    OPTIMIZERS,
+    ExhaustiveSearch,
+    OptimizerConfig,
+    get_optimizer,
+)
+
+from ..conftest import make_source
+
+METAHEURISTICS = ["tabu", "annealing", "local", "pso", "greedy", "random"]
+
+
+def tiny_universe(n_sources: int = 8, seed: int = 0) -> Universe:
+    """A small data universe with heterogeneous schemas and overlap."""
+    rng = np.random.default_rng(seed)
+    vocab = ("title", "titles", "author", "authors", "isbn", "price",
+             "mileage", "humidity")
+    sources = []
+    for i in range(n_sources):
+        size = int(rng.integers(2, 4))
+        names = rng.choice(len(vocab), size=size, replace=False)
+        start = int(rng.integers(0, 5_000))
+        sources.append(
+            make_source(
+                i,
+                tuple(vocab[j] for j in names),
+                tuple_ids=np.arange(start, start + int(rng.integers(500, 2_000))),
+                characteristics={"mttf": float(rng.uniform(20, 200))},
+            )
+        )
+    return Universe(sources)
+
+
+def tiny_problem(**kwargs) -> Problem:
+    defaults = dict(
+        universe=tiny_universe(),
+        weights=default_weights(),
+        max_sources=4,
+    )
+    defaults.update(kwargs)
+    return Problem(**defaults)
+
+
+@pytest.fixture(scope="module")
+def optimum():
+    objective = Objective(tiny_problem())
+    return ExhaustiveSearch().optimize(objective).solution
+
+
+class TestOptimalityOnTinyInstance:
+    @pytest.mark.parametrize("name", ["tabu", "annealing", "local", "pso"])
+    def test_metaheuristic_reaches_near_optimum(self, name, optimum):
+        objective = Objective(tiny_problem())
+        config = OptimizerConfig(max_iterations=80, patience=40, seed=7)
+        result = get_optimizer(name, config).optimize(objective)
+        # Within 2% of the enumerated optimum on an 8-source instance.
+        assert result.solution.objective >= 0.98 * optimum.objective
+
+    def test_tabu_matches_optimum_exactly(self, optimum):
+        objective = Objective(tiny_problem())
+        config = OptimizerConfig(max_iterations=100, patience=50, seed=7)
+        result = get_optimizer("tabu", config).optimize(objective)
+        assert result.solution.objective == pytest.approx(optimum.objective)
+
+
+class TestConstraintsRespected:
+    @pytest.mark.parametrize("name", METAHEURISTICS)
+    def test_source_constraints_always_selected(self, name):
+        problem = tiny_problem(source_constraints=frozenset({2, 5}))
+        objective = Objective(problem)
+        config = OptimizerConfig(max_iterations=30, seed=1)
+        result = get_optimizer(name, config).optimize(objective)
+        assert {2, 5} <= result.solution.selected
+
+    @pytest.mark.parametrize("name", METAHEURISTICS)
+    def test_budget_never_exceeded(self, name):
+        problem = tiny_problem(max_sources=3)
+        objective = Objective(problem)
+        config = OptimizerConfig(max_iterations=30, seed=1)
+        result = get_optimizer(name, config).optimize(objective)
+        assert len(result.solution.selected) <= 3
+
+    def test_ga_constraint_subsumed_by_output(self):
+        universe = tiny_universe()
+        # Pin two attributes we know exist.
+        a = universe.source(0).attributes[0]
+        b = next(
+            attr
+            for sid in range(1, 8)
+            for attr in universe.source(sid).attributes
+            if attr.name != a.name
+        )
+        ga = GlobalAttribute([a, b])
+        problem = tiny_problem(ga_constraints=(ga,))
+        objective = Objective(problem)
+        result = get_optimizer(
+            "tabu", OptimizerConfig(max_iterations=40, seed=0)
+        ).optimize(objective)
+        solution = result.solution
+        assert {a.source_id, b.source_id} <= solution.selected
+        if solution.feasible:
+            assert solution.schema.subsumes_gas([ga])
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", METAHEURISTICS)
+    def test_same_seed_same_answer(self, name):
+        config = OptimizerConfig(max_iterations=25, seed=13)
+        runs = []
+        for _ in range(2):
+            objective = Objective(tiny_problem())
+            runs.append(
+                get_optimizer(name, config).optimize(objective).solution
+            )
+        assert runs[0].selected == runs[1].selected
+        assert runs[0].objective == runs[1].objective
+
+
+class TestStatsAndTrajectory:
+    def test_stats_populated(self):
+        objective = Objective(tiny_problem())
+        result = get_optimizer(
+            "tabu", OptimizerConfig(max_iterations=10, seed=0)
+        ).optimize(objective)
+        stats = result.stats
+        assert stats.iterations >= 1
+        assert stats.evaluations >= 1
+        assert stats.elapsed_seconds >= 0.0
+
+    def test_trajectory_monotone_nondecreasing(self):
+        objective = Objective(tiny_problem())
+        result = get_optimizer(
+            "tabu", OptimizerConfig(max_iterations=20, seed=0)
+        ).optimize(objective)
+        trajectory = result.trajectory
+        assert all(a <= b for a, b in zip(trajectory, trajectory[1:]))
+
+    def test_time_limit_respected(self):
+        objective = Objective(tiny_problem())
+        config = OptimizerConfig(
+            max_iterations=10_000, patience=10_000, seed=0, time_limit=0.2
+        )
+        result = get_optimizer("tabu", config).optimize(objective)
+        assert result.stats.elapsed_seconds < 2.0
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(OPTIMIZERS) == {
+            "tabu", "annealing", "local", "pso", "greedy", "random",
+            "exhaustive",
+        }
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SearchError):
+            get_optimizer("gradient_descent")
+
+
+class TestExhaustive:
+    def test_refuses_oversized_instances(self):
+        problem = tiny_problem()
+        objective = Objective(problem)
+        with pytest.raises(SearchError):
+            ExhaustiveSearch(max_subsets=3).optimize(objective)
+
+    def test_respects_constraints(self):
+        problem = tiny_problem(source_constraints=frozenset({1}))
+        objective = Objective(problem)
+        result = ExhaustiveSearch().optimize(objective)
+        assert 1 in result.solution.selected
+
+    def test_beats_or_ties_every_metaheuristic(self, optimum):
+        for name in ("tabu", "annealing", "random"):
+            objective = Objective(tiny_problem())
+            result = get_optimizer(
+                name, OptimizerConfig(max_iterations=40, seed=3)
+            ).optimize(objective)
+            assert optimum.objective >= result.solution.objective - 1e-12
+
+
+class TestBestOf:
+    def test_picks_highest_objective(self):
+        from repro.core import Solution
+        from repro.search import best_of
+
+        low = Solution(
+            selected=frozenset({1}), schema=None, objective=0.2,
+            quality=0.2, feasible=True,
+        )
+        high = Solution(
+            selected=frozenset({2}), schema=None, objective=0.8,
+            quality=0.8, feasible=True,
+        )
+        assert best_of([low, high]) is high
+
+    def test_feasible_breaks_ties(self):
+        from repro.core import Solution
+        from repro.search import best_of
+
+        infeasible = Solution(
+            selected=frozenset({1}), schema=None, objective=0.5,
+            quality=0.5, feasible=False,
+        )
+        feasible = Solution(
+            selected=frozenset({2}), schema=None, objective=0.5,
+            quality=0.5, feasible=True,
+        )
+        assert best_of([infeasible, feasible]) is feasible
+
+    def test_empty_returns_sentinel(self):
+        from repro.search import best_of
+
+        assert not best_of([]).feasible

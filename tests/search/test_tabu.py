@@ -1,0 +1,83 @@
+"""Tabu-search-specific behaviour tests."""
+
+import pytest
+
+from repro.core import Problem, default_weights
+from repro.quality import Objective
+from repro.search import OptimizerConfig, TabuSearch, default_tenure
+
+from .test_optimizers import tiny_problem, tiny_universe
+
+
+class TestTenure:
+    def test_default_tenure_scales_with_universe(self):
+        assert default_tenure(25) == 5
+        assert default_tenure(100) == 10
+        assert default_tenure(700) == 26
+
+    def test_default_tenure_floor(self):
+        assert default_tenure(1) == 5
+
+    def test_explicit_tenure_used(self):
+        objective = Objective(tiny_problem())
+        search = TabuSearch(
+            OptimizerConfig(max_iterations=10, seed=0), tenure=3
+        )
+        assert search.tenure == 3
+        result = search.optimize(objective)
+        assert result.solution.feasible
+
+
+class TestSearchDynamics:
+    def test_escapes_strict_local_moves(self):
+        # Tabu must keep moving even when every neighbor is worse: the
+        # trajectory's *current* value may dip but best never decreases,
+        # and the search runs past the first local optimum.
+        objective = Objective(tiny_problem())
+        result = TabuSearch(
+            OptimizerConfig(max_iterations=40, patience=40, seed=5)
+        ).optimize(objective)
+        assert result.stats.iterations == 40
+
+    def test_patience_stops_early(self):
+        objective = Objective(tiny_problem())
+        result = TabuSearch(
+            OptimizerConfig(max_iterations=500, patience=5, seed=0)
+        ).optimize(objective)
+        assert result.stats.iterations < 500
+
+    def test_best_found_at_consistent_with_trajectory(self):
+        objective = Objective(tiny_problem())
+        result = TabuSearch(
+            OptimizerConfig(max_iterations=30, seed=2)
+        ).optimize(objective)
+        at = result.stats.best_found_at
+        assert result.trajectory[at] == pytest.approx(
+            result.solution.objective
+        )
+
+    def test_single_choice_universe_terminates(self):
+        # With everything pinned there are no moves; the search must
+        # return the pinned selection rather than loop.
+        universe = tiny_universe(3)
+        problem = Problem(
+            universe=universe,
+            weights=default_weights(),
+            max_sources=3,
+            source_constraints=frozenset({0, 1, 2}),
+        )
+        objective = Objective(problem)
+        result = TabuSearch(
+            OptimizerConfig(max_iterations=50, seed=0)
+        ).optimize(objective)
+        assert result.solution.selected == frozenset({0, 1, 2})
+
+    def test_memoization_bounds_evaluations(self):
+        # Revisits are free: distinct evaluations cannot exceed the number
+        # of (iteration, neighbor) pairs and is usually far below it.
+        objective = Objective(tiny_problem())
+        result = TabuSearch(
+            OptimizerConfig(max_iterations=50, patience=50, seed=0)
+        ).optimize(objective)
+        assert objective.evaluations <= 50 * (8 + 1) + 1
+        assert objective.evaluations == result.stats.evaluations

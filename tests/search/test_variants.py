@@ -1,0 +1,146 @@
+"""Behavioural tests for the non-tabu optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.quality import Objective
+from repro.search import (
+    GreedySelector,
+    OptimizerConfig,
+    ParticleSwarm,
+    RandomSearch,
+    SimulatedAnnealing,
+    StochasticLocalSearch,
+)
+
+from .test_optimizers import tiny_problem
+
+
+class TestSimulatedAnnealing:
+    def test_invalid_cooling_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(cooling=1.0)
+        with pytest.raises(ValueError):
+            SimulatedAnnealing(cooling=0.0)
+
+    def test_zero_temperature_limit_still_improves(self):
+        objective = Objective(tiny_problem())
+        search = SimulatedAnnealing(
+            OptimizerConfig(max_iterations=60, patience=60, seed=0),
+            initial_temperature=1e-9,  # effectively greedy acceptance
+        )
+        result = search.optimize(objective)
+        start = result.trajectory[0]
+        assert result.solution.objective >= start
+
+    def test_high_temperature_explores(self):
+        objective = Objective(tiny_problem())
+        search = SimulatedAnnealing(
+            OptimizerConfig(max_iterations=30, patience=30, seed=0),
+            initial_temperature=10.0,
+        )
+        result = search.optimize(objective)
+        # Many acceptances → many distinct selections evaluated.
+        assert objective.evaluations > 30
+
+
+class TestStochasticLocalSearch:
+    def test_invalid_walk_probability_rejected(self):
+        with pytest.raises(ValueError):
+            StochasticLocalSearch(walk_probability=-0.1)
+        with pytest.raises(ValueError):
+            StochasticLocalSearch(walk_probability=1.5)
+
+    def test_restarts_bounded(self):
+        objective = Objective(tiny_problem())
+        search = StochasticLocalSearch(
+            OptimizerConfig(max_iterations=300, seed=0),
+            walk_probability=0.0,
+            max_restarts=1,
+        )
+        result = search.optimize(objective)
+        # With one restart allowed, the run ends well before the cap.
+        assert result.stats.iterations < 300
+
+    def test_pure_walk_still_tracks_best(self):
+        objective = Objective(tiny_problem())
+        search = StochasticLocalSearch(
+            OptimizerConfig(max_iterations=40, seed=1),
+            walk_probability=1.0,
+        )
+        result = search.optimize(objective)
+        assert result.solution.objective == max(result.trajectory)
+
+
+class TestParticleSwarm:
+    def test_repair_forces_required(self):
+        required = np.array([True, False, False, False])
+        position = np.array([False, True, True, True])
+        probabilities = np.array([0.1, 0.9, 0.8, 0.7])
+        repaired = ParticleSwarm._repair(position, probabilities, required, 3)
+        assert repaired[0]
+        assert repaired.sum() <= 3
+
+    def test_repair_evicts_lowest_probability(self):
+        required = np.zeros(4, dtype=bool)
+        position = np.ones(4, dtype=bool)
+        probabilities = np.array([0.9, 0.1, 0.8, 0.7])
+        repaired = ParticleSwarm._repair(position, probabilities, required, 3)
+        assert not repaired[1]
+        assert repaired.sum() == 3
+
+    def test_repair_never_empty(self):
+        required = np.zeros(3, dtype=bool)
+        position = np.zeros(3, dtype=bool)
+        probabilities = np.array([0.2, 0.9, 0.4])
+        repaired = ParticleSwarm._repair(position, probabilities, required, 2)
+        assert repaired.sum() == 1
+        assert repaired[1]
+
+    def test_swarm_improves_over_first_generation(self):
+        objective = Objective(tiny_problem())
+        search = ParticleSwarm(
+            OptimizerConfig(max_iterations=25, patience=25, seed=0),
+            particles=8,
+        )
+        result = search.optimize(objective)
+        assert result.solution.objective >= result.trajectory[0]
+
+
+class TestGreedySelector:
+    def test_fills_to_budget_or_stops(self):
+        objective = Objective(tiny_problem(max_sources=4))
+        result = GreedySelector(
+            OptimizerConfig(seed=0, sample_size=0)
+        ).optimize(objective)
+        assert 1 <= len(result.solution.selected) <= 4
+
+    def test_deterministic_without_sampling(self):
+        results = []
+        for _ in range(2):
+            objective = Objective(tiny_problem())
+            results.append(
+                GreedySelector(OptimizerConfig(seed=0, sample_size=0))
+                .optimize(objective)
+                .solution.selected
+            )
+        assert results[0] == results[1]
+
+    def test_seeds_from_constraints(self):
+        problem = tiny_problem(source_constraints=frozenset({3}))
+        objective = Objective(problem)
+        result = GreedySelector(OptimizerConfig(seed=0)).optimize(objective)
+        assert 3 in result.solution.selected
+
+
+class TestRandomSearch:
+    def test_more_iterations_never_worse(self):
+        short_objective = Objective(tiny_problem())
+        short = RandomSearch(
+            OptimizerConfig(max_iterations=5, seed=4)
+        ).optimize(short_objective)
+        long_objective = Objective(tiny_problem())
+        long = RandomSearch(
+            OptimizerConfig(max_iterations=50, seed=4)
+        ).optimize(long_objective)
+        assert long.solution.objective >= short.solution.objective

@@ -1,0 +1,105 @@
+"""Tests for warm-started optimization (the iterative-session fast path)."""
+
+import numpy as np
+import pytest
+
+from repro.quality import Objective
+from repro.search import OptimizerConfig, TabuSearch, get_optimizer
+from repro.search.base import repair_selection
+
+from .test_optimizers import METAHEURISTICS, tiny_problem
+
+
+class TestRepairSelection:
+    def test_unknown_sources_dropped(self):
+        objective = Objective(tiny_problem())
+        rng = np.random.default_rng(0)
+        repaired = repair_selection(objective, frozenset({0, 99}), rng)
+        assert 99 not in repaired
+        assert 0 in repaired
+
+    def test_required_forced_in(self):
+        objective = Objective(tiny_problem(source_constraints=frozenset({3})))
+        rng = np.random.default_rng(0)
+        repaired = repair_selection(objective, frozenset({0, 1}), rng)
+        assert 3 in repaired
+
+    def test_budget_overflow_evicted(self):
+        objective = Objective(tiny_problem(max_sources=2))
+        rng = np.random.default_rng(0)
+        repaired = repair_selection(
+            objective, frozenset({0, 1, 2, 3, 4}), rng
+        )
+        assert len(repaired) == 2
+
+    def test_empty_falls_back_to_random(self):
+        objective = Objective(tiny_problem())
+        rng = np.random.default_rng(0)
+        repaired = repair_selection(objective, frozenset({99}), rng)
+        assert repaired
+        assert repaired <= objective.universe.source_ids
+
+
+class TestWarmStartedSearch:
+    def test_warm_start_from_optimum_stays_at_optimum(self):
+        # Solve cold, then warm-start from the answer: the warm run must
+        # return a solution at least as good, quickly.
+        cold_objective = Objective(tiny_problem())
+        cold = TabuSearch(
+            OptimizerConfig(max_iterations=80, patience=40, seed=7)
+        ).optimize(cold_objective)
+
+        warm_objective = Objective(tiny_problem())
+        warm = TabuSearch(
+            OptimizerConfig(max_iterations=20, patience=5, seed=7)
+        ).optimize(warm_objective, initial=cold.solution.selected)
+        assert warm.solution.objective >= cold.solution.objective - 1e-12
+
+    @pytest.mark.parametrize("name", METAHEURISTICS)
+    def test_all_optimizers_accept_initial(self, name):
+        objective = Objective(tiny_problem())
+        result = get_optimizer(
+            name, OptimizerConfig(max_iterations=10, seed=0)
+        ).optimize(objective, initial=frozenset({0, 1}))
+        assert result.solution.feasible
+
+    def test_warm_start_repaired_against_new_constraints(self):
+        # The previous answer may violate the *new* problem's constraints.
+        objective = Objective(
+            tiny_problem(source_constraints=frozenset({5}), max_sources=3)
+        )
+        result = TabuSearch(
+            OptimizerConfig(max_iterations=10, seed=0)
+        ).optimize(objective, initial=frozenset({0, 1, 2, 3}))
+        assert 5 in result.solution.selected
+        assert len(result.solution.selected) <= 3
+
+
+class TestSessionWarmStart:
+    def test_second_solve_uses_history(self, theater):
+        from repro.session import Session
+
+        session = Session(
+            theater,
+            max_sources=5,
+            theta=0.5,
+            optimizer_config=OptimizerConfig(
+                max_iterations=25, patience=12, seed=0
+            ),
+        )
+        first = session.solve()
+        second = session.solve()  # identical problem, warm-started
+        assert second.solution.objective >= first.solution.objective - 1e-12
+
+    def test_warm_start_can_be_disabled(self, theater):
+        from repro.session import Session
+
+        session = Session(
+            theater,
+            max_sources=5,
+            theta=0.5,
+            optimizer_config=OptimizerConfig(max_iterations=10, seed=0),
+        )
+        session.solve()
+        cold = session.solve(warm_start=False)
+        assert cold.solution.feasible

@@ -1,0 +1,154 @@
+"""Tests for solution diffing."""
+
+import pytest
+
+from repro.core import AttributeRef, GlobalAttribute, MediatedSchema, Solution
+from repro.session import diff_solutions, render_diff
+
+from ..conftest import make_universe
+
+
+def ref(sid, idx=0, name="a"):
+    return AttributeRef(sid, idx, name)
+
+
+def solution(selected, gas, quality=0.5):
+    return Solution(
+        selected=frozenset(selected),
+        schema=MediatedSchema(gas),
+        objective=quality,
+        quality=quality,
+    )
+
+
+class TestDiffSolutions:
+    def test_identical_solutions(self):
+        ga = GlobalAttribute([ref(0), ref(1)])
+        diff = diff_solutions(
+            solution({0, 1}, [ga]), solution({0, 1}, [ga])
+        )
+        assert diff.is_identical
+        assert diff.unchanged_ga_count == 1
+        assert diff.ga_change_count == 0
+
+    def test_source_changes(self):
+        ga = GlobalAttribute([ref(0), ref(1)])
+        diff = diff_solutions(
+            solution({0, 1, 2}, [ga]), solution({0, 1, 3}, [ga])
+        )
+        assert diff.sources_added == (3,)
+        assert diff.sources_removed == (2,)
+        assert diff.source_change_count == 2
+
+    def test_ga_added_and_removed(self):
+        old_ga = GlobalAttribute([ref(0), ref(1)])
+        new_ga = GlobalAttribute([ref(2, 1, "b"), ref(3, 1, "b")])
+        diff = diff_solutions(
+            solution({0, 1}, [old_ga]),
+            solution({2, 3}, [new_ga]),
+        )
+        assert diff.gas_removed == (old_ga,)
+        assert diff.gas_added == (new_ga,)
+
+    def test_ga_growth_detected(self):
+        # The bridging case: the old GA gained a member.
+        old_ga = GlobalAttribute([ref(0), ref(1)])
+        new_ga = GlobalAttribute([ref(0), ref(1), ref(2)])
+        diff = diff_solutions(
+            solution({0, 1}, [old_ga]),
+            solution({0, 1, 2}, [new_ga]),
+        )
+        assert diff.gas_grown == ((old_ga, new_ga),)
+        assert not diff.gas_added
+        assert not diff.gas_removed
+
+    def test_ga_shrink_detected(self):
+        old_ga = GlobalAttribute([ref(0), ref(1), ref(2)])
+        new_ga = GlobalAttribute([ref(0), ref(1)])
+        diff = diff_solutions(
+            solution({0, 1, 2}, [old_ga]),
+            solution({0, 1}, [new_ga]),
+        )
+        assert diff.gas_shrunk == ((old_ga, new_ga),)
+
+    def test_quality_delta(self):
+        ga = GlobalAttribute([ref(0)])
+        diff = diff_solutions(
+            solution({0}, [ga], quality=0.4),
+            solution({0}, [ga], quality=0.7),
+        )
+        assert diff.quality_delta == pytest.approx(0.3)
+
+    def test_null_schema_handled(self):
+        ga = GlobalAttribute([ref(0)])
+        before = Solution(
+            selected=frozenset({0}), schema=None, objective=0.0,
+            quality=0.0, feasible=False,
+        )
+        diff = diff_solutions(before, solution({0}, [ga]))
+        assert diff.gas_added == (ga,)
+
+
+class TestRenderDiff:
+    def test_mentions_changes(self):
+        universe = make_universe(("a",), ("a",), ("a",))
+        old_ga = GlobalAttribute(
+            [universe.source(0).attribute(0), universe.source(1).attribute(0)]
+        )
+        new_ga = GlobalAttribute(
+            [
+                universe.source(0).attribute(0),
+                universe.source(1).attribute(0),
+                universe.source(2).attribute(0),
+            ]
+        )
+        diff = diff_solutions(
+            solution({0, 1}, [old_ga]), solution({0, 1, 2}, [new_ga])
+        )
+        text = render_diff(diff, universe)
+        assert "+ source src2" in text
+        assert "grew" in text
+
+    def test_identical_rendering(self):
+        universe = make_universe(("a",))
+        ga = GlobalAttribute([universe.source(0).attribute(0)])
+        diff = diff_solutions(solution({0}, [ga]), solution({0}, [ga]))
+        assert "unchanged" in render_diff(diff, universe)
+
+
+class TestSessionDiff:
+    def test_diff_last_needs_two_iterations(self, theater):
+        from repro.search import OptimizerConfig
+        from repro.session import Session
+
+        session = Session(
+            theater, max_sources=4, theta=0.5,
+            optimizer_config=OptimizerConfig(max_iterations=10, seed=0),
+        )
+        assert session.diff_last() is None
+        session.solve()
+        assert session.diff_last() is None
+        session.solve()
+        diff = session.diff_last()
+        assert diff is not None
+        # Warm-started identical problem: nothing should change.
+        assert diff.is_identical
+
+    def test_diff_after_bridging_shows_growth(self, theater):
+        from repro.search import OptimizerConfig
+        from repro.session import Session
+
+        session = Session(
+            theater, max_sources=5, theta=0.5,
+            optimizer_config=OptimizerConfig(
+                max_iterations=25, patience=12, seed=0
+            ),
+        )
+        session.solve()
+        session.require_match(
+            [("londontheatre.co.uk", "keyword"),
+             ("canadiantheatre.com", "search term")]
+        )
+        session.solve()
+        diff = session.diff_last()
+        assert diff.ga_change_count >= 1

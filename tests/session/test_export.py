@@ -1,0 +1,51 @@
+"""Tests for the session Markdown export."""
+
+import pytest
+
+from repro.search import OptimizerConfig
+from repro.session import Session, save_session_markdown, session_to_markdown
+
+
+@pytest.fixture
+def session(theater):
+    return Session(
+        theater,
+        max_sources=4,
+        theta=0.5,
+        optimizer_config=OptimizerConfig(max_iterations=10, seed=0),
+    )
+
+
+class TestSessionToMarkdown:
+    def test_empty_session(self, session):
+        text = session_to_markdown(session)
+        assert "No iterations yet" in text
+
+    def test_one_iteration(self, session):
+        session.solve()
+        text = session_to_markdown(session, title="Theater run")
+        assert text.startswith("# Theater run")
+        assert "## Iteration 0" in text
+        assert "## Final mediated schema" in text
+        assert "Weights:" in text
+
+    def test_diffs_between_iterations(self, session):
+        session.solve()
+        session.require_match(
+            [("londontheatre.co.uk", "keyword"), ("pa.msu.edu", "keyword")]
+        )
+        session.solve()
+        text = session_to_markdown(session)
+        assert "## Iteration 1" in text
+        assert "Changes since previous iteration" in text
+
+    def test_parameters_recorded(self, session):
+        session.set_theta(0.7)
+        session.solve()
+        assert "θ=0.7" in session_to_markdown(session)
+
+    def test_save_to_file(self, session, tmp_path):
+        session.solve()
+        path = tmp_path / "session.md"
+        save_session_markdown(session, path)
+        assert "## Iteration 0" in path.read_text(encoding="utf-8")

@@ -1,0 +1,236 @@
+"""Tests for the interactive console."""
+
+import pytest
+
+from repro.search import OptimizerConfig
+from repro.session import InteractiveConsole, Session
+
+
+@pytest.fixture
+def console(theater):
+    session = Session(
+        theater,
+        max_sources=5,
+        theta=0.5,
+        optimizer_config=OptimizerConfig(
+            max_iterations=15, patience=8, seed=0
+        ),
+    )
+    output: list[str] = []
+    return InteractiveConsole(session, write=output.append), output
+
+
+class TestBasics:
+    def test_help_lists_commands(self, console):
+        shell, output = console
+        shell.handle("help")
+        assert "solve" in output[-1]
+        assert "accept" in output[-1]
+
+    def test_unknown_command(self, console):
+        shell, output = console
+        assert shell.handle("frobnicate") is True
+        assert "unknown command" in output[-1]
+
+    def test_blank_line_ignored(self, console):
+        shell, output = console
+        assert shell.handle("   ") is True
+        assert not output
+
+    def test_quit_stops(self, console):
+        shell, output = console
+        assert shell.handle("quit") is False
+        assert "bye" in output[-1]
+
+    def test_run_stops_at_quit(self, console):
+        shell, output = console
+        shell.run(["help", "quit", "solve"])
+        # The trailing solve never executed.
+        assert not any("iteration" in line for line in output)
+
+
+class TestSolvingCommands:
+    def test_solve_then_show(self, console):
+        shell, output = console
+        shell.handle("solve")
+        assert "iteration 0" in output[-1]
+        shell.handle("show")
+        assert "Mediated schema" in output[-1]
+
+    def test_show_before_solve(self, console):
+        shell, output = console
+        shell.handle("show")
+        assert "nothing solved" in output[-1]
+
+    def test_stats(self, console):
+        shell, output = console
+        shell.handle("stats")
+        assert "11 sources" in output[-1]
+
+    def test_solve_with_optimizer(self, console):
+        shell, output = console
+        shell.handle("solve greedy")
+        assert "iteration 0" in output[-1]
+
+    def test_history(self, console):
+        shell, output = console
+        shell.handle("solve")
+        shell.handle("history")
+        assert "iter 0" in output[-1]
+
+    def test_diff_needs_two(self, console):
+        shell, output = console
+        shell.handle("solve")
+        shell.handle("diff")
+        assert "need two iterations" in output[-1]
+        shell.handle("solve")
+        shell.handle("diff")
+        assert "Quality:" in output[-1]
+
+
+class TestFeedbackCommands:
+    def test_pin_by_id_and_name(self, console):
+        shell, output = console
+        shell.handle("pin 3")
+        assert "pinned source 3" in output[-1]
+        shell.handle("pin pbs.org")
+        assert "pinned source 6" in output[-1]
+        assert shell.session.source_constraints == {3, 6}
+
+    def test_unpin(self, console):
+        shell, _ = console
+        shell.handle("pin 3")
+        shell.handle("unpin 3")
+        assert not shell.session.source_constraints
+
+    def test_match_with_underscores_for_spaces(self, console):
+        shell, output = console
+        shell.handle("match 4.keyword 3.search_term")
+        assert "pinned matching" in output[-1]
+        assert len(shell.session.ga_constraints) == 1
+
+    def test_match_needs_two_tokens(self, console):
+        shell, output = console
+        shell.handle("match 4.keyword")
+        assert "bad arguments" in output[-1]
+
+    def test_match_bad_token_format(self, console):
+        shell, output = console
+        shell.handle("match keyword 3.x")
+        assert "bad arguments" in output[-1]
+
+    def test_accept_ga_by_number(self, console):
+        shell, output = console
+        shell.handle("solve")
+        shell.handle("accept 1")
+        assert "accepted GA1" in output[-1]
+        assert len(shell.session.ga_constraints) == 1
+
+    def test_accept_out_of_range(self, console):
+        shell, output = console
+        shell.handle("solve")
+        shell.handle("accept 99")
+        assert "bad arguments" in output[-1]
+
+    def test_accept_before_solve(self, console):
+        shell, output = console
+        shell.handle("accept 1")
+        assert "nothing to accept" in output[-1]
+
+    def test_weight(self, console):
+        shell, output = console
+        shell.handle("weight coverage 0.5")
+        assert "coverage=0.50" in output[-1]
+
+    def test_parameters(self, console):
+        shell, output = console
+        shell.handle("theta 0.7")
+        assert shell.session.theta == 0.7
+        shell.handle("beta 3")
+        assert shell.session.beta == 3
+        shell.handle("budget 4")
+        assert shell.session.max_sources == 4
+
+    def test_domain_errors_reported_not_raised(self, console):
+        shell, output = console
+        shell.handle("pin 99")
+        assert "error" in output[-1]
+        shell.handle("theta 7")
+        assert "error" in output[-1]
+
+
+class TestScriptedSession:
+    def test_full_walkthrough(self, console):
+        shell, output = console
+        shell.run(
+            [
+                "stats",
+                "solve",
+                "match 4.keyword 3.search_term",
+                "solve",
+                "diff",
+                "accept 1",
+                "budget 6",
+                "solve",
+                "history",
+                "quit",
+            ]
+        )
+        assert len(shell.session.history) == 3
+        history_text = output[-2]
+        assert "iter 2" in history_text
+
+
+class TestPersistenceCommands:
+    def test_save_session_markdown(self, console, tmp_path):
+        shell, output = console
+        shell.handle("solve")
+        path = tmp_path / "session.md"
+        shell.handle(f"save {path}")
+        assert "session report written" in output[-1]
+        assert "## Iteration 0" in path.read_text(encoding="utf-8")
+
+    def test_export_solution_json(self, console, tmp_path):
+        from repro.io import load_solution
+
+        shell, output = console
+        shell.handle("solve")
+        path = tmp_path / "solution.json"
+        shell.handle(f"export {path}")
+        assert "solution written" in output[-1]
+        restored = load_solution(path)
+        assert restored.selected == shell.session.last_solution.selected
+
+    def test_export_before_solve(self, console, tmp_path):
+        shell, output = console
+        shell.handle(f"export {tmp_path / 'x.json'}")
+        assert "nothing to export" in output[-1]
+
+
+class TestTokenParsing:
+    def test_source_token(self):
+        from repro.session.interactive import _source_token
+
+        assert _source_token("42") == 42
+        assert _source_token("pbs.org") == "pbs.org"
+
+    def test_attribute_token_by_name(self):
+        from repro.session.interactive import _attribute_token
+
+        assert _attribute_token("3.search_term") == (3, "search term")
+
+    def test_attribute_token_by_index(self):
+        from repro.session.interactive import _attribute_token
+
+        assert _attribute_token("3.1") == (3, 1)
+
+    def test_attribute_token_source_by_name(self):
+        from repro.session.interactive import _attribute_token
+
+        assert _attribute_token("pbs.keyword") == ("pbs", "keyword")
+
+    def test_attribute_token_requires_dot(self):
+        from repro.session.interactive import _attribute_token
+
+        with pytest.raises(ValueError):
+            _attribute_token("keyword")

@@ -1,0 +1,85 @@
+"""Tests for the text renderers."""
+
+import pytest
+
+from repro.search import OptimizerConfig
+from repro.session import (
+    Session,
+    render_history,
+    render_schema,
+    render_solution,
+)
+
+
+@pytest.fixture
+def solved(theater):
+    session = Session(
+        theater,
+        max_sources=4,
+        theta=0.5,
+        optimizer_config=OptimizerConfig(max_iterations=10, seed=0),
+    )
+    session.solve()
+    return session
+
+
+class TestRenderSchema:
+    def test_lists_every_ga(self, solved, theater):
+        schema = solved.last_solution.schema
+        text = render_schema(schema, theater)
+        assert text.count("GA") == len(schema)
+
+    def test_attributes_qualified_by_source(self, solved, theater):
+        schema = solved.last_solution.schema
+        text = render_schema(schema, theater)
+        for ga in schema:
+            for attr in ga:
+                assert theater.source(attr.source_id).name in text
+
+    def test_none_schema(self, theater):
+        assert "no valid" in render_schema(None, theater)
+
+    def test_empty_schema(self, theater):
+        from repro.core import MediatedSchema
+
+        assert "empty" in render_schema(MediatedSchema.empty(), theater)
+
+
+class TestRenderSolution:
+    def test_includes_quality_and_sources(self, solved, theater):
+        solution = solved.last_solution
+        text = render_solution(solution, theater)
+        assert f"Q={solution.quality:.4f}" in text
+        for source in solution.sources(theater):
+            assert source.name in text
+
+    def test_includes_qef_scores(self, solved, theater):
+        text = render_solution(solved.last_solution, theater)
+        assert "matching=" in text
+        assert "coverage=" in text
+
+    def test_infeasible_reasons_shown(self, theater):
+        from repro.core import Solution
+
+        bad = Solution(
+            selected=frozenset({0}),
+            schema=None,
+            objective=0.0,
+            quality=0.0,
+            feasible=False,
+            infeasibility=("sky fell",),
+        )
+        text = render_solution(bad, theater)
+        assert "sky fell" in text
+        assert "INFEASIBLE" in text
+
+
+class TestRenderHistory:
+    def test_one_line_per_iteration(self, solved):
+        solved.solve()
+        text = render_history(solved.history)
+        assert len(text.splitlines()) == 2
+        assert "iter 0" in text and "iter 1" in text
+
+    def test_empty_history(self):
+        assert "no iterations" in render_history([])

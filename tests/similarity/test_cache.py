@@ -1,0 +1,51 @@
+"""Tests for CachedSimilarity."""
+
+from repro.similarity import CachedSimilarity, NGramJaccard
+
+
+class CountingMeasure:
+    name = "counting"
+
+    def __init__(self):
+        self.calls = 0
+        self._inner = NGramJaccard(3)
+
+    def __call__(self, a, b):
+        self.calls += 1
+        return self._inner(a, b)
+
+
+class TestCachedSimilarity:
+    def test_returns_same_values_as_wrapped(self):
+        raw = NGramJaccard(3)
+        cached = CachedSimilarity(NGramJaccard(3))
+        for a, b in [("title", "titles"), ("a", "b"), ("isbn", "isbn")]:
+            assert cached(a, b) == raw(a, b)
+
+    def test_second_lookup_hits_cache(self):
+        inner = CountingMeasure()
+        cached = CachedSimilarity(inner)
+        cached("title", "titles")
+        cached("title", "titles")
+        assert inner.calls == 1
+
+    def test_unordered_pair_shares_entry(self):
+        inner = CountingMeasure()
+        cached = CachedSimilarity(inner)
+        cached("title", "titles")
+        cached("titles", "title")
+        assert inner.calls == 1
+        assert cached.cache_size() == 1
+
+    def test_clear(self):
+        inner = CountingMeasure()
+        cached = CachedSimilarity(inner)
+        cached("a", "b")
+        cached.clear()
+        assert cached.cache_size() == 0
+        cached("a", "b")
+        assert inner.calls == 2
+
+    def test_exposes_measure_name(self):
+        cached = CachedSimilarity(NGramJaccard(3))
+        assert cached.name == "3gram_jaccard"

@@ -1,0 +1,94 @@
+"""Tests for data-based (instance) similarity."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.similarity import (
+    HybridSimilarity,
+    InstanceSimilarity,
+    NGramJaccard,
+)
+
+
+@pytest.fixture
+def samples():
+    return {
+        "format": frozenset({"hardcover", "paperback", "audio", "ebook"}),
+        "binding": frozenset({"hardcover", "paperback", "audio", "spiral"}),
+        "isbn": frozenset({"978-0", "978-1", "979-8"}),
+        "empty": frozenset(),
+    }
+
+
+class TestInstanceSimilarity:
+    def test_overlapping_values_score_high(self, samples):
+        measure = InstanceSimilarity(samples)
+        # 3 shared of 5 distinct values.
+        assert measure("format", "binding") == pytest.approx(3 / 5)
+
+    def test_disjoint_values_score_zero(self, samples):
+        assert InstanceSimilarity(samples)("format", "isbn") == 0.0
+
+    def test_self_similarity_is_one(self, samples):
+        measure = InstanceSimilarity(samples)
+        assert measure("format", "format") == 1.0
+        assert measure("unknown", "unknown") == 1.0
+
+    def test_symmetric(self, samples):
+        measure = InstanceSimilarity(samples)
+        assert measure("format", "binding") == measure("binding", "format")
+
+    def test_missing_profile_scores_zero(self, samples):
+        measure = InstanceSimilarity(samples)
+        assert measure("format", "unknown") == 0.0
+        assert measure("format", "empty") == 0.0
+
+
+class TestHybridSimilarity:
+    def test_max_mode_takes_stronger_evidence(self, samples):
+        hybrid = HybridSimilarity(
+            NGramJaccard(3), InstanceSimilarity(samples)
+        )
+        # Names share nothing, values do.
+        assert hybrid("format", "binding") == pytest.approx(3 / 5)
+        # Names match, values unknown.
+        assert hybrid("title", "titles") == pytest.approx(0.75)
+
+    def test_weighted_mode_blends(self, samples):
+        hybrid = HybridSimilarity(
+            NGramJaccard(3),
+            InstanceSimilarity(samples),
+            mode="weighted",
+            alpha=0.5,
+        )
+        expected = 0.5 * 0.0 + 0.5 * (3 / 5)
+        assert hybrid("format", "binding") == pytest.approx(expected)
+
+    def test_identical_names_always_one(self, samples):
+        hybrid = HybridSimilarity(
+            NGramJaccard(3), InstanceSimilarity(samples), mode="weighted"
+        )
+        assert hybrid("format", "Format") == 1.0
+
+    def test_invalid_mode_rejected(self, samples):
+        with pytest.raises(ReproError):
+            HybridSimilarity(
+                NGramJaccard(3), InstanceSimilarity(samples), mode="plus"
+            )
+
+    def test_invalid_alpha_rejected(self, samples):
+        with pytest.raises(ReproError):
+            HybridSimilarity(
+                NGramJaccard(3),
+                InstanceSimilarity(samples),
+                mode="weighted",
+                alpha=1.5,
+            )
+
+    def test_range_preserved(self, samples):
+        hybrid = HybridSimilarity(
+            NGramJaccard(3), InstanceSimilarity(samples)
+        )
+        for a in list(samples) + ["other"]:
+            for b in list(samples) + ["other"]:
+                assert 0.0 <= hybrid(a, b) <= 1.0

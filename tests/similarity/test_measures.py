@@ -1,0 +1,125 @@
+"""Tests for the similarity measures, including hypothesis properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ReproError
+from repro.similarity import (
+    ExactMatch,
+    LevenshteinSimilarity,
+    NGramCosine,
+    NGramDice,
+    NGramJaccard,
+    NGramOverlap,
+    TokenJaccard,
+    available_measures,
+    default_measure,
+    get_measure,
+    levenshtein_distance,
+)
+
+ALL_MEASURES = [
+    NGramJaccard(3),
+    NGramJaccard(2),
+    NGramDice(3),
+    NGramOverlap(3),
+    NGramCosine(3),
+    TokenJaccard(),
+    LevenshteinSimilarity(),
+    ExactMatch(),
+]
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd", "Zs")),
+    max_size=24,
+)
+
+
+class TestJaccard:
+    def test_identical_names_score_one(self):
+        assert NGramJaccard(3)("title", "title") == 1.0
+
+    def test_disjoint_names_score_zero(self):
+        assert NGramJaccard(3)("title", "zzz") == 0.0
+
+    def test_known_value(self):
+        # author: {aut, uth, tho, hor}; authors adds {ors}: 4/5.
+        assert NGramJaccard(3)("author", "authors") == pytest.approx(0.8)
+
+    def test_paper_example_book_title(self):
+        # 3 shared grams of 8 total.
+        assert NGramJaccard(3)("title", "book title") == pytest.approx(3 / 8)
+
+    def test_invalid_n(self):
+        with pytest.raises(ReproError):
+            NGramJaccard(0)
+
+
+class TestOtherMeasures:
+    def test_dice_geq_jaccard(self):
+        a, b = "author", "authors"
+        assert NGramDice(3)(a, b) >= NGramJaccard(3)(a, b)
+
+    def test_overlap_scores_substring_fully(self):
+        assert NGramOverlap(3)("title", "book title") == 1.0
+
+    def test_cosine_between_jaccard_and_overlap(self):
+        a, b = "title", "book title"
+        assert (
+            NGramJaccard(3)(a, b)
+            <= NGramCosine(3)(a, b)
+            <= NGramOverlap(3)(a, b)
+        )
+
+    def test_token_jaccard(self):
+        assert TokenJaccard()("book title", "title") == pytest.approx(0.5)
+
+    def test_exact_match_ignores_case_and_punctuation(self):
+        assert ExactMatch()("Book_Title", "book title") == 1.0
+        assert ExactMatch()("book title", "book titles") == 0.0
+
+    def test_levenshtein_similarity(self):
+        assert LevenshteinSimilarity()("title", "titles") == pytest.approx(
+            1 - 1 / 6
+        )
+
+
+class TestLevenshteinDistance:
+    def test_classic_cases(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_symmetry(self):
+        assert levenshtein_distance("ab", "ba") == levenshtein_distance(
+            "ba", "ab"
+        )
+
+
+class TestRegistry:
+    def test_default_is_3gram_jaccard(self):
+        assert default_measure().name == "3gram_jaccard"
+
+    def test_get_measure_roundtrip(self):
+        for name in available_measures():
+            assert get_measure(name).name == name
+
+    def test_unknown_measure_raises(self):
+        with pytest.raises(ReproError):
+            get_measure("quantum")
+
+
+@pytest.mark.parametrize("measure", ALL_MEASURES, ids=lambda m: m.name)
+class TestMeasureContract:
+    """Every measure must be a symmetric similarity into [0, 1]."""
+
+    @given(a=names, b=names)
+    def test_range_and_symmetry(self, measure, a, b):
+        value = measure(a, b)
+        assert 0.0 <= value <= 1.0
+        assert measure(b, a) == pytest.approx(value)
+
+    @given(a=names)
+    def test_self_similarity_is_one(self, measure, a):
+        assert measure(a, a) == pytest.approx(1.0)

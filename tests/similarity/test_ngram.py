@@ -1,0 +1,61 @@
+"""Tests for n-gram tokenization and name normalization."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.similarity import ngrams, normalize_name, word_tokens
+
+
+class TestNormalizeName:
+    def test_lowercases(self):
+        assert normalize_name("Book Title") == "book title"
+
+    def test_collapses_punctuation_and_whitespace(self):
+        assert normalize_name("book__title") == "book title"
+        assert normalize_name("book  -  title") == "book title"
+
+    def test_strips_edges(self):
+        assert normalize_name("  title! ") == "title"
+
+    def test_preserves_digits(self):
+        assert normalize_name("ISBN-13") == "isbn 13"
+
+    def test_empty_and_symbol_only(self):
+        assert normalize_name("") == ""
+        assert normalize_name("!!!") == ""
+
+
+class TestNgrams:
+    def test_basic_trigrams(self):
+        assert ngrams("title") == frozenset({"tit", "itl", "tle"})
+
+    def test_short_string_yields_itself(self):
+        assert ngrams("id") == frozenset({"id"})
+
+    def test_empty_string_yields_empty_set(self):
+        assert ngrams("") == frozenset()
+
+    def test_grams_cross_word_boundaries(self):
+        grams = ngrams("book title")
+        assert "k t" in grams  # space participates in grams
+
+    def test_normalization_applied_by_default(self):
+        assert ngrams("TITLE") == ngrams("title")
+
+    def test_normalization_can_be_disabled(self):
+        assert ngrams("TITLE", normalize=False) != ngrams("title")
+
+    def test_bigrams(self):
+        assert ngrams("abc", n=2) == frozenset({"ab", "bc"})
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ReproError):
+            ngrams("abc", n=0)
+
+
+class TestWordTokens:
+    def test_splits_on_whitespace(self):
+        assert word_tokens("book title") == frozenset({"book", "title"})
+
+    def test_normalizes_first(self):
+        assert word_tokens("Book_Title") == frozenset({"book", "title"})

@@ -1,0 +1,63 @@
+"""Tests for the hashing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.sketch import hash_ints, hash_strings, splitmix64, trailing_zeros
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        values = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(splitmix64(values, 1), splitmix64(values, 1))
+
+    def test_seed_changes_stream(self):
+        values = np.arange(100, dtype=np.uint64)
+        assert not np.array_equal(splitmix64(values, 1), splitmix64(values, 2))
+
+    def test_injective_on_inputs(self):
+        # splitmix64's finalizer is a bijection on 64-bit values.
+        values = np.arange(10_000, dtype=np.uint64)
+        hashed = splitmix64(values)
+        assert len(np.unique(hashed)) == len(values)
+
+    def test_bits_look_uniform(self):
+        hashed = splitmix64(np.arange(50_000, dtype=np.uint64))
+        # Population count should average ~32 of 64 bits.
+        mean_bits = float(np.bitwise_count(hashed).mean())
+        assert 31.5 < mean_bits < 32.5
+
+
+class TestHashInts:
+    def test_accepts_python_ints(self):
+        out = hash_ints([1, 2, 3])
+        assert out.dtype == np.uint64
+        assert len(out) == 3
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            hash_ints(np.array([1.5, 2.5]))
+
+
+class TestHashStrings:
+    def test_deterministic_across_calls(self):
+        a = hash_strings(["title", "author"])
+        b = hash_strings(["title", "author"])
+        assert np.array_equal(a, b)
+
+    def test_distinct_strings_distinct_hashes(self):
+        hashed = hash_strings([f"tuple-{i}" for i in range(5_000)])
+        assert len(np.unique(hashed)) == 5_000
+
+
+class TestTrailingZeros:
+    def test_known_values(self):
+        values = np.array([1, 2, 4, 8, 3, 12], dtype=np.uint64)
+        assert trailing_zeros(values).tolist() == [0, 1, 2, 3, 0, 2]
+
+    def test_zero_maps_to_64(self):
+        assert trailing_zeros(np.array([0], dtype=np.uint64)).tolist() == [64]
+
+    def test_high_bit(self):
+        value = np.array([1 << 63], dtype=np.uint64)
+        assert trailing_zeros(value).tolist() == [63]

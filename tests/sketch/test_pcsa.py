@@ -1,0 +1,160 @@
+"""Tests for the PCSA sketch (paper §4)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SketchError
+from repro.sketch import (
+    ExactDistinct,
+    PCSASketch,
+    estimate_union,
+    relative_error,
+    union_sketch,
+)
+
+
+class TestConstruction:
+    def test_num_maps_must_be_power_of_two(self):
+        with pytest.raises(SketchError):
+            PCSASketch(num_maps=100)
+
+    def test_map_bits_bounds(self):
+        with pytest.raises(SketchError):
+            PCSASketch(map_bits=0)
+        with pytest.raises(SketchError):
+            PCSASketch(map_bits=65)
+
+    def test_empty_sketch_estimates_zero(self):
+        assert PCSASketch().estimate() == 0.0
+        assert PCSASketch().is_empty()
+
+    def test_from_ints_not_empty(self):
+        sketch = PCSASketch.from_ints(np.arange(100))
+        assert not sketch.is_empty()
+
+    def test_nbytes_small(self):
+        # Paper: "the hash signatures themselves are small".
+        assert PCSASketch(num_maps=256).nbytes() == 256 * 8
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("n", [1_000, 10_000, 100_000])
+    def test_single_set_estimate_within_tolerance(self, n):
+        rng = np.random.default_rng(n)
+        ids = rng.choice(10 * n, size=n, replace=False)
+        sketch = PCSASketch.from_ints(ids)
+        # 256 maps → ~5 % expected standard error; allow 3 sigma.
+        assert relative_error(sketch.estimate(), n) < 0.15
+
+    def test_duplicates_do_not_inflate_estimate(self):
+        base = np.arange(5_000)
+        once = PCSASketch.from_ints(base)
+        tripled = PCSASketch.from_ints(np.concatenate([base, base, base]))
+        assert tripled.estimate() == once.estimate()
+
+    def test_estimate_monotone_in_data(self):
+        small = PCSASketch.from_ints(np.arange(1_000))
+        large = PCSASketch.from_ints(np.arange(50_000))
+        assert large.estimate() > small.estimate()
+
+    def test_deterministic(self):
+        a = PCSASketch.from_ints(np.arange(10_000))
+        b = PCSASketch.from_ints(np.arange(10_000))
+        assert np.array_equal(a.words, b.words)
+
+
+class TestUnion:
+    def test_or_of_signatures_equals_signature_of_union(self):
+        # The core observation of §4.
+        a_ids = np.arange(0, 30_000)
+        b_ids = np.arange(20_000, 60_000)
+        merged = PCSASketch.from_ints(a_ids) | PCSASketch.from_ints(b_ids)
+        direct = PCSASketch.from_ints(np.concatenate([a_ids, b_ids]))
+        assert np.array_equal(merged.words, direct.words)
+
+    def test_union_estimate_accuracy(self):
+        rng = np.random.default_rng(42)
+        a_ids = rng.choice(1_000_000, size=80_000, replace=False)
+        b_ids = rng.choice(1_000_000, size=80_000, replace=False)
+        estimate = (
+            PCSASketch.from_ints(a_ids) | PCSASketch.from_ints(b_ids)
+        ).estimate()
+        exact = (
+            ExactDistinct.from_ints(a_ids) | ExactDistinct.from_ints(b_ids)
+        ).count()
+        assert relative_error(estimate, exact) < 0.15
+
+    def test_union_commutative_and_idempotent(self):
+        a = PCSASketch.from_ints(np.arange(1_000))
+        b = PCSASketch.from_ints(np.arange(500, 2_000))
+        assert np.array_equal((a | b).words, (b | a).words)
+        assert np.array_equal((a | a).words, a.words)
+
+    def test_incompatible_parameters_rejected(self):
+        a = PCSASketch.from_ints(np.arange(10), num_maps=64)
+        b = PCSASketch.from_ints(np.arange(10), num_maps=128)
+        with pytest.raises(SketchError):
+            a | b
+
+    def test_different_seeds_rejected(self):
+        a = PCSASketch.from_ints(np.arange(10), seed=1)
+        b = PCSASketch.from_ints(np.arange(10), seed=2)
+        with pytest.raises(SketchError):
+            a | b
+
+    def test_union_sketch_many(self):
+        sketches = [
+            PCSASketch.from_ints(np.arange(i * 1_000, (i + 1) * 1_000))
+            for i in range(5
+            )
+        ]
+        merged = union_sketch(sketches)
+        assert relative_error(merged.estimate(), 5_000) < 0.2
+
+    def test_union_sketch_empty_rejected(self):
+        with pytest.raises(SketchError):
+            union_sketch([])
+
+    def test_estimate_union_empty_is_zero(self):
+        assert estimate_union([]) == 0.0
+
+    def test_union_does_not_mutate_operands(self):
+        a = PCSASketch.from_ints(np.arange(100))
+        before = a.words.copy()
+        a | PCSASketch.from_ints(np.arange(100, 200))
+        assert np.array_equal(a.words, before)
+
+
+class TestIncremental:
+    def test_add_ints_matches_from_ints(self):
+        whole = PCSASketch.from_ints(np.arange(2_000))
+        pieces = PCSASketch(num_maps=256)
+        pieces.add_ints(np.arange(0, 1_000))
+        pieces.add_ints(np.arange(1_000, 2_000))
+        assert np.array_equal(whole.words, pieces.words)
+
+    def test_copy_is_independent(self):
+        original = PCSASketch.from_ints(np.arange(100))
+        clone = original.copy()
+        clone.add_ints(np.arange(100, 10_000))
+        assert not np.array_equal(original.words, clone.words)
+
+
+class TestExactDistinct:
+    def test_count_deduplicates(self):
+        exact = ExactDistinct.from_ints([1, 1, 2, 3, 3])
+        assert exact.count() == 3
+
+    def test_union(self):
+        a = ExactDistinct.from_ints([1, 2, 3])
+        b = ExactDistinct.from_ints([3, 4])
+        assert (a | b).count() == 4
+
+    def test_intersection_count(self):
+        a = ExactDistinct.from_ints([1, 2, 3])
+        b = ExactDistinct.from_ints([2, 3, 4])
+        assert a.intersection_count(b) == 2
+
+    def test_relative_error_requires_positive_exact(self):
+        with pytest.raises(SketchError):
+            relative_error(10.0, 0)

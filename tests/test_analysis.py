@@ -1,0 +1,127 @@
+"""Tests for the benchmark-report figure renderer."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    BenchRecord,
+    ascii_chart,
+    load_benchmark_json,
+    render_figures,
+    render_group,
+)
+from repro.exceptions import ReproError
+
+
+def write_report(path, benches):
+    path.write_text(json.dumps({"benchmarks": benches}), encoding="utf-8")
+
+
+def bench_entry(name, mean, group=None, extra=None):
+    return {
+        "name": name,
+        "group": group,
+        "stats": {"mean": mean},
+        "extra_info": extra or {},
+    }
+
+
+class TestLoad:
+    def test_loads_records(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(
+            path,
+            [bench_entry("test_x[1]", 0.5, group="g", extra={"choose": 1})],
+        )
+        records = load_benchmark_json(path)
+        assert records[0].group == "g"
+        assert records[0].mean_seconds == 0.5
+        assert records[0].extra == {"choose": 1}
+
+    def test_group_falls_back_to_test_name(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(path, [bench_entry("test_fig6_sweep[5-none]", 0.1)])
+        assert load_benchmark_json(path)[0].group == "fig6_sweep"
+
+    def test_rejects_non_benchmark_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text("{}", encoding="utf-8")
+        with pytest.raises(ReproError):
+            load_benchmark_json(path)
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert ascii_chart([]) == "(no data)"
+
+    def test_endpoints_present(self):
+        chart = ascii_chart([(0, 0.0), (10, 5.0)], width=20, height=5)
+        assert "o" in chart
+        assert "0" in chart and "10" in chart
+
+    def test_monotone_series_marks_every_point(self):
+        points = [(float(i), float(i * i)) for i in range(5)]
+        chart = ascii_chart(points, width=30, height=8)
+        assert chart.count("o") >= 4  # distinct grid cells per point
+
+    def test_constant_series_handled(self):
+        chart = ascii_chart([(0, 1.0), (5, 1.0)], width=20, height=4)
+        assert "(no data)" not in chart
+
+    def test_labels_rendered(self):
+        chart = ascii_chart([(0, 0.0), (1, 1.0)], x_label="m", y_label="Q")
+        assert "(m → ; Q ↑)" in chart
+
+
+class TestRenderGroup:
+    def records(self):
+        return [
+            BenchRecord(
+                f"test[x{choose}-{setting}]",
+                "fig",
+                0.1 * choose,
+                {"choose": choose, "constraints": setting, "quality": 0.5 + 0.01 * choose},
+            )
+            for choose in (5, 10, 15)
+            for setting in ("none", "5sc")
+        ]
+
+    def test_table_includes_params(self):
+        text = render_group("fig", self.records())
+        assert "choose" in text
+        assert "constraints" in text
+        assert "quality" in text
+
+    def test_series_split_per_category(self):
+        text = render_group("fig", self.records())
+        assert "mean seconds — 5sc" in text
+        assert "mean seconds — none" in text
+        assert "quality — none" in text
+
+    def test_no_sweep_means_table_only(self):
+        records = [
+            BenchRecord("a", "g", 0.1, {"note": "x"}),
+            BenchRecord("b", "g", 0.2, {"note": "y"}),
+        ]
+        text = render_group("g", records)
+        assert "┤" not in text  # no chart axis
+
+
+class TestRenderFigures:
+    def test_end_to_end(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_report(
+            path,
+            [
+                bench_entry(
+                    f"test_fig[u{size}]", size / 100,
+                    extra={"universe_size": size, "quality": 0.6},
+                )
+                for size in (100, 200, 300)
+            ],
+        )
+        text = render_figures(path)
+        assert "== fig" in text
+        assert "universe_size" in text
+        assert "┤" in text

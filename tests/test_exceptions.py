@@ -1,0 +1,54 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    ConstraintError,
+    InvalidGAError,
+    InvalidSchemaError,
+    ReproError,
+    SearchError,
+    SketchError,
+    WeightError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InvalidGAError,
+            InvalidSchemaError,
+            ConstraintError,
+            WeightError,
+            SketchError,
+            SearchError,
+            WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_single_catch_covers_api(self):
+        # The documented contract: one except clause for everything.
+        from repro.core import GlobalAttribute
+
+        with pytest.raises(ReproError):
+            GlobalAttribute([])
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version_present(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_star_import_matches_all(self):
+        namespace: dict = {}
+        exec("from repro import *", namespace)
+        exported = {k for k in namespace if not k.startswith("_")}
+        assert set(repro.__all__) - {"__version__"} <= exported

@@ -1,0 +1,205 @@
+"""Failure injection: corrupted inputs and hostile edge cases.
+
+A production library must fail loudly and precisely, not wrongly succeed.
+Each test here injects a specific fault and asserts the failure surfaces
+as the right exception at the right layer — or that the system degrades
+exactly as documented.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Problem,
+    Source,
+    Universe,
+    default_weights,
+)
+from repro.exceptions import ReproError, SearchError, SketchError
+from repro.quality import Objective
+from repro.search import OptimizerConfig, TabuSearch
+from repro.sketch import PCSASketch
+
+from .conftest import make_source, make_universe
+
+
+class TestMismatchedSketches:
+    def test_incompatible_sketch_parameters_surface_in_qefs(self):
+        # Two sources whose "cooperative" sketches were built with
+        # different parameters: the union is meaningless and must raise.
+        a = Source(
+            0, "a", ("x",), cardinality=100,
+            sketch=PCSASketch.from_ints(np.arange(100), num_maps=64),
+        )
+        b = Source(
+            1, "b", ("x",), cardinality=100,
+            sketch=PCSASketch.from_ints(np.arange(100), num_maps=128),
+        )
+        problem = Problem(
+            universe=Universe([a, b]),
+            weights=default_weights(),
+            max_sources=2,
+        )
+        # The coverage QEF unions every cooperative sketch eagerly, so the
+        # fault surfaces already at objective construction — before any
+        # search budget is spent on a broken universe.
+        with pytest.raises(SketchError):
+            Objective(problem)
+
+    def test_wrong_seed_sketches_also_rejected(self):
+        a = PCSASketch.from_ints(np.arange(10), seed=1)
+        b = PCSASketch.from_ints(np.arange(10), seed=2)
+        with pytest.raises(SketchError):
+            a.union(b)
+
+
+class TestCorruptedCatalogs:
+    def test_truncated_json(self, tmp_path):
+        from repro.io import load_universe
+
+        path = tmp_path / "broken.json"
+        path.write_text('{"format": "mube-universe", "sources": [')
+        with pytest.raises(json.JSONDecodeError):
+            load_universe(path)
+
+    def test_corrupted_sketch_payload(self, tmp_path):
+        from repro.io import load_universe, save_universe, universe_from_dict
+
+        universe = Universe(
+            [make_source(0, ("a",), tuple_ids=np.arange(100))]
+        )
+        path = tmp_path / "catalog.json"
+        save_universe(universe, path)
+        data = json.loads(path.read_text())
+        data["sources"][0]["sketch"]["words"] = "!!!notbase64!!!"
+        with pytest.raises(Exception):
+            universe_from_dict(data)
+
+    def test_duplicate_ids_in_catalog(self):
+        from repro.io import universe_from_dict
+
+        payload = {
+            "format": "mube-universe",
+            "version": 1,
+            "sources": [
+                {"id": 0, "name": "a", "schema": ["x"]},
+                {"id": 0, "name": "b", "schema": ["y"]},
+            ],
+        }
+        with pytest.raises(ReproError):
+            universe_from_dict(payload)
+
+    def test_empty_schema_in_catalog(self):
+        from repro.io import universe_from_dict
+
+        payload = {
+            "format": "mube-universe",
+            "version": 1,
+            "sources": [{"id": 0, "name": "a", "schema": []}],
+        }
+        with pytest.raises(ReproError):
+            universe_from_dict(payload)
+
+
+class TestHostileSearchSpaces:
+    def test_everything_pinned_still_terminates(self):
+        universe = make_universe(("title",), ("title",))
+        problem = Problem(
+            universe=universe,
+            weights=default_weights(),
+            max_sources=2,
+            source_constraints=frozenset({0, 1}),
+        )
+        result = TabuSearch(
+            OptimizerConfig(max_iterations=100, seed=0)
+        ).optimize(Objective(problem))
+        assert result.solution.selected == frozenset({0, 1})
+
+    def test_unsatisfiable_constraint_reported_infeasible(self):
+        # The constrained source matches nothing: every selection is NULL.
+        universe = make_universe(
+            ("title",), ("title",), ("zzzz unique",)
+        )
+        problem = Problem(
+            universe=universe,
+            weights=default_weights(),
+            max_sources=3,
+            source_constraints=frozenset({2}),
+        )
+        result = TabuSearch(
+            OptimizerConfig(max_iterations=20, seed=0)
+        ).optimize(Objective(problem))
+        assert not result.solution.feasible
+        assert result.solution.schema is None
+
+    def test_single_source_universe(self):
+        universe = make_universe(("title", "author"))
+        problem = Problem(
+            universe=universe, weights=default_weights(), max_sources=1
+        )
+        result = TabuSearch(
+            OptimizerConfig(max_iterations=10, seed=0)
+        ).optimize(Objective(problem))
+        # One source, nothing to match against: empty schema, feasible.
+        assert result.solution.feasible
+        assert result.solution.ga_count() == 0
+
+    def test_time_limit_zero_returns_initial(self):
+        universe = make_universe(("title",), ("title",), ("title",))
+        problem = Problem(
+            universe=universe, weights=default_weights(), max_sources=2
+        )
+        result = TabuSearch(
+            OptimizerConfig(max_iterations=1000, time_limit=0.0, seed=0)
+        ).optimize(Objective(problem))
+        assert result.solution is not None
+        assert result.stats.iterations == 0
+
+
+class TestDegenerateWeights:
+    def test_nan_weight_rejected(self):
+        universe = make_universe(("a",))
+        with pytest.raises(ReproError):
+            Problem(
+                universe=universe,
+                weights={"matching": float("nan"), "coverage": 1.0},
+                max_sources=1,
+            )
+
+    def test_single_qef_all_weight(self):
+        universe = make_universe(("title",), ("title",))
+        problem = Problem(
+            universe=universe,
+            weights={"matching": 1.0},
+            max_sources=2,
+        )
+        solution = Objective(problem).evaluate({0, 1})
+        assert solution.quality == pytest.approx(
+            solution.qef_scores["matching"]
+        )
+
+
+class TestExhaustedResources:
+    def test_exhaustive_guard(self):
+        workload_universe = make_universe(*[("a",)] * 30)
+        problem = Problem(
+            universe=workload_universe,
+            weights=default_weights(),
+            max_sources=15,
+        )
+        from repro.search import ExhaustiveSearch
+
+        with pytest.raises(SearchError):
+            ExhaustiveSearch(max_subsets=1000).optimize(Objective(problem))
+
+    def test_match_cache_eviction_does_not_break_results(self):
+        from repro.matching import MatchOperator
+
+        universe = make_universe(("title",), ("title",), ("titles",))
+        operator = MatchOperator(universe, theta=0.65, cache_size=1)
+        first = operator.match({0, 1})
+        operator.match({0, 2})  # evicts
+        again = operator.match({0, 1})
+        assert first.schema == again.schema

@@ -1,0 +1,180 @@
+"""Tests for JSON persistence of universes, schemas, and solutions."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import GlobalAttribute, MediatedSchema, Solution
+from repro.exceptions import ReproError
+from repro.io import (
+    ga_from_list,
+    ga_to_list,
+    load_solution,
+    load_universe,
+    save_solution,
+    save_universe,
+    schema_from_dict,
+    schema_to_dict,
+    sketch_from_dict,
+    sketch_to_dict,
+    solution_from_dict,
+    solution_to_dict,
+    universe_from_dict,
+    universe_to_dict,
+)
+from repro.sketch import PCSASketch
+
+from .conftest import make_universe
+
+
+class TestSketchRoundtrip:
+    def test_words_and_parameters_preserved(self):
+        sketch = PCSASketch.from_ints(np.arange(5_000), num_maps=64, seed=3)
+        restored = sketch_from_dict(sketch_to_dict(sketch))
+        assert restored.compatible_with(sketch)
+        assert np.array_equal(restored.words, sketch.words)
+        assert restored.estimate() == sketch.estimate()
+
+    def test_restored_sketch_mergeable(self):
+        a = PCSASketch.from_ints(np.arange(1_000), num_maps=64)
+        b = sketch_from_dict(sketch_to_dict(
+            PCSASketch.from_ints(np.arange(500, 1_500), num_maps=64)
+        ))
+        assert not (a | b).is_empty()
+
+
+class TestUniverseRoundtrip:
+    def test_plain_universe(self, tmp_path):
+        universe = make_universe(("title", "author"), ("isbn",))
+        path = tmp_path / "catalog.json"
+        save_universe(universe, path)
+        restored = load_universe(path)
+        assert len(restored) == 2
+        assert restored.source(0).schema == ("title", "author")
+
+    def test_cooperative_universe(self, books_workload, tmp_path):
+        path = tmp_path / "books.json"
+        save_universe(books_workload.universe, path)
+        restored = load_universe(path)
+        for original, loaded in zip(books_workload.universe, restored):
+            assert loaded.schema == original.schema
+            assert loaded.cardinality == original.cardinality
+            assert loaded.characteristics == original.characteristics
+            assert np.array_equal(loaded.sketch.words, original.sketch.words)
+            assert loaded.is_cooperative
+
+    def test_restored_universe_solves_identically(self, books_workload, tmp_path):
+        from repro.core import Problem, default_weights
+        from repro.quality import Objective
+
+        path = tmp_path / "books.json"
+        save_universe(books_workload.universe, path)
+        restored = load_universe(path)
+
+        selection = frozenset(range(10))
+        original = Objective(
+            Problem(universe=books_workload.universe,
+                    weights=default_weights(), max_sources=10)
+        ).evaluate(selection)
+        loaded = Objective(
+            Problem(universe=restored, weights=default_weights(),
+                    max_sources=10)
+        ).evaluate(selection)
+        assert loaded.quality == pytest.approx(original.quality)
+        assert loaded.schema == original.schema
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ReproError):
+            universe_from_dict({"format": "something-else"})
+
+    def test_future_version_rejected(self):
+        universe = make_universe(("a",))
+        data = universe_to_dict(universe)
+        data["version"] = 99
+        with pytest.raises(ReproError):
+            universe_from_dict(data)
+
+    def test_tuple_data_never_persisted(self):
+        universe = make_universe(("a",), data=True)
+        data = universe_to_dict(universe)
+        assert "tuple_ids" not in json.dumps(data)
+
+
+class TestSchemaRoundtrip:
+    def test_ga_roundtrip_sorted(self, small_universe):
+        ga = GlobalAttribute(
+            [
+                small_universe.source(1).attribute(0),
+                small_universe.source(0).attribute(1),
+            ]
+        )
+        assert ga_from_list(ga_to_list(ga)) == ga
+        assert ga_to_list(ga)[0][0] == 0  # sorted by source id
+
+    def test_schema_roundtrip(self, small_universe):
+        schema = MediatedSchema(
+            [
+                GlobalAttribute(
+                    [
+                        small_universe.source(0).attribute(0),
+                        small_universe.source(1).attribute(0),
+                    ]
+                ),
+                GlobalAttribute([small_universe.source(2).attribute(1)]),
+            ]
+        )
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+    def test_schema_wrong_format_rejected(self):
+        with pytest.raises(ReproError):
+            schema_from_dict({"format": "mube-universe", "gas": []})
+
+
+class TestSolutionRoundtrip:
+    def build(self, small_universe):
+        schema = MediatedSchema(
+            [
+                GlobalAttribute(
+                    [
+                        small_universe.source(0).attribute(0),
+                        small_universe.source(1).attribute(0),
+                    ]
+                )
+            ]
+        )
+        return Solution(
+            selected=frozenset({0, 1}),
+            schema=schema,
+            objective=0.7,
+            quality=0.7,
+            qef_scores={"matching": 1.0, "coverage": 0.4},
+            feasible=True,
+        )
+
+    def test_roundtrip(self, small_universe, tmp_path):
+        solution = self.build(small_universe)
+        path = tmp_path / "solution.json"
+        save_solution(solution, path)
+        restored = load_solution(path)
+        assert restored.selected == solution.selected
+        assert restored.schema == solution.schema
+        assert restored.quality == solution.quality
+        assert restored.qef_scores == dict(solution.qef_scores)
+
+    def test_null_schema_roundtrip(self):
+        solution = Solution(
+            selected=frozenset({1}),
+            schema=None,
+            objective=0.0,
+            quality=0.0,
+            feasible=False,
+            infeasibility=("reason",),
+        )
+        restored = solution_from_dict(solution_to_dict(solution))
+        assert restored.schema is None
+        assert restored.infeasibility == ("reason",)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ReproError):
+            solution_from_dict({"format": "nope"})

@@ -1,0 +1,64 @@
+"""Tests for the synthetic base-schema repository."""
+
+from repro.workload import (
+    BASE_SCHEMA_COUNT,
+    books_base_schemas,
+    concept_of_name,
+    variant_weights,
+)
+
+
+class TestRepository:
+    def test_fifty_schemas_by_default(self):
+        assert len(books_base_schemas()) == BASE_SCHEMA_COUNT == 50
+
+    def test_frozen_across_calls(self):
+        assert books_base_schemas() == books_base_schemas()
+
+    def test_each_schema_has_at_least_two_attributes(self):
+        for schema in books_base_schemas():
+            assert len(schema) >= 2
+
+    def test_one_attribute_per_concept_per_schema(self):
+        for schema in books_base_schemas():
+            concepts = [concept for concept, _ in schema.attributes]
+            assert len(concepts) == len(set(concepts))
+
+    def test_labels_consistent_with_corpus(self):
+        for schema in books_base_schemas():
+            for concept, name in schema.attributes:
+                assert concept_of_name(name) == concept
+
+    def test_all_fourteen_concepts_appear_somewhere(self):
+        seen = set()
+        for schema in books_base_schemas():
+            seen |= schema.concepts()
+        assert len(seen) == 14
+
+    def test_frequent_concepts_more_common(self):
+        counts = {"title": 0, "age": 0}
+        for schema in books_base_schemas():
+            for concept in counts:
+                if concept in schema.concepts():
+                    counts[concept] += 1
+        assert counts["title"] > counts["age"]
+
+    def test_names_unique(self):
+        names = [s.name for s in books_base_schemas()]
+        assert len(names) == len(set(names))
+
+    def test_attribute_names_accessor(self):
+        schema = books_base_schemas()[0]
+        assert schema.attribute_names() == tuple(
+            name for _, name in schema.attributes
+        )
+
+
+class TestVariantWeights:
+    def test_sums_to_one(self):
+        weights = variant_weights(4)
+        assert abs(weights.sum() - 1.0) < 1e-12
+
+    def test_earlier_variants_preferred(self):
+        weights = variant_weights(3)
+        assert weights[0] > weights[1] > weights[2]

@@ -1,0 +1,89 @@
+"""Tests pinning the Books concept corpus structure."""
+
+import pytest
+
+from repro.similarity import NGramJaccard
+from repro.workload import (
+    BOOKS_CONCEPTS,
+    CONCEPT_COUNT,
+    CONCEPT_FREQUENCY,
+    NOISE_VOCABULARY,
+    concept_names,
+    concept_of_name,
+    variants_of,
+)
+
+THETA = 0.65
+
+
+class TestCorpusShape:
+    def test_exactly_fourteen_concepts(self):
+        # Paper §7.3: "There are 14 distinct concepts in these schemas."
+        assert CONCEPT_COUNT == 14
+        assert len(concept_names()) == 14
+
+    def test_every_concept_has_frequency(self):
+        assert set(CONCEPT_FREQUENCY) == set(BOOKS_CONCEPTS)
+        assert all(0.0 < f <= 1.0 for f in CONCEPT_FREQUENCY.values())
+
+    def test_every_concept_has_multiple_variants(self):
+        for concept in concept_names():
+            assert len(variants_of(concept)) >= 2
+
+    def test_variant_names_unique_across_concepts(self):
+        all_variants = [v for vs in BOOKS_CONCEPTS.values() for v in vs]
+        assert len(all_variants) == len(set(all_variants))
+
+    def test_reverse_lookup(self):
+        assert concept_of_name("book title") == "title"
+        assert concept_of_name("mileage") is None
+
+    def test_noise_vocabulary_disjoint_from_variants(self):
+        variants = {v for vs in BOOKS_CONCEPTS.values() for v in vs}
+        assert not variants & set(NOISE_VOCABULARY)
+
+
+class TestSimilarityStructure:
+    """The corpus must be learnable at the paper's θ = 0.65."""
+
+    def test_cross_concept_pairs_below_theta(self):
+        measure = NGramJaccard(3)
+        labelled = [
+            (concept, variant)
+            for concept, variants in BOOKS_CONCEPTS.items()
+            for variant in variants
+        ]
+        for i, (concept_a, name_a) in enumerate(labelled):
+            for concept_b, name_b in labelled[i + 1 :]:
+                if concept_a != concept_b:
+                    assert measure(name_a, name_b) < THETA, (
+                        f"{name_a!r} vs {name_b!r} would falsely merge"
+                    )
+
+    def test_each_concept_has_a_pair_clearing_theta_or_exact_dupes(self):
+        # Perturbed copies repeat names verbatim (similarity 1.0), so every
+        # concept is matchable; most also have a close variant pair.
+        measure = NGramJaccard(3)
+        concepts_with_close_pair = 0
+        for variants in BOOKS_CONCEPTS.values():
+            best = max(
+                measure(a, b)
+                for i, a in enumerate(variants)
+                for b in variants[i + 1 :]
+            )
+            if best >= THETA:
+                concepts_with_close_pair += 1
+        assert concepts_with_close_pair >= 8
+
+    def test_noise_never_collides_with_concepts(self):
+        measure = NGramJaccard(3)
+        variants = [v for vs in BOOKS_CONCEPTS.values() for v in vs]
+        for noise in NOISE_VOCABULARY:
+            for variant in variants:
+                assert measure(noise, variant) < THETA
+
+    def test_noise_words_mutually_below_theta(self):
+        measure = NGramJaccard(3)
+        for i, a in enumerate(NOISE_VOCABULARY):
+            for b in NOISE_VOCABULARY[i + 1 :]:
+                assert measure(a, b) < THETA, f"{a!r} vs {b!r}"

@@ -1,0 +1,98 @@
+"""Tests for tuple pools, Zipf cardinalities, and MTTF."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload import (
+    DataConfig,
+    MTTFConfig,
+    sample_source_tuples,
+    zipf_cardinalities,
+)
+
+
+class TestDataConfig:
+    def test_defaults_valid(self):
+        config = DataConfig()
+        assert config.general_pool_size + config.specialty_pool_size == (
+            config.pool_size
+        )
+
+    def test_paper_scale_magnitudes(self):
+        config = DataConfig.paper_scale()
+        assert config.pool_size == 4_000_000
+        assert config.min_cardinality == 10_000
+        assert config.max_cardinality == 1_000_000
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(WorkloadError):
+            DataConfig(pool_size=1)
+        with pytest.raises(WorkloadError):
+            DataConfig(min_cardinality=0)
+        with pytest.raises(WorkloadError):
+            DataConfig(min_cardinality=100, max_cardinality=10)
+        with pytest.raises(WorkloadError):
+            DataConfig(specialty_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            DataConfig(zipf_exponent=0.0)
+
+
+class TestZipfCardinalities:
+    def test_bounds_respected(self):
+        config = DataConfig.tiny()
+        cards = zipf_cardinalities(100, config, np.random.default_rng(0))
+        assert cards.min() >= config.min_cardinality
+        assert cards.max() <= min(config.max_cardinality, config.pool_size)
+
+    def test_skewed_distribution(self):
+        # Zipf: the top source dwarfs the median.
+        config = DataConfig()
+        cards = zipf_cardinalities(200, config, np.random.default_rng(1))
+        assert cards.max() > 10 * np.median(cards)
+
+    def test_deterministic(self):
+        config = DataConfig.tiny()
+        a = zipf_cardinalities(50, config, np.random.default_rng(2))
+        b = zipf_cardinalities(50, config, np.random.default_rng(2))
+        assert np.array_equal(a, b)
+
+
+class TestSampleSourceTuples:
+    def test_cardinality_honoured(self):
+        config = DataConfig.tiny()
+        ids = sample_source_tuples(300, False, config, np.random.default_rng(0))
+        assert len(ids) == 300
+        assert len(np.unique(ids)) == 300  # without replacement
+
+    def test_general_source_stays_in_general_pool(self):
+        config = DataConfig.tiny()
+        ids = sample_source_tuples(200, False, config, np.random.default_rng(1))
+        assert ids.max() < config.general_pool_size
+
+    def test_specialty_source_mixes_pools(self):
+        config = DataConfig.tiny()
+        ids = sample_source_tuples(500, True, config, np.random.default_rng(2))
+        general = (ids < config.general_pool_size).sum()
+        specialty = (ids >= config.general_pool_size).sum()
+        assert specialty == round(500 * config.specialty_share)
+        assert general == 500 - specialty
+
+    def test_ids_stay_inside_pool(self):
+        config = DataConfig.tiny()
+        ids = sample_source_tuples(1_000, True, config, np.random.default_rng(3))
+        assert ids.max() < config.pool_size
+
+
+class TestMTTF:
+    def test_distribution_parameters(self):
+        # Paper §7.1: normal with mean 100 and std 40.
+        config = MTTFConfig()
+        values = config.sample(20_000, np.random.default_rng(0))
+        assert float(values.mean()) == pytest.approx(100.0, abs=2.0)
+        assert float(values.std()) == pytest.approx(40.0, abs=2.5)
+
+    def test_clipped_positive(self):
+        config = MTTFConfig(mean=1.0, std=100.0)
+        values = config.sample(1_000, np.random.default_rng(1))
+        assert values.min() >= config.minimum

@@ -1,0 +1,170 @@
+"""Tests for the catalog builder and the discovery search engine."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.quality import estimated_distinct
+from repro.workload import (
+    DataConfig,
+    SourceSearchEngine,
+    build_catalog,
+    generate_universe,
+    get_domain,
+    precision_of_hits,
+)
+from repro.workload.discovery import tokenize
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_catalog(
+        sources_per_domain=40, seed=1, data_config=DataConfig.tiny()
+    )
+
+
+@pytest.fixture(scope="module")
+def engine(catalog):
+    return SourceSearchEngine(catalog.universe)
+
+
+class TestCatalog:
+    def test_sizes_and_domains(self, catalog):
+        assert len(catalog.universe) == 120
+        assert set(catalog.domain_of.values()) == {
+            "books", "airfares", "automobiles",
+        }
+        assert len(catalog.sources_of_domain("books")) == 40
+
+    def test_source_ids_disjoint_and_contiguous(self, catalog):
+        assert sorted(catalog.domain_of) == list(range(120))
+
+    def test_ground_truth_merged(self, catalog):
+        books_source = catalog.universe.source(0)
+        assert catalog.ground_truth.concept_of(
+            books_source.attributes[0]
+        ) is not None
+
+    def test_tuple_pools_disjoint_across_domains(self, catalog):
+        # A books source and an airfares source must not share tuples:
+        # the estimated union is (clamped to) the cardinality sum.
+        books = catalog.universe.source(0)
+        airfares = catalog.universe.source(40)
+        union = estimated_distinct([books, airfares])
+        assert union == pytest.approx(
+            books.cardinality + airfares.cardinality, rel=0.15
+        )
+
+    def test_duplicate_domains_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_catalog(domains=("books", "books"))
+
+    def test_empty_domains_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_catalog(domains=())
+
+    def test_workloads_accessible_per_domain(self, catalog):
+        assert set(catalog.workloads) == {
+            "books", "airfares", "automobiles",
+        }
+        assert catalog.workloads["airfares"].domain is get_domain("airfares")
+
+
+class TestTokenize:
+    def test_normalizes_and_splits(self):
+        assert tokenize("Book-Title (ISBN)") == ["book", "title", "isbn"]
+
+    def test_empty(self):
+        assert tokenize("!!!") == []
+
+
+class TestSearchEngine:
+    def test_domain_queries_rank_their_domain_first(self, catalog, engine):
+        cases = {
+            "books": "books isbn author title",
+            "airfares": "airfares departure city airline",
+            "automobiles": "automobiles vehicle make mileage",
+        }
+        for domain, query in cases.items():
+            hits = engine.search(query, limit=10)
+            assert precision_of_hits(hits, catalog, domain) >= 0.9
+
+    def test_scores_sorted_descending(self, engine):
+        hits = engine.search("isbn title", limit=None)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_ambiguous_token_spans_domains(self, catalog, engine):
+        # "price" appears in books and automobiles variants.
+        hits = engine.search("price", limit=30)
+        domains = {catalog.domain_of[hit.source_id] for hit in hits}
+        assert {"books", "automobiles"} <= domains
+
+    def test_unknown_token_no_hits(self, engine):
+        assert engine.search("zzzqqq") == []
+
+    def test_empty_query_no_hits(self, engine):
+        assert engine.search("   ") == []
+
+    def test_limit_respected(self, engine):
+        assert len(engine.search("keyword title", limit=3)) == 3
+
+    def test_subuniverse_preserves_sources(self, catalog, engine):
+        sub = engine.subuniverse("isbn author", limit=12)
+        assert len(sub) == 12
+        for source in sub:
+            assert catalog.universe.source(source.source_id) is source
+
+    def test_subuniverse_empty_query_raises(self, engine):
+        with pytest.raises(WorkloadError):
+            engine.subuniverse("zzzqqq")
+
+    def test_precision_of_empty_hits(self, catalog):
+        assert precision_of_hits([], catalog, "books") == 0.0
+
+
+class TestDiscoveryToIntegration:
+    def test_discovered_universe_solves(self, catalog, engine):
+        from repro.core import Problem, default_weights
+        from repro.quality import Objective
+        from repro.search import OptimizerConfig, TabuSearch
+
+        sub = engine.subuniverse("books isbn author title keyword", limit=25)
+        problem = Problem(
+            universe=sub, weights=default_weights(), max_sources=6
+        )
+        result = TabuSearch(
+            OptimizerConfig(max_iterations=25, seed=0)
+        ).optimize(Objective(problem))
+        solution = result.solution
+        assert solution.feasible
+        # Everything selected should be a books source.
+        books = catalog.sources_of_domain("books")
+        assert solution.selected <= books
+
+
+class TestGenerateUniverseForOtherDomains:
+    @pytest.mark.parametrize("name", ["airfares", "automobiles"])
+    def test_domain_universe_generates_and_labels(self, name):
+        domain = get_domain(name)
+        workload = generate_universe(
+            domain=domain,
+            n_sources=30,
+            seed=2,
+            data_config=DataConfig.tiny(),
+        )
+        assert len(workload.universe) == 30
+        assert workload.domain is domain
+        truth = workload.ground_truth
+        source = workload.universe.source(0)
+        for attr in source.attributes:
+            assert truth.concept_of(attr) in domain.concept_names()
+
+    def test_source_id_offset(self):
+        workload = generate_universe(
+            n_sources=5,
+            seed=0,
+            with_data=False,
+            source_id_offset=100,
+        )
+        assert sorted(workload.universe.source_ids) == list(range(100, 105))
+        assert workload.conformant_source_ids() == tuple(range(100, 105))

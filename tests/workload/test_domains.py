@@ -1,0 +1,116 @@
+"""Tests for the multi-domain corpora and domain-safe noise vocabularies."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.similarity import NGramJaccard
+from repro.workload import (
+    AIRFARES,
+    AUTOMOBILES,
+    BOOKS,
+    DOMAINS,
+    Domain,
+    get_domain,
+    noise_vocabulary_for,
+)
+
+THETA = 0.65
+ALL_DOMAINS = (BOOKS, AIRFARES, AUTOMOBILES)
+
+
+class TestRegistry:
+    def test_three_builtin_domains(self):
+        assert set(DOMAINS) == {"books", "airfares", "automobiles"}
+
+    def test_get_domain(self):
+        assert get_domain("airfares") is AIRFARES
+        with pytest.raises(WorkloadError):
+            get_domain("movies")
+
+    def test_books_domain_wraps_paper_corpus(self):
+        assert len(BOOKS.concepts) == 14
+        assert BOOKS.concept_of_name("book title") == "title"
+
+
+class TestDomainValidation:
+    def test_frequencies_must_cover_concepts(self):
+        with pytest.raises(WorkloadError):
+            Domain("bad", {"a": ("x",)}, {})
+
+    def test_concepts_need_variants(self):
+        with pytest.raises(WorkloadError):
+            Domain("bad", {"a": ()}, {"a": 0.5})
+
+    def test_accessors(self):
+        domain = Domain("mini", {"c": ("x", "y")}, {"c": 0.5})
+        assert domain.concept_names() == ("c",)
+        assert domain.variants_of("c") == ("x", "y")
+        assert domain.concept_of_name("y") == "c"
+        assert domain.concept_of_name("z") is None
+        assert domain.all_variants() == ("x", "y")
+
+
+@pytest.mark.parametrize("domain", ALL_DOMAINS, ids=lambda d: d.name)
+class TestCorpusSeparability:
+    def test_cross_concept_pairs_below_theta(self, domain):
+        measure = NGramJaccard(3)
+        labelled = [
+            (concept, variant)
+            for concept, variants in domain.concepts.items()
+            for variant in variants
+        ]
+        for i, (concept_a, name_a) in enumerate(labelled):
+            for concept_b, name_b in labelled[i + 1 :]:
+                if concept_a != concept_b:
+                    assert measure(name_a, name_b) < THETA, (
+                        f"{domain.name}: {name_a!r} vs {name_b!r}"
+                    )
+
+    def test_variant_names_unique(self, domain):
+        variants = domain.all_variants()
+        assert len(variants) == len(set(variants))
+
+
+class TestCrossDomainSeparability:
+    def test_no_exact_duplicate_variants_across_domains(self):
+        seen: dict[str, str] = {}
+        for domain in ALL_DOMAINS:
+            for variant in domain.all_variants():
+                assert seen.setdefault(variant, domain.name) == domain.name
+                seen[variant] = domain.name
+
+    def test_cross_domain_pairs_below_theta(self):
+        measure = NGramJaccard(3)
+        labelled = [
+            (domain.name, variant)
+            for domain in ALL_DOMAINS
+            for variant in domain.all_variants()
+        ]
+        for i, (domain_a, name_a) in enumerate(labelled):
+            for domain_b, name_b in labelled[i + 1 :]:
+                if domain_a != domain_b:
+                    assert measure(name_a, name_b) < THETA, (
+                        f"{name_a!r} ({domain_a}) vs {name_b!r} ({domain_b})"
+                    )
+
+
+class TestNoiseVocabularies:
+    @pytest.mark.parametrize("domain", ALL_DOMAINS, ids=lambda d: d.name)
+    def test_noise_safe_for_domain(self, domain):
+        measure = NGramJaccard(3)
+        for word in noise_vocabulary_for(domain):
+            for variant in domain.all_variants():
+                assert measure(word, variant) < THETA
+
+    def test_other_domains_contribute_noise(self):
+        # A Books noise word can legitimately be an airfares concept.
+        noise = noise_vocabulary_for(BOOKS)
+        assert "departure city" in noise
+        assert "mileage" in noise
+
+    def test_own_variants_never_in_noise(self):
+        noise = set(noise_vocabulary_for(AUTOMOBILES))
+        assert not noise & set(AUTOMOBILES.all_variants())
+        # In particular the colliding master-pool words are filtered out.
+        assert "vehicle make" not in noise
+        assert "odometer" not in noise

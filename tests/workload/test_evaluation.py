@@ -1,0 +1,154 @@
+"""Tests for ground-truth schema scoring (Table 1 accounting)."""
+
+import pytest
+
+from repro.core import AttributeRef, GlobalAttribute, MediatedSchema
+from repro.workload import GroundTruth, score_schema
+
+from ..conftest import make_universe
+
+
+@pytest.fixture
+def setup():
+    universe = make_universe(
+        ("title", "author", "mileage"),   # 0
+        ("title", "author"),              # 1
+        ("title", "mileage"),             # 2
+    )
+    labels = {}
+    for source in universe:
+        for attr in source.attributes:
+            labels[attr] = None if attr.name == "mileage" else attr.name
+    truth = GroundTruth(labels, ("title", "author"))
+    return universe, truth
+
+
+def ref(universe, sid, name):
+    return universe.source(sid).attribute_named(name)
+
+
+class TestScoring:
+    def test_pure_ga_counts_as_true(self, setup):
+        universe, truth = setup
+        schema = MediatedSchema(
+            [
+                GlobalAttribute(
+                    [ref(universe, 0, "title"), ref(universe, 1, "title")]
+                )
+            ]
+        )
+        report = score_schema(schema, truth, universe, {0, 1})
+        assert report.true_ga_concepts == 1
+        assert report.concepts_found == frozenset({"title"})
+        assert report.attributes_in_true_gas == 2
+        assert report.false_gas == 0
+
+    def test_mixed_ga_counts_as_false(self, setup):
+        universe, truth = setup
+        schema = MediatedSchema(
+            [
+                GlobalAttribute(
+                    [ref(universe, 0, "title"), ref(universe, 1, "author")]
+                )
+            ]
+        )
+        report = score_schema(schema, truth, universe, {0, 1})
+        assert report.false_gas == 1
+        assert report.true_ga_concepts == 0
+
+    def test_concept_noise_mix_counts_as_false(self, setup):
+        universe, truth = setup
+        schema = MediatedSchema(
+            [
+                GlobalAttribute(
+                    [ref(universe, 0, "title"), ref(universe, 2, "mileage")]
+                )
+            ]
+        )
+        report = score_schema(schema, truth, universe, {0, 2})
+        assert report.false_gas == 1
+
+    def test_pure_noise_ga_counted_separately(self, setup):
+        universe, truth = setup
+        schema = MediatedSchema(
+            [
+                GlobalAttribute(
+                    [ref(universe, 0, "mileage"), ref(universe, 2, "mileage")]
+                )
+            ]
+        )
+        report = score_schema(schema, truth, universe, {0, 2})
+        assert report.noise_gas == 1
+        assert report.false_gas == 0
+        assert report.true_ga_concepts == 0
+
+    def test_missed_counts_present_but_unfound(self, setup):
+        universe, truth = setup
+        # title and author are both present across sources 0 and 1.
+        schema = MediatedSchema(
+            [
+                GlobalAttribute(
+                    [ref(universe, 0, "title"), ref(universe, 1, "title")]
+                )
+            ]
+        )
+        report = score_schema(schema, truth, universe, {0, 1})
+        assert report.concepts_present == frozenset({"title", "author"})
+        assert report.missed == 1
+
+    def test_none_schema_misses_everything_present(self, setup):
+        universe, truth = setup
+        report = score_schema(None, truth, universe, {0, 1})
+        assert report.true_ga_concepts == 0
+        assert report.missed == 2
+
+    def test_two_pure_gas_same_concept_count_one_concept(self, setup):
+        universe, truth = setup
+        schema = MediatedSchema(
+            [
+                GlobalAttribute(
+                    [ref(universe, 0, "title"), ref(universe, 1, "title")]
+                ),
+                GlobalAttribute([ref(universe, 2, "title")]),
+            ]
+        )
+        report = score_schema(schema, truth, universe, {0, 1, 2})
+        assert report.true_ga_concepts == 1
+        assert report.pure_ga_count == 2
+
+
+class TestProxies:
+    def test_precision_proxy(self, setup):
+        universe, truth = setup
+        schema = MediatedSchema(
+            [
+                GlobalAttribute(
+                    [ref(universe, 0, "title"), ref(universe, 1, "title")]
+                ),
+                GlobalAttribute(
+                    [ref(universe, 0, "author"), ref(universe, 2, "mileage")]
+                ),
+            ]
+        )
+        report = score_schema(schema, truth, universe, {0, 1, 2})
+        assert report.precision_proxy == pytest.approx(0.5)
+
+    def test_recall_proxy(self, setup):
+        universe, truth = setup
+        schema = MediatedSchema(
+            [
+                GlobalAttribute(
+                    [ref(universe, 0, "title"), ref(universe, 1, "title")]
+                )
+            ]
+        )
+        report = score_schema(schema, truth, universe, {0, 1})
+        assert report.recall_proxy == pytest.approx(0.5)
+
+    def test_empty_schema_perfect_precision_on_empty_presence(self, setup):
+        universe, truth = setup
+        report = score_schema(
+            MediatedSchema.empty(), truth, universe, {0}
+        )
+        assert report.precision_proxy == 1.0
+        assert report.recall_proxy == 1.0

@@ -1,0 +1,142 @@
+"""Tests for query-form schema extraction."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload.forms import extract_schema, source_from_form
+
+
+class TestLabelAssociation:
+    def test_label_for_id(self):
+        html = """
+        <form>
+          <label for="t">Book Title</label> <input type="text" id="t" name="q1">
+          <label for="a">Author</label> <input type="text" id="a" name="q2">
+        </form>
+        """
+        assert extract_schema(html) == ("book title", "author")
+
+    def test_wrapping_label(self):
+        html = """
+        <form>
+          <label>Keyword <input type="text" name="kw"></label>
+        </form>
+        """
+        assert extract_schema(html) == ("keyword",)
+
+    def test_preceding_text(self):
+        # The dominant 2000s layout: "Title: <input>".
+        html = """
+        <form>
+          Title: <input type="text" name="f1">
+          Author: <input type="text" name="f2">
+        </form>
+        """
+        assert extract_schema(html) == ("title", "author")
+
+    def test_name_attribute_fallback(self):
+        html = '<form><input type="text" name="pub_year"></form>'
+        assert extract_schema(html) == ("pub year",)
+
+    def test_placeholder_fallback(self):
+        html = '<form><input type="text" placeholder="ISBN number"></form>'
+        assert extract_schema(html) == ("isbn number",)
+
+    def test_label_priority_over_name(self):
+        html = """
+        <form><label for="x">Price Range</label>
+        <input id="x" name="internal_field_7"></form>
+        """
+        assert extract_schema(html) == ("price range",)
+
+
+class TestFieldFiltering:
+    def test_hidden_and_buttons_ignored(self):
+        html = """
+        <form>
+          <input type="hidden" name="session">
+          Title: <input type="text" name="t">
+          <input type="submit" value="Search">
+          <input type="button" value="Clear">
+        </form>
+        """
+        assert extract_schema(html) == ("title",)
+
+    def test_select_options_are_not_labels(self):
+        html = """
+        <form>
+          Format:
+          <select name="fmt">
+            <option>Hardcover</option>
+            <option>Paperback</option>
+          </select>
+        </form>
+        """
+        assert extract_schema(html) == ("format",)
+
+    def test_textarea_supported(self):
+        html = '<form>Comments: <textarea name="c"></textarea></form>'
+        assert extract_schema(html) == ("comments",)
+
+    def test_block_boundaries_cut_text_association(self):
+        # The heading must not become the first field's label.
+        html = """
+        <form>
+          <div>Advanced search</div>
+          <p></p>
+          <input type="text" name="keyword">
+        </form>
+        """
+        assert extract_schema(html) == ("keyword",)
+
+    def test_no_fields_raises(self):
+        with pytest.raises(WorkloadError):
+            extract_schema("<form><input type='submit'></form>")
+
+
+class TestRealisticForms:
+    def test_theater_style_form(self):
+        # Modeled on the Figure-1 interfaces.
+        html = """
+        <form action="/search" method="get">
+          <table>
+            <tr><td>Keyword</td><td><input name="kw" type="text"></td></tr>
+            <tr><td>After date</td><td><input name="d1" type="text"></td></tr>
+            <tr><td>Before date</td><td><input name="d2" type="text"></td></tr>
+          </table>
+          <input type="submit" value="Go">
+        </form>
+        """
+        assert extract_schema(html) == (
+            "keyword", "after date", "before date",
+        )
+
+    def test_bookstore_form_roundtrips_into_matching(self):
+        html_a = """
+        <form>Title: <input name="t"> Author: <input name="a"></form>
+        """
+        html_b = """
+        <form><label>Titles <input name="x"></label>
+        <label>Authors <input name="y"></label></form>
+        """
+        from repro.core import Universe
+        from repro.matching import MatchOperator
+
+        universe = Universe(
+            [
+                source_from_form(0, "store-a", html_a),
+                source_from_form(1, "store-b", html_b),
+            ]
+        )
+        result = MatchOperator(universe, theta=0.65).match({0, 1})
+        labels = {ga.display_label() for ga in result.schema}
+        assert labels == {"title", "author"}
+
+    def test_messy_markup_survives(self):
+        html = """
+        <FORM><B>Search by Title:</B>&nbsp;<INPUT NAME=TITLE>
+        <br><b>Author's last name</b> <input name=AU></FORM>
+        """
+        schema = extract_schema(html)
+        assert schema[0] == "search by title"
+        assert schema[1] == "author s last name"

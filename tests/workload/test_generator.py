@@ -1,0 +1,140 @@
+"""Tests for the full universe generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload import (
+    DataConfig,
+    PerturbationModel,
+    generate_books_universe,
+)
+from repro.workload.generator import pick_ga_constraints, pick_source_constraints
+
+TINY = DataConfig.tiny()
+
+
+class TestGeneration:
+    def test_universe_size(self, books_workload):
+        assert len(books_workload.universe) == 60
+
+    def test_first_fifty_are_originals(self, books_workload):
+        for source_id in range(50):
+            source = books_workload.universe.source(source_id)
+            base = books_workload.base_schemas[source_id]
+            assert source.schema == base.attribute_names()
+
+    def test_copies_reference_valid_bases(self, books_workload):
+        assert all(
+            0 <= b < 50 for b in books_workload.base_index
+        )
+
+    def test_sources_are_cooperative_with_data(self, books_workload):
+        assert all(s.is_cooperative for s in books_workload.universe)
+
+    def test_without_data_sources_uncooperative(self):
+        workload = generate_books_universe(
+            n_sources=10, seed=0, with_data=False
+        )
+        assert not any(s.is_cooperative for s in workload.universe)
+
+    def test_mttf_present_by_default(self, books_workload):
+        assert all(
+            "mttf" in s.characteristics for s in books_workload.universe
+        )
+
+    def test_mttf_can_be_omitted(self):
+        workload = generate_books_universe(
+            n_sources=5, seed=0, with_data=False, mttf=None
+        )
+        assert all(
+            not s.characteristics for s in workload.universe
+        )
+
+    def test_deterministic_under_seed(self):
+        a = generate_books_universe(n_sources=20, seed=5, data_config=TINY)
+        b = generate_books_universe(n_sources=20, seed=5, data_config=TINY)
+        for source_a, source_b in zip(a.universe, b.universe):
+            assert source_a.schema == source_b.schema
+            assert source_a.cardinality == source_b.cardinality
+            assert np.array_equal(source_a.sketch.words, source_b.sketch.words)
+
+    def test_different_seeds_differ(self):
+        a = generate_books_universe(n_sources=60, seed=1, with_data=False)
+        b = generate_books_universe(n_sources=60, seed=2, with_data=False)
+        schemas_a = [s.schema for s in a.universe]
+        schemas_b = [s.schema for s in b.universe]
+        assert schemas_a != schemas_b
+
+    def test_tuples_dropped_unless_requested(self, books_workload):
+        assert all(s.tuple_ids is None for s in books_workload.universe)
+
+    def test_keep_tuples(self):
+        workload = generate_books_universe(
+            n_sources=5, seed=0, data_config=TINY, keep_tuples=True
+        )
+        for source in workload.universe:
+            assert source.tuple_ids is not None
+            assert len(source.tuple_ids) == source.cardinality
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_books_universe(n_sources=0)
+
+
+class TestGroundTruth:
+    def test_every_attribute_labelled(self, books_workload):
+        truth = books_workload.ground_truth
+        for source in books_workload.universe:
+            for attr in source.attributes:
+                # May be None (noise) but must be known to the truth table.
+                truth.concept_of(attr)
+
+    def test_original_sources_fully_labelled(self, books_workload):
+        truth = books_workload.ground_truth
+        source = books_workload.universe.source(0)
+        assert all(
+            truth.concept_of(attr) is not None for attr in source.attributes
+        )
+
+    def test_concepts_present_needs_two_sources(self, books_workload):
+        truth = books_workload.ground_truth
+        universe = books_workload.universe
+        present = truth.concepts_present(universe, range(50))
+        assert "title" in present
+        single = truth.concepts_present(universe, [0])
+        assert not single
+
+
+class TestConstraintHelpers:
+    def test_conformant_ids_include_originals(self, books_workload):
+        conformant = books_workload.conformant_source_ids()
+        assert set(range(50)) <= set(conformant)
+
+    def test_pick_source_constraints(self, books_workload):
+        rng = np.random.default_rng(0)
+        picked = pick_source_constraints(books_workload, 5, rng)
+        assert len(picked) == 5
+        assert set(picked) <= set(books_workload.conformant_source_ids())
+
+    def test_pick_source_constraints_exhausted(self, books_workload):
+        rng = np.random.default_rng(0)
+        with pytest.raises(WorkloadError):
+            pick_source_constraints(books_workload, 1_000, rng)
+
+    def test_pick_ga_constraints_are_pure_and_valid(self, books_workload):
+        rng = np.random.default_rng(1)
+        constraints = pick_ga_constraints(books_workload, 3, rng)
+        assert len(constraints) == 3
+        truth = books_workload.ground_truth
+        for ga in constraints:
+            assert 2 <= len(ga) <= 5
+            labels = truth.labels_of(ga)
+            assert len(labels) == 1 and None not in labels
+
+    def test_pick_ga_constraints_distinct_concepts(self, books_workload):
+        rng = np.random.default_rng(2)
+        constraints = pick_ga_constraints(books_workload, 4, rng)
+        truth = books_workload.ground_truth
+        concepts = [next(iter(truth.labels_of(ga))) for ga in constraints]
+        assert len(set(concepts)) == 4

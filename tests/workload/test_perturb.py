@@ -1,0 +1,89 @@
+"""Tests for the perturbation model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload import (
+    IDENTITY,
+    NOISE_VOCABULARY,
+    PerturbationModel,
+    books_base_schemas,
+)
+
+
+@pytest.fixture
+def base():
+    return books_base_schemas()[0]
+
+
+class TestValidation:
+    def test_probability_bounds(self):
+        with pytest.raises(WorkloadError):
+            PerturbationModel(p_remove=1.5)
+        with pytest.raises(WorkloadError):
+            PerturbationModel(p_replace=-0.1)
+        with pytest.raises(WorkloadError):
+            PerturbationModel(add_rate=-1.0)
+
+    def test_replacement_needs_vocabulary(self):
+        with pytest.raises(WorkloadError):
+            PerturbationModel(p_replace=0.5, noise_vocabulary=())
+
+
+class TestIdentity:
+    def test_identity_model_is_noop(self, base):
+        rng = np.random.default_rng(0)
+        assert IDENTITY.perturb(base, rng) == base.attributes
+
+
+class TestPerturbation:
+    def test_never_returns_empty_schema(self, base):
+        model = PerturbationModel(p_remove=1.0, p_replace=0.0, add_rate=0.0)
+        rng = np.random.default_rng(0)
+        result = model.perturb(base, rng)
+        assert len(result) == 1
+        assert result[0] in base.attributes
+
+    def test_surviving_attributes_keep_labels(self, base):
+        model = PerturbationModel(p_remove=0.3, p_replace=0.3, add_rate=1.0)
+        rng = np.random.default_rng(1)
+        original = dict(
+            (name, concept) for concept, name in base.attributes
+        )
+        for concept, name in model.perturb(base, rng):
+            if concept is not None:
+                assert original[name] == concept
+            else:
+                assert name in NOISE_VOCABULARY
+
+    def test_full_replacement_yields_only_noise(self, base):
+        model = PerturbationModel(p_remove=0.0, p_replace=1.0, add_rate=0.0)
+        rng = np.random.default_rng(2)
+        result = model.perturb(base, rng)
+        assert len(result) == len(base.attributes)
+        assert all(concept is None for concept, _ in result)
+
+    def test_additions_appended(self, base):
+        model = PerturbationModel(p_remove=0.0, p_replace=0.0, add_rate=3.0)
+        rng = np.random.default_rng(3)
+        result = model.perturb(base, rng)
+        assert len(result) >= len(base.attributes)
+        added = result[len(base.attributes):]
+        assert all(concept is None for concept, _ in added)
+
+    def test_statistical_removal_rate(self, base):
+        model = PerturbationModel(p_remove=0.5, p_replace=0.0, add_rate=0.0)
+        rng = np.random.default_rng(4)
+        survivors = sum(
+            len(model.perturb(base, rng)) for _ in range(400)
+        )
+        expected = 400 * len(base.attributes) * 0.5
+        # Within 15% of the expectation (allowing the never-empty floor).
+        assert survivors == pytest.approx(expected, rel=0.15)
+
+    def test_deterministic_under_seed(self, base):
+        model = PerturbationModel()
+        a = model.perturb(base, np.random.default_rng(9))
+        b = model.perturb(base, np.random.default_rng(9))
+        assert a == b

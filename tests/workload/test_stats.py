@@ -1,0 +1,64 @@
+"""Tests for universe statistics."""
+
+import pytest
+
+from repro.workload import describe_universe, render_stats
+
+from ..conftest import make_universe
+
+
+class TestDescribeUniverse:
+    def test_counts(self):
+        universe = make_universe(("a", "b"), ("a",), ("c", "d", "a"))
+        stats = describe_universe(universe)
+        assert stats.source_count == 3
+        assert stats.attribute_count == 6
+        assert stats.vocabulary_size == 4
+        assert stats.schema_size_min == 1
+        assert stats.schema_size_max == 3
+        assert stats.schema_size_median == 2.0
+
+    def test_name_repetition(self):
+        universe = make_universe(("a",), ("a",), ("a",))
+        assert describe_universe(universe).name_repetition == 3.0
+
+    def test_top_names_sorted_by_frequency(self):
+        universe = make_universe(("a", "b"), ("a",), ("a", "c"))
+        stats = describe_universe(universe, top=2)
+        assert stats.top_names[0] == ("a", 3)
+        assert len(stats.top_names) == 2
+
+    def test_cardinalities(self):
+        universe = make_universe(("a",), ("b",), data=True)
+        stats = describe_universe(universe)
+        assert stats.cooperative_count == 2
+        assert stats.total_cardinality == 200
+        assert stats.cardinality_min == stats.cardinality_max == 100
+
+    def test_no_data(self):
+        universe = make_universe(("a",))
+        stats = describe_universe(universe)
+        assert stats.total_cardinality == 0
+        assert stats.cooperative_count == 0
+
+    def test_books_workload_matches_recipe(self, books_workload):
+        stats = describe_universe(books_workload.universe)
+        assert stats.source_count == 60
+        assert stats.cooperative_count == 60
+        # Heavy name repetition is the point of the perturbed-copy design.
+        assert stats.name_repetition > 3.0
+        assert "mttf" in stats.characteristic_names
+
+
+class TestRenderStats:
+    def test_mentions_key_numbers(self, books_workload):
+        stats = describe_universe(books_workload.universe)
+        text = render_stats(stats)
+        assert "60 sources" in text
+        assert "Most common names" in text
+        assert "mttf" in text
+
+    def test_renders_without_data(self):
+        universe = make_universe(("a",))
+        text = render_stats(describe_universe(universe))
+        assert "Cardinality" not in text

@@ -1,0 +1,46 @@
+"""Tests for the Figure-1 theater universe."""
+
+from repro.workload import THEATER_SCHEMAS, theater_universe
+
+
+class TestTheaterCatalog:
+    def test_eleven_sources(self):
+        # Figure 1 lists eleven schemas.
+        assert len(THEATER_SCHEMAS) == 11
+
+    def test_figure_one_schemas_verbatim(self):
+        by_name = dict(THEATER_SCHEMAS)
+        assert by_name["aceticket.com"] == ("state", "city", "event", "venue")
+        assert by_name["pbs.org"] == (
+            "program title", "date", "author", "actor", "director", "keyword",
+        )
+        assert by_name["lastminute.com"] == (
+            "event name", "event type", "location", "date", "radius",
+        )
+
+
+class TestTheaterUniverse:
+    def test_universe_matches_catalog(self, theater):
+        assert len(theater) == 11
+        for source, (name, schema) in zip(theater, THEATER_SCHEMAS):
+            assert source.name == name
+            assert source.schema == schema
+
+    def test_sources_have_characteristics(self, theater):
+        for source in theater:
+            assert "latency_ms" in source.characteristics
+            assert "fee" in source.characteristics
+
+    def test_sources_cooperative_with_data(self, theater):
+        assert all(s.is_cooperative for s in theater)
+
+    def test_no_data_mode(self):
+        universe = theater_universe(with_data=False)
+        assert not any(s.is_cooperative for s in universe)
+
+    def test_deterministic(self):
+        a = theater_universe(seed=3)
+        b = theater_universe(seed=3)
+        for source_a, source_b in zip(a, b):
+            assert source_a.cardinality == source_b.cardinality
+            assert source_a.characteristics == source_b.characteristics

@@ -1,0 +1,111 @@
+"""Tests for the value-sample generator."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workload import (
+    BOOKS,
+    DataConfig,
+    ValueConfig,
+    build_value_samples,
+    concept_value_pool,
+    generate_books_universe,
+    value_samples_for_universe,
+)
+from repro.similarity import InstanceSimilarity
+
+
+class TestValueConfig:
+    def test_invalid_sample_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            ValueConfig(pool_size=10, sample_size=11)
+        with pytest.raises(WorkloadError):
+            ValueConfig(sample_size=0)
+
+
+class TestConceptValuePool:
+    def test_pool_size_and_determinism(self):
+        pool = concept_value_pool(BOOKS, "title")
+        assert len(pool) == ValueConfig().pool_size
+        assert pool == concept_value_pool(BOOKS, "title")
+
+    def test_distinct_concepts_distinct_pools(self):
+        titles = set(concept_value_pool(BOOKS, "title"))
+        authors = set(concept_value_pool(BOOKS, "author"))
+        assert not titles & authors
+
+    def test_unknown_concept_rejected(self):
+        with pytest.raises(WorkloadError):
+            concept_value_pool(BOOKS, "engine size")
+
+
+class TestBuildValueSamples:
+    def test_same_concept_names_share_pool(self):
+        samples = build_value_samples(["format", "binding"])
+        measure = InstanceSimilarity(samples)
+        assert measure("format", "binding") >= 0.65
+
+    def test_cross_concept_samples_disjoint(self):
+        samples = build_value_samples(["format", "isbn"])
+        assert not samples["format"] & samples["isbn"]
+
+    def test_noise_names_get_private_pools(self):
+        samples = build_value_samples(["mileage", "humidity"])
+        assert not samples["mileage"] & samples["humidity"]
+
+    def test_deterministic_across_calls(self):
+        a = build_value_samples(["title", "mileage"])
+        b = build_value_samples(["title", "mileage"])
+        assert a == b
+
+    def test_sample_size_honoured(self):
+        config = ValueConfig(pool_size=20, sample_size=10)
+        samples = build_value_samples(["title"], config=config)
+        assert len(samples["title"]) == 10
+
+    def test_variants_sample_differently(self):
+        # Same pool, different samples: overlap high but not total.
+        samples = build_value_samples(["format", "binding"])
+        assert samples["format"] != samples["binding"]
+
+
+class TestUniverseValues:
+    def test_covers_whole_vocabulary(self):
+        workload = generate_books_universe(
+            n_sources=20, seed=0, data_config=DataConfig.tiny()
+        )
+        samples = value_samples_for_universe(workload.universe)
+        assert set(samples) == set(workload.universe.attribute_names())
+
+    def test_instance_matching_recovers_disjoint_synonyms(self):
+        # End to end: "binding" and "format" merge under a hybrid measure
+        # but not under the name measure.
+        from repro.matching import MatchOperator
+        from repro.similarity import HybridSimilarity, NGramJaccard
+
+        workload = generate_books_universe(
+            n_sources=40, seed=3, data_config=DataConfig.tiny()
+        )
+        universe = workload.universe
+        names = universe.attribute_names()
+        if "binding" not in names or "format" not in names:
+            pytest.skip("this seed produced no binding/format pair")
+        samples = value_samples_for_universe(universe)
+        hybrid = HybridSimilarity(
+            NGramJaccard(3), InstanceSimilarity(samples)
+        )
+        selection = universe.source_ids
+        name_result = MatchOperator(universe, theta=0.65).match(selection)
+        hybrid_result = MatchOperator(
+            universe, theta=0.65, similarity=hybrid
+        ).match(selection)
+
+        def joined(result):
+            for ga in result.schema:
+                members = {a.name for a in ga}
+                if "binding" in members and "format" in members:
+                    return True
+            return False
+
+        assert not joined(name_result)
+        assert joined(hybrid_result)
