@@ -15,6 +15,7 @@ from common import (
     bench_scale,
     build_problem,
     cached_workload,
+    record_counters,
     solve_tabu,
 )
 
@@ -37,6 +38,7 @@ def test_fig5_time_vs_universe_size(benchmark, universe_size, setting):
     benchmark.extra_info["constraints"] = setting
     benchmark.extra_info["quality"] = round(result.solution.quality, 4)
     benchmark.extra_info["evaluations"] = result.stats.evaluations
+    record_counters(benchmark)
     print(
         f"[fig5] |U|={universe_size:<4} m={SCALE.fig5_choose} "
         f"constraints={setting:<7} time={result.stats.elapsed_seconds:7.2f}s "

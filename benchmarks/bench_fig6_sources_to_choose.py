@@ -14,6 +14,7 @@ from common import (
     bench_scale,
     build_problem,
     cached_workload,
+    record_counters,
     solve_tabu,
 )
 
@@ -35,6 +36,7 @@ def test_fig6_time_vs_sources_to_choose(benchmark, choose, setting):
     benchmark.extra_info["choose"] = choose
     benchmark.extra_info["constraints"] = setting
     benchmark.extra_info["quality"] = round(result.solution.quality, 4)
+    record_counters(benchmark)
     print(
         f"[fig6] |U|={SCALE.fig6_universe_size} m={choose:<3} "
         f"constraints={setting:<7} time={result.stats.elapsed_seconds:7.2f}s "

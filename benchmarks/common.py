@@ -24,6 +24,7 @@ import numpy as np
 from repro.core import CharacteristicSpec, Problem, default_weights
 from repro.quality import Objective
 from repro.search import OptimizerConfig, TabuSearch
+from repro.telemetry import InMemoryExporter, Telemetry, use_telemetry
 from repro.workload import (
     BooksWorkload,
     DataConfig,
@@ -174,6 +175,11 @@ def build_problem(
     )
 
 
+#: Telemetry from the most recent :func:`solve_tabu` run, so a bench can
+#: attach its counter snapshot to the pytest-benchmark JSON.
+_last_telemetry: Telemetry | None = None
+
+
 def solve_tabu(problem: Problem, seed: int = 0):
     """One tabu run at the active scale's budgets.
 
@@ -183,19 +189,46 @@ def solve_tabu(problem: Problem, seed: int = 0):
     price), and the iteration budget grows mildly with the source budget
     so larger m gets a proportionally explored space.
 
+    Every run carries a live tracer with an in-memory exporter; fetch the
+    resulting counters with :func:`last_counters` / attach them to the
+    benchmark JSON with :func:`record_counters`.
+
     Returns ``(result, objective)``.
     """
+    global _last_telemetry
     scale = bench_scale()
-    objective = Objective(problem)
-    sample = max(scale.sample_size, round(0.12 * len(problem.universe)))
-    iterations = scale.iterations + problem.max_sources
-    config = OptimizerConfig(
-        max_iterations=iterations,
-        patience=max(8, iterations // 2),
-        sample_size=sample,
-        seed=seed,
-    )
-    return TabuSearch(config).optimize(objective), objective
+    telemetry = Telemetry(exporters=[InMemoryExporter()])
+    _last_telemetry = telemetry
+    with use_telemetry(telemetry):
+        objective = Objective(problem)
+        sample = max(scale.sample_size, round(0.12 * len(problem.universe)))
+        iterations = scale.iterations + problem.max_sources
+        config = OptimizerConfig(
+            max_iterations=iterations,
+            patience=max(8, iterations // 2),
+            sample_size=sample,
+            seed=seed,
+        )
+        result = TabuSearch(config).optimize(objective)
+    telemetry.close()
+    return result, objective
+
+
+def last_counters() -> dict[str, int]:
+    """Counter snapshot from the most recent :func:`solve_tabu` run."""
+    if _last_telemetry is None:
+        return {}
+    return dict(_last_telemetry.metrics.snapshot()["counters"])
+
+
+def record_counters(benchmark) -> None:
+    """Attach the last run's counters to a benchmark's ``extra_info``.
+
+    The counters then ride along in ``--benchmark-json`` output, so every
+    ``BENCH_*.json`` carries cache hit rates, clustering merge counts and
+    sketch merges alongside its timings.
+    """
+    benchmark.extra_info["counters"] = last_counters()
 
 
 def emphasized_weights(focus: str, weight: float) -> dict[str, float]:

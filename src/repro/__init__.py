@@ -65,6 +65,15 @@ from .search import (
 )
 from .session import Session, render_schema, render_solution
 from .sketch import ExactDistinct, PCSASketch
+from .telemetry import (
+    InMemoryExporter,
+    JsonLinesExporter,
+    StderrSummaryExporter,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
 from .similarity import (
     HybridSimilarity,
     InstanceSimilarity,
@@ -96,10 +105,12 @@ __all__ = [
     "ExactDistinct",
     "GlobalAttribute",
     "HybridSimilarity",
+    "InMemoryExporter",
     "InstanceSimilarity",
     "IntegrationSystem",
     "InvalidGAError",
     "InvalidSchemaError",
+    "JsonLinesExporter",
     "MatchOperator",
     "MatchResult",
     "MediatedSchema",
@@ -122,7 +133,9 @@ __all__ = [
     "Solution",
     "Source",
     "SourceSearchEngine",
+    "StderrSummaryExporter",
     "TabuSearch",
+    "Telemetry",
     "Universe",
     "WeightError",
     "WorkloadError",
@@ -134,14 +147,17 @@ __all__ = [
     "generate_books_universe",
     "generate_universe",
     "get_measure",
-    "random_queries",
     "get_optimizer",
+    "get_telemetry",
     "normalize_weights",
+    "random_queries",
     "render_schema",
     "render_solution",
     "score_schema",
+    "set_telemetry",
     "suggest_compounds",
     "theater_universe",
+    "use_telemetry",
     "value_samples_for_universe",
     "__version__",
 ]

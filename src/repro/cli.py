@@ -19,6 +19,13 @@ from collections.abc import Sequence
 from .core import CharacteristicSpec, default_weights
 from .search import OPTIMIZERS, OptimizerConfig
 from .session import Session, render_history, render_solution
+from .telemetry import (
+    NOOP,
+    JsonLinesExporter,
+    StderrSummaryExporter,
+    Telemetry,
+    use_telemetry,
+)
 from .workload import generate_books_universe, theater_universe
 
 
@@ -29,7 +36,40 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
-    return args.handler(args)
+    try:
+        telemetry = telemetry_from_args(args)
+    except OSError as exc:
+        print(f"error: cannot open trace file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with use_telemetry(telemetry):
+            return args.handler(args)
+    finally:
+        telemetry.close()
+
+
+def add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--trace`` / ``--stats`` telemetry flags."""
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write a JSON-lines span trace (one span per line) to FILE",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print a telemetry summary (span timings, counters) to stderr",
+    )
+
+
+def telemetry_from_args(args: argparse.Namespace) -> Telemetry:
+    """A tracer matching the telemetry flags (the shared no-op if absent)."""
+    exporters = []
+    if getattr(args, "trace", None):
+        exporters.append(JsonLinesExporter(args.trace))
+    if getattr(args, "stats", False):
+        exporters.append(StderrSummaryExporter())
+    if not exporters:
+        return NOOP
+    return Telemetry(exporters=exporters)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run the theater-tickets demo")
     demo.add_argument("--seed", type=int, default=0)
+    add_telemetry_args(demo)
     demo.set_defaults(handler=run_demo)
 
     solve = sub.add_parser("solve", help="solve a synthetic Books universe")
@@ -53,6 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--optimizer", choices=sorted(OPTIMIZERS), default="tabu"
     )
     solve.add_argument("--iterations", type=int, default=60)
+    add_telemetry_args(solve)
     solve.set_defaults(handler=run_solve)
 
     compare = sub.add_parser(
@@ -61,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--sources", type=int, default=100)
     compare.add_argument("--choose", type=int, default=10)
     compare.add_argument("--seed", type=int, default=0)
+    add_telemetry_args(compare)
     compare.set_defaults(handler=run_optimizers)
 
     discover = sub.add_parser(
@@ -169,8 +212,11 @@ def run_solve(args: argparse.Namespace) -> int:
     stats = iteration.result.stats
     print(
         f"\n{args.optimizer}: {stats.iterations} iterations, "
-        f"{stats.evaluations} evaluations, {stats.elapsed_seconds:.2f}s"
+        f"{stats.evaluations} evaluations, {stats.elapsed_seconds:.2f}s, "
+        f"match memo {stats.match_memo_hits}h/{stats.match_memo_misses}m"
     )
+    if args.trace:
+        print(f"wrote span trace to {args.trace}")
     return 0
 
 

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..core import AttributeRef, GlobalAttribute
 from ..similarity.matrix import NameSimilarityMatrix
+from ..telemetry import get_telemetry
 from .cluster import Cluster, cluster_similarity
 
 
@@ -91,8 +92,12 @@ def run_clustering_rounds(
     for cluster in initial_clusters:
         active[next(ids)] = cluster
     finished: list[Cluster] = []
+    rounds = 0
+    merges = 0
+    eliminated = 0
 
     while True:
+        rounds += 1
         done = True
         heap = _similar_pairs(active, matrix, theta, linkage)
         merged_away: set[int] = set()
@@ -119,6 +124,7 @@ def run_clustering_rounds(
                 continue
             merged_away.add(id_a)
             merged_away.add(id_b)
+            merges += 1
             new_id = next(ids)
             active[new_id] = cluster_a.merged_with(cluster_b)
             new_ids.add(new_id)
@@ -133,8 +139,14 @@ def run_clustering_rounds(
                     continue
                 finished.append(cluster)
                 del active[cluster_id]
+                eliminated += 1
         if done:
             break
+
+    metrics = get_telemetry().metrics
+    metrics.counter("match.clustering.rounds").inc(rounds)
+    metrics.counter("match.clustering.merges").inc(merges)
+    metrics.counter("match.clustering.pruned").inc(eliminated)
 
     finished.extend(active.values())
     return finished

@@ -28,6 +28,7 @@ from collections import OrderedDict
 from collections.abc import Iterable
 
 from ..core import AttributeRef
+from ..telemetry import get_telemetry
 from .cluster import Cluster
 from .greedy import greedy_constrained_clustering, run_clustering_rounds
 from .operator import MatchOperator, MatchResult
@@ -64,6 +65,7 @@ class IncrementalMatchOperator(MatchOperator):
         base = self._closest_base(selection)
         if base is None:
             self.cold_runs += 1
+            get_telemetry().metrics.counter("match.incremental.cold").inc()
             clusters = greedy_constrained_clustering(
                 self._free_attributes(selection),
                 self.seeds,
@@ -74,6 +76,7 @@ class IncrementalMatchOperator(MatchOperator):
             )
         else:
             self.warm_hits += 1
+            get_telemetry().metrics.counter("match.incremental.warm").inc()
             clusters = self._warm_clustering(selection, base)
         self._remember(selection, clusters)
         return self._result_from_clusters(selection, clusters)

@@ -25,6 +25,7 @@ from ..core import (
 from ..exceptions import ConstraintError
 from ..similarity.matrix import NameSimilarityMatrix
 from ..similarity.measures import SimilarityMeasure, default_measure
+from ..telemetry import get_telemetry
 from .cluster import Cluster
 from .greedy import greedy_constrained_clustering
 
@@ -90,6 +91,13 @@ class MatchOperator:
         )
         self._cache: dict[frozenset[int], MatchResult] = {}
         self._cache_size = cache_size
+        #: Plain-int memo traffic counters; kept independent of telemetry so
+        #: SearchStats can report them even under the no-op tracer.
+        self.memo_hits = 0
+        self.memo_misses = 0
+        get_telemetry().metrics.gauge("match.constraint_seeds").set(
+            len(self.seeds)
+        )
 
     @classmethod
     def for_problem(
@@ -115,11 +123,18 @@ class MatchOperator:
 
     def match(self, source_ids: Iterable[int]) -> MatchResult:
         """Evaluate ``Match(S)`` for the given selection (memoized)."""
+        telemetry = get_telemetry()
         selection = frozenset(source_ids)
         cached = self._cache.get(selection)
         if cached is not None:
+            self.memo_hits += 1
+            telemetry.metrics.counter("match.memo_hits").inc()
             return cached
-        result = self._match_uncached(selection)
+        self.memo_misses += 1
+        telemetry.metrics.counter("match.memo_misses").inc()
+        with telemetry.span("match.evaluate", size=len(selection)) as span:
+            result = self._match_uncached(selection)
+            span.set(null=result.is_null)
         if len(self._cache) >= self._cache_size:
             self._cache.clear()
         self._cache[selection] = result
@@ -132,7 +147,12 @@ class MatchOperator:
 
     def cache_info(self) -> dict[str, int]:
         """Cache statistics for diagnostics."""
-        return {"entries": len(self._cache), "capacity": self._cache_size}
+        return {
+            "entries": len(self._cache),
+            "capacity": self._cache_size,
+            "hits": self.memo_hits,
+            "misses": self.memo_misses,
+        }
 
     # -- internals ----------------------------------------------------------
 

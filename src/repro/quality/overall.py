@@ -31,6 +31,7 @@ from ..matching.incremental import IncrementalMatchOperator
 from ..matching.operator import MatchOperator
 from ..similarity.matrix import NameSimilarityMatrix
 from ..similarity.measures import SimilarityMeasure
+from ..telemetry import get_telemetry
 from .characteristics import CharacteristicQEF
 from .data_metrics import CardinalityQEF, CoverageQEF, RedundancyQEF
 
@@ -73,11 +74,17 @@ class Objective:
         self._cache: dict[frozenset[int], Solution] = {}
         self._cache_size = cache_size
         self._evaluations = 0
+        self._cache_hits = 0
 
     @property
     def evaluations(self) -> int:
         """Number of *distinct* selections evaluated so far."""
         return self._evaluations
+
+    @property
+    def cache_hits(self) -> int:
+        """Number of evaluations served from the selection memo."""
+        return self._cache_hits
 
     @property
     def universe(self):
@@ -86,11 +93,19 @@ class Objective:
 
     def evaluate(self, source_ids: Iterable[int]) -> Solution:
         """Evaluate a selection, returning a :class:`~repro.core.Solution`."""
+        telemetry = get_telemetry()
         selection = frozenset(source_ids)
         cached = self._cache.get(selection)
         if cached is not None:
+            self._cache_hits += 1
+            telemetry.metrics.counter("objective.cache_hits").inc()
             return cached
-        solution = self._evaluate_uncached(selection)
+        telemetry.metrics.counter("objective.evaluations").inc()
+        with telemetry.span(
+            "objective.evaluate", size=len(selection)
+        ) as span:
+            solution = self._evaluate_uncached(selection)
+            span.set(feasible=solution.feasible)
         if len(self._cache) >= self._cache_size:
             self._cache.clear()
         self._cache[selection] = solution
@@ -145,6 +160,7 @@ class Objective:
                 infeasibility=tuple(reasons),
             )
 
+        telemetry = get_telemetry()
         match = self.match_operator.match(selection)
         if match.is_null:
             reasons.extend(match.reasons)
@@ -158,12 +174,21 @@ class Objective:
             elif weight == 0.0:
                 continue
             else:
-                value = self._qefs[name](sources)
+                # Span-per-QEF (a "qef.<name>" family) so the summary
+                # exporter reports where evaluation time actually goes.
+                with telemetry.span("qef." + name, size=len(sources)):
+                    value = self._qefs[name](sources)
             scores[name] = value
             quality += weight * value
 
         feasible = not reasons
-        objective = quality if feasible else INFEASIBLE_PENALTY * quality
+        if feasible:
+            objective = quality
+        else:
+            objective = INFEASIBLE_PENALTY * quality
+            telemetry.metrics.counter(
+                "objective.infeasible_discounts"
+            ).inc()
         return Solution(
             selected=selection,
             schema=match.schema,

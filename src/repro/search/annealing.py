@@ -42,7 +42,7 @@ class SimulatedAnnealing(Optimizer):
         self.cooling = cooling
         self.steps_per_iteration = steps_per_iteration
 
-    def optimize(
+    def _optimize(
         self,
         objective: Objective,
         initial: frozenset[int] | None = None,

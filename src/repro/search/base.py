@@ -13,13 +13,14 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..core import Solution, worst_solution
 from ..exceptions import SearchError
 from ..quality.overall import Objective
+from ..telemetry import get_telemetry
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,12 +52,20 @@ class OptimizerConfig:
 
 @dataclass(frozen=True, slots=True)
 class SearchStats:
-    """Bookkeeping about one optimizer run."""
+    """Bookkeeping about one optimizer run.
+
+    ``match_memo_hits``/``match_memo_misses`` count this run's traffic on
+    the match operator's selection memo — the reason a warm re-solve in a
+    feedback loop is faster than the first solve.  They default to 0 for
+    optimizers constructed against bare callables in tests.
+    """
 
     iterations: int
     evaluations: int
     elapsed_seconds: float
     best_found_at: int
+    match_memo_hits: int = 0
+    match_memo_misses: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -82,7 +91,6 @@ class Optimizer(ABC):
     def __init__(self, config: OptimizerConfig | None = None):
         self.config = config or OptimizerConfig()
 
-    @abstractmethod
     def optimize(
         self,
         objective: Objective,
@@ -95,7 +103,46 @@ class Optimizer(ABC):
         where consecutive problems differ only by a constraint or a weight
         and the previous answer is an excellent starting point.  Optimizers
         that have no meaningful start state (random, exhaustive) ignore it.
+
+        This is a template method: it opens the ``search.solve`` span,
+        delegates to the subclass's :meth:`_optimize`, and folds the run's
+        match-memo traffic and run-level counters into the result.
         """
+        telemetry = get_telemetry()
+        operator = getattr(objective, "match_operator", None)
+        hits_before = getattr(operator, "memo_hits", 0)
+        misses_before = getattr(operator, "memo_misses", 0)
+        with telemetry.span("search.solve", optimizer=self.name) as span:
+            result = self._optimize(objective, initial)
+            span.set(
+                iterations=result.stats.iterations,
+                best_objective=result.solution.objective,
+            )
+        stats = replace(
+            result.stats,
+            match_memo_hits=getattr(operator, "memo_hits", 0) - hits_before,
+            match_memo_misses=(
+                getattr(operator, "memo_misses", 0) - misses_before
+            ),
+        )
+        metrics = telemetry.metrics
+        metrics.counter("search.solves").inc()
+        metrics.counter("search.iterations").inc(stats.iterations)
+        metrics.gauge("search.time_to_best_iteration").set(
+            stats.best_found_at
+        )
+        metrics.histogram("search.solve_seconds").observe(
+            stats.elapsed_seconds
+        )
+        return replace(result, stats=stats)
+
+    @abstractmethod
+    def _optimize(
+        self,
+        objective: Objective,
+        initial: frozenset[int] | None = None,
+    ) -> SearchResult:
+        """Subclass hook: the actual search (see :meth:`optimize`)."""
 
     def _rng(self) -> np.random.Generator:
         return np.random.default_rng(self.config.seed)

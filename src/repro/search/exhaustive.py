@@ -37,7 +37,7 @@ class ExhaustiveSearch(Optimizer):
         super().__init__(config)
         self.max_subsets = max_subsets
 
-    def optimize(
+    def _optimize(
         self,
         objective: Objective,
         initial: frozenset[int] | None = None,

@@ -42,7 +42,7 @@ class StochasticLocalSearch(Optimizer):
         self.walk_probability = walk_probability
         self.max_restarts = max_restarts
 
-    def optimize(
+    def _optimize(
         self,
         objective: Objective,
         initial: frozenset[int] | None = None,

@@ -44,7 +44,7 @@ class ParticleSwarm(Optimizer):
         self.social = social
         self.velocity_clip = velocity_clip
 
-    def optimize(
+    def _optimize(
         self,
         objective: Objective,
         initial: frozenset[int] | None = None,

@@ -21,7 +21,7 @@ class RandomSearch(Optimizer):
     def __init__(self, config: OptimizerConfig | None = None):
         super().__init__(config)
 
-    def optimize(
+    def _optimize(
         self,
         objective: Objective,
         initial: frozenset[int] | None = None,

@@ -20,6 +20,7 @@ import math
 
 from ..core import Solution
 from ..quality.overall import Objective
+from ..telemetry import get_telemetry
 from .base import (
     Optimizer,
     OptimizerConfig,
@@ -44,7 +45,7 @@ class TabuSearch(Optimizer):
         super().__init__(config)
         self.tenure = tenure
 
-    def optimize(
+    def _optimize(
         self,
         objective: Objective,
         initial: frozenset[int] | None = None,
@@ -60,6 +61,10 @@ class TabuSearch(Optimizer):
             sample_size=self.config.sample_size,
         )
 
+        telemetry = get_telemetry()
+        improved_counter = telemetry.metrics.counter("tabu.moves.improving")
+        worsened_counter = telemetry.metrics.counter("tabu.moves.worsening")
+
         current = self._start_selection(objective, initial, rng)
         best = objective.evaluate(current)
         best_found_at = 0
@@ -72,10 +77,11 @@ class TabuSearch(Optimizer):
             if clock.expired() or stale >= self.config.patience:
                 break
             iterations = iteration
-            chosen = self._best_admissible(
-                objective, neighborhood, current, tabu_until, iteration,
-                best, rng,
-            )
+            with telemetry.span("search.iteration", n=iteration):
+                chosen = self._best_admissible(
+                    objective, neighborhood, current, tabu_until, iteration,
+                    best, rng,
+                )
             if chosen is None:
                 break
             move, solution = chosen
@@ -86,8 +92,10 @@ class TabuSearch(Optimizer):
                 best = solution
                 best_found_at = iteration
                 stale = 0
+                improved_counter.inc()
             else:
                 stale += 1
+                worsened_counter.inc()
             trajectory.append(best.objective)
 
         stats = SearchStats(
@@ -110,19 +118,28 @@ class TabuSearch(Optimizer):
     ) -> tuple[Move, Solution] | None:
         chosen: tuple[Move, Solution] | None = None
         chosen_objective = -math.inf
+        evaluated = 0
+        tabu_rejected = 0
         for move in neighborhood.moves(current, rng):
             candidate = move.apply(current)
             if candidate == current:
                 continue
             solution = objective.evaluate(candidate)
+            evaluated += 1
             is_tabu = any(
                 tabu_until.get(t, 0) >= iteration for t in move.touched()
             )
             if is_tabu and solution.objective <= best.objective:
+                tabu_rejected += 1
                 continue
             if solution.objective > chosen_objective:
                 chosen = (move, solution)
                 chosen_objective = solution.objective
+        metrics = get_telemetry().metrics
+        metrics.counter("tabu.moves.evaluated").inc(evaluated)
+        metrics.counter("tabu.moves.tabu_rejected").inc(tabu_rejected)
+        if chosen is not None:
+            metrics.counter("tabu.moves.accepted").inc()
         return chosen
 
 

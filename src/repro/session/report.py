@@ -60,18 +60,31 @@ def render_solution(solution: Solution, universe: Universe) -> str:
 
 
 def render_history(iterations: list[Iteration]) -> str:
-    """One summary line per session iteration."""
+    """One summary line per session iteration.
+
+    Alongside quality and constraint counts, each line reports the run's
+    match-memo traffic — the warm-cache effect that makes iteration 2 of
+    a feedback loop faster than iteration 1 is visible as a rising hit
+    count against a falling miss count.
+    """
     if not iterations:
         return "(no iterations yet)"
     lines = []
     for iteration in iterations:
         problem = iteration.problem
         solution = iteration.solution
+        stats = iteration.result.stats
+        memo = ""
+        if stats.match_memo_hits or stats.match_memo_misses:
+            memo = (
+                f", memo {stats.match_memo_hits}h/"
+                f"{stats.match_memo_misses}m"
+            )
         lines.append(
             f"iter {iteration.index}: Q={solution.quality:.4f} "
             f"({len(solution.selected)} sources, {solution.ga_count()} GAs, "
             f"|C|={len(problem.source_constraints)}, "
             f"|G|={len(problem.ga_constraints)}, "
-            f"{iteration.result.stats.elapsed_seconds:.2f}s)"
+            f"{stats.elapsed_seconds:.2f}s{memo})"
         )
     return "\n".join(lines)

@@ -37,6 +37,7 @@ from ..quality.overall import Objective
 from ..search import OptimizerConfig, SearchResult, get_optimizer
 from ..similarity.matrix import NameSimilarityMatrix
 from ..similarity.measures import SimilarityMeasure, default_measure
+from ..telemetry import NoopTelemetry, Telemetry, get_telemetry, use_telemetry
 
 
 @dataclass(frozen=True, slots=True)
@@ -80,6 +81,11 @@ class Session:
         Use the warm-started matching operator
         (:class:`~repro.matching.IncrementalMatchOperator`) inside each
         solve — faster on large universes, see DESIGN.md.
+    telemetry:
+        A :class:`~repro.telemetry.Telemetry` to install for the duration
+        of every :meth:`solve` (and the similarity-matrix build).  When
+        omitted, whatever tracer is currently installed process-wide is
+        used — the no-op by default.
     """
 
     def __init__(
@@ -94,6 +100,7 @@ class Session:
         optimizer: str = "tabu",
         optimizer_config: OptimizerConfig | None = None,
         incremental: bool = False,
+        telemetry: Telemetry | NoopTelemetry | None = None,
     ):
         self.universe = universe
         self.max_sources = max_sources
@@ -112,11 +119,13 @@ class Session:
         self.optimizer_name = optimizer
         self.optimizer_config = optimizer_config or OptimizerConfig()
         self.incremental = incremental
+        self.telemetry = telemetry
         self.history: list[Iteration] = []
         measure = similarity or default_measure()
-        self._matrix = NameSimilarityMatrix.build(
-            universe.attribute_names(), measure
-        )
+        with use_telemetry(self._telemetry()):
+            self._matrix = NameSimilarityMatrix.build(
+                universe.attribute_names(), measure
+            )
         self._operator_key: tuple | None = None
         self._operator = None
 
@@ -147,20 +156,28 @@ class Session:
         and convergence is much faster.  The warm start is repaired to the
         new constraints automatically.
         """
-        problem = self.problem()
-        objective = Objective(
-            problem,
-            similarity=self._matrix,
-            incremental=self.incremental,
-            match_operator=self._cached_operator(problem),
-        )
-        engine = get_optimizer(
-            optimizer or self.optimizer_name, self.optimizer_config
-        )
-        initial = None
-        if warm_start and self.history:
-            initial = self.history[-1].solution.selected
-        result = engine.optimize(objective, initial=initial)
+        telemetry = self._telemetry()
+        with use_telemetry(telemetry), telemetry.span(
+            "session.solve",
+            iteration=len(self.history),
+            constraints=len(self.source_constraints),
+            ga_constraints=len(self.ga_constraints),
+        ) as span:
+            problem = self.problem()
+            objective = Objective(
+                problem,
+                similarity=self._matrix,
+                incremental=self.incremental,
+                match_operator=self._cached_operator(problem),
+            )
+            engine = get_optimizer(
+                optimizer or self.optimizer_name, self.optimizer_config
+            )
+            initial = None
+            if warm_start and self.history:
+                initial = self.history[-1].solution.selected
+            result = engine.optimize(objective, initial=initial)
+            span.set(quality=result.solution.quality)
         iteration = Iteration(len(self.history), problem, result)
         self.history.append(iteration)
         return iteration
@@ -317,6 +334,10 @@ class Session:
         self.max_sources = max_sources
 
     # -- internals ---------------------------------------------------------
+
+    def _telemetry(self) -> Telemetry | NoopTelemetry:
+        """The session's own tracer, or the process-wide current one."""
+        return self.telemetry if self.telemetry is not None else get_telemetry()
 
     def _cached_operator(self, problem: Problem):
         """Reuse the match operator (and its memo) across iterations.

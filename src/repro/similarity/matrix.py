@@ -16,6 +16,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from ..exceptions import ReproError
+from ..telemetry import get_telemetry
 from .measures import SimilarityMeasure
 
 
@@ -51,14 +52,20 @@ class NameSimilarityMatrix:
         The measure is assumed symmetric with self-similarity 1.0; only the
         upper triangle is computed.
         """
+        telemetry = get_telemetry()
         vocabulary = tuple(dict.fromkeys(names))
         size = len(vocabulary)
-        matrix = np.eye(size, dtype=np.float64)
-        for i in range(size):
-            for j in range(i + 1, size):
-                value = measure(vocabulary[i], vocabulary[j])
-                matrix[i, j] = value
-                matrix[j, i] = value
+        with telemetry.span(
+            "similarity.matrix_build", vocabulary=size,
+            measure=measure.name,
+        ):
+            matrix = np.eye(size, dtype=np.float64)
+            for i in range(size):
+                for j in range(i + 1, size):
+                    value = measure(vocabulary[i], vocabulary[j])
+                    matrix[i, j] = value
+                    matrix[j, i] = value
+        telemetry.metrics.gauge("similarity.vocabulary_size").set(size)
         return cls(vocabulary, matrix, measure_name=measure.name)
 
     def name_id(self, name: str) -> int:

@@ -26,6 +26,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from ..exceptions import SketchError
+from ..telemetry import get_telemetry
 from .hashing import hash_ints, hash_strings, splitmix64, trailing_zeros
 
 #: Flajolet–Martin magic constant.
@@ -132,6 +133,7 @@ class PCSASketch:
                 f"({self.num_maps},{self.map_bits},{self.seed}) vs "
                 f"({other.num_maps},{other.map_bits},{other.seed})"
             )
+        get_telemetry().metrics.counter("sketch.pcsa.merges").inc()
         return PCSASketch(
             self.num_maps, self.map_bits, self.seed, self.words | other.words
         )
@@ -185,6 +187,9 @@ def union_sketch(sketches: Sequence[PCSASketch]) -> PCSASketch:
         if not first.compatible_with(other):
             raise SketchError("sketches have incompatible parameters")
         words |= other.words
+    metrics = get_telemetry().metrics
+    metrics.counter("sketch.pcsa.merges").inc(len(sketches) - 1)
+    metrics.counter("sketch.pcsa.union_calls").inc()
     return PCSASketch(first.num_maps, first.map_bits, first.seed, words)
 
 

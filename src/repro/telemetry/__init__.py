@@ -1,0 +1,40 @@
+"""Telemetry: spans, metrics and exporters for the solve pipeline.
+
+The measurement substrate for every perf/scaling change: a span-based
+tracer (:class:`Telemetry`), a metrics registry (counters, gauges,
+histograms), and pluggable exporters.  The default is a true no-op
+(:data:`NOOP`) whose overhead is negligible, so every layer of the
+pipeline instruments unconditionally.  See docs/observability.md for the
+span taxonomy and exporter formats.
+"""
+
+from .exporters import (
+    Exporter,
+    InMemoryExporter,
+    JsonLinesExporter,
+    StderrSummaryExporter,
+    render_summary,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, NoopMetrics
+from .runtime import get_telemetry, set_telemetry, use_telemetry
+from .tracer import NOOP, NoopTelemetry, SpanRecord, Telemetry
+
+__all__ = [
+    "Counter",
+    "Exporter",
+    "Gauge",
+    "Histogram",
+    "InMemoryExporter",
+    "JsonLinesExporter",
+    "MetricsRegistry",
+    "NOOP",
+    "NoopMetrics",
+    "NoopTelemetry",
+    "SpanRecord",
+    "StderrSummaryExporter",
+    "Telemetry",
+    "get_telemetry",
+    "render_summary",
+    "set_telemetry",
+    "use_telemetry",
+]

@@ -1,0 +1,142 @@
+"""Exporters: where finished spans and metric snapshots go.
+
+Three built-ins cover the intended uses:
+
+* :class:`InMemoryExporter` — tests and benchmarks inspect spans and the
+  final snapshot programmatically;
+* :class:`JsonLinesExporter` — one JSON object per line (spans as they
+  close, one final ``metrics`` record), the ``mube solve --trace`` format;
+* :class:`StderrSummaryExporter` — a human-readable table printed when
+  the telemetry closes, the ``mube solve --stats`` output.
+
+Custom exporters subclass :class:`Exporter` and override any subset of
+the three hooks.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from typing import Any, TextIO
+
+from .tracer import SpanRecord, Telemetry
+
+
+class Exporter:
+    """Base exporter; every hook defaults to doing nothing."""
+
+    def export_span(self, record: SpanRecord) -> None:
+        """Called once per span, as it closes."""
+
+    def export_metrics(self, snapshot: dict[str, Any]) -> None:
+        """Called once with the final metrics snapshot."""
+
+    def close(self, telemetry: Telemetry) -> None:
+        """Called after the metrics snapshot, when the telemetry closes."""
+
+
+class InMemoryExporter(Exporter):
+    """Collects everything in plain lists/dicts for assertions."""
+
+    def __init__(self):
+        self.spans: list[SpanRecord] = []
+        self.metrics: dict[str, Any] = {}
+
+    def export_span(self, record: SpanRecord) -> None:
+        self.spans.append(record)
+
+    def export_metrics(self, snapshot: dict[str, Any]) -> None:
+        self.metrics = snapshot
+
+    # -- inspection helpers --------------------------------------------------
+
+    def span_names(self) -> set[str]:
+        """Distinct names among the collected spans."""
+        return {span.name for span in self.spans}
+
+    def find(self, name: str) -> list[SpanRecord]:
+        """All spans with the given name, in completion order."""
+        return [span for span in self.spans if span.name == name]
+
+    def counters(self) -> dict[str, int]:
+        """The counter section of the exported snapshot."""
+        return dict(self.metrics.get("counters", {}))
+
+
+class JsonLinesExporter(Exporter):
+    """Streams spans (and the final metrics) as JSON lines.
+
+    Accepts a path (the file is opened/closed by the exporter) or an open
+    text stream (left open for the caller).
+    """
+
+    def __init__(self, target: str | TextIO):
+        if isinstance(target, str):
+            self._stream: TextIO = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+
+    def export_span(self, record: SpanRecord) -> None:
+        self._stream.write(
+            json.dumps(record.to_dict(), default=str) + "\n"
+        )
+
+    def export_metrics(self, snapshot: dict[str, Any]) -> None:
+        self._stream.write(
+            json.dumps({"type": "metrics", **snapshot}, default=str) + "\n"
+        )
+
+    def close(self, telemetry: Telemetry) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+
+class StderrSummaryExporter(Exporter):
+    """Prints a per-span-name timing table and the counters on close."""
+
+    def __init__(self, stream: TextIO | None = None):
+        self._stream = stream
+
+    def close(self, telemetry: Telemetry) -> None:
+        stream = self._stream or sys.stderr
+        stream.write(render_summary(telemetry))
+
+    def export_metrics(self, snapshot: dict[str, Any]) -> None:
+        self._snapshot = snapshot
+
+
+def render_summary(telemetry: Telemetry) -> str:
+    """The ``--stats`` table: span timings then non-zero counters."""
+    out = io.StringIO()
+    spans = telemetry.span_summary()
+    out.write("== telemetry: spans ==\n")
+    if not spans:
+        out.write("  (no spans recorded)\n")
+    else:
+        width = max(len(name) for name in spans)
+        out.write(
+            f"  {'span':<{width}} {'count':>7} {'total s':>9} {'mean ms':>9}\n"
+        )
+        for name, row in spans.items():
+            out.write(
+                f"  {name:<{width}} {row['count']:>7.0f} "
+                f"{row['total_seconds']:>9.3f} "
+                f"{row['mean_seconds'] * 1e3:>9.3f}\n"
+            )
+    snapshot = telemetry.metrics.snapshot()
+    counters = {k: v for k, v in snapshot["counters"].items() if v}
+    out.write("== telemetry: counters ==\n")
+    if not counters:
+        out.write("  (no counters recorded)\n")
+    for name, value in counters.items():
+        out.write(f"  {name:<40} {value:>12}\n")
+    gauges = snapshot["gauges"]
+    if gauges:
+        out.write("== telemetry: gauges ==\n")
+        for name, value in gauges.items():
+            out.write(f"  {name:<40} {value:>12.3f}\n")
+    return out.getvalue()

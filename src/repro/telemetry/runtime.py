@@ -1,0 +1,49 @@
+"""The process-wide current telemetry.
+
+Library code asks :func:`get_telemetry` for the active tracer at call
+time, so instrumentation needs no parameter threading through the many
+layers between ``Session.solve`` and a PCSA union.  The default is the
+shared no-op; callers that want a trace install a real
+:class:`~repro.telemetry.tracer.Telemetry` for a scope::
+
+    telemetry = Telemetry(exporters=[InMemoryExporter()])
+    with use_telemetry(telemetry):
+        session.solve()
+    telemetry.close()
+
+A plain module global (not a contextvar) keeps the lookup as cheap as
+possible on hot paths; the solve pipeline is single-threaded by design
+(optimizers share memo tables without locks), so thread-local routing
+would buy nothing here.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .tracer import NOOP, NoopTelemetry, Telemetry
+
+_current: Telemetry | NoopTelemetry = NOOP
+
+
+def get_telemetry() -> Telemetry | NoopTelemetry:
+    """The active tracer (the shared no-op unless one is installed)."""
+    return _current
+
+
+def set_telemetry(telemetry: Telemetry | NoopTelemetry | None) -> None:
+    """Install a tracer process-wide (None restores the no-op)."""
+    global _current
+    _current = telemetry if telemetry is not None else NOOP
+
+
+@contextmanager
+def use_telemetry(telemetry: Telemetry | NoopTelemetry):
+    """Install a tracer for the duration of a ``with`` block."""
+    global _current
+    previous = _current
+    _current = telemetry
+    try:
+        yield telemetry
+    finally:
+        _current = previous

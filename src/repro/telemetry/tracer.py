@@ -1,0 +1,239 @@
+"""Span-based tracing for the solve pipeline.
+
+A :class:`Telemetry` instance owns a stack of open spans, a
+:class:`~repro.telemetry.metrics.MetricsRegistry`, and a list of exporters.
+Spans nest naturally through ``with`` blocks::
+
+    with telemetry.span("session.solve", iteration=0):
+        with telemetry.span("search.solve", optimizer="tabu"):
+            ...
+
+Each span is exported when it closes (children therefore appear before
+their parents in the export stream; ``parent_index`` reconstructs the
+tree).  Durations come from ``time.perf_counter`` and are reported
+relative to the tracer's epoch so traces are readable without epoch
+arithmetic.
+
+:data:`NOOP` is the default telemetry: its spans and metrics discard
+everything, and its per-call overhead is a couple of trivial method
+calls, so library code instruments unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from .metrics import MetricsRegistry, NoopMetrics
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One finished span.
+
+    Attributes
+    ----------
+    name:
+        Dot-separated span name (see docs/observability.md for the
+        taxonomy).
+    index:
+        Creation order, unique within one tracer.
+    parent_index:
+        Index of the enclosing span, or None for a root span.
+    depth:
+        Nesting depth (0 for roots).
+    start, end:
+        Seconds since the tracer's epoch.
+    attributes:
+        Key/value annotations supplied at span creation.
+    """
+
+    name: str
+    index: int
+    parent_index: int | None
+    depth: int
+    start: float
+    end: float
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds the span was open."""
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict form (used by the JSON-lines exporter)."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "index": self.index,
+            "parent": self.parent_index,
+            "depth": self.depth,
+            "start": round(self.start, 9),
+            "duration": round(self.duration, 9),
+            "attributes": self.attributes,
+        }
+
+
+class _Span:
+    """An open span; created by :meth:`Telemetry.span`, closed by ``with``."""
+
+    __slots__ = ("_telemetry", "name", "attributes", "index", "parent_index",
+                 "depth", "_start")
+
+    def __init__(self, telemetry: "Telemetry", name: str,
+                 attributes: dict[str, Any]):
+        self._telemetry = telemetry
+        self.name = name
+        self.attributes = attributes
+        self.index = 0
+        self.parent_index: int | None = None
+        self.depth = 0
+        self._start = 0.0
+
+    def set(self, **attributes: Any) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.attributes.update(attributes)
+
+    def __enter__(self) -> "_Span":
+        self._telemetry._open(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._telemetry._close(self)
+
+
+class _NoopSpan:
+    """Shared do-nothing span for disabled telemetry."""
+
+    __slots__ = ()
+
+    def set(self, **attributes: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Telemetry:
+    """A live tracer: spans, metrics and exporters for one run or session."""
+
+    enabled = True
+
+    def __init__(self, exporters: tuple | list = ()):
+        self.exporters = list(exporters)
+        self.metrics = MetricsRegistry()
+        self._epoch = time.perf_counter()
+        self._stack: list[_Span] = []
+        self._next_index = 0
+        self._span_durations: dict[str, list[float]] = {}
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _Span:
+        """A context manager recording one named, attributed span."""
+        return _Span(self, name, attributes)
+
+    def _open(self, span: _Span) -> None:
+        span.index = self._next_index
+        self._next_index += 1
+        if self._stack:
+            parent = self._stack[-1]
+            span.parent_index = parent.index
+            span.depth = parent.depth + 1
+        self._stack.append(span)
+        span._start = time.perf_counter() - self._epoch
+
+    def _close(self, span: _Span) -> None:
+        end = time.perf_counter() - self._epoch
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        else:  # pragma: no cover - misuse guard (out-of-order close)
+            self._stack = [s for s in self._stack if s is not span]
+        record = SpanRecord(
+            name=span.name,
+            index=span.index,
+            parent_index=span.parent_index,
+            depth=span.depth,
+            start=span._start,
+            end=end,
+            attributes=span.attributes,
+        )
+        self._span_durations.setdefault(span.name, []).append(
+            record.duration
+        )
+        for exporter in self.exporters:
+            exporter.export_span(record)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def span_summary(self) -> dict[str, dict[str, float]]:
+        """Per-name span aggregates: count and total/mean seconds."""
+        summary = {}
+        for name in sorted(self._span_durations):
+            durations = self._span_durations[name]
+            total = sum(durations)
+            summary[name] = {
+                "count": len(durations),
+                "total_seconds": total,
+                "mean_seconds": total / len(durations),
+            }
+        return summary
+
+    def close(self) -> None:
+        """Flush the metrics snapshot to every exporter and close them."""
+        snapshot = self.metrics.snapshot()
+        for exporter in self.exporters:
+            exporter.export_metrics(snapshot)
+            exporter.close(self)
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Telemetry(spans={self._next_index}, "
+            f"exporters={len(self.exporters)})"
+        )
+
+
+class NoopTelemetry:
+    """The default tracer: every operation is a constant-time no-op."""
+
+    enabled = False
+    metrics = NoopMetrics()
+    exporters: list = []
+
+    __slots__ = ()
+
+    def span(self, name: str, **attributes: Any) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def span_summary(self) -> dict[str, dict[str, float]]:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NoopTelemetry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NoopTelemetry()"
+
+
+#: Shared no-op instance installed as the process default.
+NOOP = NoopTelemetry()

@@ -50,6 +50,50 @@ class TestCommands:
         for name in ("tabu", "annealing", "local", "pso", "greedy", "random"):
             assert name in out
 
+    def test_solve_trace_writes_jsonl(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "solve", "--sources", "30", "--choose", "4",
+                    "--iterations", "6", "--trace", str(trace),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrote span trace" in out
+        assert "match memo" in out
+        entries = [
+            json.loads(line) for line in trace.read_text().splitlines()
+        ]
+        names = {e["name"] for e in entries if e["type"] == "span"}
+        assert "session.solve" in names
+        assert "search.solve" in names
+        assert "search.iteration" in names
+        assert "match.evaluate" in names
+        assert "objective.evaluate" in names
+        assert any(name.startswith("qef.") for name in names)
+        (metrics,) = [e for e in entries if e["type"] == "metrics"]
+        assert metrics["counters"]["search.solves"] == 1
+
+    def test_solve_stats_prints_summary(self, capsys):
+        assert (
+            main(
+                [
+                    "solve", "--sources", "30", "--choose", "4",
+                    "--iterations", "6", "--stats",
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "telemetry: spans" in err
+        assert "search.solve" in err
+        assert "telemetry: counters" in err
+
     def test_discover_runs(self, capsys):
         assert (
             main(

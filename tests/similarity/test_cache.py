@@ -49,3 +49,39 @@ class TestCachedSimilarity:
     def test_exposes_measure_name(self):
         cached = CachedSimilarity(NGramJaccard(3))
         assert cached.name == "3gram_jaccard"
+
+
+class TestCacheStats:
+    def test_hits_and_misses_counted(self):
+        cached = CachedSimilarity(NGramJaccard(3))
+        cached("title", "titles")
+        cached("title", "titles")
+        cached("titles", "title")
+        assert cached.misses == 1
+        assert cached.hits == 2
+
+    def test_stats_dict(self):
+        cached = CachedSimilarity(NGramJaccard(3))
+        cached("a", "b")
+        cached("a", "b")
+        assert cached.stats() == {
+            "hits": 1, "misses": 1, "size": 1, "hit_rate": 0.5,
+        }
+
+    def test_hit_rate_zero_before_any_lookup(self):
+        assert CachedSimilarity(NGramJaccard(3)).hit_rate() == 0.0
+
+    def test_clear_resets_traffic(self):
+        cached = CachedSimilarity(NGramJaccard(3))
+        cached("a", "b")
+        cached("a", "b")
+        cached.clear()
+        assert cached.stats() == {
+            "hits": 0, "misses": 0, "size": 0, "hit_rate": 0.0,
+        }
+
+    def test_repr_reports_hit_rate(self):
+        cached = CachedSimilarity(NGramJaccard(3))
+        cached("title", "titles")
+        cached("title", "titles")
+        assert "hit_rate=50.0%" in repr(cached)

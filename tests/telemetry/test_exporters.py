@@ -1,0 +1,93 @@
+"""Tests for the three built-in exporters."""
+
+import io
+import json
+
+from repro.telemetry import (
+    InMemoryExporter,
+    JsonLinesExporter,
+    StderrSummaryExporter,
+    Telemetry,
+    render_summary,
+)
+
+
+def run_workload(telemetry):
+    with telemetry.span("outer", label="run"):
+        with telemetry.span("inner"):
+            telemetry.metrics.counter("work.done").inc(3)
+    telemetry.metrics.gauge("depth").set(2)
+    telemetry.close()
+
+
+class TestInMemoryExporter:
+    def test_collects_spans_and_metrics(self):
+        exporter = InMemoryExporter()
+        run_workload(Telemetry(exporters=[exporter]))
+        assert exporter.span_names() == {"outer", "inner"}
+        assert len(exporter.find("inner")) == 1
+        assert exporter.counters() == {"work.done": 3}
+
+    def test_metrics_arrive_on_close(self):
+        exporter = InMemoryExporter()
+        telemetry = Telemetry(exporters=[exporter])
+        telemetry.metrics.counter("c").inc()
+        assert exporter.metrics == {}
+        telemetry.close()
+        assert exporter.metrics["counters"] == {"c": 1}
+
+
+class TestJsonLinesExporter:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        run_workload(Telemetry(exporters=[JsonLinesExporter(path)]))
+        lines = [
+            json.loads(line)
+            for line in open(path, encoding="utf-8").read().splitlines()
+        ]
+        assert [entry["type"] for entry in lines] == [
+            "span", "span", "metrics",
+        ]
+        inner, outer, metrics = lines
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer["index"]
+        assert outer["attributes"] == {"label": "run"}
+        assert metrics["counters"] == {"work.done": 3}
+        assert metrics["gauges"] == {"depth": 2.0}
+
+    def test_accepts_open_stream_and_leaves_it_open(self):
+        stream = io.StringIO()
+        run_workload(Telemetry(exporters=[JsonLinesExporter(stream)]))
+        assert not stream.closed
+        assert len(stream.getvalue().splitlines()) == 3
+
+    def test_owned_file_is_closed(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        exporter = JsonLinesExporter(path)
+        run_workload(Telemetry(exporters=[exporter]))
+        assert exporter._stream.closed
+
+
+class TestSummary:
+    def test_stderr_summary_prints_on_close(self):
+        stream = io.StringIO()
+        run_workload(
+            Telemetry(exporters=[StderrSummaryExporter(stream=stream)])
+        )
+        text = stream.getvalue()
+        assert "telemetry: spans" in text
+        assert "outer" in text and "inner" in text
+        assert "work.done" in text
+
+    def test_render_summary_empty_telemetry(self):
+        text = render_summary(Telemetry())
+        assert "(no spans recorded)" in text
+        assert "(no counters recorded)" in text
+
+    def test_render_summary_skips_zero_counters(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("never.hit")
+        telemetry.metrics.counter("hit").inc()
+        text = render_summary(telemetry)
+        assert "never.hit" not in text
+        assert "hit" in text

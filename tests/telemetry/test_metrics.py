@@ -1,0 +1,74 @@
+"""Tests for counters, gauges, histograms and the registry."""
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.metrics import NoopMetrics
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(3)
+        gauge.set(7)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("seconds")
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["total"] == 6.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == 2.0
+
+    def test_empty_summary_is_all_zero(self):
+        summary = MetricsRegistry().histogram("empty").summary()
+        assert summary == {
+            "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+
+
+class TestSnapshot:
+    def test_snapshot_is_sorted_and_plain(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc(1)
+        registry.gauge("g").set(0.5)
+        registry.histogram("h").observe(1.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["counters"] == {"a": 1, "b": 2}
+        assert snapshot["gauges"] == {"g": 0.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_noop_snapshot_is_empty(self):
+        noop = NoopMetrics()
+        noop.counter("c").inc(10)
+        assert noop.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_noop_shares_singletons(self):
+        noop = NoopMetrics()
+        assert noop.counter("a") is noop.counter("b")
+        assert noop.gauge("a") is noop.gauge("b")
+        assert noop.histogram("a") is noop.histogram("b")

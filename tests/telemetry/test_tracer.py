@@ -1,0 +1,132 @@
+"""Tests for the span tracer and the runtime current-telemetry plumbing."""
+
+from repro.telemetry import (
+    NOOP,
+    InMemoryExporter,
+    NoopTelemetry,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    use_telemetry,
+)
+
+
+def traced():
+    exporter = InMemoryExporter()
+    return Telemetry(exporters=[exporter]), exporter
+
+
+class TestSpans:
+    def test_span_records_name_and_attributes(self):
+        telemetry, exporter = traced()
+        with telemetry.span("unit.work", size=3):
+            pass
+        (record,) = exporter.spans
+        assert record.name == "unit.work"
+        assert record.attributes == {"size": 3}
+        assert record.duration >= 0.0
+
+    def test_nesting_sets_parent_and_depth(self):
+        telemetry, exporter = traced()
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        inner, outer = exporter.spans  # children close first
+        assert outer.name == "outer"
+        assert outer.parent_index is None and outer.depth == 0
+        assert inner.parent_index == outer.index and inner.depth == 1
+
+    def test_sibling_spans_share_parent(self):
+        telemetry, exporter = traced()
+        with telemetry.span("root"):
+            with telemetry.span("a"):
+                pass
+            with telemetry.span("b"):
+                pass
+        by_name = {s.name: s for s in exporter.spans}
+        root = by_name["root"]
+        assert by_name["a"].parent_index == root.index
+        assert by_name["b"].parent_index == root.index
+
+    def test_set_attaches_attributes_mid_span(self):
+        telemetry, exporter = traced()
+        with telemetry.span("work") as span:
+            span.set(result="ok")
+        assert exporter.spans[0].attributes == {"result": "ok"}
+
+    def test_span_summary_aggregates_by_name(self):
+        telemetry, _ = traced()
+        for _ in range(3):
+            with telemetry.span("repeat"):
+                pass
+        summary = telemetry.span_summary()
+        assert summary["repeat"]["count"] == 3
+        assert summary["repeat"]["total_seconds"] >= 0.0
+
+    def test_start_times_are_relative_to_epoch(self):
+        telemetry, exporter = traced()
+        with telemetry.span("first"):
+            pass
+        assert 0.0 <= exporter.spans[0].start < 60.0
+
+    def test_to_dict_is_json_shaped(self):
+        telemetry, exporter = traced()
+        with telemetry.span("x", k="v"):
+            pass
+        payload = exporter.spans[0].to_dict()
+        assert payload["type"] == "span"
+        assert payload["name"] == "x"
+        assert payload["attributes"] == {"k": "v"}
+
+
+class TestNoop:
+    def test_noop_is_disabled_and_silent(self):
+        assert NOOP.enabled is False
+        with NOOP.span("anything", a=1) as span:
+            span.set(b=2)
+        NOOP.metrics.counter("c").inc()
+        NOOP.metrics.gauge("g").set(1.0)
+        NOOP.metrics.histogram("h").observe(2.0)
+        assert NOOP.metrics.snapshot()["counters"] == {}
+        assert NOOP.span_summary() == {}
+        NOOP.close()  # must not raise
+
+    def test_noop_is_reused(self):
+        assert isinstance(NoopTelemetry(), NoopTelemetry)
+        assert NOOP.span("a") is NOOP.span("b")
+
+
+class TestRuntime:
+    def test_default_is_noop(self):
+        assert get_telemetry() is NOOP
+
+    def test_use_telemetry_installs_and_restores(self):
+        telemetry = Telemetry()
+        with use_telemetry(telemetry):
+            assert get_telemetry() is telemetry
+        assert get_telemetry() is NOOP
+
+    def test_use_telemetry_restores_on_error(self):
+        telemetry = Telemetry()
+        try:
+            with use_telemetry(telemetry):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_telemetry() is NOOP
+
+    def test_set_telemetry_none_restores_noop(self):
+        telemetry = Telemetry()
+        set_telemetry(telemetry)
+        try:
+            assert get_telemetry() is telemetry
+        finally:
+            set_telemetry(None)
+        assert get_telemetry() is NOOP
+
+    def test_nested_use_telemetry(self):
+        outer, inner = Telemetry(), Telemetry()
+        with use_telemetry(outer):
+            with use_telemetry(inner):
+                assert get_telemetry() is inner
+            assert get_telemetry() is outer
