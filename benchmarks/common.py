@@ -221,6 +221,13 @@ def last_counters() -> dict[str, int]:
     return dict(_last_telemetry.metrics.snapshot()["counters"])
 
 
+def last_counter(name: str, default: int = 0) -> int:
+    """One counter from the most recent :func:`solve_tabu` run."""
+    if _last_telemetry is None:
+        return default
+    return _last_telemetry.metrics.counter_value(name, default)
+
+
 def record_counters(benchmark) -> None:
     """Attach the last run's counters to a benchmark's ``extra_info``.
 

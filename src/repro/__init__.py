@@ -38,6 +38,14 @@ from .exceptions import (
     WeightError,
     WorkloadError,
 )
+from .explain import (
+    EventLog,
+    SolutionExplanation,
+    explain_solution,
+    get_event_log,
+    set_event_log,
+    use_event_log,
+)
 from .execution import (
     CostModel,
     IntegrationSystem,
@@ -71,6 +79,8 @@ from .telemetry import (
     StderrSummaryExporter,
     Telemetry,
     get_telemetry,
+    load_trace,
+    render_trace_report,
     set_telemetry,
     use_telemetry,
 )
@@ -102,6 +112,7 @@ __all__ = [
     "ConstraintError",
     "CostModel",
     "DataConfig",
+    "EventLog",
     "ExactDistinct",
     "GlobalAttribute",
     "HybridSimilarity",
@@ -131,6 +142,7 @@ __all__ = [
     "Session",
     "SketchError",
     "Solution",
+    "SolutionExplanation",
     "Source",
     "SourceSearchEngine",
     "StderrSummaryExporter",
@@ -143,20 +155,26 @@ __all__ = [
     "available_measures",
     "build_catalog",
     "default_weights",
+    "explain_solution",
     "full_answer_count",
     "generate_books_universe",
     "generate_universe",
+    "get_event_log",
     "get_measure",
     "get_optimizer",
     "get_telemetry",
+    "load_trace",
     "normalize_weights",
     "random_queries",
     "render_schema",
     "render_solution",
+    "render_trace_report",
     "score_schema",
+    "set_event_log",
     "set_telemetry",
     "suggest_compounds",
     "theater_universe",
+    "use_event_log",
     "use_telemetry",
     "value_samples_for_universe",
     "__version__",

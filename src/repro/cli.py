@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Three subcommands::
+The core subcommands::
 
     mube demo                    # the paper's theater example, end to end
     mube solve [options]         # solve a Books universe and print the answer
     mube optimizers              # compare all optimizers on one instance
+    mube explain [options]       # solve and explain *why* the answer is so
+    mube trace-report FILE       # analyse a --trace JSON-lines file offline
 
 The CLI is a thin veneer over the :class:`repro.Session` API; everything it
 does can be done programmatically (see ``examples/``).
@@ -94,8 +96,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--optimizer", choices=sorted(OPTIMIZERS), default="tabu"
     )
     solve.add_argument("--iterations", type=int, default=60)
+    solve.add_argument(
+        "--explain", metavar="FILE",
+        help="also write a provenance report to FILE "
+             "(.json → JSON, .md → markdown, otherwise text)",
+    )
     add_telemetry_args(solve)
     solve.set_defaults(handler=run_solve)
+
+    explain = sub.add_parser(
+        "explain",
+        help="solve a Books universe and explain why the answer is what it is",
+    )
+    explain.add_argument("--sources", type=int, default=60)
+    explain.add_argument("--choose", type=int, default=8)
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument("--theta", type=float, default=0.65)
+    explain.add_argument(
+        "--optimizer", choices=sorted(OPTIMIZERS), default="tabu"
+    )
+    explain.add_argument("--iterations", type=int, default=40)
+    explain.add_argument(
+        "--format", choices=["text", "markdown", "json"], default="text"
+    )
+    explain.add_argument("--out", help="write the report here instead of stdout")
+    add_telemetry_args(explain)
+    explain.set_defaults(handler=run_explain)
+
+    trace_report = sub.add_parser(
+        "trace-report",
+        help="reconstruct the span tree and timings from a --trace file",
+    )
+    trace_report.add_argument("trace_file", help="JSON-lines trace file")
+    trace_report.add_argument(
+        "--tree", action="store_true", help="also print the span tree"
+    )
+    trace_report.add_argument(
+        "--max-depth", type=int, default=3,
+        help="span-tree depth limit (with --tree)",
+    )
+    trace_report.set_defaults(handler=run_trace_report)
 
     compare = sub.add_parser(
         "optimizers", help="compare all optimizers on one instance"
@@ -207,7 +247,7 @@ def run_solve(args: argparse.Namespace) -> int:
             max_iterations=args.iterations, seed=args.seed
         ),
     )
-    iteration = session.solve()
+    iteration = session.solve(explain=bool(args.explain))
     print(render_solution(iteration.solution, workload.universe))
     stats = iteration.result.stats
     print(
@@ -215,9 +255,83 @@ def run_solve(args: argparse.Namespace) -> int:
         f"{stats.evaluations} evaluations, {stats.elapsed_seconds:.2f}s, "
         f"match memo {stats.match_memo_hits}h/{stats.match_memo_misses}m"
     )
+    if args.explain:
+        fmt = _format_for_path(args.explain)
+        report = _render_explanation(
+            session.explain(), workload.universe, fmt
+        )
+        with open(args.explain, "w", encoding="utf-8") as stream:
+            stream.write(report)
+        print(f"wrote {fmt} explanation to {args.explain}")
     if args.trace:
         print(f"wrote span trace to {args.trace}")
     return 0
+
+
+def run_explain(args: argparse.Namespace) -> int:
+    """Solve one Books instance and print the full provenance report."""
+    workload = generate_books_universe(n_sources=args.sources, seed=args.seed)
+    spec = CharacteristicSpec("mttf", "mttf")
+    session = Session(
+        workload.universe,
+        max_sources=args.choose,
+        theta=args.theta,
+        weights=default_weights([spec]),
+        characteristic_qefs=[spec],
+        optimizer=args.optimizer,
+        optimizer_config=OptimizerConfig(
+            max_iterations=args.iterations, seed=args.seed
+        ),
+    )
+    session.solve(explain=True)
+    report = _render_explanation(
+        session.explain(), workload.universe, args.format
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            stream.write(report)
+        print(f"wrote {args.format} explanation to {args.out}")
+    else:
+        print(report, end="")
+    return 0
+
+
+def run_trace_report(args: argparse.Namespace) -> int:
+    """Analyse a ``--trace`` JSON-lines file offline."""
+    from .telemetry import render_trace_report
+
+    try:
+        report = render_trace_report(
+            args.trace_file, tree=args.tree, max_depth=args.max_depth
+        )
+    except OSError as exc:
+        print(f"error: cannot read trace file: {exc}", file=sys.stderr)
+        return 2
+    print(report, end="")
+    return 0
+
+
+def _format_for_path(path: str) -> str:
+    """Report format implied by a ``--explain FILE`` suffix."""
+    if path.endswith(".json"):
+        return "json"
+    if path.endswith(".md"):
+        return "markdown"
+    return "text"
+
+
+def _render_explanation(explanation, universe, fmt: str) -> str:
+    from .explain import (
+        render_explanation_json,
+        render_explanation_markdown,
+        render_explanation_text,
+    )
+
+    if fmt == "json":
+        return render_explanation_json(explanation)
+    if fmt == "markdown":
+        return render_explanation_markdown(explanation, universe)
+    return render_explanation_text(explanation, universe)
 
 
 def run_optimizers(args: argparse.Namespace) -> int:

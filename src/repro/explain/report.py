@@ -1,0 +1,180 @@
+"""Rendering solution explanations: text, markdown and JSON.
+
+The text form is what ``mube explain`` prints to a terminal; the
+markdown form is what ``mube solve --explain report.md`` writes; the
+JSON form is the machine-readable payload (``--format json``), a plain
+dump of :meth:`SolutionExplanation.to_dict`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from ..core import Universe
+from .attribution import GAProvenance, SolutionExplanation
+
+#: How many merge-chain rows the text/markdown renderers show per GA
+#: before truncating (a deep GA can carry dozens of merges).
+MAX_CHAIN_ROWS = 6
+
+
+def render_explanation_text(
+    explanation: SolutionExplanation, universe: Universe
+) -> str:
+    """Terminal-friendly rendering of a full explanation."""
+    out = io.StringIO()
+    status = "feasible" if explanation.feasible else "INFEASIBLE"
+    out.write(
+        f"Explanation: {len(explanation.selected)} sources, "
+        f"{len(explanation.gas)} GAs, Q={explanation.quality:.4f} "
+        f"({status})\n"
+    )
+
+    out.write(
+        f"\nPer-QEF decomposition "
+        f"(Σ w·F = {explanation.decomposition_total():.4f}):\n"
+    )
+    for c in explanation.qef_contributions:
+        out.write(
+            f"  {c.name:<14} w={c.weight:.3f}  F={c.score:.4f}  "
+            f"→ {c.weighted:+.4f}\n"
+        )
+    if not explanation.feasible:
+        out.write(
+            f"  (infeasible: objective discounted to "
+            f"{explanation.objective:.4f})\n"
+        )
+
+    out.write("\nMediated-schema provenance:\n")
+    for prov in explanation.gas:
+        out.write(f"  {_ga_headline(prov)}\n")
+        for line in _chain_lines(prov):
+            out.write(f"      {line}\n")
+
+    out.write("\nSource attribution (leave-one-out ΔQ):\n")
+    for s in explanation.sources:
+        flags = []
+        if s.constrained:
+            flags.append("constrained")
+        if not s.feasible_without:
+            flags.append("infeasible without")
+        suffix = f"  ({'; '.join(flags)})" if flags else ""
+        out.write(
+            f"  [{s.source_id:>3}] {s.name:<28} "
+            f"ΔQ {s.quality_delta:+.4f}  in {s.ga_count} GAs{suffix}\n"
+        )
+
+    if explanation.notes:
+        out.write("\nWhat changed since the previous iteration:\n")
+        for note in explanation.notes:
+            out.write(f"  - {note}\n")
+
+    counts = explanation.event_counts()
+    if counts:
+        rendered = ", ".join(f"{k}={v}" for k, v in counts.items())
+        out.write(f"\nDecision events: {rendered}\n")
+    return out.getvalue()
+
+
+def render_explanation_markdown(
+    explanation: SolutionExplanation, universe: Universe
+) -> str:
+    """Markdown report: the ``--explain report.md`` format."""
+    out = io.StringIO()
+    status = "feasible" if explanation.feasible else "**infeasible**"
+    out.write("# Solve explanation\n\n")
+    out.write(
+        f"{len(explanation.selected)} sources, {len(explanation.gas)} "
+        f"GAs, overall quality **{explanation.quality:.4f}** ({status}).\n"
+    )
+
+    out.write("\n## Per-QEF decomposition\n\n")
+    out.write("| QEF | weight | score | contribution |\n")
+    out.write("|---|---:|---:|---:|\n")
+    for c in explanation.qef_contributions:
+        out.write(
+            f"| {c.name} | {c.weight:.3f} | {c.score:.4f} | "
+            f"{c.weighted:+.4f} |\n"
+        )
+    out.write(
+        f"| **Σ** | | | **{explanation.decomposition_total():+.4f}** |\n"
+    )
+
+    out.write("\n## Mediated-schema provenance\n\n")
+    for prov in explanation.gas:
+        out.write(f"### {_ga_headline(prov)}\n\n")
+        members = ", ".join(
+            f"`{universe.source(m[0]).name}.{m[2]}`" for m in prov.members
+        )
+        out.write(f"Members: {members}\n")
+        chain = _chain_lines(prov)
+        if chain:
+            out.write("\nMerge chain:\n\n")
+            for line in chain:
+                out.write(f"- {line}\n")
+        out.write("\n")
+
+    out.write("## Source attribution (leave-one-out)\n\n")
+    out.write("| source | ΔQ | GAs | notes |\n")
+    out.write("|---|---:|---:|---|\n")
+    for s in explanation.sources:
+        flags = []
+        if s.constrained:
+            flags.append("constrained")
+        if not s.feasible_without:
+            flags.append("infeasible without")
+        out.write(
+            f"| [{s.source_id}] {s.name} | {s.quality_delta:+.4f} | "
+            f"{s.ga_count} | {', '.join(flags)} |\n"
+        )
+
+    if explanation.notes:
+        out.write("\n## What changed since the previous iteration\n\n")
+        for note in explanation.notes:
+            out.write(f"- {note}\n")
+
+    counts = explanation.event_counts()
+    if counts:
+        out.write("\n## Decision events\n\n")
+        out.write("| kind | count |\n|---|---:|\n")
+        for kind, count in counts.items():
+            out.write(f"| `{kind}` | {count} |\n")
+    return out.getvalue()
+
+
+def render_explanation_json(explanation: SolutionExplanation) -> str:
+    """The machine-readable form: ``to_dict()`` as indented JSON."""
+    return json.dumps(explanation.to_dict(), indent=2, default=str)
+
+
+# -- internals ---------------------------------------------------------------
+
+
+def _ga_headline(prov: GAProvenance) -> str:
+    parts = [f"GA {prov.index:>2} «{prov.label}» ({prov.size} attrs)"]
+    if prov.justifying_pair is not None:
+        a, b = prov.justifying_pair
+        parts.append(
+            f"justified by {a[2]}↔{b[2]} at sim {prov.similarity:.2f}"
+        )
+    else:
+        parts.append("singleton (no internal matching)")
+    if prov.seeded_by is not None:
+        parts.append(f"grown from constraint seed #{prov.seeded_by + 1}")
+    return " — ".join(parts)
+
+
+def _chain_lines(prov: GAProvenance) -> list[str]:
+    lines = []
+    for event in prov.merge_chain[:MAX_CHAIN_ROWS]:
+        seed = "  [seed]" if event.seeded else ""
+        lines.append(
+            f"r{event.round}: {event.pair_a[2]}↔{event.pair_b[2]} "
+            f"at sim {event.similarity:.2f} "
+            f"({len(event.left)}+{len(event.right)} attrs){seed}"
+        )
+    hidden = len(prov.merge_chain) - MAX_CHAIN_ROWS
+    if hidden > 0:
+        lines.append(f"... {hidden} more merge(s)")
+    return lines

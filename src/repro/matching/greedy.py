@@ -28,6 +28,15 @@ from collections.abc import Sequence
 import numpy as np
 
 from ..core import AttributeRef, GlobalAttribute
+from ..explain.events import (
+    ClusterEliminated,
+    MergeDeferred,
+    PairMerged,
+    SeedPlanted,
+    attr_key,
+    cluster_members,
+    get_event_log,
+)
 from ..similarity.matrix import NameSimilarityMatrix
 from ..telemetry import get_telemetry
 from .cluster import Cluster, cluster_similarity
@@ -87,10 +96,20 @@ def run_clustering_rounds(
     incremental operator (:mod:`repro.matching.incremental`) resumes from
     a previous selection's final clusters.
     """
+    log = get_event_log()
+    explain = log.enabled
     active: dict[int, Cluster] = {}
     ids = itertools.count()
+    seed_index = 0
     for cluster in initial_clusters:
         active[next(ids)] = cluster
+        if explain and cluster.keep:
+            log.emit(
+                SeedPlanted(
+                    seed_index=seed_index, members=cluster_members(cluster)
+                )
+            )
+            seed_index += 1
     finished: list[Cluster] = []
     rounds = 0
     merges = 0
@@ -105,7 +124,6 @@ def run_clustering_rounds(
         new_ids: set[int] = set()
         while heap:
             neg_sim, _, id_a, id_b = heapq.heappop(heap)
-            del neg_sim
             a_merged = id_a in merged_away
             b_merged = id_b in merged_away
             if a_merged and b_merged:
@@ -115,8 +133,17 @@ def run_clustering_rounds(
                 continue
             if a_merged or b_merged:
                 # The losing side survives to the next round.
-                merge_candidates.add(id_b if a_merged else id_a)
+                survivor = id_b if a_merged else id_a
+                merge_candidates.add(survivor)
                 done = False
+                if explain:
+                    log.emit(
+                        MergeDeferred(
+                            round=rounds,
+                            similarity=-neg_sim,
+                            members=cluster_members(active[survivor]),
+                        )
+                    )
                 continue
             cluster_a, cluster_b = active[id_a], active[id_b]
             if not cluster_a.can_merge(cluster_b):
@@ -128,6 +155,19 @@ def run_clustering_rounds(
             new_id = next(ids)
             active[new_id] = cluster_a.merged_with(cluster_b)
             new_ids.add(new_id)
+            if explain:
+                pair_a, pair_b = _best_pair(cluster_a, cluster_b, matrix)
+                log.emit(
+                    PairMerged(
+                        round=rounds,
+                        similarity=-neg_sim,
+                        left=cluster_members(cluster_a),
+                        right=cluster_members(cluster_b),
+                        pair_a=pair_a,
+                        pair_b=pair_b,
+                        seeded=cluster_a.keep or cluster_b.keep,
+                    )
+                )
         for cluster_id in merged_away:
             del active[cluster_id]
         if prune:
@@ -140,6 +180,12 @@ def run_clustering_rounds(
                 finished.append(cluster)
                 del active[cluster_id]
                 eliminated += 1
+                if explain:
+                    log.emit(
+                        ClusterEliminated(
+                            round=rounds, members=cluster_members(cluster)
+                        )
+                    )
         if done:
             break
 
@@ -150,6 +196,20 @@ def run_clustering_rounds(
 
     finished.extend(active.values())
     return finished
+
+
+def _best_pair(
+    cluster_a: Cluster, cluster_b: Cluster, matrix: NameSimilarityMatrix
+):
+    """The max-similarity attribute pair across two clusters.
+
+    Under single linkage this is the pair whose similarity *is* the
+    cluster-pair similarity — the pair that justifies the merge.  Only
+    called when the decision-event log is live.
+    """
+    block = matrix.block(cluster_a.name_ids, cluster_b.name_ids)
+    row, col = np.unravel_index(int(np.argmax(block)), block.shape)
+    return attr_key(cluster_a.attrs[row]), attr_key(cluster_b.attrs[col])
 
 
 def _similar_pairs(

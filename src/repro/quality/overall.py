@@ -27,6 +27,7 @@ from ..core import (
     Solution,
 )
 from ..exceptions import WeightError
+from ..explain.events import SelectionScored, get_event_log
 from ..matching.incremental import IncrementalMatchOperator
 from ..matching.operator import MatchOperator
 from ..similarity.matrix import NameSimilarityMatrix
@@ -189,6 +190,21 @@ class Objective:
             telemetry.metrics.counter(
                 "objective.infeasible_discounts"
             ).inc()
+        log = get_event_log()
+        if log.enabled:
+            log.emit(
+                SelectionScored(
+                    selected=tuple(sorted(selection)),
+                    scores=dict(scores),
+                    weights={
+                        name: problem.weights[name] for name in scores
+                    },
+                    quality=quality,
+                    objective=objective,
+                    feasible=feasible,
+                    reasons=tuple(reasons),
+                )
+            )
         return Solution(
             selected=selection,
             schema=match.schema,

@@ -19,6 +19,12 @@ from __future__ import annotations
 import math
 
 from ..core import Solution
+from ..explain.events import (
+    MoveAccepted,
+    MoveTabuRejected,
+    NewBest,
+    get_event_log,
+)
 from ..quality.overall import Objective
 from ..telemetry import get_telemetry
 from .base import (
@@ -62,6 +68,7 @@ class TabuSearch(Optimizer):
         )
 
         telemetry = get_telemetry()
+        log = get_event_log()
         improved_counter = telemetry.metrics.counter("tabu.moves.improving")
         worsened_counter = telemetry.metrics.counter("tabu.moves.worsening")
 
@@ -84,15 +91,37 @@ class TabuSearch(Optimizer):
                 )
             if chosen is None:
                 break
-            move, solution = chosen
+            move, solution, aspiration = chosen
             current = solution.selected
             for touched in move.touched():
                 tabu_until[touched] = iteration + tenure
-            if solution.objective > best.objective:
+            improving = solution.objective > best.objective
+            if log.enabled:
+                log.emit(
+                    MoveAccepted(
+                        iteration=iteration,
+                        move=move.kind.value,
+                        added=move.added,
+                        dropped=move.dropped,
+                        objective=solution.objective,
+                        improving=improving,
+                        aspiration=aspiration,
+                    )
+                )
+            if improving:
                 best = solution
                 best_found_at = iteration
                 stale = 0
                 improved_counter.inc()
+                if log.enabled:
+                    log.emit(
+                        NewBest(
+                            iteration=iteration,
+                            objective=solution.objective,
+                            quality=solution.quality,
+                            selected=tuple(sorted(solution.selected)),
+                        )
+                    )
             else:
                 stale += 1
                 worsened_counter.inc()
@@ -115,8 +144,9 @@ class TabuSearch(Optimizer):
         iteration: int,
         best: Solution,
         rng,
-    ) -> tuple[Move, Solution] | None:
-        chosen: tuple[Move, Solution] | None = None
+    ) -> tuple[Move, Solution, bool] | None:
+        log = get_event_log()
+        chosen: tuple[Move, Solution, bool] | None = None
         chosen_objective = -math.inf
         evaluated = 0
         tabu_rejected = 0
@@ -131,9 +161,20 @@ class TabuSearch(Optimizer):
             )
             if is_tabu and solution.objective <= best.objective:
                 tabu_rejected += 1
+                if log.enabled:
+                    log.emit(
+                        MoveTabuRejected(
+                            iteration=iteration,
+                            move=move.kind.value,
+                            added=move.added,
+                            dropped=move.dropped,
+                            objective=solution.objective,
+                        )
+                    )
                 continue
             if solution.objective > chosen_objective:
-                chosen = (move, solution)
+                # A tabu move only reaches this point via aspiration.
+                chosen = (move, solution, is_tabu)
                 chosen_objective = solution.objective
         metrics = get_telemetry().metrics
         metrics.counter("tabu.moves.evaluated").inc(evaluated)

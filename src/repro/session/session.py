@@ -20,7 +20,7 @@ Every :meth:`Session.solve` snapshot is kept in :attr:`Session.history`.
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..core import (
     AttributeRef,
@@ -42,11 +42,17 @@ from ..telemetry import NoopTelemetry, Telemetry, get_telemetry, use_telemetry
 
 @dataclass(frozen=True, slots=True)
 class Iteration:
-    """One solve step: the problem as posed and the result found."""
+    """One solve step: the problem as posed and the result found.
+
+    ``explanation`` is populated when the iteration was solved with
+    ``Session.solve(explain=True)``; :meth:`Session.explain` computes
+    the same account on demand for any recorded iteration.
+    """
 
     index: int
     problem: Problem
     result: SearchResult
+    explanation: object | None = None
 
     @property
     def solution(self) -> Solution:
@@ -145,7 +151,10 @@ class Session:
         )
 
     def solve(
-        self, optimizer: str | None = None, warm_start: bool = True
+        self,
+        optimizer: str | None = None,
+        warm_start: bool = True,
+        explain: bool = False,
     ) -> Iteration:
         """Solve the current problem and record the iteration.
 
@@ -155,9 +164,28 @@ class Session:
         reweighting, so the previous answer is close to the new optimum
         and convergence is much faster.  The warm start is repaired to the
         new constraints automatically.
+
+        With ``explain``, the solve runs under a live decision-event log
+        and the returned iteration carries a
+        :class:`~repro.explain.SolutionExplanation` (GA provenance,
+        leave-one-out source deltas, QEF decomposition) in
+        ``iteration.explanation``.  The events only observe — the
+        solution is bit-identical either way.
         """
+        from ..explain.attribution import change_notes, explain_solution
+        from ..explain.events import EventLog, NOOP_EVENTS, use_event_log
+
         telemetry = self._telemetry()
-        with use_telemetry(telemetry), telemetry.span(
+        # The event log rides the tracer's exporters, so `--trace` files
+        # carry decision events as a second record type.
+        event_log = (
+            EventLog(exporters=tuple(telemetry.exporters))
+            if explain
+            else NOOP_EVENTS
+        )
+        with use_telemetry(telemetry), use_event_log(
+            event_log
+        ), telemetry.span(
             "session.solve",
             iteration=len(self.history),
             constraints=len(self.source_constraints),
@@ -178,9 +206,72 @@ class Session:
                 initial = self.history[-1].solution.selected
             result = engine.optimize(objective, initial=initial)
             span.set(quality=result.solution.quality)
-        iteration = Iteration(len(self.history), problem, result)
+        explanation = None
+        if explain:
+            explanation = explain_solution(
+                problem,
+                result.solution,
+                objective=objective,
+                search_events=tuple(
+                    event_log.events(prefix="search.")
+                ),
+            )
+            if self.history:
+                from .diff import diff_solutions
+
+                diff = diff_solutions(
+                    self.history[-1].solution, result.solution
+                )
+                explanation = replace(
+                    explanation,
+                    notes=change_notes(diff, explanation, self.universe),
+                )
+        iteration = Iteration(
+            len(self.history), problem, result, explanation=explanation
+        )
         self.history.append(iteration)
         return iteration
+
+    def explain(self, index: int = -1):
+        """The provenance account of a recorded iteration.
+
+        Returns a :class:`~repro.explain.SolutionExplanation`: for every
+        GA the merge chain and justifying pair that built it, for every
+        selected source its leave-one-out quality delta, and the per-QEF
+        decomposition of the overall quality.  When the iteration has a
+        predecessor, the explanation's ``notes`` link the solution diff
+        to the decisions that caused it.  Reuses the iteration's cached
+        explanation when the solve ran with ``explain=True``.
+        """
+        if not self.history:
+            raise ReproError("no iterations to explain; call solve() first")
+        iteration = self.history[index]
+        if iteration.explanation is not None:
+            return iteration.explanation
+
+        from ..explain.attribution import change_notes, explain_solution
+
+        with use_telemetry(self._telemetry()):
+            explanation = explain_solution(
+                iteration.problem,
+                iteration.solution,
+                similarity=self._matrix,
+            )
+            position = (
+                index if index >= 0 else len(self.history) + index
+            )
+            if position > 0:
+                from .diff import diff_solutions
+
+                diff = diff_solutions(
+                    self.history[position - 1].solution,
+                    iteration.solution,
+                )
+                explanation = replace(
+                    explanation,
+                    notes=change_notes(diff, explanation, self.universe),
+                )
+        return explanation
 
     @property
     def last_solution(self) -> Solution | None:

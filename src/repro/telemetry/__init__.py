@@ -17,6 +17,15 @@ from .exporters import (
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, NoopMetrics
 from .runtime import get_telemetry, set_telemetry, use_telemetry
+from .trace_report import (
+    Trace,
+    TraceSpan,
+    load_trace,
+    render_span_tree,
+    render_time_table,
+    render_trace_report,
+    time_by_name,
+)
 from .tracer import NOOP, NoopTelemetry, SpanRecord, Telemetry
 
 __all__ = [
@@ -33,8 +42,15 @@ __all__ = [
     "SpanRecord",
     "StderrSummaryExporter",
     "Telemetry",
+    "Trace",
+    "TraceSpan",
     "get_telemetry",
+    "load_trace",
+    "render_span_tree",
     "render_summary",
+    "render_time_table",
+    "render_trace_report",
     "set_telemetry",
+    "time_by_name",
     "use_telemetry",
 ]

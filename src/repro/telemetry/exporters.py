@@ -29,6 +29,10 @@ class Exporter:
     def export_span(self, record: SpanRecord) -> None:
         """Called once per span, as it closes."""
 
+    def export_event(self, event: Any) -> None:
+        """Called once per decision event, when an
+        :class:`~repro.explain.EventLog` shares this exporter."""
+
     def export_metrics(self, snapshot: dict[str, Any]) -> None:
         """Called once with the final metrics snapshot."""
 
@@ -41,10 +45,14 @@ class InMemoryExporter(Exporter):
 
     def __init__(self):
         self.spans: list[SpanRecord] = []
+        self.events: list[Any] = []
         self.metrics: dict[str, Any] = {}
 
     def export_span(self, record: SpanRecord) -> None:
         self.spans.append(record)
+
+    def export_event(self, event: Any) -> None:
+        self.events.append(event)
 
     def export_metrics(self, snapshot: dict[str, Any]) -> None:
         self.metrics = snapshot
@@ -82,6 +90,11 @@ class JsonLinesExporter(Exporter):
     def export_span(self, record: SpanRecord) -> None:
         self._stream.write(
             json.dumps(record.to_dict(), default=str) + "\n"
+        )
+
+    def export_event(self, event: Any) -> None:
+        self._stream.write(
+            json.dumps(event.to_dict(), default=str) + "\n"
         )
 
     def export_metrics(self, snapshot: dict[str, Any]) -> None:

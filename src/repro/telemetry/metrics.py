@@ -129,6 +129,23 @@ class MetricsRegistry:
             instrument = self._histograms[name] = Histogram(name)
         return instrument
 
+    def counter_value(self, name: str, default: int = 0) -> int:
+        """Current value of a counter, without creating it."""
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else default
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        """Current value of a gauge, without creating it."""
+        instrument = self._gauges.get(name)
+        return instrument.value if instrument is not None else default
+
+    def histogram_summary(self, name: str) -> dict[str, float]:
+        """Summary of a histogram; the all-zero summary if absent."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            return Histogram(name).summary()
+        return instrument.summary()
+
     def snapshot(self) -> dict[str, Any]:
         """All instruments as plain nested dicts (sorted, JSON-safe)."""
         return {
@@ -186,6 +203,15 @@ class NoopMetrics:
 
     def histogram(self, name: str) -> _NoopHistogram:
         return _NOOP_HISTOGRAM
+
+    def counter_value(self, name: str, default: int = 0) -> int:
+        return default
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        return default
+
+    def histogram_summary(self, name: str) -> dict[str, float]:
+        return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
 
     def snapshot(self) -> dict[str, Any]:
         return {"counters": {}, "gauges": {}, "histograms": {}}

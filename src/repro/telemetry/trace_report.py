@@ -1,0 +1,215 @@
+"""Offline analysis of ``--trace`` JSON-lines files.
+
+A trace file (written by :class:`~repro.telemetry.JsonLinesExporter`)
+contains one JSON object per line: spans in completion order, optional
+decision-event records, and a final metrics snapshot.  This module
+reconstructs the span tree from the ``index``/``parent`` links and
+renders the time-by-span-name table — the analysis docs/observability.md
+used to do with an inline script, now available as
+``mube trace-report FILE.jsonl``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class TraceSpan:
+    """One span parsed back from a trace file."""
+
+    name: str
+    index: int
+    parent: int | None
+    depth: int
+    start: float
+    duration: float
+    attributes: dict[str, Any]
+    children: list["TraceSpan"] = field(default_factory=list)
+
+
+@dataclass
+class Trace:
+    """A fully parsed trace file."""
+
+    spans: list[TraceSpan]
+    events: list[dict[str, Any]]
+    metrics: dict[str, Any]
+
+    @property
+    def roots(self) -> list[TraceSpan]:
+        """Top-level spans, in start order."""
+        return sorted(
+            (s for s in self.spans if s.parent is None),
+            key=lambda s: s.start,
+        )
+
+    def total_seconds(self) -> float:
+        """Wall-clock covered by the trace (first start to last end)."""
+        if not self.spans:
+            return 0.0
+        start = min(s.start for s in self.spans)
+        end = max(s.start + s.duration for s in self.spans)
+        return end - start
+
+
+def load_trace(path: str) -> Trace:
+    """Parse a JSON-lines trace file and link the span tree.
+
+    Unknown record types are ignored, so the loader stays compatible
+    with future record kinds riding the same exporter.
+    """
+    spans: list[TraceSpan] = []
+    events: list[dict[str, Any]] = []
+    metrics: dict[str, Any] = {}
+    with open(path, encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "span":
+                spans.append(
+                    TraceSpan(
+                        name=record["name"],
+                        index=record["index"],
+                        parent=record.get("parent"),
+                        depth=record.get("depth", 0),
+                        start=record.get("start", 0.0),
+                        duration=record.get("duration", 0.0),
+                        attributes=record.get("attributes", {}),
+                    )
+                )
+            elif kind == "event":
+                events.append(record)
+            elif kind == "metrics":
+                metrics = {
+                    key: value
+                    for key, value in record.items()
+                    if key != "type"
+                }
+    by_index = {span.index: span for span in spans}
+    for span in spans:
+        parent = by_index.get(span.parent) if span.parent is not None else None
+        if parent is not None:
+            parent.children.append(span)
+    for span in spans:
+        span.children.sort(key=lambda s: s.start)
+    return Trace(spans=spans, events=events, metrics=metrics)
+
+
+def time_by_name(spans: list[TraceSpan]) -> dict[str, dict[str, float]]:
+    """Per-name aggregates: count, total and mean seconds, sorted by total."""
+    totals: dict[str, list[float]] = {}
+    for span in spans:
+        totals.setdefault(span.name, []).append(span.duration)
+    summary = {}
+    for name in sorted(
+        totals, key=lambda n: -sum(totals[n])
+    ):
+        durations = totals[name]
+        total = sum(durations)
+        summary[name] = {
+            "count": len(durations),
+            "total_seconds": total,
+            "mean_seconds": total / len(durations),
+        }
+    return summary
+
+
+def render_time_table(trace: Trace) -> str:
+    """The time-by-span-name table (the docs' old inline script)."""
+    out = io.StringIO()
+    summary = time_by_name(trace.spans)
+    if not summary:
+        return "(no spans in trace)\n"
+    wall = trace.total_seconds()
+    width = max(len(name) for name in summary)
+    out.write(
+        f"{'span':<{width}} {'count':>7} {'total s':>9} {'mean ms':>9} "
+        f"{'% wall':>7}\n"
+    )
+    for name, row in summary.items():
+        share = row["total_seconds"] / wall if wall else 0.0
+        out.write(
+            f"{name:<{width}} {row['count']:>7.0f} "
+            f"{row['total_seconds']:>9.3f} "
+            f"{row['mean_seconds'] * 1e3:>9.3f} {share:>7.1%}\n"
+        )
+    return out.getvalue()
+
+
+def render_span_tree(trace: Trace, max_depth: int = 3) -> str:
+    """The reconstructed span tree, truncated at ``max_depth``.
+
+    Sibling runs of the same span name are folded into one line with a
+    repeat count — a tabu solve has hundreds of ``search.iteration``
+    spans and a tree that lists each one is unreadable.
+    """
+    out = io.StringIO()
+    for root in trace.roots:
+        _render_subtree(out, [root], 0, max_depth)
+    return out.getvalue()
+
+
+def render_trace_report(
+    path: str, tree: bool = False, max_depth: int = 3
+) -> str:
+    """The full ``mube trace-report`` output for one trace file."""
+    trace = load_trace(path)
+    out = io.StringIO()
+    out.write(
+        f"{path}: {len(trace.spans)} spans, {len(trace.events)} events, "
+        f"{trace.total_seconds():.3f}s wall\n\n"
+    )
+    out.write("== time by span name ==\n")
+    out.write(render_time_table(trace))
+    if tree:
+        out.write("\n== span tree ==\n")
+        out.write(render_span_tree(trace, max_depth=max_depth))
+    counters = {
+        name: value
+        for name, value in trace.metrics.get("counters", {}).items()
+        if value
+    }
+    if counters:
+        out.write("\n== counters ==\n")
+        for name, value in counters.items():
+            out.write(f"{name:<40} {value:>12}\n")
+    if trace.events:
+        kinds: dict[str, int] = {}
+        for event in trace.events:
+            kind = event.get("kind", "?")
+            kinds[kind] = kinds.get(kind, 0) + 1
+        out.write("\n== decision events ==\n")
+        for kind, count in sorted(kinds.items()):
+            out.write(f"{kind:<40} {count:>12}\n")
+    return out.getvalue()
+
+
+def _render_subtree(
+    out: io.StringIO,
+    group: list[TraceSpan],
+    depth: int,
+    max_depth: int,
+) -> None:
+    """Render one folded sibling group and recurse into its children."""
+    first = group[0]
+    total = sum(s.duration for s in group)
+    indent = "  " * depth
+    count = f" ×{len(group)}" if len(group) > 1 else ""
+    out.write(f"{indent}{first.name}{count}  {total:.3f}s\n")
+    if depth + 1 > max_depth:
+        return
+    children: list[TraceSpan] = []
+    for span in group:
+        children.extend(span.children)
+    folded: dict[str, list[TraceSpan]] = {}
+    for child in sorted(children, key=lambda s: s.start):
+        folded.setdefault(child.name, []).append(child)
+    for child_group in folded.values():
+        _render_subtree(out, child_group, depth + 1, max_depth)

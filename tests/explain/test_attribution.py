@@ -1,0 +1,197 @@
+"""Attribution invariants: decomposition, leave-one-out, GA provenance."""
+
+import pytest
+
+from repro.core import CharacteristicSpec, Problem, default_weights
+from repro.explain import explain_solution
+from repro.quality import Objective
+from repro.search import OptimizerConfig, TabuSearch
+from repro.session import Session
+
+
+@pytest.fixture(scope="module")
+def solved(request):
+    """One solved Books problem shared by the invariant tests."""
+    books_workload = request.getfixturevalue("books_workload")
+    problem = Problem(
+        universe=books_workload.universe,
+        weights=default_weights([]),
+        max_sources=6,
+    )
+    objective = Objective(problem)
+    result = TabuSearch(
+        OptimizerConfig(max_iterations=10, seed=0)
+    ).optimize(objective)
+    explanation = explain_solution(problem, result.solution, objective=objective)
+    return problem, objective, result.solution, explanation
+
+
+class TestQEFDecomposition:
+    def test_reproduces_overall_quality(self, solved):
+        _, _, solution, explanation = solved
+        assert explanation.decomposition_total() == pytest.approx(
+            solution.quality, abs=1e-9
+        )
+        assert explanation.quality == solution.quality
+        assert explanation.objective == solution.objective
+
+    def test_one_contribution_per_qef(self, solved):
+        problem, _, solution, explanation = solved
+        names = [c.name for c in explanation.qef_contributions]
+        assert names == sorted(solution.qef_scores)
+        for c in explanation.qef_contributions:
+            assert c.weight == problem.weights[c.name]
+            assert c.score == solution.qef_scores[c.name]
+            assert c.weighted == c.weight * c.score
+
+
+class TestLeaveOneOut:
+    def test_deltas_match_fresh_objective(self, solved):
+        """ΔQ must be consistent with an independent re-evaluation."""
+        problem, _, solution, explanation = solved
+        fresh = Objective(problem)
+        for attribution in explanation.sources:
+            reduced = solution.selected - {attribution.source_id}
+            alternative = fresh.evaluate(reduced)
+            assert attribution.quality_delta == pytest.approx(
+                solution.quality - alternative.quality, abs=1e-12
+            )
+            assert attribution.objective_delta == pytest.approx(
+                solution.objective - alternative.objective, abs=1e-12
+            )
+            assert attribution.feasible_without == alternative.feasible
+
+    def test_one_attribution_per_selected_source(self, solved):
+        _, _, solution, explanation = solved
+        assert [s.source_id for s in explanation.sources] == sorted(
+            solution.selected
+        )
+
+    def test_constrained_sources_flagged(self, books_workload):
+        session = Session(
+            books_workload.universe,
+            max_sources=5,
+            optimizer_config=OptimizerConfig(max_iterations=6, seed=0),
+        )
+        pinned = session.require_source(
+            sorted(books_workload.universe.source_ids)[0]
+        )
+        session.solve(explain=True)
+        explanation = session.explain()
+        assert explanation.source(pinned).constrained
+        # Dropping a pinned source violates the constraint set.
+        assert not explanation.source(pinned).feasible_without
+
+
+class TestGAProvenance:
+    def test_ga_ordering_matches_render_schema(self, solved):
+        _, _, _, explanation = solved
+        sizes = [prov.size for prov in explanation.gas]
+        assert sizes == sorted(sizes, reverse=True)
+        assert [prov.index for prov in explanation.gas] == list(
+            range(1, len(explanation.gas) + 1)
+        )
+
+    def test_merge_chain_members_subset_of_ga(self, solved):
+        _, _, _, explanation = solved
+        for prov in explanation.gas:
+            member_keys = {m[:2] for m in prov.members}
+            for event in prov.merge_chain:
+                for key in (*event.left, *event.right):
+                    assert key[:2] in member_keys
+
+    def test_justifying_pair_is_internal_and_reaches_theta(self, solved):
+        problem, _, _, explanation = solved
+        for prov in explanation.gas:
+            if prov.size == 1:
+                assert prov.justifying_pair is None
+                assert prov.similarity == 0.0
+                continue
+            assert prov.justifying_pair is not None
+            a, b = prov.justifying_pair
+            assert a in prov.members and b in prov.members
+            # A multi-attribute GA exists because some pair reached θ.
+            assert prov.similarity >= problem.theta - 1e-12
+
+    def test_multi_merge_ga_has_a_chain(self, solved):
+        _, _, _, explanation = solved
+        chained = [p for p in explanation.gas if p.size >= 3]
+        assert chained, "expected at least one GA built from several merges"
+        for prov in chained:
+            # k attributes need k-1 merges under Algorithm 1.
+            assert len(prov.merge_chain) == prov.size - 1
+
+    def test_constraint_seed_recorded(self, books_workload):
+        universe = books_workload.universe
+        session = Session(
+            universe,
+            max_sources=5,
+            optimizer_config=OptimizerConfig(max_iterations=6, seed=0),
+        )
+        ids = sorted(universe.source_ids)
+        ga = session.require_match(
+            [(ids[0], 0), (ids[1], 0)]
+        )
+        session.solve(explain=True)
+        explanation = session.explain()
+        seeded = [p for p in explanation.gas if p.seeded_by is not None]
+        assert seeded, "the pinned matching must map to a seeded GA"
+        member_keys = {m[:2] for m in seeded[0].members}
+        for attr in ga:
+            assert (attr.source_id, attr.index) in member_keys
+
+
+class TestSessionIntegration:
+    def test_explain_on_demand_matches_cached(self, books_workload):
+        session = Session(
+            books_workload.universe,
+            max_sources=5,
+            optimizer_config=OptimizerConfig(max_iterations=6, seed=0),
+        )
+        cached = session.solve(explain=True).explanation
+        assert cached is session.explain()
+        # A session solved without explain computes the same account.
+        other = Session(
+            books_workload.universe,
+            max_sources=5,
+            optimizer_config=OptimizerConfig(max_iterations=6, seed=0),
+        )
+        other.solve()
+        assert other.history[-1].explanation is None
+        fresh = other.explain()
+        assert fresh.selected == cached.selected
+        assert fresh.quality == cached.quality
+        assert [p.members for p in fresh.gas] == [
+            p.members for p in cached.gas
+        ]
+        assert fresh.sources == cached.sources
+
+    def test_explain_requires_history(self, books_workload):
+        from repro.exceptions import ReproError
+
+        session = Session(books_workload.universe, max_sources=5)
+        with pytest.raises(ReproError):
+            session.explain()
+
+    def test_second_iteration_carries_change_notes(self, books_workload):
+        spec = CharacteristicSpec("mttf", "mttf")
+        session = Session(
+            books_workload.universe,
+            max_sources=5,
+            weights=default_weights([spec]),
+            characteristic_qefs=[spec],
+            optimizer_config=OptimizerConfig(max_iterations=8, seed=0),
+        )
+        session.solve(explain=True)
+        assert session.explain().notes == ()
+        session.emphasize("mttf", 0.6)
+        second = session.solve(explain=True)
+        diff = session.diff_last()
+        if diff.sources_added:
+            assert any(
+                "entered" in note for note in second.explanation.notes
+            )
+        if diff.sources_removed:
+            assert any("left" in note for note in second.explanation.notes)
+        # Recomputing from history reproduces the same notes.
+        assert session.explain(1).notes == second.explanation.notes

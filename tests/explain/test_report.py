@@ -1,0 +1,88 @@
+"""The explanation renderers: text, markdown and JSON."""
+
+import json
+
+import pytest
+
+from repro.explain import (
+    explain_solution,
+    render_explanation_json,
+    render_explanation_markdown,
+    render_explanation_text,
+)
+from repro.search import OptimizerConfig
+from repro.session import Session
+
+
+@pytest.fixture(scope="module")
+def explained(request):
+    books_workload = request.getfixturevalue("books_workload")
+    session = Session(
+        books_workload.universe,
+        max_sources=5,
+        optimizer_config=OptimizerConfig(max_iterations=8, seed=0),
+    )
+    session.solve(explain=True)
+    return session.explain(), books_workload.universe
+
+
+class TestTextReport:
+    def test_contains_all_sections(self, explained):
+        explanation, universe = explained
+        text = render_explanation_text(explanation, universe)
+        assert "Per-QEF decomposition" in text
+        assert "Mediated-schema provenance" in text
+        assert "Source attribution (leave-one-out ΔQ)" in text
+        assert "Decision events" in text
+
+    def test_every_ga_and_source_appears(self, explained):
+        explanation, universe = explained
+        text = render_explanation_text(explanation, universe)
+        for prov in explanation.gas:
+            assert f"GA {prov.index:>2} «{prov.label}»" in text
+        for attribution in explanation.sources:
+            assert attribution.name in text
+
+    def test_singletons_are_called_out(self, explained):
+        explanation, universe = explained
+        text = render_explanation_text(explanation, universe)
+        if any(p.size == 1 for p in explanation.gas):
+            assert "singleton" in text
+
+
+class TestMarkdownReport:
+    def test_has_tables_and_headings(self, explained):
+        explanation, universe = explained
+        md = render_explanation_markdown(explanation, universe)
+        assert md.startswith("# Solve explanation")
+        assert "## Per-QEF decomposition" in md
+        assert "| QEF | weight | score | contribution |" in md
+        assert "## Source attribution (leave-one-out)" in md
+
+    def test_members_reference_source_names(self, explained):
+        explanation, universe = explained
+        md = render_explanation_markdown(explanation, universe)
+        first = explanation.gas[0].members[0]
+        assert f"`{universe.source(first[0]).name}.{first[2]}`" in md
+
+
+class TestJsonReport:
+    def test_round_trips_and_matches_to_dict(self, explained):
+        explanation, _ = explained
+        payload = json.loads(render_explanation_json(explanation))
+        assert payload["selected"] == list(explanation.selected)
+        assert payload["quality"] == explanation.quality
+        assert len(payload["gas"]) == len(explanation.gas)
+        assert len(payload["sources"]) == len(explanation.sources)
+        assert payload["decomposition_total"] == pytest.approx(
+            explanation.quality, abs=1e-9
+        )
+
+    def test_events_serialize_as_typed_records(self, explained):
+        explanation, _ = explained
+        for prov in explanation.gas:
+            for event in prov.merge_chain:
+                record = event.to_dict()
+                assert record["type"] == "event"
+                assert record["kind"] == "match.merge"
+                json.dumps(record)  # JSON-safe

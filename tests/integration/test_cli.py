@@ -170,3 +170,104 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "complete" in out
         assert out.count("ms") >= 3
+
+
+class TestExplainCommands:
+    EXPLAIN_SMALL = [
+        "explain", "--sources", "30", "--choose", "4", "--iterations", "8",
+    ]
+
+    def test_explain_prints_text_report(self, capsys):
+        assert main(self.EXPLAIN_SMALL) == 0
+        out = capsys.readouterr().out
+        assert "Per-QEF decomposition" in out
+        assert "Mediated-schema provenance" in out
+        assert "Source attribution (leave-one-out ΔQ)" in out
+        assert "Decision events" in out
+
+    def test_explain_json_to_file(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "explanation.json"
+        assert (
+            main(
+                [
+                    *self.EXPLAIN_SMALL, "--format", "json",
+                    "--out", str(out_file),
+                ]
+            )
+            == 0
+        )
+        assert "wrote json explanation" in capsys.readouterr().out
+        payload = json.loads(out_file.read_text())
+        assert payload["selected"]
+        assert payload["gas"]
+        assert payload["event_counts"]["match.merge"] > 0
+
+    def test_explain_markdown_format(self, capsys):
+        assert main([*self.EXPLAIN_SMALL, "--format", "markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "# Solve explanation" in out
+        assert "| QEF | weight | score | contribution |" in out
+
+    def test_solve_explain_writes_report_by_suffix(self, capsys, tmp_path):
+        report = tmp_path / "why.md"
+        assert (
+            main(
+                [
+                    "solve", "--sources", "30", "--choose", "4",
+                    "--iterations", "6", "--explain", str(report),
+                ]
+            )
+            == 0
+        )
+        assert "wrote markdown explanation" in capsys.readouterr().out
+        assert report.read_text().startswith("# Solve explanation")
+
+    def test_trace_carries_decision_events_when_explaining(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        report = tmp_path / "why.txt"
+        assert (
+            main(
+                [
+                    "solve", "--sources", "30", "--choose", "4",
+                    "--iterations", "6", "--trace", str(trace),
+                    "--explain", str(report),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        kinds = {
+            json.loads(line)["kind"]
+            for line in trace.read_text().splitlines()
+            if json.loads(line)["type"] == "event"
+        }
+        assert "match.merge" in kinds
+        assert "quality.scored" in kinds
+
+    def test_trace_report_command(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "solve", "--sources", "30", "--choose", "4",
+                    "--iterations", "6", "--trace", str(trace),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["trace-report", str(trace), "--tree"]) == 0
+        out = capsys.readouterr().out
+        assert "== time by span name ==" in out
+        assert "== span tree ==" in out
+        assert "session.solve" in out
+
+    def test_trace_report_missing_file(self, capsys):
+        assert main(["trace-report", "/nonexistent/trace.jsonl"]) == 2
+        assert "cannot read trace file" in capsys.readouterr().err

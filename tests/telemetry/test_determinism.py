@@ -71,14 +71,19 @@ def test_traced_counters_match_plain_evaluation_counts(seed):
     telemetry = Telemetry(exporters=[InMemoryExporter()])
     with use_telemetry(telemetry):
         result, objective = solve("tabu", seed, 5)
-    counters = telemetry.metrics.snapshot()["counters"]
-    assert counters["objective.evaluations"] == objective.evaluations
+    metrics = telemetry.metrics
     assert (
-        counters["match.memo_misses"] == objective.match_operator.memo_misses
+        metrics.counter_value("objective.evaluations")
+        == objective.evaluations
     )
-    # .get: the hits counter only exists once the memo has been hit.
     assert (
-        counters.get("match.memo_hits", 0)
+        metrics.counter_value("match.memo_misses")
+        == objective.match_operator.memo_misses
+    )
+    # counter_value defaults to 0: the hits counter only exists once the
+    # memo has been hit.
+    assert (
+        metrics.counter_value("match.memo_hits")
         == objective.match_operator.memo_hits
     )
     assert result.stats.evaluations == objective.evaluations

@@ -72,3 +72,39 @@ class TestSnapshot:
         assert noop.counter("a") is noop.counter("b")
         assert noop.gauge("a") is noop.gauge("b")
         assert noop.histogram("a") is noop.histogram("b")
+
+
+class TestValueAccessors:
+    def test_counter_value_reads_without_creating(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("absent") == 0
+        assert registry.counter_value("absent", default=7) == 7
+        # Reading must not create the instrument.
+        assert registry.snapshot()["counters"] == {}
+        registry.counter("hits").inc(3)
+        assert registry.counter_value("hits") == 3
+
+    def test_gauge_value_reads_without_creating(self):
+        registry = MetricsRegistry()
+        assert registry.gauge_value("absent") == 0.0
+        assert registry.gauge_value("absent", default=1.5) == 1.5
+        assert registry.snapshot()["gauges"] == {}
+        registry.gauge("depth").set(4.0)
+        assert registry.gauge_value("depth") == 4.0
+
+    def test_histogram_summary_reads_without_creating(self):
+        registry = MetricsRegistry()
+        assert registry.histogram_summary("absent") == {
+            "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+        }
+        assert registry.snapshot()["histograms"] == {}
+        registry.histogram("seconds").observe(2.0)
+        assert registry.histogram_summary("seconds")["count"] == 1
+
+    def test_noop_accessors_return_defaults(self):
+        noop = NoopMetrics()
+        noop.counter("c").inc(10)
+        assert noop.counter_value("c") == 0
+        assert noop.counter_value("c", default=4) == 4
+        assert noop.gauge_value("g", default=2.0) == 2.0
+        assert noop.histogram_summary("h")["count"] == 0

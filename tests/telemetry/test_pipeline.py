@@ -47,14 +47,14 @@ class TestSolveTrace:
 
     def test_counters_reflect_the_run(self, traced_session):
         session, telemetry, _ = traced_session
-        counters = telemetry.metrics.snapshot()["counters"]
+        metrics = telemetry.metrics
         stats = session.history[-1].result.stats
-        assert counters["search.solves"] == 1
-        assert counters["search.iterations"] == stats.iterations
-        assert counters["objective.evaluations"] == stats.evaluations
-        assert counters["match.memo_misses"] > 0
-        assert counters["match.clustering.rounds"] > 0
-        assert counters["sketch.pcsa.merges"] > 0
+        assert metrics.counter_value("search.solves") == 1
+        assert metrics.counter_value("search.iterations") == stats.iterations
+        assert metrics.counter_value("objective.evaluations") == stats.evaluations
+        assert metrics.counter_value("match.memo_misses") > 0
+        assert metrics.counter_value("match.clustering.rounds") > 0
+        assert metrics.counter_value("sketch.pcsa.merges") > 0
 
     def test_matrix_build_span_recorded_at_construction(self, traced_session):
         _, _, exporter = traced_session

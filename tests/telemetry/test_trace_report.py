@@ -1,0 +1,126 @@
+"""The offline trace analyser behind ``mube trace-report``."""
+
+import json
+
+import pytest
+
+from repro.search import OptimizerConfig
+from repro.session import Session
+from repro.telemetry import (
+    JsonLinesExporter,
+    Telemetry,
+    load_trace,
+    render_span_tree,
+    render_time_table,
+    render_trace_report,
+    time_by_name,
+)
+
+
+@pytest.fixture(scope="module")
+def trace_path(request, tmp_path_factory):
+    """A real traced (and explained) solve, written to a JSON-lines file."""
+    books_workload = request.getfixturevalue("books_workload")
+    path = tmp_path_factory.mktemp("traces") / "solve.jsonl"
+    telemetry = Telemetry(exporters=[JsonLinesExporter(str(path))])
+    session = Session(
+        books_workload.universe,
+        max_sources=5,
+        optimizer_config=OptimizerConfig(max_iterations=6, seed=0),
+        telemetry=telemetry,
+    )
+    session.solve(explain=True)
+    telemetry.close()
+    return str(path)
+
+
+class TestLoadTrace:
+    def test_parses_spans_events_and_metrics(self, trace_path):
+        trace = load_trace(trace_path)
+        assert trace.spans
+        assert trace.events
+        assert trace.metrics["counters"]["search.solves"] == 1
+        names = {span.name for span in trace.spans}
+        assert "session.solve" in names
+        assert "search.iteration" in names
+
+    def test_rebuilds_parent_child_links(self, trace_path):
+        trace = load_trace(trace_path)
+        by_index = {span.index: span for span in trace.spans}
+        (search,) = [s for s in trace.spans if s.name == "search.solve"]
+        assert by_index[search.parent].name == "session.solve"
+        assert search in by_index[search.parent].children
+        for span in trace.spans:
+            for child in span.children:
+                assert child.parent == span.index
+
+    def test_roots_have_no_parent(self, trace_path):
+        trace = load_trace(trace_path)
+        assert trace.roots
+        assert all(root.parent is None for root in trace.roots)
+        assert trace.total_seconds() > 0
+
+    def test_unknown_record_types_ignored(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            json.dumps({"type": "future-thing", "x": 1}) + "\n"
+            + json.dumps(
+                {
+                    "type": "span",
+                    "name": "a",
+                    "index": 0,
+                    "parent": None,
+                    "start": 0.0,
+                    "duration": 1.0,
+                }
+            )
+            + "\n"
+        )
+        trace = load_trace(str(path))
+        assert len(trace.spans) == 1
+        assert trace.events == []
+
+
+class TestAggregation:
+    def test_time_by_name_sorted_by_total(self, trace_path):
+        trace = load_trace(trace_path)
+        summary = time_by_name(trace.spans)
+        totals = [row["total_seconds"] for row in summary.values()]
+        assert totals == sorted(totals, reverse=True)
+        row = summary["search.iteration"]
+        assert row["count"] >= 1
+        assert row["mean_seconds"] == pytest.approx(
+            row["total_seconds"] / row["count"]
+        )
+
+    def test_time_table_lists_every_span_name(self, trace_path):
+        trace = load_trace(trace_path)
+        table = render_time_table(trace)
+        for name in {span.name for span in trace.spans}:
+            assert name in table
+
+    def test_span_tree_folds_repeated_siblings(self, trace_path):
+        trace = load_trace(trace_path)
+        tree = render_span_tree(trace)
+        assert "session.solve" in tree
+        iterations = sum(
+            1 for s in trace.spans if s.name == "search.iteration"
+        )
+        if iterations > 1:
+            assert f"search.iteration ×{iterations}" in tree
+
+
+class TestFullReport:
+    def test_report_sections(self, trace_path):
+        report = render_trace_report(trace_path, tree=True)
+        assert "== time by span name ==" in report
+        assert "== span tree ==" in report
+        assert "== counters ==" in report
+        assert "== decision events ==" in report
+        assert "match.merge" in report
+
+    def test_empty_trace_renders(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        report = render_trace_report(str(path))
+        assert "(no spans in trace)" in report
