@@ -1,0 +1,107 @@
+"""Columnar batch evaluation vs scalar QEF scoring.
+
+Not a paper figure — this measures the tentpole speedup of the compiled
+``EvalContext``: scoring a neighborhood-sized batch of candidate
+selections through one masked OR-reduction + vectorized estimator versus
+one scalar QEF walk per candidate.  The per-test ``extra_info`` records
+the measured speedup so the report JSON documents the gain at every
+universe size; at smoke scale the test *asserts* that batch throughput is
+at least scalar throughput, which is what CI gates on.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.quality import Objective
+
+from common import bench_scale, build_problem, cached_workload
+
+SCALE = bench_scale()
+
+#: Candidates per scoring call — a tabu iteration's worth of neighbors.
+BATCH_SIZE = 128
+
+#: Wall-clock rounds used for the hand-timed scalar reference.
+SCALAR_ROUNDS = 3
+
+
+def _neighborhood(problem, choose: int, batch_size: int = BATCH_SIZE):
+    """A deterministic batch of neighborhood-sized candidate selections."""
+    rng = np.random.default_rng(3)
+    ids = sorted(problem.universe.source_ids)
+    return [
+        frozenset(
+            int(ids[i])
+            for i in rng.choice(len(ids), size=choose, replace=False)
+        )
+        for _ in range(batch_size)
+    ]
+
+
+@pytest.mark.parametrize("n_sources", SCALE.fig5_universe_sizes)
+def test_batch_vs_scalar_data_metrics(benchmark, n_sources):
+    """Data-metric scoring: ``EvalContext.score_batch`` vs per-candidate QEFs."""
+    workload = cached_workload(n_sources)
+    problem = build_problem(workload, SCALE.fig5_choose, "none")
+    objective = Objective(problem)
+    context = objective.context
+    selections = _neighborhood(problem, SCALE.fig5_choose)
+    names = sorted(context.vector_names)
+    qefs = {name: objective._qefs[name] for name in names}
+    universe = problem.universe
+
+    def scalar_round():
+        return {
+            name: [qef(universe.select(s)) for s in selections]
+            for name, qef in qefs.items()
+        }
+
+    def batch_round():
+        return context.score_batch(selections, names)
+
+    # The scalar reference is hand-timed (one benchmark fixture per test),
+    # after a warmup round so both paths run against hot caches.
+    scalar_round()
+    started = time.perf_counter()
+    for _ in range(SCALAR_ROUNDS):
+        scalar_reference = scalar_round()
+    scalar_seconds = (time.perf_counter() - started) / SCALAR_ROUNDS
+
+    batch_result = benchmark(batch_round)
+    assert {
+        name: list(values) for name, values in batch_result.items()
+    } == scalar_reference  # bit-identical, not just fast
+
+    batch_seconds = benchmark.stats.stats.mean
+    speedup = scalar_seconds / batch_seconds
+    benchmark.group = "batch eval: data-metric scoring"
+    benchmark.extra_info["universe_size"] = n_sources
+    benchmark.extra_info["batch_size"] = BATCH_SIZE
+    benchmark.extra_info["scalar_seconds_per_batch"] = scalar_seconds
+    benchmark.extra_info["speedup_vs_scalar"] = speedup
+    # CI smoke gate: the batch path must never be slower than the scalar
+    # walk it replaces.  (The ≥3× headline is measured at default scale,
+    # 200+ sources — see EXPERIMENTS.md.)
+    assert speedup >= 1.0
+
+
+@pytest.mark.parametrize("n_sources", SCALE.fig5_universe_sizes)
+def test_batch_neighborhood_objective(benchmark, n_sources):
+    """Full ``evaluate_batch`` (match + QEFs) on an uncached neighborhood."""
+    workload = cached_workload(n_sources)
+    problem = build_problem(workload, SCALE.fig5_choose, "none")
+    # cache_size=1 defeats the selection memo so every round re-scores the
+    # whole neighborhood; the match operator keeps its own (warm) memo,
+    # exactly as it would across tabu iterations.
+    objective = Objective(problem, cache_size=1)
+    selections = _neighborhood(problem, SCALE.fig5_choose)
+    objective.evaluate_batch(selections)  # warm the match memo
+
+    benchmark(lambda: objective.evaluate_batch(selections))
+    benchmark.group = "batch eval: full objective"
+    benchmark.extra_info["universe_size"] = n_sources
+    benchmark.extra_info["batch_size"] = BATCH_SIZE

@@ -13,6 +13,7 @@ is sound and is what makes iterative search affordable.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
@@ -89,8 +90,11 @@ class MatchOperator:
         self.required_source_ids = frozenset(source_constraints) | frozenset(
             implied
         )
-        self._cache: dict[frozenset[int], MatchResult] = {}
+        self._cache: OrderedDict[frozenset[int], MatchResult] = (
+            OrderedDict()
+        )
         self._cache_size = cache_size
+        self.memo_evictions = 0
         #: Plain-int memo traffic counters; kept independent of telemetry so
         #: SearchStats can report them even under the no-op tracer.
         self.memo_hits = 0
@@ -127,6 +131,7 @@ class MatchOperator:
         selection = frozenset(source_ids)
         cached = self._cache.get(selection)
         if cached is not None:
+            self._cache.move_to_end(selection)
             self.memo_hits += 1
             telemetry.metrics.counter("match.memo_hits").inc()
             return cached
@@ -135,8 +140,12 @@ class MatchOperator:
         with telemetry.span("match.evaluate", size=len(selection)) as span:
             result = self._match_uncached(selection)
             span.set(null=result.is_null)
-        if len(self._cache) >= self._cache_size:
-            self._cache.clear()
+        while self._cache and len(self._cache) >= self._cache_size:
+            # LRU eviction: drop the stalest selection, never the whole
+            # memo — a warm solve loop keeps its hot neighborhoods.
+            self._cache.popitem(last=False)
+            self.memo_evictions += 1
+            telemetry.metrics.counter("match.cache_evictions").inc()
         self._cache[selection] = result
         return result
 
@@ -152,6 +161,7 @@ class MatchOperator:
             "capacity": self._cache_size,
             "hits": self.memo_hits,
             "misses": self.memo_misses,
+            "evictions": self.memo_evictions,
         }
 
     # -- internals ----------------------------------------------------------

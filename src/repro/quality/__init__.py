@@ -19,6 +19,7 @@ from .data_metrics import (
     RedundancyRatioQEF,
     estimated_distinct,
 )
+from .compiled import EvalContext
 from .matching_quality import MatchingQEF
 from .overall import INFEASIBLE_PENALTY, Objective
 
@@ -27,6 +28,7 @@ __all__ = [
     "CardinalityQEF",
     "CharacteristicQEF",
     "CoverageQEF",
+    "EvalContext",
     "INFEASIBLE_PENALTY",
     "MatchingQEF",
     "Objective",

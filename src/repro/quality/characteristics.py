@@ -127,6 +127,11 @@ class CharacteristicQEF(QEF):
             spec.characteristic
         )
 
+    @property
+    def aggregate(self) -> Aggregator:
+        """The resolved aggregation function (for the batch evaluator)."""
+        return self._aggregate
+
     def normalized(self, value: float) -> float:
         """Normalize a raw characteristic value into [0, 1]."""
         span = self._maximum - self._minimum

@@ -44,6 +44,11 @@ class CardinalityQEF(QEF):
     def __init__(self, universe: Universe):
         self._total = universe.total_cardinality()
 
+    @property
+    def total(self) -> int:
+        """The universe-wide cardinality sum used as the denominator."""
+        return self._total
+
     def __call__(self, sources: Sequence[Source]) -> float:
         if self._total <= 0:
             return 0.0
@@ -67,6 +72,16 @@ class CoverageQEF(QEF):
             universe.sources, exact=exact
         )
 
+    @property
+    def exact(self) -> bool:
+        """True when the QEF counts exactly instead of estimating."""
+        return self._exact
+
+    @property
+    def universe_distinct(self) -> float:
+        """``D(U)`` — the denominator all coverage scores share."""
+        return self._universe_distinct
+
     def __call__(self, sources: Sequence[Source]) -> float:
         if self._universe_distinct <= 0.0:
             return 0.0
@@ -88,6 +103,11 @@ class RedundancyQEF(QEF):
 
     def __init__(self, exact: bool = False):
         self._exact = exact
+
+    @property
+    def exact(self) -> bool:
+        """True when the QEF counts exactly instead of estimating."""
+        return self._exact
 
     def __call__(self, sources: Sequence[Source]) -> float:
         coop = cooperative(sources)

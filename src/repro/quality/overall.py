@@ -11,11 +11,25 @@ implementations and evaluates selections for the optimizers:
   quality so metaheuristics can traverse them without ever preferring them
   to a feasible solution (an implementation device, not part of the
   paper's model — see DESIGN.md).
+
+At construction the objective also compiles the universe into an
+:class:`~repro.quality.compiled.EvalContext` — columnar numpy state for
+the data-dependent and characteristic QEFs — so :meth:`evaluate_batch`
+can score a whole neighborhood of candidate selections with a handful of
+vectorized kernels instead of one Python QEF walk per candidate.  Both
+paths share :meth:`_assemble`, so a batch-scored :class:`Solution` is
+bit-identical to the scalar one (property-tested in
+``tests/quality/test_batch_eval.py``).
+
+The selection memo is shared by both paths and uses LRU eviction: when
+full, the least-recently-used entry is dropped (counted by the
+``objective.cache_evictions`` metric) instead of flushing the whole memo.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections import OrderedDict
+from collections.abc import Iterable, Sequence
 
 from ..core import (
     CARDINALITY,
@@ -34,6 +48,7 @@ from ..similarity.matrix import NameSimilarityMatrix
 from ..similarity.measures import SimilarityMeasure
 from ..telemetry import get_telemetry
 from .characteristics import CharacteristicQEF
+from .compiled import EvalContext
 from .data_metrics import CardinalityQEF, CoverageQEF, RedundancyQEF
 
 #: Multiplier applied to the quality of infeasible selections when forming
@@ -72,10 +87,12 @@ class Objective:
             )
         self._exact_data_metrics = exact_data_metrics
         self._qefs = self._build_qefs(problem)
-        self._cache: dict[frozenset[int], Solution] = {}
+        self._context = EvalContext.compile(problem, self._qefs)
+        self._cache: OrderedDict[frozenset[int], Solution] = OrderedDict()
         self._cache_size = cache_size
         self._evaluations = 0
         self._cache_hits = 0
+        self._cache_evictions = 0
 
     @property
     def evaluations(self) -> int:
@@ -88,6 +105,16 @@ class Objective:
         return self._cache_hits
 
     @property
+    def cache_evictions(self) -> int:
+        """Number of memo entries evicted (LRU) since construction."""
+        return self._cache_evictions
+
+    @property
+    def context(self) -> EvalContext:
+        """The compiled columnar evaluation state for this universe."""
+        return self._context
+
+    @property
     def universe(self):
         """The problem's universe (convenience for optimizers)."""
         return self.problem.universe
@@ -96,7 +123,7 @@ class Objective:
         """Evaluate a selection, returning a :class:`~repro.core.Solution`."""
         telemetry = get_telemetry()
         selection = frozenset(source_ids)
-        cached = self._cache.get(selection)
+        cached = self._cache_lookup(selection)
         if cached is not None:
             self._cache_hits += 1
             telemetry.metrics.counter("objective.cache_hits").inc()
@@ -107,14 +134,77 @@ class Objective:
         ) as span:
             solution = self._evaluate_uncached(selection)
             span.set(feasible=solution.feasible)
-        if len(self._cache) >= self._cache_size:
-            self._cache.clear()
-        self._cache[selection] = solution
+        self._cache_store(selection, solution)
         self._evaluations += 1
         return solution
 
+    def evaluate_batch(
+        self, selections: Sequence[Iterable[int]]
+    ) -> list[Solution]:
+        """Evaluate a batch of selections through the columnar kernels.
+
+        Order-preserving: ``result[i]`` corresponds to ``selections[i]``.
+        The memo is consulted first (duplicates within the batch count as
+        cache hits, exactly as repeated :meth:`evaluate` calls would);
+        distinct uncached selections are scored together — one masked
+        OR-reduction for ``D(S)``, vectorized cardinality sums, and the
+        precompiled characteristic matrix — then assembled per candidate
+        by the same code path as the scalar evaluator, so every
+        :class:`Solution` field is bit-identical to :meth:`evaluate`.
+        """
+        telemetry = get_telemetry()
+        batch = [frozenset(selection) for selection in selections]
+        telemetry.metrics.counter("objective.batch_calls").inc()
+        telemetry.metrics.counter("objective.batch_candidates").inc(
+            len(batch)
+        )
+        results: list[Solution | None] = [None] * len(batch)
+        pending: dict[frozenset[int], list[int]] = {}
+        for position, selection in enumerate(batch):
+            cached = self._cache_lookup(selection)
+            if cached is not None:
+                self._cache_hits += 1
+                telemetry.metrics.counter("objective.cache_hits").inc()
+                results[position] = cached
+            elif selection in pending:
+                # A duplicate inside the batch: the first occurrence will
+                # populate the memo, so this one is a cache hit — the same
+                # accounting as two consecutive evaluate() calls.
+                self._cache_hits += 1
+                telemetry.metrics.counter("objective.cache_hits").inc()
+                pending[selection].append(position)
+            else:
+                pending[selection] = [position]
+        if pending:
+            with telemetry.span(
+                "objective.batch_evaluate",
+                size=len(batch),
+                distinct=len(pending),
+            ):
+                self._evaluate_pending(pending, results, telemetry)
+        return results
+
     def __call__(self, source_ids: Iterable[int]) -> Solution:
         return self.evaluate(source_ids)
+
+    # -- memo ---------------------------------------------------------------
+
+    def _cache_lookup(self, selection: frozenset[int]) -> Solution | None:
+        cached = self._cache.get(selection)
+        if cached is not None:
+            self._cache.move_to_end(selection)
+        return cached
+
+    def _cache_store(
+        self, selection: frozenset[int], solution: Solution
+    ) -> None:
+        if self._cache and len(self._cache) >= self._cache_size:
+            metrics = get_telemetry().metrics
+            while self._cache and len(self._cache) >= self._cache_size:
+                self._cache.popitem(last=False)
+                self._cache_evictions += 1
+                metrics.counter("objective.cache_evictions").inc()
+        self._cache[selection] = solution
 
     # -- internals ----------------------------------------------------------
 
@@ -139,18 +229,46 @@ class Objective:
             )
         return qefs
 
+    def _evaluate_pending(
+        self,
+        pending: dict[frozenset[int], list[int]],
+        results: list[Solution | None],
+        telemetry,
+    ) -> None:
+        """Score the distinct uncached selections of one batch."""
+        known_ids = self.problem.universe.source_ids
+        vectorizable = [
+            selection for selection in pending if selection <= known_ids
+        ]
+        names = [
+            name
+            for name, weight in self.problem.weights.items()
+            if name != MATCHING and weight != 0.0
+        ]
+        rows: dict[frozenset[int], dict[str, float]] = {}
+        if vectorizable:
+            scored = self._context.score_batch(vectorizable, names)
+            for name, values in scored.items():
+                for selection, value in zip(vectorizable, values):
+                    rows.setdefault(selection, {})[name] = value
+        for selection, positions in pending.items():
+            telemetry.metrics.counter("objective.evaluations").inc()
+            if selection <= known_ids:
+                solution = self._assemble(selection, rows.get(selection, {}))
+            else:
+                # Unknown source ids: route through the scalar evaluator
+                # for its exact early-return Solution.
+                telemetry.metrics.counter("objective.batch_fallbacks").inc()
+                solution = self._evaluate_uncached(selection)
+            self._cache_store(selection, solution)
+            self._evaluations += 1
+            for position in positions:
+                results[position] = solution
+
     def _evaluate_uncached(self, selection: frozenset[int]) -> Solution:
-        problem = self.problem
-        reasons: list[str] = []
-        if not selection:
-            reasons.append("empty selection")
-        if len(selection) > problem.max_sources:
-            reasons.append(
-                f"{len(selection)} sources exceed the budget m="
-                f"{problem.max_sources}"
-            )
-        unknown = selection - problem.universe.source_ids
+        unknown = selection - self.problem.universe.source_ids
         if unknown:
+            reasons = self._base_reasons(selection)
             reasons.append(f"unknown source ids {sorted(unknown)}")
             return Solution(
                 selected=selection,
@@ -160,13 +278,38 @@ class Objective:
                 feasible=False,
                 infeasibility=tuple(reasons),
             )
+        return self._assemble(selection, {})
 
+    def _base_reasons(self, selection: frozenset[int]) -> list[str]:
+        reasons: list[str] = []
+        if not selection:
+            reasons.append("empty selection")
+        if len(selection) > self.problem.max_sources:
+            reasons.append(
+                f"{len(selection)} sources exceed the budget m="
+                f"{self.problem.max_sources}"
+            )
+        return reasons
+
+    def _assemble(
+        self, selection: frozenset[int], vector_row: dict[str, float]
+    ) -> Solution:
+        """Build a :class:`Solution` from (possibly pre-scored) QEF values.
+
+        ``vector_row`` holds QEF values already computed by the columnar
+        kernels; anything missing is scored by the scalar QEF right here.
+        The scalar evaluator calls this with an empty row, so both paths
+        run the identical weighting loop in the identical order.
+        """
+        problem = self.problem
         telemetry = get_telemetry()
+        reasons = self._base_reasons(selection)
+
         match = self.match_operator.match(selection)
         if match.is_null:
             reasons.extend(match.reasons)
 
-        sources = problem.universe.select(selection)
+        sources = None
         scores: dict[str, float] = {}
         quality = 0.0
         for name, weight in problem.weights.items():
@@ -174,7 +317,11 @@ class Objective:
                 value = match.quality
             elif weight == 0.0:
                 continue
+            elif name in vector_row:
+                value = vector_row[name]
             else:
+                if sources is None:
+                    sources = problem.universe.select(selection)
                 # Span-per-QEF (a "qef.<name>" family) so the summary
                 # exporter reports where evaluation time actually goes.
                 with telemetry.span("qef." + name, size=len(sources)):

@@ -11,6 +11,7 @@ from .base import (
     free_ids,
     random_selection,
     required_ids,
+    score_candidates,
 )
 from .exhaustive import ExhaustiveSearch
 from .greedy_select import GreedySelector
@@ -77,4 +78,5 @@ __all__ = [
     "get_optimizer",
     "random_selection",
     "required_ids",
+    "score_candidates",
 ]

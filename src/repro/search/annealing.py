@@ -72,10 +72,15 @@ class SimulatedAnnealing(Optimizer):
             iterations = iteration
             improved = False
             for _ in range(self.steps_per_iteration):
+                # Inherently sequential: the Metropolis test conditions the
+                # next move on this one's outcome, so candidates go through
+                # the batch API one at a time.
                 move = neighborhood.random_move(current.selected, rng)
                 if move is None:
                     break
-                candidate = objective.evaluate(move.apply(current.selected))
+                candidate = self._score(
+                    objective, [move.apply(current.selected)]
+                )[0]
                 delta = candidate.objective - current.objective
                 if delta >= 0 or rng.random() < math.exp(
                     delta / max(temperature, 1e-12)

@@ -41,6 +41,12 @@ class OptimizerConfig:
     sample_size:
         How many ADD candidates a neighborhood samples per iteration
         (0 means all of them).
+    batch:
+        Route candidate scoring through the objective's columnar
+        :meth:`~repro.quality.Objective.evaluate_batch` (the default).
+        ``False`` scores candidates one at a time through the scalar
+        evaluator — the property-tested reference path; trajectories are
+        identical either way, seed for seed.
     """
 
     max_iterations: int = 150
@@ -48,6 +54,7 @@ class OptimizerConfig:
     seed: int = 0
     time_limit: float | None = None
     sample_size: int = 48
+    batch: bool = True
 
 
 @dataclass(frozen=True, slots=True)
@@ -147,6 +154,14 @@ class Optimizer(ABC):
     def _rng(self) -> np.random.Generator:
         return np.random.default_rng(self.config.seed)
 
+    def _score(
+        self,
+        objective: Objective,
+        selections: Sequence[frozenset[int]],
+    ) -> list[Solution]:
+        """Score a candidate batch, honouring the config's ``batch`` flag."""
+        return score_candidates(objective, selections, self.config.batch)
+
     def _start_selection(
         self,
         objective: Objective,
@@ -229,12 +244,40 @@ def repair_selection(
     over = len(repaired) - budget
     if over > 0:
         evictable = sorted(repaired - required)
+        if over > len(evictable):
+            raise SearchError(
+                f"cannot repair selection: {len(required)} constrained "
+                f"source(s) already exceed the budget m={budget}; relax "
+                f"the constraints or raise max_sources"
+            )
         chosen = rng.choice(len(evictable), size=over, replace=False)
         for index in chosen:
             repaired.discard(evictable[index])
     if not repaired:
         return random_selection(objective, rng)
     return frozenset(repaired)
+
+
+def score_candidates(
+    objective: Objective,
+    selections: Sequence[frozenset[int]],
+    batch: bool = True,
+) -> list[Solution]:
+    """Score candidate selections, order-preserving.
+
+    With ``batch=True`` (the optimizers' default) the whole list goes
+    through the objective's columnar :meth:`~repro.quality.Objective.
+    evaluate_batch` in one call; otherwise — or when the objective is a
+    test double without a batch API — each candidate is scored by the
+    scalar evaluator.  Both paths return bit-identical solutions, so an
+    optimizer's trajectory does not depend on which one ran.
+    """
+    selections = list(selections)
+    if batch:
+        evaluate_batch = getattr(objective, "evaluate_batch", None)
+        if evaluate_batch is not None:
+            return evaluate_batch(selections)
+    return [objective.evaluate(selection) for selection in selections]
 
 
 def best_of(solutions: Sequence[Solution]) -> Solution:

@@ -47,7 +47,9 @@ class GreedySelector(Optimizer):
         else:
             # Seed with the best sampled single source.
             candidates = self._sample(pool, rng)
-            singles = [objective.evaluate(frozenset({sid})) for sid in candidates]
+            singles = self._score(
+                objective, [frozenset({sid}) for sid in candidates]
+            )
             best = max(singles, key=lambda s: s.objective)
             selection = set(best.selected)
             pool = [sid for sid in pool if sid not in selection]
@@ -59,10 +61,13 @@ class GreedySelector(Optimizer):
         while len(selection) < budget and pool and not clock.expired():
             steps += 1
             candidates = self._sample(pool, rng)
+            solutions = self._score(
+                objective,
+                [frozenset(selection | {sid}) for sid in candidates],
+            )
             step_best = None
             step_best_sid = None
-            for sid in candidates:
-                solution = objective.evaluate(frozenset(selection | {sid}))
+            for sid, solution in zip(candidates, solutions):
                 if step_best is None or solution.objective > step_best.objective:
                     step_best = solution
                     step_best_sid = sid

@@ -73,7 +73,9 @@ class StochasticLocalSearch(Optimizer):
             if rng.random() < self.walk_probability:
                 move = neighborhood.random_move(current.selected, rng)
                 if move is not None:
-                    current = objective.evaluate(move.apply(current.selected))
+                    current = self._score(
+                        objective, [move.apply(current.selected)]
+                    )[0]
             else:
                 improved = self._climb(objective, neighborhood, current, rng)
                 if improved is None:
@@ -100,10 +102,13 @@ class StochasticLocalSearch(Optimizer):
 
     def _climb(self, objective, neighborhood, current, rng):
         """The best strictly improving neighbor, or None at a local optimum."""
+        batch = neighborhood.move_batch(current.selected, rng)
+        solutions = self._score(
+            objective, [candidate for _, candidate in batch]
+        )
         best_neighbor = None
         best_objective = current.objective
-        for move in neighborhood.moves(current.selected, rng):
-            candidate = objective.evaluate(move.apply(current.selected))
+        for candidate in solutions:
             if candidate.objective > best_objective:
                 best_neighbor = candidate
                 best_objective = candidate.objective

@@ -104,6 +104,23 @@ class Neighborhood:
                 for in_id in swap_ins:
                     yield Move(MoveKind.SWAP, added=in_id, dropped=out_id)
 
+    def move_batch(
+        self, selection: frozenset[int], rng: np.random.Generator
+    ) -> list[tuple[Move, frozenset[int]]]:
+        """All candidate (move, resulting selection) pairs, materialized.
+
+        The batch-scoring entry point: the generator is drained in its
+        native order (consuming the RNG exactly as :meth:`moves` does), and
+        identity transitions are filtered so every candidate is a genuine
+        neighbor.
+        """
+        batch: list[tuple[Move, frozenset[int]]] = []
+        for move in self.moves(selection, rng):
+            candidate = move.apply(selection)
+            if candidate != selection:
+                batch.append((move, candidate))
+        return batch
+
     def random_move(
         self, selection: frozenset[int], rng: np.random.Generator
     ) -> Move | None:

@@ -6,6 +6,11 @@ standard velocity update toward the particle's personal best and the
 swarm's global best, the sampled position is *repaired* to the constraint
 region: constrained sources are forced in and, if the budget overflows, the
 lowest-probability free sources are evicted.
+
+The swarm updates *synchronously*: all particles move against the previous
+iteration's global best, the new positions are scored as one batch, and
+only then do the personal/global bests advance — which is what lets the
+whole swarm ride the objective's columnar batch evaluator.
 """
 
 from __future__ import annotations
@@ -73,10 +78,13 @@ class ParticleSwarm(Optimizer):
             start = self._start_selection(objective, initial, rng)
             positions[0] = np.isin(ids, sorted(start))
 
-        personal_best = [
-            objective.evaluate(self._to_selection(positions[p], ids))
-            for p in range(self.particles)
-        ]
+        personal_best = self._score(
+            objective,
+            [
+                self._to_selection(positions[p], ids)
+                for p in range(self.particles)
+            ],
+        )
         personal_positions = positions.copy()
         best_index = int(
             np.argmax([s.objective for s in personal_best])
@@ -93,6 +101,11 @@ class ParticleSwarm(Optimizer):
                 break
             iterations = iteration
             improved = False
+            # Synchronous update: every particle's velocity is driven by
+            # the gbest from the *previous* iteration, all new positions
+            # are sampled first (consuming the RNG in particle order), and
+            # the whole swarm is scored as one batch before personal and
+            # global bests move.
             for p in range(self.particles):
                 r1 = rng.random(len(ids))
                 r2 = rng.random(len(ids))
@@ -116,9 +129,14 @@ class ParticleSwarm(Optimizer):
                 positions[p] = self._repair(
                     sampled, probabilities, required_mask, budget
                 )
-                solution = objective.evaluate(
+            solutions = self._score(
+                objective,
+                [
                     self._to_selection(positions[p], ids)
-                )
+                    for p in range(self.particles)
+                ],
+            )
+            for p, solution in enumerate(solutions):
                 if solution.objective > personal_best[p].objective:
                     personal_best[p] = solution
                     personal_positions[p] = positions[p].copy()

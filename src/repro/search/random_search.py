@@ -12,6 +12,10 @@ from .base import (
     random_selection,
 )
 
+#: Selections generated per batch-scoring call; the wall clock is checked
+#: between chunks rather than between single evaluations.
+_CHUNK = 64
+
 
 class RandomSearch(Optimizer):
     """Evaluate independent random feasible selections; keep the best."""
@@ -29,19 +33,26 @@ class RandomSearch(Optimizer):
         del initial  # stateless by design
         rng = self._rng()
         clock = RunClock(self.config.time_limit)
-        best = objective.evaluate(random_selection(objective, rng))
+        best = self._score(
+            objective, [random_selection(objective, rng)]
+        )[0]
         best_found_at = 0
         trajectory = [best.objective]
         iterations = 0
-        for iteration in range(1, self.config.max_iterations + 1):
-            if clock.expired():
-                break
-            iterations = iteration
-            solution = objective.evaluate(random_selection(objective, rng))
-            if solution.objective > best.objective:
-                best = solution
-                best_found_at = iteration
-            trajectory.append(best.objective)
+        # The RNG is consumed only by selection generation, so chunked
+        # pre-generation leaves the sampled sequence — and therefore the
+        # trajectory — identical to one-at-a-time evaluation.
+        while iterations < self.config.max_iterations and not clock.expired():
+            chunk = min(_CHUNK, self.config.max_iterations - iterations)
+            selections = [
+                random_selection(objective, rng) for _ in range(chunk)
+            ]
+            for solution in self._score(objective, selections):
+                iterations += 1
+                if solution.objective > best.objective:
+                    best = solution
+                    best_found_at = iterations
+                trajectory.append(best.objective)
         stats = SearchStats(
             iterations=iterations,
             evaluations=objective.evaluations,

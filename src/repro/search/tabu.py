@@ -148,14 +148,16 @@ class TabuSearch(Optimizer):
         log = get_event_log()
         chosen: tuple[Move, Solution, bool] | None = None
         chosen_objective = -math.inf
-        evaluated = 0
         tabu_rejected = 0
-        for move in neighborhood.moves(current, rng):
-            candidate = move.apply(current)
-            if candidate == current:
-                continue
-            solution = objective.evaluate(candidate)
-            evaluated += 1
+        # Materialize the whole neighborhood, score it in one batch call,
+        # then run the tabu/aspiration selection over the scored pairs in
+        # generation order — the same argmax the scalar loop computed.
+        batch = neighborhood.move_batch(current, rng)
+        solutions = self._score(
+            objective, [candidate for _, candidate in batch]
+        )
+        evaluated = len(batch)
+        for (move, _), solution in zip(batch, solutions):
             is_tabu = any(
                 tabu_until.get(t, 0) >= iteration for t in move.touched()
             )

@@ -10,17 +10,20 @@ from .pcsa import (
     independent_hash,
     union_sketch,
 )
+from .stacked import StackedSketches, pcsa_estimate
 
 __all__ = [
     "ExactDistinct",
     "KAPPA",
     "PCSASketch",
     "PHI",
+    "StackedSketches",
     "estimate_union",
     "exact_union_count",
     "hash_ints",
     "hash_strings",
     "independent_hash",
+    "pcsa_estimate",
     "relative_error",
     "splitmix64",
     "trailing_zeros",

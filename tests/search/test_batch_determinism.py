@@ -1,0 +1,81 @@
+"""Batch-mode search must reproduce scalar-mode search, seed for seed.
+
+``OptimizerConfig(batch=...)`` only changes *how* candidate neighborhoods
+are scored — through ``Objective.evaluate_batch`` or the scalar
+``evaluate`` — never *what* the optimizer does.  Because the batch
+evaluator is bit-identical to the scalar one and the optimizers consume
+their RNGs in the same order either way, entire runs must match:
+trajectory, best solution, iteration and evaluation counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SearchError
+from repro.quality import Objective
+from repro.search import OptimizerConfig, get_optimizer
+from repro.search.base import repair_selection
+
+from .test_optimizers import METAHEURISTICS, tiny_problem
+
+
+def run(name: str, batch: bool, seed: int, **problem_kwargs):
+    objective = Objective(tiny_problem(**problem_kwargs))
+    config = OptimizerConfig(
+        max_iterations=30, patience=20, seed=seed, batch=batch
+    )
+    return get_optimizer(name, config).optimize(objective)
+
+
+class TestBatchModeDeterminism:
+    @pytest.mark.parametrize("name", METAHEURISTICS)
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_batch_reproduces_scalar_trajectory(self, name, seed):
+        batched = run(name, batch=True, seed=seed)
+        scalar = run(name, batch=False, seed=seed)
+        assert batched.trajectory == scalar.trajectory
+        assert batched.solution == scalar.solution
+        assert batched.stats.iterations == scalar.stats.iterations
+        assert batched.stats.evaluations == scalar.stats.evaluations
+
+    @pytest.mark.parametrize("name", METAHEURISTICS)
+    def test_batch_runs_are_self_deterministic(self, name):
+        first = run(name, batch=True, seed=9)
+        second = run(name, batch=True, seed=9)
+        assert first.trajectory == second.trajectory
+        assert first.solution == second.solution
+
+    @pytest.mark.parametrize("name", METAHEURISTICS)
+    def test_batch_respects_constraints(self, name):
+        result = run(name, batch=True, seed=2, source_constraints=frozenset({1}))
+        assert 1 in result.solution.selected
+        assert len(result.solution.selected) <= 4
+
+
+class TestRepairSelection:
+    def test_overfull_constraints_raise_a_clear_error(self):
+        # Problem construction validates |C| <= m, so the overfull state
+        # only arises when repairing against a stale or hand-built
+        # objective — which used to crash with an opaque numpy ValueError.
+        from types import SimpleNamespace
+
+        objective = SimpleNamespace(
+            problem=SimpleNamespace(
+                max_sources=2,
+                effective_source_constraints=frozenset({0, 1, 2}),
+            ),
+            universe=SimpleNamespace(source_ids=frozenset(range(6))),
+        )
+        rng = np.random.default_rng(0)
+        with pytest.raises(SearchError, match="exceed the budget"):
+            repair_selection(objective, frozenset({0, 1, 2, 3}), rng)
+
+    def test_overbudget_free_members_are_evicted(self):
+        problem = tiny_problem(max_sources=2)
+        objective = Objective(problem)
+        rng = np.random.default_rng(0)
+        repaired = repair_selection(objective, frozenset({0, 1, 2, 3}), rng)
+        assert len(repaired) == 2
+        assert repaired <= frozenset({0, 1, 2, 3})

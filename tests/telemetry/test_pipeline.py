@@ -43,7 +43,12 @@ class TestSolveTrace:
             assert iteration_span.parent_index == search_span.index
         for match_span in exporter.find("match.evaluate"):
             parent = by_index[match_span.parent_index]
-            assert parent.name == "objective.evaluate"
+            # Scalar evaluations nest the match under objective.evaluate;
+            # batch-scored neighborhoods nest it under the batch span.
+            assert parent.name in (
+                "objective.evaluate",
+                "objective.batch_evaluate",
+            )
 
     def test_counters_reflect_the_run(self, traced_session):
         session, telemetry, _ = traced_session
