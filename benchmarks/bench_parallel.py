@@ -1,0 +1,132 @@
+"""Parallel portfolio solve: ``jobs=4`` vs ``jobs=1`` wall-clock.
+
+Not a paper figure — this measures the tentpole speedup of the
+multi-process portfolio engine: four seeded tabu restarts across a
+process pool versus the same four workers run back-to-back in one
+process.  Both paths share one compiled problem and the deterministic
+merge, so the *answer* is identical by construction (asserted below);
+only the wall-clock should differ.
+
+The per-test ``extra_info`` records ``jobs1_seconds``, ``jobs4_seconds``,
+the resulting ``speedup`` and the machine's ``cpu_count`` so the
+``BENCH_parallel.json`` report documents the gain — and the CI gate can
+check it — at every universe size.  The in-bench assertion is
+cpu-count-aware: a single-core runner cannot speed anything up, so only
+machines with ≥4 cores are held to the parallel≥sequential line.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.search import (
+    OptimizerConfig,
+    ParallelSolveEngine,
+    parse_portfolio,
+    seeded_restarts,
+)
+
+from common import bench_scale, build_problem, cached_workload
+
+SCALE = bench_scale()
+JOBS = 4
+CPU_COUNT = os.cpu_count() or 1
+
+#: Universe sizes to measure: the active scale's Figure-5 grid, plus the
+#: 200-source instance the acceptance numbers are quoted at.
+UNIVERSE_SIZES = tuple(sorted(set(SCALE.fig5_universe_sizes) | {200}))
+
+
+def _config(seed: int = 0) -> OptimizerConfig:
+    # 4x the scale's solve budget, with patience disabled: every worker
+    # runs its full iteration budget, so per-worker runtimes are long and
+    # even enough that pool startup cannot dominate the measurement.
+    iterations = 4 * (SCALE.iterations + SCALE.fig5_choose)
+    return OptimizerConfig(
+        max_iterations=iterations,
+        patience=iterations,
+        sample_size=SCALE.sample_size,
+        seed=seed,
+    )
+
+
+def _timed_solve(problem, workers, jobs: int):
+    engine = ParallelSolveEngine(jobs=jobs)
+    started = time.perf_counter()
+    result = engine.solve(problem, workers)
+    return result, time.perf_counter() - started
+
+
+def _record(benchmark, n_sources, workers, jobs1_seconds, jobs4_seconds):
+    speedup = jobs1_seconds / jobs4_seconds if jobs4_seconds > 0 else 0.0
+    benchmark.extra_info["universe_size"] = n_sources
+    benchmark.extra_info["workers"] = len(workers)
+    benchmark.extra_info["jobs"] = JOBS
+    benchmark.extra_info["cpu_count"] = CPU_COUNT
+    benchmark.extra_info["jobs1_seconds"] = jobs1_seconds
+    benchmark.extra_info["jobs4_seconds"] = jobs4_seconds
+    benchmark.extra_info["speedup"] = speedup
+    return speedup
+
+
+@pytest.mark.parametrize("n_sources", UNIVERSE_SIZES)
+def test_portfolio_restarts_speedup(benchmark, n_sources):
+    """Four seeded tabu restarts: process pool vs in-process, same answer."""
+    workload = cached_workload(n_sources)
+    problem = build_problem(workload, SCALE.fig5_choose, "none")
+    workers = seeded_restarts("tabu", JOBS, _config())
+
+    sequential, jobs1_seconds = _timed_solve(problem, workers, jobs=1)
+
+    def pooled_round():
+        return _timed_solve(problem, workers, jobs=JOBS)
+
+    pooled, jobs4_seconds = benchmark.pedantic(
+        pooled_round, rounds=1, iterations=1
+    )
+
+    # The deterministic-merge contract: process placement never changes
+    # the answer, so the pooled winner equals the in-process winner.
+    assert pooled.solution == sequential.solution
+    assert (
+        pooled.portfolio.winner_index == sequential.portfolio.winner_index
+    )
+    assert pooled.portfolio.failed_workers == 0
+
+    benchmark.group = "parallel: seeded restarts"
+    speedup = _record(
+        benchmark, n_sources, workers, jobs1_seconds, jobs4_seconds
+    )
+    # Only hold multi-core machines to the parallel>=sequential line; the
+    # CI gate re-checks this from the JSON on the (multi-core) runner.
+    if CPU_COUNT >= JOBS:
+        assert speedup >= 1.0
+
+
+def test_portfolio_heterogeneous_speedup(benchmark):
+    """A mixed tabu/local/annealing portfolio at the 200-source instance."""
+    workload = cached_workload(200)
+    problem = build_problem(workload, SCALE.fig5_choose, "none")
+    workers = parse_portfolio("tabu:2,local:1,annealing:1", _config())
+
+    sequential, jobs1_seconds = _timed_solve(problem, workers, jobs=1)
+
+    def pooled_round():
+        return _timed_solve(problem, workers, jobs=JOBS)
+
+    pooled, jobs4_seconds = benchmark.pedantic(
+        pooled_round, rounds=1, iterations=1
+    )
+
+    assert pooled.solution == sequential.solution
+    assert (
+        pooled.portfolio.winner_index == sequential.portfolio.winner_index
+    )
+
+    benchmark.group = "parallel: heterogeneous portfolio"
+    speedup = _record(benchmark, 200, workers, jobs1_seconds, jobs4_seconds)
+    if CPU_COUNT >= JOBS:
+        assert speedup >= 1.0

@@ -68,12 +68,20 @@ def main(argv: list[str] | None = None) -> int:
         "--out-dir", default=str(BENCH_DIR),
         help="directory for the BENCH_*.json reports (default: benchmarks/)",
     )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="print the discovered bench suites and exit without running",
+    )
     args, extra = parser.parse_known_args(argv)
 
     benches = discover(args.only)
     if not benches:
         print(f"no bench files match {args.only!r}", file=sys.stderr)
         return 2
+    if args.list:
+        for bench in benches:
+            print(bench.stem)
+        return 0
     out_dir = Path(args.out_dir).resolve()
     out_dir.mkdir(parents=True, exist_ok=True)
 

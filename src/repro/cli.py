@@ -97,6 +97,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--iterations", type=int, default=60)
     solve.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run a portfolio of N workers across N processes "
+             "(1 = in-process portfolio; default: single sequential solve)",
+    )
+    solve.add_argument(
+        "--portfolio", metavar="SPEC",
+        help="portfolio spec like 'tabu:4,local:2,annealing:2' "
+             "(default: seeded restarts of --optimizer)",
+    )
+    solve.add_argument(
+        "--stop-quality", type=float, default=None, metavar="Q",
+        help="early-stop the portfolio once any worker reaches quality Q",
+    )
+    solve.add_argument(
         "--explain", metavar="FILE",
         help="also write a provenance report to FILE "
              "(.json → JSON, .md → markdown, otherwise text)",
@@ -247,14 +261,26 @@ def run_solve(args: argparse.Namespace) -> int:
             max_iterations=args.iterations, seed=args.seed
         ),
     )
-    iteration = session.solve(explain=bool(args.explain))
+    iteration = session.solve(
+        explain=bool(args.explain),
+        jobs=args.jobs,
+        portfolio=args.portfolio,
+        stop_quality=args.stop_quality,
+    )
     print(render_solution(iteration.solution, workload.universe))
     stats = iteration.result.stats
+    portfolio = iteration.result.portfolio
+    label = args.optimizer if portfolio is None else portfolio.winner.label
     print(
-        f"\n{args.optimizer}: {stats.iterations} iterations, "
+        f"\n{label}: {stats.iterations} iterations, "
         f"{stats.evaluations} evaluations, {stats.elapsed_seconds:.2f}s, "
         f"match memo {stats.match_memo_hits}h/{stats.match_memo_misses}m"
     )
+    if portfolio is not None:
+        from .search.parallel import render_portfolio
+
+        print()
+        print(render_portfolio(portfolio))
     if args.explain:
         fmt = _format_for_path(args.explain)
         report = _render_explanation(

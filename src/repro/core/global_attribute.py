@@ -99,6 +99,21 @@ class GlobalAttribute:
     def __len__(self) -> int:
         return len(self._attributes)
 
+    def __getstate__(self) -> frozenset[AttributeRef]:
+        """Pickle only the member set — never the cached hash.
+
+        ``hash()`` of strings is salted per interpreter, so a hash cached
+        in one process is wrong in another; shipping it (e.g. a portfolio
+        worker returning a solution under ``spawn``) would silently break
+        set/dict membership for equal GAs in the receiving process.
+        """
+        return self._attributes
+
+    def __setstate__(self, attributes: frozenset[AttributeRef]) -> None:
+        # Re-run construction: revalidates and recomputes the hash under
+        # the *receiving* interpreter's seed.
+        self.__init__(attributes)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, GlobalAttribute):
             return NotImplemented

@@ -126,6 +126,15 @@ class MediatedSchema:
     def __len__(self) -> int:
         return len(self._gas)
 
+    def __getstate__(self) -> frozenset[GlobalAttribute]:
+        """Pickle only the GA set — never the cached, seed-dependent hash
+        (same cross-process correctness rule as
+        :meth:`GlobalAttribute.__getstate__`)."""
+        return self._gas
+
+    def __setstate__(self, gas: frozenset[GlobalAttribute]) -> None:
+        self.__init__(gas)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, MediatedSchema):
             return NotImplemented

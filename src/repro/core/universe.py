@@ -112,6 +112,20 @@ class Universe:
             return source.attribute(name_or_index)
         return source.attribute_named(name_or_index)
 
+    def __getstate__(self) -> tuple[Source, ...]:
+        """Pickle only the sources; the id index is derived state.
+
+        Universes cross process boundaries in the parallel portfolio
+        engine's :class:`~repro.search.parallel.WorkerContext` (under
+        ``spawn`` everything is pickled, so the payload matters).
+        """
+        return self._sources
+
+    def __setstate__(self, sources: tuple[Source, ...]) -> None:
+        # Re-run construction so the id index is rebuilt and the same
+        # invariants hold for unpickled universes as for fresh ones.
+        self.__init__(sources)
+
     def __iter__(self) -> Iterator[Source]:
         return iter(self._sources)
 

@@ -84,6 +84,21 @@ class EvalContext:
         self.characteristics = characteristics
         self.vector_names = vector_names
 
+    def __getstate__(self) -> dict:
+        """Pickle every slot except the derived id→row index."""
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "index_of"
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self.index_of = {
+            int(sid): i for i, sid in enumerate(self.ids.tolist())
+        }
+
     @classmethod
     def compile(cls, problem: Problem, qefs: dict) -> "EvalContext":
         """Compile the universe's per-source state for the given QEFs.

@@ -17,6 +17,17 @@ from .exhaustive import ExhaustiveSearch
 from .greedy_select import GreedySelector
 from .local_search import StochasticLocalSearch
 from .neighborhood import Move, MoveKind, Neighborhood
+from .parallel import (
+    ParallelSolveEngine,
+    PortfolioStats,
+    WorkerContext,
+    WorkerOutcome,
+    WorkerSpec,
+    parse_portfolio,
+    render_portfolio,
+    resolve_portfolio,
+    seeded_restarts,
+)
 from .pso import ParticleSwarm
 from .random_search import RandomSearch
 from .tabu import TabuSearch, default_tenure
@@ -65,18 +76,27 @@ __all__ = [
     "OPTIMIZERS",
     "Optimizer",
     "OptimizerConfig",
+    "ParallelSolveEngine",
     "ParticleSwarm",
+    "PortfolioStats",
     "RandomSearch",
     "SearchResult",
     "SearchStats",
     "SimulatedAnnealing",
     "StochasticLocalSearch",
     "TabuSearch",
+    "WorkerContext",
+    "WorkerOutcome",
+    "WorkerSpec",
     "best_of",
     "default_tenure",
     "free_ids",
     "get_optimizer",
+    "parse_portfolio",
     "random_selection",
+    "render_portfolio",
     "required_ids",
+    "resolve_portfolio",
     "score_candidates",
+    "seeded_restarts",
 ]

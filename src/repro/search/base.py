@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -21,6 +22,36 @@ from ..core import Solution, worst_solution
 from ..exceptions import SearchError
 from ..quality.overall import Objective
 from ..telemetry import get_telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .parallel import PortfolioStats
+
+
+#: Process-global cooperative stop signal, consulted by every
+#: :class:`RunClock`.  ``None`` outside portfolio runs — the default — so
+#: plain solves never pay for it and stay bit-identical.  The parallel
+#: engine installs a check bound to its shared early-stop event (in worker
+#: processes) or to a local flag (in-process portfolios).
+_stop_check: Callable[[], bool] | None = None
+
+
+def install_stop_check(check: Callable[[], bool] | None):
+    """Install (or clear, with ``None``) the cooperative stop signal.
+
+    Returns the previously installed check so nested scopes can restore
+    it.  Optimizers observe the signal at their next ``clock.expired()``
+    call — iteration granularity, which is why losing the signal can only
+    cost runtime, never correctness.
+    """
+    global _stop_check
+    previous = _stop_check
+    _stop_check = check
+    return previous
+
+
+def clear_stop_check() -> None:
+    """Remove any installed cooperative stop signal."""
+    install_stop_check(None)
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,11 +108,18 @@ class SearchStats:
 
 @dataclass(frozen=True, slots=True)
 class SearchResult:
-    """An optimizer's best solution plus run statistics."""
+    """An optimizer's best solution plus run statistics.
+
+    ``portfolio`` is only populated on results returned by the parallel
+    engine (:class:`repro.search.parallel.ParallelSolveEngine`): the
+    winning worker's result is annotated with the whole portfolio's
+    :class:`~repro.search.parallel.PortfolioStats`.
+    """
 
     solution: Solution
     stats: SearchStats
     trajectory: tuple[float, ...] = field(default=())
+    portfolio: "PortfolioStats | None" = None
 
     @property
     def objective(self) -> float:
@@ -143,6 +181,25 @@ class Optimizer(ABC):
         )
         return replace(result, stats=stats)
 
+    @classmethod
+    def run_from_config(
+        cls,
+        objective: Objective,
+        config: OptimizerConfig | None = None,
+        initial: frozenset[int] | None = None,
+        **params: Any,
+    ) -> SearchResult:
+        """Construct this optimizer from plain data and run it.
+
+        The entrypoint portfolio workers use: everything needed to
+        reproduce a run — class, config, extra constructor ``params``,
+        warm start — arrives as picklable values, so a worker process can
+        rebuild and execute the exact search the parent described.
+        Equivalent to ``cls(config, **params).optimize(objective,
+        initial=initial)``.
+        """
+        return cls(config, **params).optimize(objective, initial=initial)
+
     @abstractmethod
     def _optimize(
         self,
@@ -191,7 +248,15 @@ class RunClock:
         return time.perf_counter() - self._start
 
     def expired(self) -> bool:
-        """True iff the time budget has been spent."""
+        """True iff the time budget is spent or a sibling signalled stop.
+
+        The cooperative stop check (see :func:`install_stop_check`) is
+        folded in here because every optimizer already consults its clock
+        once per iteration — portfolio early-stop therefore needs no
+        changes to any optimizer's loop.
+        """
+        if _stop_check is not None and _stop_check():
+            return True
         return self._limit is not None and self.elapsed() >= self._limit
 
 

@@ -1,0 +1,723 @@
+"""Multi-process portfolio search over a shared compiled universe.
+
+µBE's interactive loop lives or dies on re-solve latency, and after the
+columnar batch core every solve still occupies one CPU core.  This module
+turns the single-threaded optimizers into a *portfolio*: K workers —
+seeded restarts of one strategy, heterogeneous strategies, or any mix —
+run concurrently across a :class:`~concurrent.futures.ProcessPoolExecutor`
+and the engine deterministically merges their results.
+
+Design points:
+
+* **Compile once, ship once.**  The :class:`Problem` (universe, sketches,
+  constraints) and optionally the prebuilt
+  :class:`~repro.similarity.matrix.NameSimilarityMatrix` are pickled into
+  a :class:`WorkerContext` that travels to each worker process exactly
+  once, through the pool initializer.  Everything derived — `Objective`,
+  `EvalContext`, `StackedSketches`, match operator — is rebuilt lazily
+  *inside* the worker, because the numpy state is cheap to recompute but
+  expensive to serialize.  Under ``fork`` the context is shared
+  copy-on-write for free; under ``spawn`` it is pickled, which the
+  explicit ``__getstate__`` hooks on `Universe` and friends keep lean.
+
+* **Deterministic merge.**  Workers are merged in *submission* order, the
+  winner chosen by ``(objective, feasible)`` with ties broken by the
+  canonical selection key (the sorted source-id tuple) and then the lower
+  worker index — never by completion order, so a loaded machine returns
+  the same answer as an idle one.
+
+* **jobs=1 ≡ sequential.**  With one job the engine runs every worker in
+  this process, seed for seed through the very same
+  :meth:`~repro.search.base.Optimizer.optimize` path a plain solve uses,
+  so single-job portfolio output is bit-identical to today's sequential
+  solves (tests/search/test_parallel_determinism.py holds this line).
+
+* **Early stop is advisory.**  A worker whose solution reaches
+  ``stop_quality`` sets a shared event; siblings observe it at their next
+  ``clock.expired()`` check (see
+  :func:`~repro.search.base.install_stop_check`).  Losing the signal only
+  costs runtime, never correctness.
+
+* **Failure is survivable.**  A crashing worker is logged into its
+  :class:`WorkerOutcome` and counted in
+  :attr:`PortfolioStats.failed_workers`; the solve returns the best
+  surviving result.  Only a portfolio with zero survivors raises
+  :class:`~repro.exceptions.SearchError`, with per-worker reasons.
+
+* **Telemetry folds back.**  Each worker traces into its own in-memory
+  tracer and returns ``(spans, metrics snapshot)``; the parent re-indexes
+  the spans under its open ``portfolio.solve`` span and merges the
+  counters, so ``--trace`` and ``mube trace-report`` see the whole run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Iterable, Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+
+from ..core import Problem
+from ..exceptions import SearchError
+from ..quality.overall import Objective
+from ..similarity.matrix import NameSimilarityMatrix
+from ..telemetry import (
+    InMemoryExporter,
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+)
+from .base import OptimizerConfig, SearchResult, install_stop_check
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerSpec:
+    """One worker's marching orders: which optimizer, how, from where.
+
+    Everything here is plain picklable data — the worker process rebuilds
+    the optimizer via :meth:`~repro.search.base.Optimizer.run_from_config`
+    from the registry name, the config and the extra constructor
+    ``params`` (an item tuple so the spec stays hashable).
+    """
+
+    optimizer: str
+    config: OptimizerConfig
+    params: tuple[tuple[str, object], ...] = ()
+    label: str = ""
+
+    @property
+    def seed(self) -> int:
+        """The worker's RNG seed (from its config)."""
+        return self.config.seed
+
+    def describe(self) -> str:
+        """Human-readable identity for logs and reports."""
+        return self.label or f"{self.optimizer}(seed={self.seed})"
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerOutcome:
+    """What one portfolio worker produced: a result or a failure reason."""
+
+    index: int
+    label: str
+    optimizer: str
+    seed: int
+    result: SearchResult | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True iff the worker completed and returned a result."""
+        return self.result is not None
+
+
+@dataclass(frozen=True, slots=True)
+class PortfolioStats:
+    """Aggregate statistics over one portfolio solve.
+
+    Attached to the winning :class:`~repro.search.base.SearchResult` as
+    its ``portfolio`` field, so callers that ignore parallelism see a
+    plain result and callers that care can drill into every worker.
+    """
+
+    jobs: int
+    workers: tuple[WorkerOutcome, ...]
+    winner_index: int
+    elapsed_seconds: float
+    early_stopped: bool
+
+    @property
+    def failed_workers(self) -> int:
+        """How many workers crashed instead of returning a result."""
+        return sum(1 for outcome in self.workers if not outcome.ok)
+
+    @property
+    def succeeded_workers(self) -> int:
+        """How many workers returned a result."""
+        return sum(1 for outcome in self.workers if outcome.ok)
+
+    @property
+    def total_iterations(self) -> int:
+        """Optimizer iterations summed over the surviving workers."""
+        return sum(o.result.stats.iterations for o in self.workers if o.ok)
+
+    @property
+    def total_evaluations(self) -> int:
+        """Objective evaluations summed over the surviving workers."""
+        return sum(o.result.stats.evaluations for o in self.workers if o.ok)
+
+    @property
+    def winner(self) -> WorkerOutcome:
+        """The outcome whose result the engine returned."""
+        return self.workers[self.winner_index]
+
+
+class WorkerContext:
+    """The pickle-once payload every portfolio worker shares.
+
+    Carries the compiled problem (and, when available, the prebuilt
+    similarity matrix) plus the run parameters common to all workers.
+    The expensive derived state — :class:`Objective` with its
+    `EvalContext`, stacked sketches and match operator — is *not*
+    shipped: :meth:`build_objective` reconstructs it fresh inside the
+    worker, per run, so results never depend on which process a task
+    landed in.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        similarity: NameSimilarityMatrix | None = None,
+        incremental: bool = False,
+        initial: frozenset[int] | None = None,
+        stop_quality: float | None = None,
+        collect_telemetry: bool = False,
+    ):
+        self.problem = problem
+        self.similarity = similarity
+        self.incremental = incremental
+        self.initial = initial
+        self.stop_quality = stop_quality
+        self.collect_telemetry = collect_telemetry
+
+    def build_objective(self) -> Objective:
+        """A fresh objective compiled from the shipped problem."""
+        return Objective(
+            self.problem,
+            similarity=self.similarity,
+            incremental=self.incremental,
+        )
+
+    def __getstate__(self) -> dict:
+        return {
+            "problem": self.problem,
+            "similarity": self.similarity,
+            "incremental": self.incremental,
+            "initial": self.initial,
+            "stop_quality": self.stop_quality,
+            "collect_telemetry": self.collect_telemetry,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerContext({len(self.problem.universe)} sources, "
+            f"incremental={self.incremental})"
+        )
+
+
+# -- portfolio construction ---------------------------------------------------
+
+
+def seeded_restarts(
+    optimizer: str,
+    count: int,
+    base_config: OptimizerConfig | None = None,
+) -> tuple[WorkerSpec, ...]:
+    """``count`` restarts of one optimizer with consecutive seeds.
+
+    Worker ``i`` gets ``base_config.seed + i``, so a portfolio is an
+    explicit, reproducible function of the base seed — and the 0th worker
+    runs the exact search a sequential solve with ``base_config`` would.
+    """
+    if count < 1:
+        raise SearchError(f"portfolio needs at least one worker, got {count}")
+    config = base_config or OptimizerConfig()
+    return tuple(
+        WorkerSpec(
+            optimizer=optimizer,
+            config=replace(config, seed=config.seed + i),
+            label=f"{optimizer}[{i}]",
+        )
+        for i in range(count)
+    )
+
+
+def parse_portfolio(
+    spec: str,
+    base_config: OptimizerConfig | None = None,
+) -> tuple[WorkerSpec, ...]:
+    """Parse ``"tabu:4,local:2,annealing:2"`` into worker specs.
+
+    Each comma-separated entry is ``name`` or ``name:count`` (count
+    defaults to 1).  Seeds are assigned consecutively across the *whole*
+    portfolio — with base seed s, the example yields tabu seeds s..s+3,
+    local s+4..s+5, annealing s+6..s+7 — so the portfolio is reproducible
+    and no two workers duplicate each other's search.
+    """
+    from . import OPTIMIZERS
+
+    config = base_config or OptimizerConfig()
+    workers: list[WorkerSpec] = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, _, count_text = entry.partition(":")
+        name = name.strip()
+        if name not in OPTIMIZERS:
+            raise SearchError(
+                f"unknown optimizer {name!r} in portfolio {spec!r}; "
+                f"available: {', '.join(sorted(OPTIMIZERS))}"
+            )
+        try:
+            count = int(count_text) if count_text else 1
+        except ValueError:
+            raise SearchError(
+                f"bad worker count {count_text!r} in portfolio entry "
+                f"{entry!r}"
+            ) from None
+        if count < 1:
+            raise SearchError(
+                f"worker count must be >= 1 in portfolio entry {entry!r}"
+            )
+        for k in range(count):
+            index = len(workers)
+            workers.append(
+                WorkerSpec(
+                    optimizer=name,
+                    config=replace(config, seed=config.seed + index),
+                    label=f"{name}[{k}]",
+                )
+            )
+    if not workers:
+        raise SearchError(f"portfolio {spec!r} contains no workers")
+    return tuple(workers)
+
+
+def resolve_portfolio(
+    portfolio: str | Sequence[WorkerSpec] | None,
+    jobs: int,
+    default_optimizer: str,
+    base_config: OptimizerConfig | None = None,
+) -> tuple[WorkerSpec, ...]:
+    """Normalize the user-facing ``portfolio=`` argument to worker specs.
+
+    ``None`` means "one seeded restart of the default optimizer per job",
+    a string goes through :func:`parse_portfolio`, and an explicit spec
+    sequence passes through untouched.
+    """
+    if portfolio is None:
+        return seeded_restarts(default_optimizer, max(jobs, 1), base_config)
+    if isinstance(portfolio, str):
+        return parse_portfolio(portfolio, base_config)
+    return tuple(portfolio)
+
+
+# -- worker-process side ------------------------------------------------------
+
+#: Per-process state installed by :func:`_worker_init`; module globals are
+#: the one channel a ``ProcessPoolExecutor`` initializer can fill.
+_WORKER_CONTEXT: WorkerContext | None = None
+_WORKER_STOP = None
+
+
+def _worker_init(context: WorkerContext, stop_event) -> None:
+    """Pool initializer: receive the shared context, neutralize inherited state.
+
+    Under ``fork`` the child starts as a byte-for-byte copy of the parent,
+    including any installed tracer with open file handles — so the first
+    thing a worker does is reset the process-global telemetry and event
+    log to their no-ops.  The shared early-stop event (picklable only
+    through ``initargs``, never through the task queue) becomes this
+    process's cooperative stop check.
+    """
+    global _WORKER_CONTEXT, _WORKER_STOP
+    _WORKER_CONTEXT = context
+    _WORKER_STOP = stop_event
+    set_telemetry(None)
+    from ..explain.events import set_event_log
+
+    set_event_log(None)
+    if stop_event is not None:
+        install_stop_check(stop_event.is_set)
+
+
+def _execute_spec(context: WorkerContext, spec: WorkerSpec) -> SearchResult:
+    """Rebuild the objective and run one worker's optimizer."""
+    from . import OPTIMIZERS
+
+    cls = OPTIMIZERS[spec.optimizer]
+    objective = context.build_objective()
+    return cls.run_from_config(
+        objective,
+        spec.config,
+        initial=context.initial,
+        **dict(spec.params),
+    )
+
+
+def _hit_quality_bound(result: SearchResult, bound: float | None) -> bool:
+    """True iff a result satisfies the early-stop quality bound."""
+    return (
+        bound is not None
+        and result.solution.feasible
+        and result.solution.quality >= bound
+    )
+
+
+def _run_worker(index: int, spec: WorkerSpec) -> dict:
+    """Pool task: run one spec against the process-shared context.
+
+    Returns a plain dict (cheap to pickle back): the result plus, when
+    the parent traces, the worker's finished spans and metrics snapshot.
+    Failures are caught and shipped home as strings so one bad worker
+    can never poison the pool protocol.
+    """
+    context = _WORKER_CONTEXT
+    assert context is not None, "worker used before _worker_init ran"
+    exporter = InMemoryExporter()
+    telemetry = (
+        Telemetry(exporters=[exporter]) if context.collect_telemetry else None
+    )
+    if telemetry is not None:
+        set_telemetry(telemetry)
+    try:
+        result = _execute_spec(context, spec)
+    except Exception as exc:  # noqa: BLE001 - shipped home as the outcome
+        return {"index": index, "error": f"{type(exc).__name__}: {exc}"}
+    finally:
+        if telemetry is not None:
+            set_telemetry(None)
+    payload: dict = {"index": index, "result": result}
+    if telemetry is not None:
+        payload["spans"] = tuple(exporter.spans)
+        payload["metrics"] = telemetry.metrics.snapshot()
+    if _WORKER_STOP is not None and _hit_quality_bound(
+        result, context.stop_quality
+    ):
+        _WORKER_STOP.set()
+    return payload
+
+
+# -- deterministic merge ------------------------------------------------------
+
+
+def _selection_key(result: SearchResult) -> tuple[int, ...]:
+    """Canonical, order-independent identity of a result's selection."""
+    return tuple(sorted(result.solution.selected))
+
+
+def _beats(challenger: SearchResult, incumbent: SearchResult) -> bool:
+    """Deterministic winner order: quality, then canonical selection key.
+
+    Feasible beats infeasible at equal objective; at a full tie the
+    lexicographically smallest selection key wins, and the caller keeps
+    the earlier worker on identical keys — so the winner is a pure
+    function of the worker list, not of scheduling.
+    """
+    a = (challenger.solution.objective, challenger.solution.feasible)
+    b = (incumbent.solution.objective, incumbent.solution.feasible)
+    if a != b:
+        return a > b
+    return _selection_key(challenger) < _selection_key(incumbent)
+
+
+def select_winner(outcomes: Sequence[WorkerOutcome]) -> WorkerOutcome | None:
+    """The winning outcome under the deterministic merge order."""
+    winner: WorkerOutcome | None = None
+    for outcome in sorted(outcomes, key=lambda o: o.index):
+        if outcome.result is None:
+            continue
+        if winner is None or _beats(outcome.result, winner.result):
+            winner = outcome
+    return winner
+
+
+class _LocalStopFlag:
+    """In-process stand-in for the multiprocessing early-stop event."""
+
+    __slots__ = ("_set",)
+
+    def __init__(self):
+        self._set = False
+
+    def set(self) -> None:
+        self._set = True
+
+    def is_set(self) -> bool:
+        return self._set
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+class ParallelSolveEngine:
+    """Runs a portfolio of optimizer workers and merges deterministically.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs every worker in this
+        process — no pool, no pickling — and is bit-identical to the
+        sequential path, so ``jobs`` is a pure throughput knob.
+    stop_quality:
+        Optional early-stop bound: the first worker whose solution is
+        feasible with ``quality >= stop_quality`` signals the others to
+        wind down at their next iteration check.
+    start_method:
+        ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); ``None`` uses the platform default.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        stop_quality: float | None = None,
+        start_method: str | None = None,
+    ):
+        if jobs < 1:
+            raise SearchError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.stop_quality = stop_quality
+        self.start_method = start_method
+
+    def solve(
+        self,
+        problem: Problem,
+        workers: Iterable[WorkerSpec],
+        similarity: NameSimilarityMatrix | None = None,
+        initial: frozenset[int] | None = None,
+        incremental: bool = False,
+    ) -> SearchResult:
+        """Run the portfolio and return the winner, annotated with stats.
+
+        The returned result is the winning worker's
+        :class:`~repro.search.base.SearchResult` with its ``portfolio``
+        field set to the run's :class:`PortfolioStats`.
+        """
+        specs = tuple(workers)
+        if not specs:
+            raise SearchError("portfolio must contain at least one worker")
+        from . import OPTIMIZERS
+
+        unknown = sorted({s.optimizer for s in specs} - OPTIMIZERS.keys())
+        if unknown:
+            raise SearchError(
+                f"unknown optimizer(s) in portfolio: {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(OPTIMIZERS))}"
+            )
+        telemetry = get_telemetry()
+        context = WorkerContext(
+            problem=problem,
+            similarity=similarity,
+            incremental=incremental,
+            initial=initial,
+            stop_quality=self.stop_quality,
+            collect_telemetry=telemetry.enabled,
+        )
+        started = time.perf_counter()
+        with telemetry.span(
+            "portfolio.solve", jobs=self.jobs, workers=len(specs)
+        ) as span:
+            if self.jobs == 1:
+                outcomes, early_stopped = self._solve_inline(context, specs)
+            else:
+                outcomes, early_stopped = self._solve_pool(
+                    context, specs, telemetry
+                )
+            elapsed = time.perf_counter() - started
+            winner = select_winner(outcomes)
+            if winner is None:
+                reasons = "; ".join(
+                    f"worker {o.index} ({o.label}): {o.error}"
+                    for o in outcomes
+                )
+                raise SearchError(
+                    f"all {len(outcomes)} portfolio workers failed: "
+                    f"{reasons}"
+                )
+            stats = PortfolioStats(
+                jobs=self.jobs,
+                workers=tuple(sorted(outcomes, key=lambda o: o.index)),
+                winner_index=winner.index,
+                elapsed_seconds=elapsed,
+                early_stopped=early_stopped,
+            )
+            span.set(
+                winner=winner.index,
+                failed=stats.failed_workers,
+                early_stopped=early_stopped,
+                best_objective=winner.result.solution.objective,
+            )
+            metrics = telemetry.metrics
+            metrics.counter("portfolio.solves").inc()
+            metrics.counter("portfolio.workers").inc(len(specs))
+            metrics.counter("portfolio.workers_failed").inc(
+                stats.failed_workers
+            )
+            if early_stopped:
+                metrics.counter("portfolio.early_stops").inc()
+            for outcome in stats.workers:
+                if outcome.ok:
+                    metrics.histogram("portfolio.worker_seconds").observe(
+                        outcome.result.stats.elapsed_seconds
+                    )
+        return replace(winner.result, portfolio=stats)
+
+    # -- execution strategies -------------------------------------------------
+
+    def _solve_inline(
+        self, context: WorkerContext, specs: tuple[WorkerSpec, ...]
+    ) -> tuple[list[WorkerOutcome], bool]:
+        """Run every worker in this process, in submission order.
+
+        Identical semantics to the pool path — fresh objective per
+        worker, same early-stop bound — minus the process boundary, so
+        ``jobs=1`` results match ``jobs=N`` results exactly.  Telemetry
+        needs no folding: workers trace straight into the live tracer.
+        """
+        flag = _LocalStopFlag()
+        previous = (
+            install_stop_check(flag.is_set)
+            if self.stop_quality is not None
+            else None
+        )
+        outcomes: list[WorkerOutcome] = []
+        try:
+            for index, spec in enumerate(specs):
+                try:
+                    result = _execute_spec(context, spec)
+                except SystemExit as exc:
+                    outcomes.append(
+                        self._failure(index, spec, f"SystemExit: {exc.code}")
+                    )
+                except Exception as exc:  # noqa: BLE001 - per-worker outcome
+                    outcomes.append(
+                        self._failure(
+                            index, spec, f"{type(exc).__name__}: {exc}"
+                        )
+                    )
+                else:
+                    outcomes.append(self._success(index, spec, result))
+                    if _hit_quality_bound(result, self.stop_quality):
+                        flag.set()
+        finally:
+            if self.stop_quality is not None:
+                install_stop_check(previous)
+        return outcomes, flag.is_set()
+
+    def _solve_pool(
+        self,
+        context: WorkerContext,
+        specs: tuple[WorkerSpec, ...],
+        telemetry,
+    ) -> tuple[list[WorkerOutcome], bool]:
+        """Fan the workers out across a process pool and gather outcomes."""
+        mp_context = (
+            multiprocessing.get_context(self.start_method)
+            if self.start_method
+            else multiprocessing.get_context()
+        )
+        stop_event = (
+            mp_context.Event() if self.stop_quality is not None else None
+        )
+        launch_offset = telemetry.now()
+        outcomes: list[WorkerOutcome] = []
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(specs)),
+            mp_context=mp_context,
+            initializer=_worker_init,
+            initargs=(context, stop_event),
+        ) as pool:
+            futures = [
+                pool.submit(_run_worker, index, spec)
+                for index, spec in enumerate(specs)
+            ]
+            for index, (spec, future) in enumerate(zip(specs, futures)):
+                try:
+                    payload = future.result()
+                except Exception as exc:  # noqa: BLE001 - e.g. BrokenProcessPool
+                    outcomes.append(
+                        self._failure(
+                            index, spec, f"{type(exc).__name__}: {exc}"
+                        )
+                    )
+                    continue
+                error = payload.get("error")
+                if error is not None:
+                    outcomes.append(self._failure(index, spec, error))
+                    continue
+                telemetry.absorb(
+                    payload.get("spans", ()),
+                    payload.get("metrics"),
+                    offset=launch_offset,
+                )
+                outcomes.append(
+                    self._success(index, spec, payload["result"])
+                )
+        early_stopped = (
+            stop_event.is_set() if stop_event is not None else False
+        )
+        return outcomes, early_stopped
+
+    @staticmethod
+    def _success(
+        index: int, spec: WorkerSpec, result: SearchResult
+    ) -> WorkerOutcome:
+        return WorkerOutcome(
+            index=index,
+            label=spec.describe(),
+            optimizer=spec.optimizer,
+            seed=spec.seed,
+            result=result,
+        )
+
+    @staticmethod
+    def _failure(index: int, spec: WorkerSpec, error: str) -> WorkerOutcome:
+        return WorkerOutcome(
+            index=index,
+            label=spec.describe(),
+            optimizer=spec.optimizer,
+            seed=spec.seed,
+            error=error,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelSolveEngine(jobs={self.jobs}, "
+            f"stop_quality={self.stop_quality})"
+        )
+
+
+def render_portfolio(stats: PortfolioStats) -> str:
+    """A small human-readable table over a portfolio's workers."""
+    lines = [
+        f"portfolio: {len(stats.workers)} workers, jobs={stats.jobs}, "
+        f"{stats.elapsed_seconds:.2f}s"
+        + (", early stop" if stats.early_stopped else "")
+    ]
+    for outcome in stats.workers:
+        marker = "*" if outcome.index == stats.winner_index else " "
+        if outcome.ok:
+            solution = outcome.result.solution
+            lines.append(
+                f" {marker} [{outcome.index}] {outcome.label:<16} "
+                f"Q={solution.quality:.4f} "
+                f"iters={outcome.result.stats.iterations} "
+                f"{outcome.result.stats.elapsed_seconds:.2f}s"
+            )
+        else:
+            lines.append(
+                f" {marker} [{outcome.index}] {outcome.label:<16} "
+                f"FAILED: {outcome.error}"
+            )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "ParallelSolveEngine",
+    "PortfolioStats",
+    "WorkerContext",
+    "WorkerOutcome",
+    "WorkerSpec",
+    "parse_portfolio",
+    "render_portfolio",
+    "resolve_portfolio",
+    "seeded_restarts",
+    "select_winner",
+]

@@ -155,6 +155,9 @@ class Session:
         optimizer: str | None = None,
         warm_start: bool = True,
         explain: bool = False,
+        jobs: int | None = None,
+        portfolio: object = None,
+        stop_quality: float | None = None,
     ) -> Iteration:
         """Solve the current problem and record the iteration.
 
@@ -171,10 +174,30 @@ class Session:
         leave-one-out source deltas, QEF decomposition) in
         ``iteration.explanation``.  The events only observe — the
         solution is bit-identical either way.
+
+        ``jobs``, ``portfolio`` and ``stop_quality`` switch the solve to
+        the parallel portfolio engine
+        (:class:`~repro.search.parallel.ParallelSolveEngine`).  ``jobs``
+        is the process count (``1`` runs the portfolio in-process,
+        bit-identical to running each worker sequentially);
+        ``portfolio`` is a spec string like ``"tabu:4,local:2"``, a
+        sequence of :class:`~repro.search.parallel.WorkerSpec`, or None
+        for ``jobs`` seeded restarts of the session optimizer;
+        ``stop_quality`` cancels remaining workers once any worker finds
+        a feasible solution at or above the bound.  The winning
+        iteration's ``result.portfolio`` then carries the
+        :class:`~repro.search.parallel.PortfolioStats`.  With ``jobs>1``
+        workers run in separate processes, so ``explain`` falls back to
+        post-hoc attribution without in-search decision events.
         """
         from ..explain.attribution import change_notes, explain_solution
         from ..explain.events import EventLog, NOOP_EVENTS, use_event_log
 
+        use_portfolio = (
+            jobs is not None
+            or portfolio is not None
+            or stop_quality is not None
+        )
         telemetry = self._telemetry()
         # The event log rides the tracer's exporters, so `--trace` files
         # carry decision events as a second record type.
@@ -198,13 +221,23 @@ class Session:
                 incremental=self.incremental,
                 match_operator=self._cached_operator(problem),
             )
-            engine = get_optimizer(
-                optimizer or self.optimizer_name, self.optimizer_config
-            )
             initial = None
             if warm_start and self.history:
                 initial = self.history[-1].solution.selected
-            result = engine.optimize(objective, initial=initial)
+            if use_portfolio:
+                result = self._solve_portfolio(
+                    problem,
+                    optimizer=optimizer,
+                    initial=initial,
+                    jobs=jobs,
+                    portfolio=portfolio,
+                    stop_quality=stop_quality,
+                )
+            else:
+                engine = get_optimizer(
+                    optimizer or self.optimizer_name, self.optimizer_config
+                )
+                result = engine.optimize(objective, initial=initial)
             span.set(quality=result.solution.quality)
         explanation = None
         if explain:
@@ -429,6 +462,34 @@ class Session:
     def _telemetry(self) -> Telemetry | NoopTelemetry:
         """The session's own tracer, or the process-wide current one."""
         return self.telemetry if self.telemetry is not None else get_telemetry()
+
+    def _solve_portfolio(
+        self,
+        problem: Problem,
+        *,
+        optimizer: str | None,
+        initial: frozenset[int] | None,
+        jobs: int | None,
+        portfolio: object,
+        stop_quality: float | None,
+    ) -> SearchResult:
+        """Run one solve through the parallel portfolio engine."""
+        from ..search.parallel import ParallelSolveEngine, resolve_portfolio
+
+        workers = resolve_portfolio(
+            portfolio,
+            jobs or 1,
+            optimizer or self.optimizer_name,
+            self.optimizer_config,
+        )
+        engine = ParallelSolveEngine(jobs=jobs or 1, stop_quality=stop_quality)
+        return engine.solve(
+            problem,
+            workers,
+            similarity=self._matrix,
+            initial=initial,
+            incremental=self.incremental,
+        )
 
     def _cached_operator(self, problem: Problem):
         """Reuse the match operator (and its memo) across iterations.

@@ -103,6 +103,25 @@ class NameSimilarityMatrix:
             return 0.0
         return float(self.block(a_ids, b_ids).max())
 
+    def __getstate__(self) -> dict:
+        """Pickle names, matrix and measure; the name index is derived.
+
+        Built matrices ship to portfolio worker processes so the O(vocab²)
+        measure evaluation runs once per solve, not once per worker.
+        """
+        return {
+            "names": self.names,
+            "matrix": self.matrix,
+            "measure_name": self.measure_name,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        # Re-run construction to rebuild the name→index map and keep
+        # unpickled matrices under the same invariants as fresh ones.
+        self.__init__(
+            state["names"], state["matrix"], state["measure_name"]
+        )
+
     def __call__(self, a: str, b: str) -> float:
         """Measure-compatible call interface on raw names."""
         return self.pair(self.name_id(a), self.name_id(b))

@@ -164,6 +164,20 @@ class StackedSketches:
         """Size of the stacked word matrix in bytes."""
         return int(self.words.nbytes)
 
+    def __getstate__(self) -> dict:
+        """Pickle the word matrix and parameters; ``n_rows`` is derived."""
+        return {
+            "words": self.words,
+            "num_maps": self.num_maps,
+            "map_bits": self.map_bits,
+            "seed": self.seed,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        # Re-run construction so the shape check and contiguity
+        # normalization apply to unpickled instances too.
+        self.__init__(**state)
+
     def __repr__(self) -> str:
         return (
             f"StackedSketches(rows={self.n_rows}, num_maps={self.num_maps}, "

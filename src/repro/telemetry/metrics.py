@@ -81,6 +81,25 @@ class Histogram:
         """Mean of the observations (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def merge_summary(self, summary: dict[str, float]) -> None:
+        """Fold another histogram's :meth:`summary` into this one.
+
+        Count/total add, min/max widen; the mean is derived, so merging
+        is exact.  This is how worker-process histograms land in the
+        parent registry after a portfolio solve.
+        """
+        count = int(summary.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(summary["total"])
+        low = float(summary["min"])
+        high = float(summary["max"])
+        if low < self.min:
+            self.min = low
+        if high > self.max:
+            self.max = high
+
     def summary(self) -> dict[str, float]:
         """The summary as a plain dict (empty histograms are all-zero)."""
         if not self.count:
@@ -145,6 +164,22 @@ class MetricsRegistry:
         if instrument is None:
             return Histogram(name).summary()
         return instrument.summary()
+
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histograms accumulate; gauges are last-value-wins,
+        so the snapshot's value overwrites the local one.  Snapshots are
+        plain JSON-safe dicts, which is exactly what crosses a process
+        boundary — the parallel solve engine merges each worker's metrics
+        through this method.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(name).merge_summary(summary)
 
     def snapshot(self) -> dict[str, Any]:
         """All instruments as plain nested dicts (sorted, JSON-safe)."""
@@ -212,6 +247,9 @@ class NoopMetrics:
 
     def histogram_summary(self, name: str) -> dict[str, float]:
         return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
+        pass
 
     def snapshot(self) -> dict[str, Any]:
         return {"counters": {}, "gauges": {}, "histograms": {}}

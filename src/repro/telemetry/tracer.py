@@ -172,6 +172,69 @@ class Telemetry:
         for exporter in self.exporters:
             exporter.export_span(record)
 
+    def now(self) -> float:
+        """Seconds since this tracer's epoch.
+
+        The timestamp scale all of this tracer's span records use; the
+        parallel engine samples it when workers launch so absorbed worker
+        spans line up with the parent timeline.
+        """
+        return time.perf_counter() - self._epoch
+
+    def absorb(
+        self,
+        spans: "list[SpanRecord] | tuple[SpanRecord, ...]",
+        metrics_snapshot: dict[str, Any] | None = None,
+        offset: float = 0.0,
+    ) -> None:
+        """Fold a finished child tracer's spans and metrics into this one.
+
+        Worker processes trace into their own :class:`Telemetry` (own
+        epoch, own index space); this re-indexes their records into the
+        parent's space and re-exports them, so ``--trace`` files and
+        ``trace-report`` see one coherent tree.  Child root spans attach
+        under the span currently open on this tracer (the engine calls
+        this inside its ``portfolio.solve`` span); child-internal parent
+        links are preserved.  ``offset`` shifts the child's epoch-relative
+        timestamps onto this tracer's timeline.
+        """
+        if not spans:
+            if metrics_snapshot:
+                self.metrics.merge_snapshot(metrics_snapshot)
+            return
+        parent_index = self._stack[-1].index if self._stack else None
+        base_depth = self._stack[-1].depth + 1 if self._stack else 0
+        # Two passes: assign new indexes in the child's creation order
+        # first, so records can be re-emitted in their original
+        # completion order (children before parents, the exporter
+        # contract) with every parent link already resolvable.
+        index_map: dict[int, int] = {}
+        for record in sorted(spans, key=lambda r: r.index):
+            index_map[record.index] = self._next_index
+            self._next_index += 1
+        for record in spans:
+            mapped_parent = (
+                index_map[record.parent_index]
+                if record.parent_index in index_map
+                else parent_index
+            )
+            merged = SpanRecord(
+                name=record.name,
+                index=index_map[record.index],
+                parent_index=mapped_parent,
+                depth=record.depth + base_depth,
+                start=record.start + offset,
+                end=record.end + offset,
+                attributes=dict(record.attributes),
+            )
+            self._span_durations.setdefault(merged.name, []).append(
+                merged.duration
+            )
+            for exporter in self.exporters:
+                exporter.export_span(merged)
+        if metrics_snapshot:
+            self.metrics.merge_snapshot(metrics_snapshot)
+
     # -- lifecycle -----------------------------------------------------------
 
     def span_summary(self) -> dict[str, dict[str, float]]:
@@ -218,6 +281,12 @@ class NoopTelemetry:
 
     def span(self, name: str, **attributes: Any) -> _NoopSpan:
         return _NOOP_SPAN
+
+    def now(self) -> float:
+        return 0.0
+
+    def absorb(self, spans, metrics_snapshot=None, offset: float = 0.0) -> None:
+        pass
 
     def span_summary(self) -> dict[str, dict[str, float]]:
         return {}

@@ -1,0 +1,100 @@
+"""``jobs=1`` portfolio solves must be bit-identical to sequential solves.
+
+The parallel engine promises that parallelism is a pure *throughput*
+knob: a one-job portfolio runs every worker in-process through the very
+same ``Optimizer.optimize`` path a plain solve uses, with a fresh
+objective per worker, so nothing about routing a solve through
+:class:`~repro.search.parallel.ParallelSolveEngine` may change the
+answer — not the solution, not the trajectory, not the budget counters.
+These tests mirror ``tests/search/test_batch_determinism.py``: the same
+equivalence classes, for every metaheuristic in the registry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.quality import Objective
+from repro.search import (
+    OptimizerConfig,
+    ParallelSolveEngine,
+    get_optimizer,
+    seeded_restarts,
+)
+
+from .test_optimizers import METAHEURISTICS, tiny_problem
+
+CONFIG = OptimizerConfig(max_iterations=30, patience=20, seed=3)
+
+
+def sequential(name: str, config: OptimizerConfig, **problem_kwargs):
+    """A plain single-threaded solve — the ground truth."""
+    objective = Objective(tiny_problem(**problem_kwargs))
+    return get_optimizer(name, config).optimize(objective)
+
+
+class TestSingleJobEquivalence:
+    @pytest.mark.parametrize("name", METAHEURISTICS)
+    def test_one_worker_portfolio_matches_sequential_bit_for_bit(self, name):
+        expected = sequential(name, CONFIG)
+        result = ParallelSolveEngine(jobs=1).solve(
+            tiny_problem(), seeded_restarts(name, 1, CONFIG)
+        )
+        assert result.solution == expected.solution
+        assert result.trajectory == expected.trajectory
+        assert result.stats.iterations == expected.stats.iterations
+        assert result.stats.evaluations == expected.stats.evaluations
+        # The only permitted difference: the portfolio annotation.
+        assert result.portfolio is not None
+        assert expected.portfolio is None
+
+    @pytest.mark.parametrize("name", METAHEURISTICS)
+    def test_every_restart_worker_reproduces_its_sequential_run(self, name):
+        # Worker i of a seeded-restart portfolio must run the exact search
+        # a sequential solve with seed+i would — worker by worker, not
+        # just the winner.
+        workers = seeded_restarts(name, 3, CONFIG)
+        result = ParallelSolveEngine(jobs=1).solve(tiny_problem(), workers)
+        for spec, outcome in zip(workers, result.portfolio.workers):
+            run = sequential(name, spec.config)
+            assert outcome.ok
+            assert outcome.result.solution == run.solution
+            assert outcome.result.trajectory == run.trajectory
+            assert outcome.result.stats.iterations == run.stats.iterations
+            assert outcome.result.stats.evaluations == run.stats.evaluations
+
+    @pytest.mark.parametrize("name", METAHEURISTICS)
+    def test_portfolio_runs_are_self_deterministic(self, name):
+        workers = seeded_restarts(name, 2, CONFIG)
+        first = ParallelSolveEngine(jobs=1).solve(tiny_problem(), workers)
+        second = ParallelSolveEngine(jobs=1).solve(tiny_problem(), workers)
+        assert first.solution == second.solution
+        assert first.trajectory == second.trajectory
+        assert (
+            first.portfolio.winner_index == second.portfolio.winner_index
+        )
+
+    @pytest.mark.parametrize("name", METAHEURISTICS)
+    def test_portfolio_respects_constraints(self, name):
+        problem = tiny_problem(source_constraints=frozenset({1}))
+        result = ParallelSolveEngine(jobs=1).solve(
+            problem, seeded_restarts(name, 2, CONFIG)
+        )
+        assert 1 in result.solution.selected
+        assert len(result.solution.selected) <= 4
+
+    def test_winner_is_the_merge_optimum_over_the_workers(self):
+        workers = seeded_restarts("tabu", 3, CONFIG)
+        result = ParallelSolveEngine(jobs=1).solve(tiny_problem(), workers)
+        best = max(
+            outcome.result.solution.objective
+            for outcome in result.portfolio.workers
+        )
+        assert result.solution.objective == best
+
+    def test_worker_zero_runs_the_base_seed_search(self):
+        # seeded_restarts pins worker 0 to the base config unchanged, so a
+        # portfolio strictly *extends* the sequential solve.
+        workers = seeded_restarts("tabu", 4, CONFIG)
+        assert workers[0].config == CONFIG
+        assert [spec.seed for spec in workers] == [3, 4, 5, 6]
