@@ -111,6 +111,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="early-stop the portfolio once any worker reaches quality Q",
     )
     solve.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="write best-so-far snapshots to FILE after every worker; "
+             "if FILE already exists, resume the solve from it",
+    )
+    solve.add_argument(
+        "--worker-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-worker wall-clock budget; overrunning workers are "
+             "recorded as timed out (and retried, with --retries)",
+    )
+    solve.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-run failed or timed-out workers up to N extra times "
+             "(deterministic: a retry re-runs the identical spec)",
+    )
+    solve.add_argument(
         "--explain", metavar="FILE",
         help="also write a provenance report to FILE "
              "(.json → JSON, .md → markdown, otherwise text)",
@@ -266,6 +281,9 @@ def run_solve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         portfolio=args.portfolio,
         stop_quality=args.stop_quality,
+        checkpoint=args.checkpoint,
+        worker_timeout=args.worker_timeout,
+        retries=args.retries,
     )
     print(render_solution(iteration.solution, workload.universe))
     stats = iteration.result.stats

@@ -12,6 +12,7 @@ from .base import (
     random_selection,
     required_ids,
     score_candidates,
+    stop_check_scope,
 )
 from .exhaustive import ExhaustiveSearch
 from .greedy_select import GreedySelector
@@ -30,6 +31,16 @@ from .parallel import (
 )
 from .pso import ParticleSwarm
 from .random_search import RandomSearch
+from .resilience import (
+    Checkpoint,
+    ResilienceConfig,
+    RetryPolicy,
+    WorkerProgress,
+    derive_worker_seed,
+    load_checkpoint,
+    problem_fingerprint,
+    write_checkpoint,
+)
 from .tabu import TabuSearch, default_tenure
 
 #: Optimizer classes by registry name.
@@ -67,7 +78,55 @@ def get_optimizer(
     return cls(config)
 
 
+def resolve_optimizer_class(name: str) -> type[Optimizer]:
+    """Resolve an optimizer class from a registry name or a dotted path.
+
+    ``name`` is either a registry key (``"tabu"``) or a
+    ``"module.path:ClassName"`` reference to an :class:`Optimizer`
+    subclass.  The dotted form is resolved by importing the module on
+    demand, which makes it work in ``spawn``-started worker processes
+    where runtime registry mutations in the parent are invisible — the
+    fault-injection harness (:mod:`repro.testing.faults`) depends on
+    this.
+
+    Raises
+    ------
+    SearchError
+        If the name is unknown, the module cannot be imported, or the
+        attribute is not an :class:`Optimizer` subclass.
+    """
+    if ":" not in name:
+        try:
+            return OPTIMIZERS[name]
+        except KeyError:
+            raise SearchError(
+                f"unknown optimizer {name!r}; "
+                f"available: {', '.join(sorted(OPTIMIZERS))}"
+            ) from None
+    import importlib
+
+    module_name, _, attribute = name.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise SearchError(
+            f"cannot import optimizer module {module_name!r}: {exc}"
+        ) from exc
+    try:
+        cls = getattr(module, attribute)
+    except AttributeError:
+        raise SearchError(
+            f"module {module_name!r} has no attribute {attribute!r}"
+        ) from None
+    if not (isinstance(cls, type) and issubclass(cls, Optimizer)):
+        raise SearchError(
+            f"{name!r} does not name an Optimizer subclass"
+        )
+    return cls
+
+
 __all__ = [
+    "Checkpoint",
     "ExhaustiveSearch",
     "GreedySelector",
     "Move",
@@ -80,6 +139,8 @@ __all__ = [
     "ParticleSwarm",
     "PortfolioStats",
     "RandomSearch",
+    "ResilienceConfig",
+    "RetryPolicy",
     "SearchResult",
     "SearchStats",
     "SimulatedAnnealing",
@@ -87,16 +148,23 @@ __all__ = [
     "TabuSearch",
     "WorkerContext",
     "WorkerOutcome",
+    "WorkerProgress",
     "WorkerSpec",
     "best_of",
     "default_tenure",
+    "derive_worker_seed",
     "free_ids",
     "get_optimizer",
+    "load_checkpoint",
     "parse_portfolio",
+    "problem_fingerprint",
     "random_selection",
     "render_portfolio",
     "required_ids",
+    "resolve_optimizer_class",
     "resolve_portfolio",
     "score_candidates",
     "seeded_restarts",
+    "stop_check_scope",
+    "write_checkpoint",
 ]

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any
 
@@ -52,6 +53,26 @@ def install_stop_check(check: Callable[[], bool] | None):
 def clear_stop_check() -> None:
     """Remove any installed cooperative stop signal."""
     install_stop_check(None)
+
+
+@contextmanager
+def stop_check_scope(
+    check: Callable[[], bool] | None,
+) -> Iterator[Callable[[], bool] | None]:
+    """Install a cooperative stop check for the duration of a block.
+
+    The previous check is restored on exit *no matter how the block
+    ends* — this is the only sanctioned way to install a stop check
+    around in-process work.  A check left behind by an exception would
+    silently truncate every later solve in the process (the leak class
+    this guards against), because :meth:`RunClock.expired` consults the
+    global on every optimizer iteration.
+    """
+    previous = install_stop_check(check)
+    try:
+        yield previous
+    finally:
+        install_stop_check(previous)
 
 
 @dataclass(frozen=True, slots=True)

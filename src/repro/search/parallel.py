@@ -38,24 +38,41 @@ Design points:
   :func:`~repro.search.base.install_stop_check`).  Losing the signal only
   costs runtime, never correctness.
 
-* **Failure is survivable.**  A crashing worker is logged into its
-  :class:`WorkerOutcome` and counted in
+* **Failure is survivable — and recoverable.**  A crashing worker is
+  logged into its :class:`WorkerOutcome` and counted in
   :attr:`PortfolioStats.failed_workers`; the solve returns the best
-  surviving result.  Only a portfolio with zero survivors raises
+  surviving result.  With a :class:`~repro.search.resilience.
+  ResilienceConfig` the engine goes further: hung workers are cancelled
+  on a per-worker wall-clock timeout (``timed_out`` outcomes), failed
+  and timed-out workers are retried on a bounded deterministic schedule
+  (:class:`~repro.search.resilience.RetryPolicy` — same seed by default,
+  or the pure ``(base_seed, worker_index, attempt)`` derivation under
+  ``reseed``), a broken process pool is rebuilt once with its unfinished
+  workers requeued (degrading to in-process execution if the rebuilt
+  pool breaks too), and best-so-far state is checkpointed atomically
+  after every worker outcome so a killed solve resumes instead of
+  restarting.  Only a portfolio with zero survivors raises
   :class:`~repro.exceptions.SearchError`, with per-worker reasons.
 
 * **Telemetry folds back.**  Each worker traces into its own in-memory
   tracer and returns ``(spans, metrics snapshot)``; the parent re-indexes
   the spans under its open ``portfolio.solve`` span and merges the
   counters, so ``--trace`` and ``mube trace-report`` see the whole run.
+  Recovery actions add ``portfolio.retry`` spans and the
+  ``portfolio.retries`` / ``portfolio.timeouts`` / ``portfolio.requeues``
+  / ``portfolio.pool_rebuilds`` / ``portfolio.checkpoints`` /
+  ``portfolio.resumed_workers`` counters (docs/observability.md).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
+from collections import deque
 from collections.abc import Iterable, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 
 from ..core import Problem
@@ -68,7 +85,22 @@ from ..telemetry import (
     get_telemetry,
     set_telemetry,
 )
-from .base import OptimizerConfig, SearchResult, install_stop_check
+from .base import (
+    OptimizerConfig,
+    SearchResult,
+    SearchStats,
+    install_stop_check,
+    stop_check_scope,
+)
+from .resilience import (
+    Checkpoint,
+    ResilienceConfig,
+    WorkerProgress,
+    load_checkpoint,
+    problem_fingerprint,
+    respec_for_attempt,
+    write_checkpoint,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,7 +110,11 @@ class WorkerSpec:
     Everything here is plain picklable data — the worker process rebuilds
     the optimizer via :meth:`~repro.search.base.Optimizer.run_from_config`
     from the registry name, the config and the extra constructor
-    ``params`` (an item tuple so the spec stays hashable).
+    ``params`` (an item tuple so the spec stays hashable).  The optimizer
+    name may also be a ``"module.path:ClassName"`` reference to an
+    :class:`~repro.search.base.Optimizer` subclass outside the registry —
+    resolved inside the worker process, so it works under ``spawn`` too;
+    the fault-injection harness (:mod:`repro.testing.faults`) rides this.
     """
 
     optimizer: str
@@ -98,7 +134,13 @@ class WorkerSpec:
 
 @dataclass(frozen=True, slots=True)
 class WorkerOutcome:
-    """What one portfolio worker produced: a result or a failure reason."""
+    """What one portfolio worker produced: a result or a failure reason.
+
+    ``attempts`` counts every try this run spent on the worker (1 when
+    nothing went wrong); ``timed_out`` marks workers whose last attempt
+    exceeded the per-worker wall-clock budget; ``resumed`` marks outcomes
+    restored from a checkpoint instead of being recomputed.
+    """
 
     index: int
     label: str
@@ -106,6 +148,9 @@ class WorkerOutcome:
     seed: int
     result: SearchResult | None = None
     error: str | None = None
+    timed_out: bool = False
+    attempts: int = 1
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -120,6 +165,8 @@ class PortfolioStats:
     Attached to the winning :class:`~repro.search.base.SearchResult` as
     its ``portfolio`` field, so callers that ignore parallelism see a
     plain result and callers that care can drill into every worker.
+    The resilience counters (``retries`` … ``resumed_workers``) stay 0
+    on runs with no :class:`~repro.search.resilience.ResilienceConfig`.
     """
 
     jobs: int
@@ -127,6 +174,11 @@ class PortfolioStats:
     winner_index: int
     elapsed_seconds: float
     early_stopped: bool
+    retries: int = 0
+    timeouts: int = 0
+    requeues: int = 0
+    pool_rebuilds: int = 0
+    resumed_workers: int = 0
 
     @property
     def failed_workers(self) -> int:
@@ -137,6 +189,11 @@ class PortfolioStats:
     def succeeded_workers(self) -> int:
         """How many workers returned a result."""
         return sum(1 for outcome in self.workers if outcome.ok)
+
+    @property
+    def timed_out_workers(self) -> int:
+        """How many workers' final attempt exceeded the wall-clock budget."""
+        return sum(1 for outcome in self.workers if outcome.timed_out)
 
     @property
     def total_iterations(self) -> int:
@@ -151,7 +208,12 @@ class PortfolioStats:
     @property
     def winner(self) -> WorkerOutcome:
         """The outcome whose result the engine returned."""
-        return self.workers[self.winner_index]
+        for outcome in self.workers:
+            if outcome.index == self.winner_index:
+                return outcome
+        raise SearchError(
+            f"winner index {self.winner_index} not among the outcomes"
+        )
 
 
 class WorkerContext:
@@ -244,10 +306,16 @@ def parse_portfolio(
     """Parse ``"tabu:4,local:2,annealing:2"`` into worker specs.
 
     Each comma-separated entry is ``name`` or ``name:count`` (count
-    defaults to 1).  Seeds are assigned consecutively across the *whole*
-    portfolio — with base seed s, the example yields tabu seeds s..s+3,
-    local s+4..s+5, annealing s+6..s+7 — so the portfolio is reproducible
-    and no two workers duplicate each other's search.
+    defaults to 1 when the colon is omitted).  Seeds are assigned
+    consecutively across the *whole* portfolio — with base seed s, the
+    example yields tabu seeds s..s+3, local s+4..s+5, annealing s+6..s+7
+    — so the portfolio is reproducible and no two workers duplicate each
+    other's search.
+
+    Degenerate specs are rejected with a :class:`SearchError` naming the
+    bad segment: empty segments (``"tabu:4,,local:2"``), empty names or
+    counts (``":2"``, ``"tabu:"``), non-numeric or non-positive counts,
+    and unknown optimizer names.
     """
     from . import OPTIMIZERS
 
@@ -256,13 +324,26 @@ def parse_portfolio(
     for entry in spec.split(","):
         entry = entry.strip()
         if not entry:
-            continue
-        name, _, count_text = entry.partition(":")
+            raise SearchError(
+                f"empty segment in portfolio {spec!r}; entries are "
+                f"'name' or 'name:count', separated by single commas"
+            )
+        name, colon, count_text = entry.partition(":")
         name = name.strip()
+        count_text = count_text.strip()
+        if not name:
+            raise SearchError(
+                f"missing optimizer name in portfolio segment {entry!r}"
+            )
         if name not in OPTIMIZERS:
             raise SearchError(
                 f"unknown optimizer {name!r} in portfolio {spec!r}; "
                 f"available: {', '.join(sorted(OPTIMIZERS))}"
+            )
+        if colon and not count_text:
+            raise SearchError(
+                f"missing worker count after ':' in portfolio segment "
+                f"{entry!r}"
             )
         try:
             count = int(count_text) if count_text else 1
@@ -324,7 +405,11 @@ def _worker_init(context: WorkerContext, stop_event) -> None:
     thing a worker does is reset the process-global telemetry and event
     log to their no-ops.  The shared early-stop event (picklable only
     through ``initargs``, never through the task queue) becomes this
-    process's cooperative stop check.
+    process's cooperative stop check.  The check stays installed for the
+    process's whole life *by design*: a pool worker process only ever
+    runs :func:`_run_worker` tasks, so there is no later in-process solve
+    to leak into (in-process code must use
+    :func:`~repro.search.base.stop_check_scope` instead).
     """
     global _WORKER_CONTEXT, _WORKER_STOP
     _WORKER_CONTEXT = context
@@ -339,9 +424,9 @@ def _worker_init(context: WorkerContext, stop_event) -> None:
 
 def _execute_spec(context: WorkerContext, spec: WorkerSpec) -> SearchResult:
     """Rebuild the objective and run one worker's optimizer."""
-    from . import OPTIMIZERS
+    from . import resolve_optimizer_class
 
-    cls = OPTIMIZERS[spec.optimizer]
+    cls = resolve_optimizer_class(spec.optimizer)
     objective = context.build_objective()
     return cls.run_from_config(
         objective,
@@ -443,6 +528,198 @@ class _LocalStopFlag:
         return self._set
 
 
+# -- run bookkeeping ----------------------------------------------------------
+
+
+class _PortfolioRun:
+    """Mutable state of one resilient portfolio solve.
+
+    Owns the final per-worker outcomes, the recovery counters, and the
+    checkpoint progress map.  The engine's execution strategies feed it
+    through :meth:`finish`; every finish updates the atomic best-so-far
+    checkpoint when one is configured.
+    """
+
+    def __init__(
+        self,
+        specs: tuple[WorkerSpec, ...],
+        context: WorkerContext,
+        telemetry,
+        resilience: ResilienceConfig,
+        fingerprint: str | None,
+    ):
+        self.specs = specs
+        self.context = context
+        self.telemetry = telemetry
+        self.resilience = resilience
+        self.fingerprint = fingerprint
+        self.final: dict[int, WorkerOutcome] = {}
+        self.progress: dict[int, WorkerProgress] = {
+            index: WorkerProgress(
+                index=index,
+                optimizer=spec.optimizer,
+                seed=spec.seed,
+                label=spec.describe(),
+            )
+            for index, spec in enumerate(specs)
+        }
+        self.to_run: list[int] = list(range(len(specs)))
+        self.retries = 0
+        self.timeouts = 0
+        self.requeues = 0
+        self.pool_rebuilds = 0
+        self.resumed_workers = 0
+        self.checkpoints_written = 0
+
+    # -- resume ---------------------------------------------------------------
+
+    def restore(self, checkpoint: Checkpoint) -> None:
+        """Adopt every finished worker from a checkpoint, re-running none.
+
+        Completed workers' selections are re-evaluated against a fresh
+        objective — evaluation is deterministic, so the restored solution
+        is bit-identical to the one the killed run computed — and failed
+        or timed-out workers are restored as their recorded outcomes.
+        Pending workers stay in :attr:`to_run`.
+        """
+        objective: Objective | None = None
+        for entry in checkpoint.workers:
+            if not entry.finished:
+                continue
+            if entry.index >= len(self.specs):
+                raise SearchError(
+                    f"checkpoint worker {entry.index} does not exist in "
+                    f"this portfolio of {len(self.specs)}"
+                )
+            spec = self.specs[entry.index]
+            if entry.optimizer != spec.optimizer or entry.seed != spec.seed:
+                raise SearchError(
+                    f"checkpoint worker {entry.index} "
+                    f"({entry.optimizer}, seed={entry.seed}) does not match "
+                    f"this portfolio's spec "
+                    f"({spec.optimizer}, seed={spec.seed}); resume needs "
+                    f"the same portfolio the checkpoint was written for"
+                )
+            if entry.status == "ok":
+                if objective is None:
+                    objective = self.context.build_objective()
+                solution = objective.evaluate(frozenset(entry.selection))
+                result = SearchResult(
+                    solution=solution,
+                    stats=SearchStats(**entry.stats),
+                    trajectory=tuple(entry.trajectory),
+                )
+                outcome = WorkerOutcome(
+                    index=entry.index,
+                    label=spec.describe(),
+                    optimizer=spec.optimizer,
+                    seed=spec.seed,
+                    result=result,
+                    attempts=max(entry.attempts, 1),
+                    resumed=True,
+                )
+            else:
+                outcome = WorkerOutcome(
+                    index=entry.index,
+                    label=spec.describe(),
+                    optimizer=spec.optimizer,
+                    seed=spec.seed,
+                    error=entry.error or entry.status,
+                    timed_out=entry.status == "timed_out",
+                    attempts=max(entry.attempts, 1),
+                    resumed=True,
+                )
+            self.final[entry.index] = outcome
+            self.progress[entry.index] = entry
+            self.to_run.remove(entry.index)
+            self.resumed_workers += 1
+
+    # -- outcome intake -------------------------------------------------------
+
+    def pending_items(self) -> list[tuple[int, WorkerSpec]]:
+        """The workers still to execute, in submission order."""
+        return [(index, self.specs[index]) for index in self.to_run]
+
+    def finish(self, outcome: WorkerOutcome) -> None:
+        """Record a worker's final outcome and checkpoint best-so-far."""
+        self.final[outcome.index] = outcome
+        self.progress[outcome.index] = self._progress_of(outcome)
+        self._write_checkpoint()
+
+    def outcomes(self) -> list[WorkerOutcome]:
+        """All final outcomes, in worker order."""
+        return [self.final[index] for index in sorted(self.final)]
+
+    # -- checkpointing --------------------------------------------------------
+
+    def _progress_of(self, outcome: WorkerOutcome) -> WorkerProgress:
+        spec = self.specs[outcome.index]
+        base = dict(
+            index=outcome.index,
+            optimizer=spec.optimizer,
+            seed=spec.seed,
+            label=spec.describe(),
+            attempts=outcome.attempts,
+        )
+        if outcome.ok:
+            stats = outcome.result.stats
+            # Plain-int/float coercion keeps the snapshot JSON-safe even
+            # when selections or trajectories carry numpy scalars.
+            return WorkerProgress(
+                status="ok",
+                selection=tuple(
+                    int(sid)
+                    for sid in sorted(outcome.result.solution.selected)
+                ),
+                stats={
+                    "iterations": int(stats.iterations),
+                    "evaluations": int(stats.evaluations),
+                    "elapsed_seconds": float(stats.elapsed_seconds),
+                    "best_found_at": int(stats.best_found_at),
+                    "match_memo_hits": int(stats.match_memo_hits),
+                    "match_memo_misses": int(stats.match_memo_misses),
+                },
+                trajectory=tuple(
+                    float(value) for value in outcome.result.trajectory
+                ),
+                **base,
+            )
+        return WorkerProgress(
+            status="timed_out" if outcome.timed_out else "failed",
+            error=outcome.error,
+            **base,
+        )
+
+    def _write_checkpoint(self) -> None:
+        path = self.resilience.checkpoint
+        if path is None:
+            return
+        best = select_winner(list(self.final.values()))
+        checkpoint = Checkpoint(
+            fingerprint=self.fingerprint or "",
+            workers=tuple(
+                self.progress[index] for index in range(len(self.specs))
+            ),
+            best_selection=(
+                tuple(int(s) for s in sorted(best.result.solution.selected))
+                if best is not None
+                else None
+            ),
+            best_objective=(
+                float(best.result.solution.objective)
+                if best is not None
+                else None
+            ),
+            best_quality=(
+                float(best.result.solution.quality)
+                if best is not None
+                else None
+            ),
+        )
+        write_checkpoint(path, checkpoint)
+        self.checkpoints_written += 1
+
+
 # -- the engine ---------------------------------------------------------------
 
 
@@ -462,6 +739,12 @@ class ParallelSolveEngine:
     start_method:
         ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
         ``"forkserver"``); ``None`` uses the platform default.
+    resilience:
+        Recovery configuration (:class:`~repro.search.resilience.
+        ResilienceConfig`): per-worker timeout, deterministic retry,
+        checkpoint path, pool-rebuild budget.  The default config keeps
+        every feature off, in which case the engine behaves exactly as
+        it did before the resilience layer existed.
     """
 
     def __init__(
@@ -469,12 +752,14 @@ class ParallelSolveEngine:
         jobs: int = 1,
         stop_quality: float | None = None,
         start_method: str | None = None,
+        resilience: ResilienceConfig | None = None,
     ):
         if jobs < 1:
             raise SearchError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.stop_quality = stop_quality
         self.start_method = start_method
+        self.resilience = resilience or ResilienceConfig()
 
     def solve(
         self,
@@ -488,20 +773,42 @@ class ParallelSolveEngine:
 
         The returned result is the winning worker's
         :class:`~repro.search.base.SearchResult` with its ``portfolio``
-        field set to the run's :class:`PortfolioStats`.
+        field set to the run's :class:`PortfolioStats`.  When the
+        resilience config names a checkpoint that already exists, the
+        solve *resumes*: finished workers are restored from the snapshot
+        (their best solutions bit-identical, no re-search), the best
+        recorded selection warm-starts the remaining workers, and only
+        the unfinished work actually runs.
         """
         specs = tuple(workers)
         if not specs:
             raise SearchError("portfolio must contain at least one worker")
-        from . import OPTIMIZERS
+        from . import resolve_optimizer_class
 
-        unknown = sorted({s.optimizer for s in specs} - OPTIMIZERS.keys())
-        if unknown:
-            raise SearchError(
-                f"unknown optimizer(s) in portfolio: {', '.join(unknown)}; "
-                f"available: {', '.join(sorted(OPTIMIZERS))}"
-            )
+        for name in sorted({spec.optimizer for spec in specs}):
+            resolve_optimizer_class(name)
         telemetry = get_telemetry()
+        fingerprint: str | None = None
+        resume: Checkpoint | None = None
+        if self.resilience.checkpoint is not None:
+            fingerprint = problem_fingerprint(problem)
+            resume = load_checkpoint(self.resilience.checkpoint)
+            if resume is not None:
+                if resume.fingerprint != fingerprint:
+                    raise SearchError(
+                        f"checkpoint {self.resilience.checkpoint} was "
+                        f"written for a different problem (fingerprint "
+                        f"{resume.fingerprint} != {fingerprint}); refusing "
+                        f"to resume — delete the file to start fresh"
+                    )
+                if len(resume.workers) != len(specs):
+                    raise SearchError(
+                        f"checkpoint records {len(resume.workers)} workers "
+                        f"but this portfolio has {len(specs)}; resume needs "
+                        f"the same portfolio the checkpoint was written for"
+                    )
+                if resume.best_selection is not None:
+                    initial = frozenset(resume.best_selection)
         context = WorkerContext(
             problem=problem,
             similarity=similarity,
@@ -510,17 +817,23 @@ class ParallelSolveEngine:
             stop_quality=self.stop_quality,
             collect_telemetry=telemetry.enabled,
         )
+        run = _PortfolioRun(
+            specs, context, telemetry, self.resilience, fingerprint
+        )
         started = time.perf_counter()
         with telemetry.span(
             "portfolio.solve", jobs=self.jobs, workers=len(specs)
         ) as span:
-            if self.jobs == 1:
-                outcomes, early_stopped = self._solve_inline(context, specs)
-            else:
-                outcomes, early_stopped = self._solve_pool(
-                    context, specs, telemetry
-                )
+            if resume is not None:
+                run.restore(resume)
+            early_stopped = False
+            if run.to_run:
+                if self.jobs == 1:
+                    early_stopped = self._solve_inline(run)
+                else:
+                    early_stopped = self._solve_pool(run)
             elapsed = time.perf_counter() - started
+            outcomes = run.outcomes()
             winner = select_winner(outcomes)
             if winner is None:
                 reasons = "; ".join(
@@ -537,12 +850,20 @@ class ParallelSolveEngine:
                 winner_index=winner.index,
                 elapsed_seconds=elapsed,
                 early_stopped=early_stopped,
+                retries=run.retries,
+                timeouts=run.timeouts,
+                requeues=run.requeues,
+                pool_rebuilds=run.pool_rebuilds,
+                resumed_workers=run.resumed_workers,
             )
             span.set(
                 winner=winner.index,
                 failed=stats.failed_workers,
                 early_stopped=early_stopped,
                 best_objective=winner.result.solution.objective,
+                retries=run.retries,
+                timeouts=run.timeouts,
+                resumed=run.resumed_workers,
             )
             metrics = telemetry.metrics
             metrics.counter("portfolio.solves").inc()
@@ -550,10 +871,20 @@ class ParallelSolveEngine:
             metrics.counter("portfolio.workers_failed").inc(
                 stats.failed_workers
             )
+            metrics.counter("portfolio.retries").inc(run.retries)
+            metrics.counter("portfolio.timeouts").inc(run.timeouts)
+            metrics.counter("portfolio.requeues").inc(run.requeues)
+            metrics.counter("portfolio.pool_rebuilds").inc(run.pool_rebuilds)
+            metrics.counter("portfolio.resumed_workers").inc(
+                run.resumed_workers
+            )
+            metrics.counter("portfolio.checkpoints").inc(
+                run.checkpoints_written
+            )
             if early_stopped:
                 metrics.counter("portfolio.early_stops").inc()
             for outcome in stats.workers:
-                if outcome.ok:
+                if outcome.ok and not outcome.resumed:
                     metrics.histogram("portfolio.worker_seconds").observe(
                         outcome.result.stats.elapsed_seconds
                     )
@@ -561,53 +892,121 @@ class ParallelSolveEngine:
 
     # -- execution strategies -------------------------------------------------
 
-    def _solve_inline(
-        self, context: WorkerContext, specs: tuple[WorkerSpec, ...]
-    ) -> tuple[list[WorkerOutcome], bool]:
-        """Run every worker in this process, in submission order.
+    def _solve_inline(self, run: _PortfolioRun) -> bool:
+        """Run every pending worker in this process, in submission order.
 
         Identical semantics to the pool path — fresh objective per
-        worker, same early-stop bound — minus the process boundary, so
-        ``jobs=1`` results match ``jobs=N`` results exactly.  Telemetry
-        needs no folding: workers trace straight into the live tracer.
+        worker, same early-stop bound, same retry/timeout accounting —
+        minus the process boundary, so ``jobs=1`` results match
+        ``jobs=N`` results exactly.  Telemetry needs no folding: workers
+        trace straight into the live tracer.  The cooperative stop check
+        is installed through :func:`~repro.search.base.stop_check_scope`,
+        so it can never leak past this solve, raised exceptions included.
         """
         flag = _LocalStopFlag()
-        previous = (
-            install_stop_check(flag.is_set)
-            if self.stop_quality is not None
-            else None
-        )
-        outcomes: list[WorkerOutcome] = []
-        try:
-            for index, spec in enumerate(specs):
-                try:
-                    result = _execute_spec(context, spec)
-                except SystemExit as exc:
-                    outcomes.append(
-                        self._failure(index, spec, f"SystemExit: {exc.code}")
-                    )
-                except Exception as exc:  # noqa: BLE001 - per-worker outcome
-                    outcomes.append(
-                        self._failure(
-                            index, spec, f"{type(exc).__name__}: {exc}"
-                        )
-                    )
-                else:
-                    outcomes.append(self._success(index, spec, result))
-                    if _hit_quality_bound(result, self.stop_quality):
-                        flag.set()
-        finally:
-            if self.stop_quality is not None:
-                install_stop_check(previous)
-        return outcomes, flag.is_set()
+        if self.stop_quality is not None:
+            with stop_check_scope(flag.is_set):
+                self._run_inline_batch(run, run.pending_items(), flag)
+        else:
+            self._run_inline_batch(run, run.pending_items(), flag)
+        return flag.is_set()
 
-    def _solve_pool(
+    def _run_inline_batch(
         self,
-        context: WorkerContext,
-        specs: tuple[WorkerSpec, ...],
-        telemetry,
-    ) -> tuple[list[WorkerOutcome], bool]:
-        """Fan the workers out across a process pool and gather outcomes."""
+        run: _PortfolioRun,
+        items: Sequence[tuple[int, WorkerSpec]],
+        stop_flag,
+        start_attempts: Mapping[int, int] | None = None,
+    ) -> None:
+        """Execute workers in-process, with per-worker retry/timeout."""
+        for index, spec in items:
+            start = (start_attempts or {}).get(index, 0)
+            outcome = self._run_attempts_inline(
+                run, index, spec, stop_flag, start_attempt=start
+            )
+            run.finish(outcome)
+
+    def _run_attempts_inline(
+        self,
+        run: _PortfolioRun,
+        index: int,
+        spec: WorkerSpec,
+        stop_flag,
+        start_attempt: int = 0,
+    ) -> WorkerOutcome:
+        """One worker's attempt loop, in-process.
+
+        The wall-clock timeout here is post-hoc: without a process
+        boundary a running optimizer cannot be preempted, so an attempt
+        that *returns* after overrunning the budget is discarded and
+        recorded as timed out — keeping inline outcomes consistent with
+        what the pool path would have recorded for the same schedule.
+        """
+        policy = self.resilience.retry
+        timeout = self.resilience.worker_timeout
+        attempt = start_attempt
+        while True:
+            live = respec_for_attempt(spec, index, attempt, policy.reseed)
+            if attempt > 0:
+                with run.telemetry.span(
+                    "portfolio.retry",
+                    worker=index,
+                    attempt=attempt,
+                    mode="inline",
+                ):
+                    delay = policy.delay(attempt)
+                    if delay:
+                        time.sleep(delay)
+            started = time.perf_counter()
+            error: str | None = None
+            timed_out = False
+            result: SearchResult | None = None
+            try:
+                result = _execute_spec(run.context, live)
+            except SystemExit as exc:
+                error = f"SystemExit: {exc.code}"
+            except Exception as exc:  # noqa: BLE001 - per-worker outcome
+                error = f"{type(exc).__name__}: {exc}"
+            else:
+                elapsed = time.perf_counter() - started
+                if timeout is not None and elapsed > timeout:
+                    error = (
+                        f"timed out: ran {elapsed:.2f}s against a "
+                        f"{timeout}s budget"
+                    )
+                    timed_out = True
+                    run.timeouts += 1
+                    result = None
+            if result is not None:
+                if _hit_quality_bound(result, self.stop_quality):
+                    stop_flag.set()
+                return self._success(
+                    index, spec, result, attempts=attempt + 1
+                )
+            if attempt < policy.max_retries:
+                attempt += 1
+                run.retries += 1
+                continue
+            return self._failure(
+                index,
+                spec,
+                error,
+                timed_out=timed_out,
+                attempts=attempt + 1,
+            )
+
+    def _solve_pool(self, run: _PortfolioRun) -> bool:
+        """Fan the workers out across a process pool and gather outcomes.
+
+        Collection is round-based: each round submits every queued
+        ``(worker, attempt)``, then collects in submission order with a
+        per-worker wall-clock timeout.  Failed and timed-out workers are
+        requeued for the next round while their retry budget lasts.  A
+        :class:`BrokenProcessPool` rebuilds the pool once (requeueing
+        everything uncollected); if the rebuilt pool breaks too, the
+        remaining workers degrade to the in-process path, so a solve
+        survives even a machine that cannot keep a process pool alive.
+        """
         mp_context = (
             multiprocessing.get_context(self.start_method)
             if self.start_method
@@ -616,48 +1015,195 @@ class ParallelSolveEngine:
         stop_event = (
             mp_context.Event() if self.stop_quality is not None else None
         )
+        policy = self.resilience.retry
+        timeout = self.resilience.worker_timeout
+        telemetry = run.telemetry
         launch_offset = telemetry.now()
-        outcomes: list[WorkerOutcome] = []
-        with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(specs)),
+        pending: deque[tuple[int, WorkerSpec, int]] = deque(
+            (index, spec, 0) for index, spec in run.pending_items()
+        )
+        rebuilds_left = self.resilience.pool_rebuilds
+        leftovers: list[tuple[int, WorkerSpec, int]] = []
+        abandoned = False  # a timed-out task may still occupy a process
+        pool = self._new_pool(mp_context, run.context, stop_event)
+        try:
+            while pending:
+                batch = list(pending)
+                pending.clear()
+                futures = []
+                broken_at: int | None = None
+                for slot, (index, spec, attempt) in enumerate(batch):
+                    live = respec_for_attempt(
+                        spec, index, attempt, policy.reseed
+                    )
+                    if attempt > 0:
+                        with telemetry.span(
+                            "portfolio.retry",
+                            worker=index,
+                            attempt=attempt,
+                            mode="pool",
+                        ):
+                            delay = policy.delay(attempt)
+                            if delay:
+                                time.sleep(delay)
+                    try:
+                        futures.append(pool.submit(_run_worker, index, live))
+                    except (BrokenProcessPool, RuntimeError):
+                        # The pool died before this round even launched:
+                        # nothing submitted this round can be trusted.
+                        broken_at = 0
+                        break
+                if broken_at is None:
+                    broken_at = self._collect_round(
+                        run, batch, futures, pending, timeout, policy,
+                        launch_offset,
+                    )
+                    if broken_at is not None and timeout is not None:
+                        abandoned = True
+                if broken_at is not None:
+                    uncollected = batch[broken_at:]
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    if rebuilds_left > 0:
+                        rebuilds_left -= 1
+                        run.pool_rebuilds += 1
+                        run.requeues += len(uncollected)
+                        pending = deque(uncollected) + pending
+                        pool = self._new_pool(
+                            mp_context, run.context, stop_event
+                        )
+                    else:
+                        leftovers = list(uncollected) + list(pending)
+                        run.requeues += len(uncollected)
+                        pending = deque()
+                        pool = None
+                        break
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=not abandoned, cancel_futures=True)
+        if leftovers:
+            self._finish_inline_fallback(run, leftovers, stop_event)
+        return stop_event.is_set() if stop_event is not None else False
+
+    def _collect_round(
+        self,
+        run: _PortfolioRun,
+        batch: list[tuple[int, WorkerSpec, int]],
+        futures: list,
+        pending: deque,
+        timeout: float | None,
+        policy,
+        launch_offset: float,
+    ) -> int | None:
+        """Collect one round of futures in submission order.
+
+        Returns None when the whole round was collected, or the batch
+        slot at which a :class:`BrokenProcessPool` surfaced (everything
+        from that slot on is uncollected and must be requeued).
+        """
+        telemetry = run.telemetry
+        for slot, future in enumerate(futures):
+            index, spec, attempt = batch[slot]
+            try:
+                payload = future.result(timeout=timeout)
+            except FuturesTimeout:
+                future.cancel()
+                run.timeouts += 1
+                error = f"timed out after {timeout}s"
+                if attempt < policy.max_retries:
+                    run.retries += 1
+                    pending.append((index, spec, attempt + 1))
+                else:
+                    run.finish(
+                        self._failure(
+                            index, spec, error,
+                            timed_out=True, attempts=attempt + 1,
+                        )
+                    )
+                continue
+            except BrokenProcessPool:
+                return slot
+            except Exception as exc:  # noqa: BLE001 - e.g. pickling errors
+                self._retry_or_finish(
+                    run, pending, index, spec, attempt,
+                    f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            error = payload.get("error")
+            if error is not None:
+                self._retry_or_finish(
+                    run, pending, index, spec, attempt, error
+                )
+                continue
+            telemetry.absorb(
+                payload.get("spans", ()),
+                payload.get("metrics"),
+                offset=launch_offset,
+            )
+            run.finish(
+                self._success(
+                    index, spec, payload["result"], attempts=attempt + 1
+                )
+            )
+        return None
+
+    def _retry_or_finish(
+        self,
+        run: _PortfolioRun,
+        pending: deque,
+        index: int,
+        spec: WorkerSpec,
+        attempt: int,
+        error: str,
+    ) -> None:
+        """Requeue a failed attempt while the retry budget lasts."""
+        if attempt < self.resilience.retry.max_retries:
+            run.retries += 1
+            pending.append((index, spec, attempt + 1))
+        else:
+            run.finish(
+                self._failure(index, spec, error, attempts=attempt + 1)
+            )
+
+    def _finish_inline_fallback(
+        self,
+        run: _PortfolioRun,
+        leftovers: list[tuple[int, WorkerSpec, int]],
+        stop_event,
+    ) -> None:
+        """Degrade gracefully: run the pool's leftovers in-process.
+
+        Reached only when the process pool broke more times than the
+        rebuild budget allows.  The shared early-stop event keeps
+        working: it becomes this process's cooperative stop check for
+        the duration (scoped, so nothing leaks), and in-process workers
+        that hit the bound still signal it.
+        """
+        flag = stop_event if stop_event is not None else _LocalStopFlag()
+        items = [(index, spec) for index, spec, _ in leftovers]
+        start_attempts = {index: attempt for index, _, attempt in leftovers}
+        if stop_event is not None:
+            with stop_check_scope(stop_event.is_set):
+                self._run_inline_batch(run, items, flag, start_attempts)
+        else:
+            self._run_inline_batch(run, items, flag, start_attempts)
+
+    def _new_pool(
+        self, mp_context, context: WorkerContext, stop_event
+    ) -> ProcessPoolExecutor:
+        """A fresh worker pool wired to the shared context and stop event."""
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
             mp_context=mp_context,
             initializer=_worker_init,
             initargs=(context, stop_event),
-        ) as pool:
-            futures = [
-                pool.submit(_run_worker, index, spec)
-                for index, spec in enumerate(specs)
-            ]
-            for index, (spec, future) in enumerate(zip(specs, futures)):
-                try:
-                    payload = future.result()
-                except Exception as exc:  # noqa: BLE001 - e.g. BrokenProcessPool
-                    outcomes.append(
-                        self._failure(
-                            index, spec, f"{type(exc).__name__}: {exc}"
-                        )
-                    )
-                    continue
-                error = payload.get("error")
-                if error is not None:
-                    outcomes.append(self._failure(index, spec, error))
-                    continue
-                telemetry.absorb(
-                    payload.get("spans", ()),
-                    payload.get("metrics"),
-                    offset=launch_offset,
-                )
-                outcomes.append(
-                    self._success(index, spec, payload["result"])
-                )
-        early_stopped = (
-            stop_event.is_set() if stop_event is not None else False
         )
-        return outcomes, early_stopped
 
     @staticmethod
     def _success(
-        index: int, spec: WorkerSpec, result: SearchResult
+        index: int,
+        spec: WorkerSpec,
+        result: SearchResult,
+        attempts: int = 1,
     ) -> WorkerOutcome:
         return WorkerOutcome(
             index=index,
@@ -665,16 +1211,25 @@ class ParallelSolveEngine:
             optimizer=spec.optimizer,
             seed=spec.seed,
             result=result,
+            attempts=attempts,
         )
 
     @staticmethod
-    def _failure(index: int, spec: WorkerSpec, error: str) -> WorkerOutcome:
+    def _failure(
+        index: int,
+        spec: WorkerSpec,
+        error: str,
+        timed_out: bool = False,
+        attempts: int = 1,
+    ) -> WorkerOutcome:
         return WorkerOutcome(
             index=index,
             label=spec.describe(),
             optimizer=spec.optimizer,
             seed=spec.seed,
             error=error,
+            timed_out=timed_out,
+            attempts=attempts,
         )
 
     def __repr__(self) -> str:
@@ -686,25 +1241,44 @@ class ParallelSolveEngine:
 
 def render_portfolio(stats: PortfolioStats) -> str:
     """A small human-readable table over a portfolio's workers."""
-    lines = [
+    header = (
         f"portfolio: {len(stats.workers)} workers, jobs={stats.jobs}, "
         f"{stats.elapsed_seconds:.2f}s"
-        + (", early stop" if stats.early_stopped else "")
-    ]
+    )
+    if stats.early_stopped:
+        header += ", early stop"
+    recovery = []
+    if stats.retries:
+        recovery.append(f"retries={stats.retries}")
+    if stats.timeouts:
+        recovery.append(f"timeouts={stats.timeouts}")
+    if stats.pool_rebuilds:
+        recovery.append(f"pool rebuilds={stats.pool_rebuilds}")
+    if stats.resumed_workers:
+        recovery.append(f"resumed={stats.resumed_workers}")
+    if recovery:
+        header += " (" + ", ".join(recovery) + ")"
+    lines = [header]
     for outcome in stats.workers:
         marker = "*" if outcome.index == stats.winner_index else " "
+        suffix = ""
+        if outcome.attempts > 1:
+            suffix += f" [{outcome.attempts} attempts]"
+        if outcome.resumed:
+            suffix += " [resumed]"
         if outcome.ok:
             solution = outcome.result.solution
             lines.append(
                 f" {marker} [{outcome.index}] {outcome.label:<16} "
                 f"Q={solution.quality:.4f} "
                 f"iters={outcome.result.stats.iterations} "
-                f"{outcome.result.stats.elapsed_seconds:.2f}s"
+                f"{outcome.result.stats.elapsed_seconds:.2f}s" + suffix
             )
         else:
+            status = "TIMED OUT" if outcome.timed_out else "FAILED"
             lines.append(
                 f" {marker} [{outcome.index}] {outcome.label:<16} "
-                f"FAILED: {outcome.error}"
+                f"{status}: {outcome.error}" + suffix
             )
     return "\n".join(lines)
 

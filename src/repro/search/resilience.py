@@ -1,0 +1,429 @@
+"""Resilience layer for the portfolio engine: timeouts, retry, checkpoints.
+
+The parallel engine (PR 4) made worker failure *survivable* — a crashed
+worker becomes a :class:`~repro.search.parallel.WorkerOutcome` with an
+error instead of sinking the solve.  This module makes failure
+*recoverable*, under one hard constraint: every recovery action must keep
+the portfolio a pure function of its inputs.  Concretely:
+
+* **Deterministic retry.**  A failed or timed-out worker is re-run up to
+  ``RetryPolicy.max_retries`` times on a fixed backoff schedule.  By
+  default the retry re-runs the *identical* spec (same optimizer, same
+  seed), so a transient fault — a killed process, a hung machine — costs
+  wall-clock but cannot change the answer: the retried portfolio's winner
+  is the winner an unfaulted run would have produced.  For faults that
+  are themselves a function of the seed, ``RetryPolicy(reseed=True)``
+  derives the retry seed through :func:`derive_worker_seed`, a pure
+  ``(base_seed, worker_index, attempt)`` mix — two faulted runs with the
+  same seeds and the same faults still produce the same winner.
+
+* **Checkpoint/resume.**  The engine snapshots best-so-far state after
+  every worker outcome as an atomic JSON file (write to ``.tmp``, then
+  ``os.replace``), recording each worker's status, selection, stats and
+  trajectory.  Resuming re-evaluates completed workers' stored selections
+  against the (deterministic) objective instead of re-running their
+  searches, so a resumed solve reproduces the killed run's finished work
+  bit-identically and only spends compute on the workers the crash
+  interrupted.  A fingerprint of the problem guards against resuming
+  against a different universe, weights, or constraints.
+
+The engine-side mechanics (future timeouts, ``BrokenProcessPool``
+rebuild, requeueing) live in :mod:`repro.search.parallel`; this module
+owns the *data contracts* so they can be tested and documented on their
+own.  See docs/resilience.md for semantics and the fault-injection
+cookbook.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..exceptions import SearchError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..core import Problem
+    from .parallel import WorkerSpec
+
+#: Checkpoint schema version; bumped on incompatible layout changes.
+CHECKPOINT_VERSION = 1
+
+_MASK64 = (1 << 64) - 1
+
+#: Derived seeds stay below 2**63 so numpy's ``default_rng`` accepts them
+#: on every platform.
+_SEED_SPACE = 1 << 63
+
+
+def derive_worker_seed(base_seed: int, worker_index: int, attempt: int) -> int:
+    """A pure, stable seed for one worker's ``attempt``-th retry.
+
+    Attempt 0 is the worker's own seed, untouched — the derivation is an
+    extension of the existing seeding scheme, not a replacement.  Later
+    attempts mix ``(base_seed, worker_index, attempt)`` through a
+    splitmix64-style finalizer, so the retry seed is a fixed function of
+    the three coordinates: the same faulted portfolio re-run yields the
+    same retry seeds, on any platform, in any process.
+    """
+    if attempt <= 0:
+        return base_seed
+    x = (
+        (base_seed & _MASK64) * 0x9E3779B97F4A7C15
+        + (worker_index & _MASK64) * 0xBF58476D1CE4E5B9
+        + (attempt & _MASK64) * 0x94D049BB133111EB
+    ) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x % _SEED_SPACE
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How (and how often) failed or timed-out workers are re-run.
+
+    Attributes
+    ----------
+    max_retries:
+        Additional attempts after the first (0 disables retry).
+    backoff:
+        Deterministic delay schedule in seconds: attempt ``k`` (k >= 1)
+        sleeps ``backoff[k - 1]``, clamped to the last entry.  Empty
+        means no delay.  There is deliberately no jitter — retry timing
+        must be as reproducible as the retried search.
+    reseed:
+        Re-run retries under :func:`derive_worker_seed` instead of the
+        original seed.  Leave False (the default) when faults are
+        environmental: the retried worker then reproduces exactly the
+        result the unfaulted run would have produced.  Set True when the
+        failure is a function of the seed itself and re-running it
+        verbatim would fail forever.
+    """
+
+    max_retries: int = 0
+    backoff: tuple[float, ...] = ()
+    reseed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise SearchError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if any(delay < 0 for delay in self.backoff):
+            raise SearchError(f"backoff delays must be >= 0: {self.backoff}")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts a worker may consume (first run included)."""
+        return self.max_retries + 1
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before running ``attempt`` (>= 1)."""
+        if attempt < 1 or not self.backoff:
+            return 0.0
+        return self.backoff[min(attempt - 1, len(self.backoff) - 1)]
+
+
+@dataclass(frozen=True, slots=True)
+class ResilienceConfig:
+    """The engine's recovery knobs, bundled.
+
+    Attributes
+    ----------
+    worker_timeout:
+        Per-worker wall-clock budget in seconds.  In pool mode a worker
+        whose future exceeds it is cancelled and recorded as
+        ``timed_out``; in-process (``jobs=1``) the check is post-hoc —
+        a worker that *returns* after overrunning the budget is still
+        recorded as timed out (and retried), so both modes agree on
+        outcomes, but a truly hung in-process worker cannot be
+        preempted.  ``None`` disables the timeout.
+    retry:
+        The :class:`RetryPolicy` for failed/timed-out workers.
+    checkpoint:
+        Path for best-so-far snapshots; also the resume source when the
+        file already exists.  ``None`` disables checkpointing.
+    pool_rebuilds:
+        How many times a broken process pool is rebuilt before the
+        engine degrades to running the remaining workers in-process.
+    """
+
+    worker_timeout: float | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    checkpoint: str | None = None
+    pool_rebuilds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.worker_timeout is not None and self.worker_timeout <= 0:
+            raise SearchError(
+                f"worker_timeout must be > 0, got {self.worker_timeout}"
+            )
+        if self.pool_rebuilds < 0:
+            raise SearchError(
+                f"pool_rebuilds must be >= 0, got {self.pool_rebuilds}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """True iff any resilience feature is switched on."""
+        return (
+            self.worker_timeout is not None
+            or self.retry.max_retries > 0
+            or self.checkpoint is not None
+        )
+
+
+def respec_for_attempt(
+    spec: "WorkerSpec", worker_index: int, attempt: int, reseed: bool
+) -> "WorkerSpec":
+    """The spec to actually run for a worker's ``attempt``-th try.
+
+    Attempt 0 is the caller's spec verbatim.  Retries rewrite two things,
+    both deterministically: the optimizer seed (only under ``reseed``,
+    via :func:`derive_worker_seed`), and any constructor param literally
+    named ``"attempt"`` — the installation contract the fault-injection
+    harness (:mod:`repro.testing.faults`) uses to key faults on
+    ``(worker_index, attempt)`` without the engine knowing about faults.
+    """
+    if attempt <= 0:
+        return spec
+    params = tuple(
+        (key, attempt if key == "attempt" else value)
+        for key, value in spec.params
+    )
+    config = spec.config
+    if reseed:
+        config = replace(
+            config,
+            seed=derive_worker_seed(spec.config.seed, worker_index, attempt),
+        )
+    return replace(spec, config=config, params=params)
+
+
+# -- problem fingerprint ------------------------------------------------------
+
+
+def problem_fingerprint(problem: "Problem") -> str:
+    """A stable digest of everything a checkpoint must match to resume.
+
+    Covers the universe's ids and schemas, the weights, constraints,
+    budget, θ, β and the characteristic QEFs — the full input of the
+    optimization.  Two problems with the same fingerprint evaluate any
+    selection identically, which is what makes restoring a checkpointed
+    selection bit-identical.
+    """
+    universe = problem.universe
+    payload = {
+        "sources": [
+            (source.source_id, tuple(source.schema), source.cardinality)
+            for source in sorted(universe, key=lambda s: s.source_id)
+        ],
+        "weights": sorted(problem.weights.items()),
+        "source_constraints": sorted(problem.source_constraints),
+        "ga_constraints": sorted(
+            tuple(sorted(ga.names())) for ga in problem.ga_constraints
+        ),
+        "max_sources": problem.max_sources,
+        "theta": problem.theta,
+        "beta": problem.beta,
+        "characteristic_qefs": [
+            (
+                spec.name,
+                spec.characteristic,
+                spec.aggregator,
+                spec.higher_is_better,
+            )
+            for spec in problem.characteristic_qefs
+        ],
+    }
+    digest = hashlib.sha256(repr(payload).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+# -- checkpoint data model ----------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerProgress:
+    """One worker's recorded state inside a checkpoint.
+
+    ``status`` is one of ``"ok"``, ``"failed"``, ``"timed_out"`` or
+    ``"pending"``.  Completed workers carry enough to be restored without
+    re-running the search: the selection (re-evaluated on resume — the
+    objective is deterministic, so this reproduces the full solution),
+    the run stats, and the trajectory.
+    """
+
+    index: int
+    optimizer: str
+    seed: int
+    label: str
+    status: str = "pending"
+    attempts: int = 0
+    error: str | None = None
+    selection: tuple[int, ...] | None = None
+    stats: dict | None = None
+    trajectory: tuple[float, ...] = ()
+
+    @property
+    def finished(self) -> bool:
+        """True iff this worker needs no further work on resume."""
+        return self.status in ("ok", "failed", "timed_out")
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "optimizer": self.optimizer,
+            "seed": self.seed,
+            "label": self.label,
+            "status": self.status,
+            "attempts": self.attempts,
+            "error": self.error,
+            "selection": (
+                list(self.selection) if self.selection is not None else None
+            ),
+            "stats": self.stats,
+            "trajectory": list(self.trajectory),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkerProgress":
+        selection = data.get("selection")
+        return cls(
+            index=data["index"],
+            optimizer=data["optimizer"],
+            seed=data["seed"],
+            label=data["label"],
+            status=data["status"],
+            attempts=data.get("attempts", 0),
+            error=data.get("error"),
+            selection=tuple(selection) if selection is not None else None,
+            stats=data.get("stats"),
+            trajectory=tuple(data.get("trajectory", ())),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Checkpoint:
+    """An atomic snapshot of a portfolio solve in flight.
+
+    ``best_selection`` is the deterministic-merge winner over the
+    finished workers at write time — the anytime answer that survives a
+    crash.  ``workers`` records every worker's progress so resume knows
+    exactly what is left to do.
+    """
+
+    fingerprint: str
+    workers: tuple[WorkerProgress, ...]
+    best_selection: tuple[int, ...] | None = None
+    best_objective: float | None = None
+    best_quality: float | None = None
+    version: int = CHECKPOINT_VERSION
+
+    @property
+    def completed(self) -> int:
+        """Workers that need no further work on resume."""
+        return sum(1 for worker in self.workers if worker.finished)
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "fingerprint": self.fingerprint,
+            "best": {
+                "selection": (
+                    list(self.best_selection)
+                    if self.best_selection is not None
+                    else None
+                ),
+                "objective": self.best_objective,
+                "quality": self.best_quality,
+            },
+            "completed": self.completed,
+            "total": len(self.workers),
+            "workers": [worker.to_dict() for worker in self.workers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Checkpoint":
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise SearchError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build writes version {CHECKPOINT_VERSION})"
+            )
+        best = data.get("best") or {}
+        selection = best.get("selection")
+        return cls(
+            fingerprint=data["fingerprint"],
+            workers=tuple(
+                WorkerProgress.from_dict(entry)
+                for entry in data.get("workers", ())
+            ),
+            best_selection=(
+                tuple(selection) if selection is not None else None
+            ),
+            best_objective=best.get("objective"),
+            best_quality=best.get("quality"),
+        )
+
+
+def write_checkpoint(path: str | Path, checkpoint: Checkpoint) -> None:
+    """Atomically persist a checkpoint (write ``.tmp``, then rename).
+
+    ``os.replace`` is atomic on POSIX and Windows, so a reader — or a
+    resume after a kill mid-write — only ever sees the previous complete
+    snapshot or the new complete snapshot, never a torn file.
+    """
+    path = Path(path)
+    if path.parent and not path.parent.exists():
+        path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as stream:
+        json.dump(checkpoint.to_dict(), stream, indent=1)
+        stream.write("\n")
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str | Path) -> Checkpoint | None:
+    """Read a checkpoint, or None when the file does not exist.
+
+    Raises
+    ------
+    SearchError
+        If the file exists but is not a readable checkpoint — a corrupt
+        snapshot must be surfaced, not silently restarted from scratch.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        with open(path, encoding="utf-8") as stream:
+            data = json.load(stream)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SearchError(f"cannot read checkpoint {path}: {exc}") from exc
+    try:
+        return Checkpoint.from_dict(data)
+    except (KeyError, TypeError) as exc:
+        raise SearchError(
+            f"malformed checkpoint {path}: missing field {exc}"
+        ) from exc
+
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "WorkerProgress",
+    "derive_worker_seed",
+    "load_checkpoint",
+    "problem_fingerprint",
+    "respec_for_attempt",
+    "write_checkpoint",
+]

@@ -86,6 +86,8 @@ class InteractiveConsole:
     # -- commands ------------------------------------------------------------
 
     def _cmd_solve(self, args: list[str]) -> bool:
+        if len(args) > 1:
+            raise ValueError("usage: solve [optimizer]")
         optimizer = args[0] if args else None
         iteration = self.session.solve(optimizer=optimizer)
         stats = iteration.result.stats
@@ -114,12 +116,14 @@ class InteractiveConsole:
         return True
 
     def _cmd_pin(self, args: list[str]) -> bool:
+        _expect(args, 1, "pin <source-id-or-name>")
         source = _source_token(args[0])
         source_id = self.session.require_source(source)
         self.write(f"pinned source {source_id}")
         return True
 
     def _cmd_unpin(self, args: list[str]) -> bool:
+        _expect(args, 1, "unpin <source-id-or-name>")
         source = _source_token(args[0])
         self.session.release_source(source)
         self.write("released")
@@ -138,7 +142,8 @@ class InteractiveConsole:
         if solution is None or solution.schema is None:
             self.write("nothing to accept; run 'solve' first")
             return True
-        number = int(args[0])
+        _expect(args, 1, "accept <ga-number>")
+        number = _parse_int(args[0], "GA number", "accept <ga-number>")
         gas = _numbered_gas(solution.schema)
         if not 1 <= number <= len(gas):
             raise ValueError(f"GA number must be in 1..{len(gas)}")
@@ -148,7 +153,9 @@ class InteractiveConsole:
         return True
 
     def _cmd_weight(self, args: list[str]) -> bool:
-        name, value = args[0], float(args[1])
+        _expect(args, 2, "weight <qef> <value>")
+        name = args[0]
+        value = _parse_float(args[1], "weight", "weight <qef> <value>")
         self.session.emphasize(name, value)
         weights = ", ".join(
             f"{key}={weight:.2f}"
@@ -158,17 +165,24 @@ class InteractiveConsole:
         return True
 
     def _cmd_theta(self, args: list[str]) -> bool:
-        self.session.set_theta(float(args[0]))
+        _expect(args, 1, "theta <threshold>")
+        self.session.set_theta(
+            _parse_float(args[0], "theta", "theta <threshold>")
+        )
         self.write(f"theta = {self.session.theta}")
         return True
 
     def _cmd_beta(self, args: list[str]) -> bool:
-        self.session.set_beta(int(args[0]))
+        _expect(args, 1, "beta <count>")
+        self.session.set_beta(_parse_int(args[0], "beta", "beta <count>"))
         self.write(f"beta = {self.session.beta}")
         return True
 
     def _cmd_budget(self, args: list[str]) -> bool:
-        self.session.set_max_sources(int(args[0]))
+        _expect(args, 1, "budget <max-sources>")
+        self.session.set_max_sources(
+            _parse_int(args[0], "budget", "budget <max-sources>")
+        )
         self.write(f"budget m = {self.session.max_sources}")
         return True
 
@@ -189,6 +203,7 @@ class InteractiveConsole:
     def _cmd_save(self, args: list[str]) -> bool:
         from .export import save_session_markdown
 
+        _expect(args, 1, "save <file.md>")
         path = args[0]
         save_session_markdown(self.session, path)
         self.write(f"session report written to {path}")
@@ -201,6 +216,7 @@ class InteractiveConsole:
         if solution is None:
             self.write("nothing to export; run 'solve' first")
             return True
+        _expect(args, 1, "export <file.json>")
         path = args[0]
         save_solution(solution, path)
         self.write(f"solution written to {path}")
@@ -220,6 +236,40 @@ class InteractiveConsole:
         del args
         self.write("bye")
         return False
+
+
+def _expect(args: list[str], count: int, usage: str) -> None:
+    """Raise a usage-carrying :class:`ValueError` on a wrong arg count.
+
+    The console's :meth:`~InteractiveConsole.handle` catches the error
+    and prints it with the ``bad arguments:`` prefix, so a malformed
+    line yields a hint instead of a traceback.
+    """
+    if len(args) != count:
+        raise ValueError(
+            f"expected {count} argument{'s' if count != 1 else ''}, "
+            f"got {len(args)}; usage: {usage}"
+        )
+
+
+def _parse_int(token: str, what: str, usage: str) -> int:
+    """Parse an integer command argument, or raise with the usage hint."""
+    try:
+        return int(token)
+    except ValueError:
+        raise ValueError(
+            f"{what} must be an integer, got {token!r}; usage: {usage}"
+        ) from None
+
+
+def _parse_float(token: str, what: str, usage: str) -> float:
+    """Parse a numeric command argument, or raise with the usage hint."""
+    try:
+        return float(token)
+    except ValueError:
+        raise ValueError(
+            f"{what} must be a number, got {token!r}; usage: {usage}"
+        ) from None
 
 
 def _source_token(token: str) -> int | str:

@@ -158,6 +158,9 @@ class Session:
         jobs: int | None = None,
         portfolio: object = None,
         stop_quality: float | None = None,
+        checkpoint: str | None = None,
+        worker_timeout: float | None = None,
+        retries: int = 0,
     ) -> Iteration:
         """Solve the current problem and record the iteration.
 
@@ -189,6 +192,15 @@ class Session:
         :class:`~repro.search.parallel.PortfolioStats`.  With ``jobs>1``
         workers run in separate processes, so ``explain`` falls back to
         post-hoc attribution without in-search decision events.
+
+        ``checkpoint``, ``worker_timeout`` and ``retries`` configure the
+        engine's resilience layer (docs/resilience.md): ``checkpoint``
+        names an atomic best-so-far snapshot file — if it already exists
+        (and matches this problem), the solve *resumes* from it instead
+        of restarting; ``worker_timeout`` is the per-worker wall-clock
+        budget in seconds; ``retries`` re-runs failed or timed-out
+        workers deterministically up to that many extra attempts.  Any
+        of the three switches the solve onto the portfolio engine.
         """
         from ..explain.attribution import change_notes, explain_solution
         from ..explain.events import EventLog, NOOP_EVENTS, use_event_log
@@ -197,6 +209,9 @@ class Session:
             jobs is not None
             or portfolio is not None
             or stop_quality is not None
+            or checkpoint is not None
+            or worker_timeout is not None
+            or retries > 0
         )
         telemetry = self._telemetry()
         # The event log rides the tracer's exporters, so `--trace` files
@@ -232,6 +247,9 @@ class Session:
                     jobs=jobs,
                     portfolio=portfolio,
                     stop_quality=stop_quality,
+                    checkpoint=checkpoint,
+                    worker_timeout=worker_timeout,
+                    retries=retries,
                 )
             else:
                 engine = get_optimizer(
@@ -472,9 +490,13 @@ class Session:
         jobs: int | None,
         portfolio: object,
         stop_quality: float | None,
+        checkpoint: str | None = None,
+        worker_timeout: float | None = None,
+        retries: int = 0,
     ) -> SearchResult:
         """Run one solve through the parallel portfolio engine."""
         from ..search.parallel import ParallelSolveEngine, resolve_portfolio
+        from ..search.resilience import ResilienceConfig, RetryPolicy
 
         workers = resolve_portfolio(
             portfolio,
@@ -482,7 +504,16 @@ class Session:
             optimizer or self.optimizer_name,
             self.optimizer_config,
         )
-        engine = ParallelSolveEngine(jobs=jobs or 1, stop_quality=stop_quality)
+        resilience = ResilienceConfig(
+            worker_timeout=worker_timeout,
+            retry=RetryPolicy(max_retries=retries),
+            checkpoint=checkpoint,
+        )
+        engine = ParallelSolveEngine(
+            jobs=jobs or 1,
+            stop_quality=stop_quality,
+            resilience=resilience,
+        )
         return engine.solve(
             problem,
             workers,

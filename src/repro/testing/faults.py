@@ -1,0 +1,230 @@
+"""Deterministic fault injection for the portfolio engine.
+
+The resilience layer (timeouts, retry, pool rebuild, checkpointing —
+see docs/resilience.md) is only trustworthy if its failure paths are
+*tested* paths, and failure paths are exactly the ones ad-hoc testing
+never hits.  This module makes faults a reproducible input: a
+:class:`FaultPlan` maps ``(worker_index, attempt)`` coordinates to a
+fault kind, and :func:`faulty_spec` wraps any
+:class:`~repro.search.parallel.WorkerSpec` so the fault fires inside the
+worker — in-process or in a pool child, under ``fork`` or ``spawn`` —
+at exactly the planned attempt.
+
+Two engine contracts make this work without the engine knowing faults
+exist:
+
+* Worker specs name their optimizer either by registry key or by a
+  ``"module:Class"`` dotted path, resolved *inside* the worker process
+  (:func:`~repro.search.resolve_optimizer_class`).  The wrapper is
+  installed as ``"repro.testing.faults:FaultyOptimizer"``, so a
+  ``spawn`` child — a fresh interpreter that never saw the parent's
+  runtime state — imports this module and finds it.
+
+* On retry, the engine rewrites any spec param literally named
+  ``"attempt"`` to the current attempt number
+  (:func:`~repro.search.resilience.respec_for_attempt`).  The wrapper
+  keys its plan lookup on that param, which is how "crash on attempt 0,
+  succeed on attempt 1" is expressible.
+
+Fault kinds:
+
+``"crash"``
+    Raise :class:`FaultInjected` — an ordinary worker failure.
+``"hang"`` / ``"slow"``
+    Sleep ``seconds`` before running the wrapped optimizer.  Against a
+    ``worker_timeout`` shorter than the sleep this models a hung worker
+    (cancelled in pool mode, recorded post-hoc in-process); with no
+    timeout, ``"slow"`` models a slow-starting but correct worker.
+``"break_pool"``
+    In a pool child, terminate the process abruptly (``os._exit``) so
+    the parent sees :class:`~concurrent.futures.process.
+    BrokenProcessPool`.  In the parent process — the inline path or the
+    engine's degraded fallback — it raises :class:`FaultInjected`
+    instead, because exiting there would kill the solve itself.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..exceptions import SearchError
+from ..quality.overall import Objective
+from .. import search as _search
+from ..search.base import Optimizer, OptimizerConfig, SearchResult
+
+#: The dotted optimizer name :func:`faulty_spec` installs.
+FAULTY_OPTIMIZER = "repro.testing.faults:FaultyOptimizer"
+
+_KINDS = ("crash", "hang", "slow", "break_pool")
+
+
+class FaultInjected(RuntimeError):
+    """The error a planned ``"crash"`` (or inline ``"break_pool"``) raises."""
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One planned fault: *this* worker, *this* attempt, *this* failure."""
+
+    worker: int
+    attempt: int
+    kind: str
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise SearchError(
+                f"unknown fault kind {self.kind!r}; "
+                f"available: {', '.join(_KINDS)}"
+            )
+        if self.seconds < 0:
+            raise SearchError(f"fault seconds must be >= 0: {self.seconds}")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultPlan:
+    """A reproducible schedule of faults, keyed on (worker, attempt).
+
+    Plain frozen data so it pickles into worker processes unchanged.
+    Coordinates with no entry run clean — which is how every
+    retry-then-succeed scenario is written.
+    """
+
+    entries: tuple[FaultSpec, ...] = ()
+
+    def find(self, worker: int, attempt: int) -> FaultSpec | None:
+        """The planned fault for this coordinate, or None."""
+        for entry in self.entries:
+            if entry.worker == worker and entry.attempt == attempt:
+                return entry
+        return None
+
+
+def seeded_faults(
+    seed: int,
+    workers: int,
+    rate: float = 0.5,
+    kinds: tuple[str, ...] = ("crash",),
+    attempts: int = 1,
+    seconds: float = 0.05,
+) -> FaultPlan:
+    """A pseudo-random — but seed-reproducible — fault plan.
+
+    Each ``(worker, attempt)`` coordinate below ``attempts`` draws
+    independently: with probability ``rate`` it gets a fault whose kind
+    is drawn uniformly from ``kinds``.  The draw order is fixed
+    (worker-major), so the same seed always yields the same plan — a
+    fuzzing loop over seeds explores distinct fault patterns while every
+    individual pattern stays replayable.
+    """
+    rng = np.random.default_rng(seed)
+    entries = []
+    for worker in range(workers):
+        for attempt in range(attempts):
+            if rng.random() < rate:
+                kind = kinds[int(rng.integers(len(kinds)))]
+                entries.append(
+                    FaultSpec(
+                        worker=worker,
+                        attempt=attempt,
+                        kind=kind,
+                        seconds=seconds,
+                    )
+                )
+    return FaultPlan(entries=tuple(entries))
+
+
+class FaultyOptimizer(Optimizer):
+    """Wraps a real optimizer and fires the planned fault first.
+
+    Constructed inside the worker from spec params: the plan, the
+    worker's index, the current attempt (rewritten by the engine on
+    every retry), and the registry name of the optimizer to delegate to
+    once no fault fires.  The delegate runs with this wrapper's config,
+    so a clean attempt is *exactly* the run the unwrapped spec would
+    have produced — which is what lets tests assert faulted and
+    unfaulted portfolios converge on identical winners.
+    """
+
+    name = "faulty"
+
+    def __init__(
+        self,
+        config: OptimizerConfig | None = None,
+        plan: FaultPlan = FaultPlan(),
+        worker_index: int = 0,
+        attempt: int = 0,
+        inner: str = "local",
+    ):
+        super().__init__(config)
+        self.plan = plan
+        self.worker_index = worker_index
+        self.attempt = attempt
+        self.inner = inner
+
+    def _optimize(
+        self,
+        objective: Objective,
+        initial: frozenset[int] | None = None,
+    ) -> SearchResult:
+        fault = self.plan.find(self.worker_index, self.attempt)
+        if fault is not None:
+            self._fire(fault)
+        cls = _search.resolve_optimizer_class(self.inner)
+        return cls(self.config).optimize(objective, initial=initial)
+
+    def _fire(self, fault: FaultSpec) -> None:
+        where = f"worker {self.worker_index} attempt {self.attempt}"
+        if fault.kind == "crash":
+            raise FaultInjected(f"injected crash in {where}")
+        if fault.kind in ("hang", "slow"):
+            time.sleep(fault.seconds)
+            return
+        if fault.kind == "break_pool":
+            if multiprocessing.parent_process() is not None:
+                # A pool child: die without cleanup so the parent's
+                # executor observes BrokenProcessPool, like a real
+                # OOM-kill would look.
+                os._exit(13)
+            raise FaultInjected(
+                f"injected pool break in {where} (running in the main "
+                f"process, so raising instead of exiting)"
+            )
+
+
+def faulty_spec(index: int, spec, plan: FaultPlan):
+    """Wrap a worker spec so ``plan`` faults fire inside that worker.
+
+    Returns a new :class:`~repro.search.parallel.WorkerSpec` running
+    :class:`FaultyOptimizer` with the original optimizer as its
+    delegate.  ``index`` must be the worker's position in the portfolio
+    — the plan is keyed on it, and the engine's retry respec keeps the
+    ``"attempt"`` param current.
+    """
+    return replace(
+        spec,
+        optimizer=FAULTY_OPTIMIZER,
+        params=spec.params
+        + (
+            ("plan", plan),
+            ("worker_index", index),
+            ("attempt", 0),
+            ("inner", spec.optimizer),
+        ),
+    )
+
+
+__all__ = [
+    "FAULTY_OPTIMIZER",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyOptimizer",
+    "faulty_spec",
+    "seeded_faults",
+]

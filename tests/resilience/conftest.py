@@ -1,0 +1,31 @@
+"""Shared fixtures for the fault-injection suite.
+
+``MUBE_TEST_START_METHOD`` (set by the CI resilience job) pins the
+multiprocessing start method for every pool test here, so the suite runs
+once under ``fork`` and once under ``spawn`` — the two regimes differ in
+exactly the ways that break naive parallel code (inherited state vs.
+fresh interpreters), and the resilience layer must survive both.
+"""
+
+import os
+
+import pytest
+
+from repro.search import OptimizerConfig
+
+from ..search.test_optimizers import tiny_problem
+
+#: Small but non-trivial: big enough that optimizers do real work,
+#: small enough that a faulted worker retries in milliseconds.
+CONFIG = OptimizerConfig(max_iterations=12, patience=10, seed=3)
+
+
+@pytest.fixture(scope="session")
+def start_method():
+    """The pinned multiprocessing start method, or None for the default."""
+    return os.environ.get("MUBE_TEST_START_METHOD") or None
+
+
+@pytest.fixture()
+def problem():
+    return tiny_problem()

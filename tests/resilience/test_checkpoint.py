@@ -1,0 +1,232 @@
+"""Checkpoint/resume: atomic snapshots, bit-identical restoration."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.exceptions import SearchError
+from repro.search import (
+    Checkpoint,
+    ParallelSolveEngine,
+    ResilienceConfig,
+    WorkerProgress,
+    load_checkpoint,
+    problem_fingerprint,
+    seeded_restarts,
+    write_checkpoint,
+)
+
+from .conftest import CONFIG
+from ..search.test_optimizers import tiny_problem
+
+
+def engine(path, jobs=1, start_method=None):
+    return ParallelSolveEngine(
+        jobs=jobs,
+        start_method=start_method,
+        resilience=ResilienceConfig(checkpoint=str(path)),
+    )
+
+
+class TestCheckpointFile:
+    def test_roundtrip(self, tmp_path):
+        checkpoint = Checkpoint(
+            fingerprint="abc",
+            workers=(
+                WorkerProgress(
+                    index=0,
+                    optimizer="tabu",
+                    seed=3,
+                    label="tabu[0]",
+                    status="ok",
+                    attempts=1,
+                    selection=(1, 4),
+                    stats={
+                        "iterations": 5,
+                        "evaluations": 40,
+                        "elapsed_seconds": 0.1,
+                        "best_found_at": 2,
+                        "match_memo_hits": 0,
+                        "match_memo_misses": 0,
+                    },
+                    trajectory=(0.1, 0.4),
+                ),
+                WorkerProgress(
+                    index=1, optimizer="local", seed=4, label="local[0]"
+                ),
+            ),
+            best_selection=(1, 4),
+            best_objective=0.4,
+            best_quality=0.4,
+        )
+        path = tmp_path / "solve.ckpt"
+        write_checkpoint(path, checkpoint)
+        assert load_checkpoint(path) == checkpoint
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert load_checkpoint(tmp_path / "nope.ckpt") is None
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(SearchError, match="cannot read checkpoint"):
+            load_checkpoint(path)
+
+    def test_unknown_version_raises(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        path.write_text(
+            json.dumps({"version": 99, "fingerprint": "x", "workers": []}),
+            encoding="utf-8",
+        )
+        with pytest.raises(SearchError, match="checkpoint version"):
+            load_checkpoint(path)
+
+    def test_parent_directories_are_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "solve.ckpt"
+        write_checkpoint(path, Checkpoint(fingerprint="f", workers=()))
+        assert path.exists()
+
+
+class TestProblemFingerprint:
+    def test_stable_across_calls(self):
+        assert problem_fingerprint(tiny_problem()) == problem_fingerprint(
+            tiny_problem()
+        )
+
+    def test_sensitive_to_the_problem(self):
+        base = problem_fingerprint(tiny_problem())
+        assert problem_fingerprint(tiny_problem(theta=0.9)) != base
+        assert problem_fingerprint(tiny_problem(max_sources=3)) != base
+
+
+class TestSolveCheckpointing:
+    def test_solve_writes_a_complete_snapshot(self, problem, tmp_path):
+        path = tmp_path / "solve.ckpt"
+        specs = seeded_restarts("local", 3, CONFIG)
+        result = engine(path).solve(problem, specs)
+        checkpoint = load_checkpoint(path)
+        assert checkpoint is not None
+        assert checkpoint.completed == 3
+        assert checkpoint.fingerprint == problem_fingerprint(problem)
+        assert checkpoint.best_selection == tuple(
+            sorted(result.solution.selected)
+        )
+        assert checkpoint.best_objective == result.solution.objective
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_resume_after_simulated_kill_is_bit_identical(
+        self, problem, tmp_path, start_method, jobs
+    ):
+        """Kill the solve after two workers, resume, get the same answer.
+
+        The kill is simulated by rewinding the finished checkpoint: one
+        worker's entry is reset to pending, exactly the file a solve
+        killed between that worker's start and finish would have left
+        behind (writes are atomic per-outcome, so no other intermediate
+        state exists).
+        """
+        path = tmp_path / "solve.ckpt"
+        specs = seeded_restarts("local", 3, CONFIG)
+        full = engine(path, jobs, start_method).solve(problem, specs)
+        complete = load_checkpoint(path)
+
+        rewound = [
+            (
+                replace(
+                    entry,
+                    status="pending",
+                    attempts=0,
+                    selection=None,
+                    stats=None,
+                    trajectory=(),
+                )
+                if entry.index == 2
+                else entry
+            )
+            for entry in complete.workers
+        ]
+        write_checkpoint(
+            path, replace(complete, workers=tuple(rewound))
+        )
+
+        resumed = engine(path, jobs, start_method).solve(problem, specs)
+        assert resumed.solution.selected == full.solution.selected
+        assert resumed.solution.objective == full.solution.objective
+        assert resumed.solution.quality == full.solution.quality
+        assert resumed.portfolio.resumed_workers == 2
+        assert (
+            resumed.portfolio.winner_index == full.portfolio.winner_index
+        )
+        for index in (0, 1):
+            restored = resumed.portfolio.workers[index]
+            original = full.portfolio.workers[index]
+            assert restored.resumed
+            assert (
+                restored.result.solution.selected
+                == original.result.solution.selected
+            )
+            assert (
+                restored.result.solution.objective
+                == original.result.solution.objective
+            )
+
+    def test_resume_of_a_finished_solve_reruns_nothing(
+        self, problem, tmp_path
+    ):
+        path = tmp_path / "solve.ckpt"
+        specs = seeded_restarts("local", 2, CONFIG)
+        first = engine(path).solve(problem, specs)
+        second = engine(path).solve(problem, specs)
+        assert second.portfolio.resumed_workers == 2
+        assert all(o.resumed for o in second.portfolio.workers)
+        assert second.solution.selected == first.solution.selected
+        assert second.solution.objective == first.solution.objective
+
+    def test_failed_workers_are_restored_as_failures(
+        self, problem, tmp_path
+    ):
+        from repro.testing import FaultPlan, FaultSpec, faulty_spec
+
+        path = tmp_path / "solve.ckpt"
+        specs = seeded_restarts("local", 2, CONFIG)
+        plan = FaultPlan(
+            entries=(FaultSpec(worker=1, attempt=0, kind="crash"),)
+        )
+        faulted = tuple(
+            faulty_spec(i, spec, plan) for i, spec in enumerate(specs)
+        )
+        engine(path).solve(problem, faulted)
+        resumed = engine(path).solve(problem, faulted)
+        outcome = resumed.portfolio.workers[1]
+        assert outcome.resumed and not outcome.ok
+        assert "FaultInjected" in outcome.error
+
+    def test_fingerprint_mismatch_refuses_to_resume(
+        self, problem, tmp_path
+    ):
+        path = tmp_path / "solve.ckpt"
+        specs = seeded_restarts("local", 2, CONFIG)
+        engine(path).solve(problem, specs)
+        other = tiny_problem(theta=0.9)
+        with pytest.raises(SearchError, match="different problem"):
+            engine(path).solve(other, specs)
+
+    def test_portfolio_shape_mismatch_refuses_to_resume(
+        self, problem, tmp_path
+    ):
+        path = tmp_path / "solve.ckpt"
+        engine(path).solve(problem, seeded_restarts("local", 2, CONFIG))
+        with pytest.raises(SearchError, match="records 2 workers"):
+            engine(path).solve(
+                problem, seeded_restarts("local", 3, CONFIG)
+            )
+
+    def test_spec_mismatch_refuses_to_resume(self, problem, tmp_path):
+        path = tmp_path / "solve.ckpt"
+        engine(path).solve(problem, seeded_restarts("local", 2, CONFIG))
+        with pytest.raises(SearchError, match="does not match"):
+            engine(path).solve(
+                problem, seeded_restarts("tabu", 2, CONFIG)
+            )

@@ -1,0 +1,106 @@
+"""The fault-injection harness itself: plans, specs, the wrapper."""
+
+import pytest
+
+from repro.exceptions import SearchError
+from repro.quality import Objective
+from repro.search import OptimizerConfig, seeded_restarts
+from repro.testing import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    FaultyOptimizer,
+    faulty_spec,
+    seeded_faults,
+)
+from repro.testing.faults import FAULTY_OPTIMIZER
+
+from .conftest import CONFIG
+from ..search.test_optimizers import tiny_problem
+
+
+class TestFaultPlan:
+    def test_find_hits_only_its_coordinate(self):
+        plan = FaultPlan(
+            entries=(FaultSpec(worker=1, attempt=0, kind="crash"),)
+        )
+        assert plan.find(1, 0) is not None
+        assert plan.find(1, 1) is None
+        assert plan.find(0, 0) is None
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SearchError, match="unknown fault kind"):
+            FaultSpec(worker=0, attempt=0, kind="explode")
+
+    def test_rejects_negative_seconds(self):
+        with pytest.raises(SearchError, match="must be >= 0"):
+            FaultSpec(worker=0, attempt=0, kind="hang", seconds=-1.0)
+
+    def test_seeded_plan_is_reproducible(self):
+        a = seeded_faults(seed=11, workers=6, rate=0.5, attempts=2)
+        b = seeded_faults(seed=11, workers=6, rate=0.5, attempts=2)
+        assert a == b
+
+    def test_seeded_plans_differ_across_seeds(self):
+        plans = {
+            seeded_faults(seed=s, workers=8, rate=0.5) for s in range(6)
+        }
+        assert len(plans) > 1
+
+    def test_rate_bounds(self):
+        assert seeded_faults(seed=0, workers=5, rate=0.0).entries == ()
+        full = seeded_faults(seed=0, workers=5, rate=1.0)
+        assert len(full.entries) == 5
+
+
+class TestFaultySpec:
+    def test_wraps_and_remembers_the_inner_optimizer(self):
+        spec = seeded_restarts("tabu", 2, CONFIG)[1]
+        wrapped = faulty_spec(1, spec, FaultPlan())
+        assert wrapped.optimizer == FAULTY_OPTIMIZER
+        params = dict(wrapped.params)
+        assert params["inner"] == "tabu"
+        assert params["worker_index"] == 1
+        assert params["attempt"] == 0
+        assert wrapped.config == spec.config
+
+    def test_clean_wrapper_reproduces_the_unwrapped_run(self):
+        objective = Objective(tiny_problem())
+        config = OptimizerConfig(max_iterations=15, patience=12, seed=5)
+        from repro.search import get_optimizer
+
+        plain = get_optimizer("tabu", config).optimize(objective)
+        wrapped = FaultyOptimizer(config, inner="tabu").optimize(objective)
+        assert wrapped.solution.selected == plain.solution.selected
+        assert wrapped.solution.objective == plain.solution.objective
+        assert wrapped.trajectory == plain.trajectory
+
+    def test_crash_fault_raises(self):
+        objective = Objective(tiny_problem())
+        plan = FaultPlan(
+            entries=(FaultSpec(worker=0, attempt=0, kind="crash"),)
+        )
+        wrapper = FaultyOptimizer(CONFIG, plan=plan, inner="local")
+        with pytest.raises(FaultInjected, match="injected crash"):
+            wrapper.optimize(objective)
+
+    def test_break_pool_fault_raises_in_the_main_process(self):
+        # In the parent process the fault must degrade to an exception:
+        # os._exit here would take the test runner down with it.
+        objective = Objective(tiny_problem())
+        plan = FaultPlan(
+            entries=(FaultSpec(worker=0, attempt=0, kind="break_pool"),)
+        )
+        wrapper = FaultyOptimizer(CONFIG, plan=plan, inner="local")
+        with pytest.raises(FaultInjected, match="injected pool break"):
+            wrapper.optimize(objective)
+
+    def test_fault_on_later_attempt_lets_attempt_zero_run(self):
+        objective = Objective(tiny_problem())
+        plan = FaultPlan(
+            entries=(FaultSpec(worker=0, attempt=1, kind="crash"),)
+        )
+        result = FaultyOptimizer(
+            CONFIG, plan=plan, attempt=0, inner="local"
+        ).optimize(objective)
+        assert result.solution.selected

@@ -1,0 +1,119 @@
+"""Worker timeouts: hang → timed_out → retry, in both execution modes."""
+
+import pytest
+
+from repro.search import (
+    ParallelSolveEngine,
+    ResilienceConfig,
+    RetryPolicy,
+    seeded_restarts,
+)
+from repro.testing import FaultPlan, FaultSpec, faulty_spec
+
+from .conftest import CONFIG
+
+
+def hang_plan(*coords, seconds):
+    return FaultPlan(
+        entries=tuple(
+            FaultSpec(worker=w, attempt=a, kind="hang", seconds=seconds)
+            for w, a in coords
+        )
+    )
+
+
+def faulted_portfolio(specs, plan):
+    return tuple(
+        faulty_spec(index, spec, plan) for index, spec in enumerate(specs)
+    )
+
+
+class TestInlineTimeout:
+    def test_overrun_is_recorded_and_retried(self, problem):
+        specs = seeded_restarts("local", 2, CONFIG)
+        plan = hang_plan((1, 0), seconds=0.3)
+        resilience = ResilienceConfig(
+            worker_timeout=0.1, retry=RetryPolicy(max_retries=1)
+        )
+        clean = ParallelSolveEngine(jobs=1).solve(problem, specs)
+        result = ParallelSolveEngine(jobs=1, resilience=resilience).solve(
+            problem, faulted_portfolio(specs, plan)
+        )
+        assert result.portfolio.timeouts == 1
+        assert result.portfolio.retries == 1
+        outcome = result.portfolio.workers[1]
+        assert outcome.ok and outcome.attempts == 2
+        assert result.solution.selected == clean.solution.selected
+        assert result.solution.objective == clean.solution.objective
+
+    def test_exhausted_timeouts_leave_a_timed_out_outcome(self, problem):
+        specs = seeded_restarts("local", 2, CONFIG)
+        plan = hang_plan((1, 0), (1, 1), seconds=0.3)
+        resilience = ResilienceConfig(
+            worker_timeout=0.1, retry=RetryPolicy(max_retries=1)
+        )
+        result = ParallelSolveEngine(jobs=1, resilience=resilience).solve(
+            problem, faulted_portfolio(specs, plan)
+        )
+        outcome = result.portfolio.workers[1]
+        assert not outcome.ok
+        assert outcome.timed_out
+        assert "timed out" in outcome.error
+        assert result.portfolio.timed_out_workers == 1
+        assert result.portfolio.timeouts == 2
+
+    def test_no_timeout_config_never_times_out(self, problem):
+        specs = seeded_restarts("local", 1, CONFIG)
+        plan = hang_plan((0, 0), seconds=0.05)
+        result = ParallelSolveEngine(jobs=1).solve(
+            problem, faulted_portfolio(specs, plan)
+        )
+        assert result.portfolio.workers[0].ok
+        assert result.portfolio.timeouts == 0
+
+
+class TestPoolTimeout:
+    def test_hung_future_is_cancelled_and_retried(
+        self, problem, start_method
+    ):
+        specs = seeded_restarts("local", 2, CONFIG)
+        # The hang must dwarf the timeout so the future reliably misses
+        # the deadline, but stay bounded so the orphaned process exits
+        # quickly after the test.
+        plan = hang_plan((1, 0), seconds=2.0)
+        resilience = ResilienceConfig(
+            worker_timeout=0.3, retry=RetryPolicy(max_retries=1)
+        )
+        clean = ParallelSolveEngine(
+            jobs=2, start_method=start_method
+        ).solve(problem, specs)
+        result = ParallelSolveEngine(
+            jobs=2, start_method=start_method, resilience=resilience
+        ).solve(problem, faulted_portfolio(specs, plan))
+        assert result.portfolio.timeouts >= 1
+        outcome = result.portfolio.workers[1]
+        assert outcome.ok and outcome.attempts == 2
+        assert result.solution.selected == clean.solution.selected
+        assert result.solution.objective == clean.solution.objective
+
+    def test_timeout_without_retries_fails_the_worker(
+        self, problem, start_method
+    ):
+        specs = seeded_restarts("local", 2, CONFIG)
+        plan = hang_plan((0, 0), seconds=2.0)
+        resilience = ResilienceConfig(worker_timeout=0.3)
+        result = ParallelSolveEngine(
+            jobs=2, start_method=start_method, resilience=resilience
+        ).solve(problem, faulted_portfolio(specs, plan))
+        outcome = result.portfolio.workers[0]
+        assert not outcome.ok
+        assert outcome.timed_out
+        assert result.portfolio.workers[1].ok
+
+
+class TestTimeoutValidation:
+    def test_nonpositive_timeout_is_rejected(self):
+        from repro.exceptions import SearchError
+
+        with pytest.raises(SearchError, match="worker_timeout"):
+            ResilienceConfig(worker_timeout=0.0)

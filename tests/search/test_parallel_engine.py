@@ -82,8 +82,24 @@ class TestPortfolioConstruction:
             parse_portfolio("tabu:0", CONFIG)
 
     def test_parse_rejects_empty_spec(self):
-        with pytest.raises(SearchError, match="contains no workers"):
+        with pytest.raises(SearchError, match="empty segment"):
             parse_portfolio(" , ", CONFIG)
+
+    def test_parse_rejects_empty_interior_segment(self):
+        with pytest.raises(SearchError, match="empty segment"):
+            parse_portfolio("tabu:4,,local:2", CONFIG)
+
+    def test_parse_rejects_missing_name(self):
+        with pytest.raises(SearchError, match="missing optimizer name"):
+            parse_portfolio(":2", CONFIG)
+
+    def test_parse_rejects_dangling_colon(self):
+        with pytest.raises(SearchError, match="missing worker count"):
+            parse_portfolio("tabu:", CONFIG)
+
+    def test_parse_rejects_negative_count(self):
+        with pytest.raises(SearchError, match="must be >= 1"):
+            parse_portfolio("tabu:-3", CONFIG)
 
     def test_resolve_none_is_seeded_restarts_of_the_default(self):
         workers = resolve_portfolio(None, 3, "local", CONFIG)

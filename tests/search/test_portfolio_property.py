@@ -1,0 +1,66 @@
+"""Property tests for the portfolio spec grammar.
+
+``parse_portfolio`` sits on the CLI boundary (``--portfolio``), so its
+contract is all-or-nothing: any well-formed spec round-trips into exactly
+the workers it spells out, and any malformed spec raises ``SearchError``
+— never a silently shorter worker list.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SearchError
+from repro.search import OPTIMIZERS, OptimizerConfig, parse_portfolio
+
+CONFIG = OptimizerConfig(seed=5)
+
+entries = st.lists(
+    st.tuples(
+        st.sampled_from(sorted(OPTIMIZERS)), st.integers(1, 5)
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+paddings = st.sampled_from(["", " ", "  "])
+
+
+@pytest.mark.property
+@given(entries=entries, pad=paddings)
+@settings(max_examples=60, deadline=None)
+def test_well_formed_specs_round_trip(entries, pad):
+    spec = ",".join(f"{pad}{name}:{count}{pad}" for name, count in entries)
+    workers = parse_portfolio(spec, CONFIG)
+    assert len(workers) == sum(count for _, count in entries)
+    expected_names = [
+        name for name, count in entries for _ in range(count)
+    ]
+    assert [w.optimizer for w in workers] == expected_names
+    # Seeds are consecutive across the whole portfolio.
+    assert [w.seed for w in workers] == [
+        CONFIG.seed + i for i in range(len(workers))
+    ]
+
+
+@pytest.mark.property
+@given(entries=entries, position=st.integers(0, 4))
+@settings(max_examples=40, deadline=None)
+def test_an_injected_empty_segment_always_raises(entries, position):
+    parts = [f"{name}:{count}" for name, count in entries]
+    parts.insert(min(position, len(parts)), "")
+    with pytest.raises(SearchError, match="empty segment"):
+        parse_portfolio(",".join(parts), CONFIG)
+
+
+@pytest.mark.property
+@given(
+    entries=entries,
+    bad=st.sampled_from([":3", "tabu:", "tabu:0", "tabu:-1", "tabu:x",
+                         "nope:2"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_one_bad_segment_poisons_the_whole_spec(entries, bad):
+    parts = [f"{name}:{count}" for name, count in entries] + [bad]
+    with pytest.raises(SearchError):
+        parse_portfolio(",".join(parts), CONFIG)

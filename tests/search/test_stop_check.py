@@ -1,0 +1,81 @@
+"""The cooperative stop check must never leak past its installer.
+
+A leaked check is a silent-corruption bug: every subsequent in-process
+solve would observe a stale "stop now" signal at its first iteration and
+return a barely-searched answer with no error anywhere.  These tests pin
+the exception-safety contract of ``stop_check_scope`` and verify the
+engine's in-process paths (including the raising ones) leave the global
+clean.
+"""
+
+import pytest
+
+from repro.exceptions import SearchError
+from repro.search import (
+    OptimizerConfig,
+    ParallelSolveEngine,
+    seeded_restarts,
+    stop_check_scope,
+)
+from repro.search import base as search_base
+from repro.testing import FaultPlan, FaultSpec, faulty_spec
+
+from .test_optimizers import tiny_problem
+
+CONFIG = OptimizerConfig(max_iterations=8, patience=6, seed=2)
+
+
+def installed_check():
+    return search_base._stop_check
+
+
+class TestStopCheckScope:
+    def test_installs_and_restores(self):
+        assert installed_check() is None
+        check = lambda: False  # noqa: E731
+        with stop_check_scope(check):
+            assert installed_check() is check
+        assert installed_check() is None
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with stop_check_scope(lambda: False):
+                raise RuntimeError("boom")
+        assert installed_check() is None
+
+    def test_nested_scopes_restore_the_outer_check(self):
+        outer = lambda: False  # noqa: E731
+        inner = lambda: True  # noqa: E731
+        with stop_check_scope(outer):
+            with stop_check_scope(inner):
+                assert installed_check() is inner
+            assert installed_check() is outer
+        assert installed_check() is None
+
+
+class TestEngineLeavesTheGlobalClean:
+    def test_inline_solve_with_stop_quality(self):
+        problem = tiny_problem()
+        engine = ParallelSolveEngine(jobs=1, stop_quality=0.99)
+        engine.solve(problem, seeded_restarts("local", 2, CONFIG))
+        assert installed_check() is None
+
+    def test_inline_solve_that_raises(self):
+        problem = tiny_problem()
+        plan = FaultPlan(
+            entries=(FaultSpec(worker=0, attempt=0, kind="crash"),)
+        )
+        specs = tuple(
+            faulty_spec(i, s, plan)
+            for i, s in enumerate(seeded_restarts("local", 1, CONFIG))
+        )
+        engine = ParallelSolveEngine(jobs=1, stop_quality=0.99)
+        with pytest.raises(SearchError):
+            engine.solve(problem, specs)
+        assert installed_check() is None
+
+    def test_plain_inline_solve_installs_nothing(self):
+        problem = tiny_problem()
+        engine = ParallelSolveEngine(jobs=1)
+        engine.solve(problem, seeded_restarts("local", 1, CONFIG))
+        assert installed_check() is None

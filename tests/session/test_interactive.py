@@ -159,6 +159,70 @@ class TestFeedbackCommands:
         assert "error" in output[-1]
 
 
+class TestMalformedInput:
+    """Malformed lines print a usage hint; they never raise, never exit.
+
+    Regression tests for the crash class where ``weight coverage abc``
+    or a bare ``theta`` escaped ``handle()`` as a traceback.
+    """
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "pin",
+            "pin 3 4",
+            "unpin",
+            "theta",
+            "theta abc",
+            "theta 0.5 0.6",
+            "beta",
+            "beta x",
+            "budget",
+            "budget x",
+            "weight",
+            "weight coverage",
+            "weight coverage abc",
+            "weight coverage 0.5 extra",
+            "save",
+            "solve tabu extra",
+        ],
+    )
+    def test_bad_line_prints_usage_and_continues(self, console, line):
+        shell, output = console
+        assert shell.handle(line) is True
+        assert "bad arguments" in output[-1]
+        assert "usage:" in output[-1]
+
+    def test_accept_non_numeric_id(self, console):
+        shell, output = console
+        shell.handle("solve")
+        assert shell.handle("accept one") is True
+        assert "bad arguments" in output[-1]
+        assert "usage: accept <ga-number>" in output[-1]
+
+    def test_export_without_path(self, console):
+        shell, output = console
+        shell.handle("solve")
+        assert shell.handle("export") is True
+        assert "usage: export <file.json>" in output[-1]
+
+    def test_usage_hint_names_the_command_shape(self, console):
+        shell, output = console
+        shell.handle("weight coverage abc")
+        assert "weight <qef> <value>" in output[-1]
+        shell.handle("theta abc")
+        assert "theta <threshold>" in output[-1]
+
+    def test_session_state_is_untouched_by_bad_input(self, console):
+        shell, _ = console
+        theta = shell.session.theta
+        budget = shell.session.max_sources
+        shell.run(["theta abc", "budget x", "pin", "weight coverage"])
+        assert shell.session.theta == theta
+        assert shell.session.max_sources == budget
+        assert not shell.session.source_constraints
+
+
 class TestScriptedSession:
     def test_full_walkthrough(self, console):
         shell, output = console

@@ -91,6 +91,68 @@ class TestSessionPortfolio:
         assert session.explain() is iteration.explanation
 
 
+class TestSessionResilience:
+    def test_checkpoint_alone_implies_the_portfolio_path(self, tmp_path):
+        path = tmp_path / "solve.ckpt"
+        iteration = make_session().solve(checkpoint=str(path))
+        assert iteration.result.portfolio is not None
+        assert path.exists()
+
+    def test_checkpoint_resume_reproduces_the_solution(self, tmp_path):
+        path = tmp_path / "solve.ckpt"
+        first = make_session().solve(jobs=1, portfolio="local:2",
+                                     checkpoint=str(path))
+        second = make_session().solve(jobs=1, portfolio="local:2",
+                                      checkpoint=str(path))
+        assert second.solution.selected == first.solution.selected
+        assert second.solution.objective == first.solution.objective
+        assert second.result.portfolio.resumed_workers == 2
+
+    def test_retries_alone_imply_the_portfolio_path(self):
+        iteration = make_session().solve(retries=1)
+        assert iteration.result.portfolio is not None
+        assert iteration.result.portfolio.retries == 0
+
+    def test_worker_timeout_alone_implies_the_portfolio_path(self):
+        iteration = make_session().solve(worker_timeout=60.0)
+        assert iteration.result.portfolio is not None
+        assert iteration.result.portfolio.timeouts == 0
+
+
+class TestCliResilience:
+    def test_solve_checkpoint_twice_gives_identical_winners(
+        self, capsys, tmp_path
+    ):
+        path = str(tmp_path / "cli.ckpt")
+        args = [
+            "solve", "--sources", "25", "--choose", "5",
+            "--iterations", "10", "--jobs", "1", "--portfolio", "local:2",
+            "--checkpoint", path,
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+
+        def selected(text):
+            return [
+                line for line in text.splitlines()
+                if line.startswith("Selected sources") or "Q=" in line
+            ]
+
+        assert "[resumed]" in second
+        assert selected(first)[:1] == selected(second)[:1]
+
+    def test_retry_and_timeout_flags_are_accepted(self, capsys):
+        status = main([
+            "solve", "--sources", "25", "--choose", "5",
+            "--iterations", "10", "--jobs", "1",
+            "--worker-timeout", "120", "--retries", "2",
+        ])
+        assert status == 0
+        assert "portfolio:" in capsys.readouterr().out
+
+
 class TestCliPortfolio:
     def test_solve_prints_the_portfolio_table(self, capsys):
         status = main([
