@@ -32,6 +32,7 @@ from .parallel import (
 from .pso import ParticleSwarm
 from .random_search import RandomSearch
 from .resilience import (
+    ATTEMPT_PARAM,
     Checkpoint,
     ResilienceConfig,
     RetryPolicy,
@@ -126,6 +127,7 @@ def resolve_optimizer_class(name: str) -> type[Optimizer]:
 
 
 __all__ = [
+    "ATTEMPT_PARAM",
     "Checkpoint",
     "ExhaustiveSearch",
     "GreedySelector",

@@ -395,9 +395,10 @@ def resolve_portfolio(
 #: the one channel a ``ProcessPoolExecutor`` initializer can fill.
 _WORKER_CONTEXT: WorkerContext | None = None
 _WORKER_STOP = None
+_WORKER_STARTED = None
 
 
-def _worker_init(context: WorkerContext, stop_event) -> None:
+def _worker_init(context: WorkerContext, stop_event, started=None) -> None:
     """Pool initializer: receive the shared context, neutralize inherited state.
 
     Under ``fork`` the child starts as a byte-for-byte copy of the parent,
@@ -405,15 +406,20 @@ def _worker_init(context: WorkerContext, stop_event) -> None:
     thing a worker does is reset the process-global telemetry and event
     log to their no-ops.  The shared early-stop event (picklable only
     through ``initargs``, never through the task queue) becomes this
-    process's cooperative stop check.  The check stays installed for the
+    process's cooperative stop check.  ``started`` is the pool's shared
+    execution ledger (see :func:`_run_worker`): one slot per portfolio
+    worker, marked the moment an attempt actually begins executing, so
+    the parent can tell a hung worker from one that never left the
+    queue.  The check stays installed for the
     process's whole life *by design*: a pool worker process only ever
     runs :func:`_run_worker` tasks, so there is no later in-process solve
     to leak into (in-process code must use
     :func:`~repro.search.base.stop_check_scope` instead).
     """
-    global _WORKER_CONTEXT, _WORKER_STOP
+    global _WORKER_CONTEXT, _WORKER_STOP, _WORKER_STARTED
     _WORKER_CONTEXT = context
     _WORKER_STOP = stop_event
+    _WORKER_STARTED = started
     set_telemetry(None)
     from ..explain.events import set_event_log
 
@@ -445,16 +451,24 @@ def _hit_quality_bound(result: SearchResult, bound: float | None) -> bool:
     )
 
 
-def _run_worker(index: int, spec: WorkerSpec) -> dict:
+def _run_worker(index: int, spec: WorkerSpec, attempt: int = 0) -> dict:
     """Pool task: run one spec against the process-shared context.
 
     Returns a plain dict (cheap to pickle back): the result plus, when
     the parent traces, the worker's finished spans and metrics snapshot.
     Failures are caught and shipped home as strings so one bad worker
-    can never poison the pool protocol.
+    can never poison the pool protocol.  The first act is to mark
+    ``(index, attempt)`` as started in the shared ledger — a future can
+    sit RUNNING in the executor's call-queue buffer without any process
+    touching it, so this mark (not the future's state) is what tells the
+    parent a timed-out worker actually consumed its budget.
     """
     context = _WORKER_CONTEXT
     assert context is not None, "worker used before _worker_init ran"
+    if _WORKER_STARTED is not None:
+        with _WORKER_STARTED.get_lock():
+            if _WORKER_STARTED[index] < attempt + 1:
+                _WORKER_STARTED[index] = attempt + 1
     exporter = InMemoryExporter()
     telemetry = (
         Telemetry(exporters=[exporter]) if context.collect_telemetry else None
@@ -603,12 +617,23 @@ class _PortfolioRun:
             if entry.status == "ok":
                 if objective is None:
                     objective = self.context.build_objective()
-                solution = objective.evaluate(frozenset(entry.selection))
-                result = SearchResult(
-                    solution=solution,
-                    stats=SearchStats(**entry.stats),
-                    trajectory=tuple(entry.trajectory),
-                )
+                # The top-level version guard cannot vouch for per-worker
+                # payloads: a hand-edited snapshot, or one written by a
+                # build with different SearchStats fields, must surface
+                # as the SearchError contract, not a raw TypeError.
+                try:
+                    solution = objective.evaluate(frozenset(entry.selection))
+                    result = SearchResult(
+                        solution=solution,
+                        stats=SearchStats(**entry.stats),
+                        trajectory=tuple(entry.trajectory),
+                    )
+                except (TypeError, KeyError, ValueError, IndexError) as exc:
+                    raise SearchError(
+                        f"malformed checkpoint "
+                        f"{self.resilience.checkpoint}: cannot restore "
+                        f"worker {entry.index} ({exc})"
+                    ) from exc
                 outcome = WorkerOutcome(
                     index=entry.index,
                     label=spec.describe(),
@@ -776,9 +801,13 @@ class ParallelSolveEngine:
         field set to the run's :class:`PortfolioStats`.  When the
         resilience config names a checkpoint that already exists, the
         solve *resumes*: finished workers are restored from the snapshot
-        (their best solutions bit-identical, no re-search), the best
-        recorded selection warm-starts the remaining workers, and only
-        the unfinished work actually runs.
+        (their best solutions bit-identical, no re-search), and only the
+        unfinished work actually runs.  Unless the caller passed an
+        explicit ``initial`` (which always wins), the best recorded
+        selection warm-starts the remaining workers — so the killed
+        run's best-so-far is never lost, but the *pending* workers may
+        explore differently than the same solve left uninterrupted
+        would have (see docs/resilience.md for the exact contract).
         """
         specs = tuple(workers)
         if not specs:
@@ -807,7 +836,10 @@ class ParallelSolveEngine:
                         f"but this portfolio has {len(specs)}; resume needs "
                         f"the same portfolio the checkpoint was written for"
                     )
-                if resume.best_selection is not None:
+                if resume.best_selection is not None and initial is None:
+                    # Warm-start pending workers from the snapshot's
+                    # best — but an explicit caller `initial` always
+                    # wins over the checkpoint's.
                     initial = frozenset(resume.best_selection)
         context = WorkerContext(
             problem=problem,
@@ -1001,7 +1033,13 @@ class ParallelSolveEngine:
         Collection is round-based: each round submits every queued
         ``(worker, attempt)``, then collects in submission order with a
         per-worker wall-clock timeout.  Failed and timed-out workers are
-        requeued for the next round while their retry budget lasts.  A
+        requeued for the next round while their retry budget lasts; a
+        worker whose future times out *before it ever started running*
+        (pure queue wait) is requeued at the same attempt with no budget
+        charged.  A pool left holding a timed-out task that was already
+        executing is abandoned — replaced with a fresh pool for later
+        rounds and shut down without joining, so a genuinely hung worker
+        can delay the solve by at most one timeout, never block it.  A
         :class:`BrokenProcessPool` rebuilds the pool once (requeueing
         everything uncollected); if the rebuilt pool breaks too, the
         remaining workers degrade to the in-process path, so a solve
@@ -1024,8 +1062,14 @@ class ParallelSolveEngine:
         )
         rebuilds_left = self.resilience.pool_rebuilds
         leftovers: list[tuple[int, WorkerSpec, int]] = []
-        abandoned = False  # a timed-out task may still occupy a process
-        pool = self._new_pool(mp_context, run.context, stop_event)
+        # True while the *live* pool still hosts a timed-out task that
+        # was already executing when its future missed the deadline
+        # (future.cancel() cannot stop a running task).  Such a pool is
+        # never joined — shutdown(wait=True) would block on the hung
+        # task, possibly forever — and never reused: its slot is held
+        # hostage, which would starve every later round.
+        pool_hung = False
+        pool, started = self._new_pool(mp_context, run, stop_event)
         try:
             while pending:
                 batch = list(pending)
@@ -1047,19 +1091,21 @@ class ParallelSolveEngine:
                             if delay:
                                 time.sleep(delay)
                     try:
-                        futures.append(pool.submit(_run_worker, index, live))
+                        futures.append(
+                            pool.submit(_run_worker, index, live, attempt)
+                        )
                     except (BrokenProcessPool, RuntimeError):
                         # The pool died before this round even launched:
                         # nothing submitted this round can be trusted.
                         broken_at = 0
                         break
                 if broken_at is None:
-                    broken_at = self._collect_round(
+                    broken_at, abandoned = self._collect_round(
                         run, batch, futures, pending, timeout, policy,
-                        launch_offset,
+                        launch_offset, started,
                     )
-                    if broken_at is not None and timeout is not None:
-                        abandoned = True
+                    if abandoned:
+                        pool_hung = True
                 if broken_at is not None:
                     uncollected = batch[broken_at:]
                     pool.shutdown(wait=False, cancel_futures=True)
@@ -1068,18 +1114,33 @@ class ParallelSolveEngine:
                         run.pool_rebuilds += 1
                         run.requeues += len(uncollected)
                         pending = deque(uncollected) + pending
-                        pool = self._new_pool(
-                            mp_context, run.context, stop_event
+                        pool, started = self._new_pool(
+                            mp_context, run, stop_event
                         )
+                        pool_hung = False
                     else:
                         leftovers = list(uncollected) + list(pending)
                         run.requeues += len(uncollected)
                         pending = deque()
                         pool = None
                         break
+                elif pool_hung and pending:
+                    # Rotate away from the hostage pool so retries and
+                    # requeued bystanders run on fresh processes.  This
+                    # is a deliberate replacement, not breakage, so it
+                    # does not spend the BrokenProcessPool rebuild
+                    # budget — but it is still counted, because an
+                    # operator should see every pool the engine paid to
+                    # re-create.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    run.pool_rebuilds += 1
+                    pool, started = self._new_pool(
+                        mp_context, run, stop_event
+                    )
+                    pool_hung = False
         finally:
             if pool is not None:
-                pool.shutdown(wait=not abandoned, cancel_futures=True)
+                pool.shutdown(wait=not pool_hung, cancel_futures=True)
         if leftovers:
             self._finish_inline_fallback(run, leftovers, stop_event)
         return stop_event.is_set() if stop_event is not None else False
@@ -1093,20 +1154,46 @@ class ParallelSolveEngine:
         timeout: float | None,
         policy,
         launch_offset: float,
-    ) -> int | None:
+        started=None,
+    ) -> tuple[int | None, bool]:
         """Collect one round of futures in submission order.
 
-        Returns None when the whole round was collected, or the batch
-        slot at which a :class:`BrokenProcessPool` surfaced (everything
-        from that slot on is uncollected and must be requeued).
+        Returns ``(broken_at, abandoned)``: ``broken_at`` is None when
+        the whole round was collected, or the batch slot at which a
+        :class:`BrokenProcessPool` surfaced (everything from that slot
+        on is uncollected and must be requeued); ``abandoned`` is True
+        when a timed-out task still occupies the pool — running in one
+        of its processes, or parked in its call-queue buffer where a
+        cancel can no longer reach it — so the caller must neither join
+        nor reuse that pool.
         """
         telemetry = run.telemetry
+        abandoned = False
         for slot, future in enumerate(futures):
             index, spec, attempt = batch[slot]
             try:
                 payload = future.result(timeout=timeout)
             except FuturesTimeout:
-                future.cancel()
+                cancelled = future.cancel()
+                if started is not None and started[index] <= attempt:
+                    # The attempt never began executing — the clock
+                    # measured queue wait (e.g. behind a hung slot), not
+                    # this worker's work.  (The shared ledger is the
+                    # authority here: the future itself reads RUNNING as
+                    # soon as it enters the executor's call-queue
+                    # buffer, long before any process touches it.)
+                    # Innocent bystanders don't burn retry budget:
+                    # requeue at the same attempt, mirroring the
+                    # broken-pool policy.  If the cancel failed the task
+                    # is still buffered in this pool's call queue and
+                    # would eventually run there too — mark the pool
+                    # abandoned so the round rotates away from it.
+                    run.requeues += 1
+                    pending.append((index, spec, attempt))
+                    if not cancelled:
+                        abandoned = True
+                    continue
+                abandoned = True
                 run.timeouts += 1
                 error = f"timed out after {timeout}s"
                 if attempt < policy.max_retries:
@@ -1121,7 +1208,7 @@ class ParallelSolveEngine:
                     )
                 continue
             except BrokenProcessPool:
-                return slot
+                return slot, abandoned
             except Exception as exc:  # noqa: BLE001 - e.g. pickling errors
                 self._retry_or_finish(
                     run, pending, index, spec, attempt,
@@ -1144,7 +1231,7 @@ class ParallelSolveEngine:
                     index, spec, payload["result"], attempts=attempt + 1
                 )
             )
-        return None
+        return None, abandoned
 
     def _retry_or_finish(
         self,
@@ -1188,15 +1275,29 @@ class ParallelSolveEngine:
             self._run_inline_batch(run, items, flag, start_attempts)
 
     def _new_pool(
-        self, mp_context, context: WorkerContext, stop_event
-    ) -> ProcessPoolExecutor:
-        """A fresh worker pool wired to the shared context and stop event."""
-        return ProcessPoolExecutor(
+        self, mp_context, run: _PortfolioRun, stop_event
+    ) -> tuple[ProcessPoolExecutor, "object | None"]:
+        """A fresh worker pool plus its shared execution ledger.
+
+        The ledger (one int per portfolio worker, ``attempt + 1`` of the
+        highest attempt that actually began executing) is created with
+        the pool and shipped through ``initargs``, so it is scoped to
+        exactly this pool's processes — a rotated-away pool keeps
+        writing to its own ledger, never the replacement's.  Only built
+        when a worker timeout is configured; nothing else reads it.
+        """
+        started = (
+            mp_context.Array("i", len(run.specs))
+            if self.resilience.worker_timeout is not None
+            else None
+        )
+        pool = ProcessPoolExecutor(
             max_workers=self.jobs,
             mp_context=mp_context,
             initializer=_worker_init,
-            initargs=(context, stop_event),
+            initargs=(run.context, stop_event, started),
         )
+        return pool, started
 
     @staticmethod
     def _success(

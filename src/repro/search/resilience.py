@@ -52,6 +52,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 #: Checkpoint schema version; bumped on incompatible layout changes.
 CHECKPOINT_VERSION = 1
 
+#: Reserved spec-param key the engine rewrites to the current attempt
+#: number on every retry.  Deliberately collision-proof: a real
+#: optimizer constructor param named ``attempt`` must never be clobbered
+#: by the retry machinery, so the contract uses a dunder name no
+#: ordinary optimizer would claim.
+ATTEMPT_PARAM = "__attempt__"
+
 _MASK64 = (1 << 64) - 1
 
 #: Derived seeds stay below 2**63 so numpy's ``default_rng`` accepts them
@@ -186,15 +193,17 @@ def respec_for_attempt(
 
     Attempt 0 is the caller's spec verbatim.  Retries rewrite two things,
     both deterministically: the optimizer seed (only under ``reseed``,
-    via :func:`derive_worker_seed`), and any constructor param literally
-    named ``"attempt"`` — the installation contract the fault-injection
-    harness (:mod:`repro.testing.faults`) uses to key faults on
-    ``(worker_index, attempt)`` without the engine knowing about faults.
+    via :func:`derive_worker_seed`), and any constructor param keyed on
+    the reserved :data:`ATTEMPT_PARAM` name — the installation contract
+    the fault-injection harness (:mod:`repro.testing.faults`) uses to
+    key faults on ``(worker_index, attempt)`` without the engine knowing
+    about faults.  Ordinary params — including one a real optimizer
+    happens to call ``attempt`` — pass through untouched.
     """
     if attempt <= 0:
         return spec
     params = tuple(
-        (key, attempt if key == "attempt" else value)
+        (key, attempt if key == ATTEMPT_PARAM else value)
         for key, value in spec.params
     )
     config = spec.config
@@ -416,6 +425,7 @@ def load_checkpoint(path: str | Path) -> Checkpoint | None:
 
 
 __all__ = [
+    "ATTEMPT_PARAM",
     "CHECKPOINT_VERSION",
     "Checkpoint",
     "ResilienceConfig",

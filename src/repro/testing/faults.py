@@ -20,8 +20,10 @@ exist:
   ``spawn`` child — a fresh interpreter that never saw the parent's
   runtime state — imports this module and finds it.
 
-* On retry, the engine rewrites any spec param literally named
-  ``"attempt"`` to the current attempt number
+* On retry, the engine rewrites the reserved
+  :data:`~repro.search.resilience.ATTEMPT_PARAM` spec param
+  (``"__attempt__"`` — collision-proof, so a real optimizer's own
+  ``attempt`` param is never touched) to the current attempt number
   (:func:`~repro.search.resilience.respec_for_attempt`).  The wrapper
   keys its plan lookup on that param, which is how "crash on attempt 0,
   succeed on attempt 1" is expressible.
@@ -56,6 +58,7 @@ from ..exceptions import SearchError
 from ..quality.overall import Objective
 from .. import search as _search
 from ..search.base import Optimizer, OptimizerConfig, SearchResult
+from ..search.resilience import ATTEMPT_PARAM
 
 #: The dotted optimizer name :func:`faulty_spec` installs.
 FAULTY_OPTIMIZER = "repro.testing.faults:FaultyOptimizer"
@@ -143,12 +146,13 @@ class FaultyOptimizer(Optimizer):
     """Wraps a real optimizer and fires the planned fault first.
 
     Constructed inside the worker from spec params: the plan, the
-    worker's index, the current attempt (rewritten by the engine on
-    every retry), and the registry name of the optimizer to delegate to
-    once no fault fires.  The delegate runs with this wrapper's config,
-    so a clean attempt is *exactly* the run the unwrapped spec would
-    have produced — which is what lets tests assert faulted and
-    unfaulted portfolios converge on identical winners.
+    worker's index, the current attempt (arriving through the reserved
+    ``__attempt__`` param the engine rewrites on every retry), and the
+    registry name of the optimizer to delegate to once no fault fires.
+    The delegate runs with this wrapper's config, so a clean attempt is
+    *exactly* the run the unwrapped spec would have produced — which is
+    what lets tests assert faulted and unfaulted portfolios converge on
+    identical winners.
     """
 
     name = "faulty"
@@ -158,13 +162,13 @@ class FaultyOptimizer(Optimizer):
         config: OptimizerConfig | None = None,
         plan: FaultPlan = FaultPlan(),
         worker_index: int = 0,
-        attempt: int = 0,
         inner: str = "local",
+        __attempt__: int = 0,
     ):
         super().__init__(config)
         self.plan = plan
         self.worker_index = worker_index
-        self.attempt = attempt
+        self.attempt = __attempt__
         self.inner = inner
 
     def _optimize(
@@ -204,7 +208,8 @@ def faulty_spec(index: int, spec, plan: FaultPlan):
     :class:`FaultyOptimizer` with the original optimizer as its
     delegate.  ``index`` must be the worker's position in the portfolio
     — the plan is keyed on it, and the engine's retry respec keeps the
-    ``"attempt"`` param current.
+    reserved :data:`~repro.search.resilience.ATTEMPT_PARAM` param
+    current.
     """
     return replace(
         spec,
@@ -213,7 +218,7 @@ def faulty_spec(index: int, spec, plan: FaultPlan):
         + (
             ("plan", plan),
             ("worker_index", index),
-            ("attempt", 0),
+            (ATTEMPT_PARAM, 0),
             ("inner", spec.optimizer),
         ),
     )

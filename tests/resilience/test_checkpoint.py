@@ -11,11 +11,14 @@ from repro.search import (
     ParallelSolveEngine,
     ResilienceConfig,
     WorkerProgress,
+    WorkerSpec,
     load_checkpoint,
     problem_fingerprint,
+    resolve_optimizer_class,
     seeded_restarts,
     write_checkpoint,
 )
+from repro.search.base import Optimizer
 
 from .conftest import CONFIG
 from ..search.test_optimizers import tiny_problem
@@ -230,3 +233,101 @@ class TestSolveCheckpointing:
             engine(path).solve(
                 problem, seeded_restarts("tabu", 2, CONFIG)
             )
+
+    @pytest.mark.parametrize(
+        "bad_stats", [None, {"bogus": 1}], ids=["null", "wrong-fields"]
+    )
+    def test_malformed_worker_payload_raises_search_error(
+        self, problem, tmp_path, bad_stats
+    ):
+        """A torn per-worker payload keeps the SearchError contract.
+
+        The version guard only vouches for the top-level layout; an
+        ``ok`` entry whose stats were hand-edited (or written by a build
+        with different SearchStats fields) must surface as a
+        SearchError naming the worker, not a raw TypeError.
+        """
+        path = tmp_path / "solve.ckpt"
+        specs = seeded_restarts("local", 2, CONFIG)
+        engine(path).solve(problem, specs)
+        complete = load_checkpoint(path)
+        mangled = tuple(
+            replace(entry, stats=bad_stats) if entry.index == 0 else entry
+            for entry in complete.workers
+        )
+        write_checkpoint(path, replace(complete, workers=mangled))
+        with pytest.raises(SearchError, match="restore worker 0"):
+            engine(path).solve(problem, specs)
+
+
+class ProbeOptimizer(Optimizer):
+    """Records the warm-start each solve hands its workers.
+
+    A real optimizer installed by dotted path
+    (``tests.resilience.test_checkpoint:ProbeOptimizer``), delegating
+    to ``local`` so its results are genuine.  Inline (``jobs=1``)
+    solves construct it in-process, so the recorded ``initial`` values
+    are visible to the test.
+    """
+
+    name = "initial-probe"
+    seen: list = []
+
+    def _optimize(self, objective, initial=None):
+        ProbeOptimizer.seen.append(initial)
+        cls = resolve_optimizer_class("local")
+        return cls(self.config).optimize(objective, initial=initial)
+
+
+class TestResumeWarmStart:
+    """An explicit caller ``initial`` must survive a resume.
+
+    Warm-starting pending workers from the snapshot's best selection is
+    the default — but only a default: the checkpoint must never
+    override what the caller asked for.
+    """
+
+    def _probe_resume(self, problem, tmp_path, initial):
+        path = tmp_path / "solve.ckpt"
+        specs = tuple(
+            WorkerSpec(
+                optimizer="tests.resilience.test_checkpoint:ProbeOptimizer",
+                config=spec.config,
+                label=spec.label,
+            )
+            for spec in seeded_restarts("local", 2, CONFIG)
+        )
+        engine(path).solve(problem, specs)
+        complete = load_checkpoint(path)
+        rewound = tuple(
+            (
+                replace(
+                    entry,
+                    status="pending",
+                    attempts=0,
+                    selection=None,
+                    stats=None,
+                    trajectory=(),
+                )
+                if entry.index == 1
+                else entry
+            )
+            for entry in complete.workers
+        )
+        write_checkpoint(path, replace(complete, workers=rewound))
+        ProbeOptimizer.seen.clear()
+        engine(path).solve(problem, specs, initial=initial)
+        return list(ProbeOptimizer.seen), complete.best_selection
+
+    def test_checkpoint_best_warm_starts_by_default(
+        self, problem, tmp_path
+    ):
+        seen, best = self._probe_resume(problem, tmp_path, initial=None)
+        assert seen == [frozenset(best)]
+
+    def test_explicit_caller_initial_wins_over_the_checkpoint(
+        self, problem, tmp_path
+    ):
+        mine = frozenset({0})
+        seen, _ = self._probe_resume(problem, tmp_path, initial=mine)
+        assert seen == [mine]

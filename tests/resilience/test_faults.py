@@ -13,6 +13,7 @@ from repro.testing import (
     faulty_spec,
     seeded_faults,
 )
+from repro.search.resilience import ATTEMPT_PARAM
 from repro.testing.faults import FAULTY_OPTIMIZER
 
 from .conftest import CONFIG
@@ -61,7 +62,7 @@ class TestFaultySpec:
         params = dict(wrapped.params)
         assert params["inner"] == "tabu"
         assert params["worker_index"] == 1
-        assert params["attempt"] == 0
+        assert params[ATTEMPT_PARAM] == 0
         assert wrapped.config == spec.config
 
     def test_clean_wrapper_reproduces_the_unwrapped_run(self):
@@ -101,6 +102,6 @@ class TestFaultySpec:
             entries=(FaultSpec(worker=0, attempt=1, kind="crash"),)
         )
         result = FaultyOptimizer(
-            CONFIG, plan=plan, attempt=0, inner="local"
+            CONFIG, plan=plan, inner="local", **{ATTEMPT_PARAM: 0}
         ).optimize(objective)
         assert result.solution.selected

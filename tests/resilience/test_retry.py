@@ -11,7 +11,7 @@ from repro.search import (
     derive_worker_seed,
     seeded_restarts,
 )
-from repro.search.resilience import respec_for_attempt
+from repro.search.resilience import ATTEMPT_PARAM, respec_for_attempt
 from repro.testing import FaultPlan, FaultSpec, faulty_spec
 
 from .conftest import CONFIG
@@ -74,7 +74,18 @@ class TestRespec:
         spec = seeded_restarts("tabu", 1, CONFIG)[0]
         spec = faulty_spec(0, spec, FaultPlan())
         live = respec_for_attempt(spec, 0, 3, reseed=False)
-        assert dict(live.params)["attempt"] == 3
+        assert dict(live.params)[ATTEMPT_PARAM] == 3
+
+    def test_ordinary_attempt_param_is_not_clobbered(self):
+        # An optimizer whose constructor legitimately takes a param
+        # named "attempt" must keep its value through a retry respec —
+        # only the reserved ATTEMPT_PARAM key belongs to the engine.
+        from dataclasses import replace
+
+        spec = seeded_restarts("tabu", 1, CONFIG)[0]
+        spec = replace(spec, params=(("attempt", 7),))
+        live = respec_for_attempt(spec, 0, 3, reseed=False)
+        assert dict(live.params)["attempt"] == 7
 
 
 class TestRetryPolicy:

@@ -111,6 +111,67 @@ class TestPoolTimeout:
         assert result.portfolio.workers[1].ok
 
 
+class TestAbandonedPool:
+    def test_hung_worker_never_blocks_the_solve(self, problem, start_method):
+        """A running task that misses its deadline must not be joined.
+
+        ``future.cancel()`` cannot stop an already-executing task, so
+        the engine abandons the pool instead of waiting on it: the solve
+        has to return in roughly one timeout, not one hang.  (Before the
+        fix, the final ``shutdown(wait=True)`` joined the hung process —
+        a genuinely hung worker blocked the solve forever.)
+        """
+        import time
+
+        hang = 4.0
+        specs = seeded_restarts("local", 2, CONFIG)
+        plan = hang_plan((0, 0), seconds=hang)
+        resilience = ResilienceConfig(worker_timeout=0.3)
+        started = time.monotonic()
+        result = ParallelSolveEngine(
+            jobs=2, start_method=start_method, resilience=resilience
+        ).solve(problem, faulted_portfolio(specs, plan))
+        elapsed = time.monotonic() - started
+        assert elapsed < hang - 1.0
+        assert result.portfolio.workers[0].timed_out
+        assert result.portfolio.workers[1].ok
+
+    def test_queue_waiters_do_not_burn_retry_budget(
+        self, problem, start_method
+    ):
+        """Workers stuck *behind* hung slots are bystanders, not failures.
+
+        Both pool slots hang, so worker 2 never starts before its
+        future's deadline passes.  Its cancel succeeds, which proves the
+        clock measured queue wait — it is requeued at the same attempt
+        (no timeout recorded, no retry spent), the hostage pool is
+        rotated out, and every worker still converges on the clean
+        run's answer.
+        """
+        specs = seeded_restarts("local", 3, CONFIG)
+        plan = hang_plan((0, 0), (1, 0), seconds=5.0)
+        resilience = ResilienceConfig(
+            worker_timeout=1.0, retry=RetryPolicy(max_retries=1)
+        )
+        clean = ParallelSolveEngine(
+            jobs=2, start_method=start_method
+        ).solve(problem, specs)
+        result = ParallelSolveEngine(
+            jobs=2, start_method=start_method, resilience=resilience
+        ).solve(problem, faulted_portfolio(specs, plan))
+        assert all(o.ok for o in result.portfolio.workers)
+        # Only the two genuinely hung attempts count as timeouts/retries;
+        # the bystander rides the requeue path and keeps attempt 0.
+        assert result.portfolio.timeouts == 2
+        assert result.portfolio.retries == 2
+        assert result.portfolio.requeues >= 1
+        assert result.portfolio.workers[2].attempts == 1
+        # The pool holding the hung tasks was rotated, not reused.
+        assert result.portfolio.pool_rebuilds >= 1
+        assert result.solution.selected == clean.solution.selected
+        assert result.solution.objective == clean.solution.objective
+
+
 class TestTimeoutValidation:
     def test_nonpositive_timeout_is_rejected(self):
         from repro.exceptions import SearchError
