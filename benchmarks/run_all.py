@@ -9,11 +9,18 @@ take down the rest, and every report lands as a separate artifact::
 is what CI runs; ``--scale paper`` reproduces the paper's figures on a
 workstation.  ``mube figures BENCH_fig5_universe_size.json`` renders a
 report afterwards.
+
+Besides the per-suite reports, a ``BENCH_index.json`` manifest is
+written to the output directory mapping every suite to its report path,
+exit status and scale — the entry point for tooling (notably
+``benchmarks/track.py``) that wants the run's reports without
+re-discovering them by glob.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import subprocess
 import sys
@@ -32,11 +39,16 @@ def discover(only: str | None) -> list[Path]:
     return benches
 
 
+def report_path(bench: Path, out_dir: Path) -> Path:
+    """Where ``run_bench`` writes this suite's JSON report."""
+    return out_dir / f"BENCH_{bench.stem.removeprefix('bench_')}.json"
+
+
 def run_bench(
     bench: Path, out_dir: Path, scale: str, extra_args: list[str]
 ) -> tuple[int, float]:
     """Run one bench suite; returns (exit status, elapsed seconds)."""
-    report = out_dir / f"BENCH_{bench.stem.removeprefix('bench_')}.json"
+    report = report_path(bench, out_dir)
     env = dict(os.environ)
     env["MUBE_BENCH_SCALE"] = scale
     src = str(REPO_ROOT / "src")
@@ -86,6 +98,7 @@ def main(argv: list[str] | None = None) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
 
     failures: list[str] = []
+    suites: list[dict[str, object]] = []
     for i, bench in enumerate(benches, start=1):
         print(
             f"[{i}/{len(benches)}] {bench.stem} (scale={args.scale})",
@@ -96,7 +109,25 @@ def main(argv: list[str] | None = None) -> int:
         print(f"    {verdict} in {elapsed:.1f}s", flush=True)
         if status != 0:
             failures.append(bench.stem)
+        report = report_path(bench, out_dir)
+        suites.append(
+            {
+                "suite": bench.stem,
+                "report": report.name,
+                "exists": report.exists(),
+                "status": status,
+                "elapsed_seconds": round(elapsed, 3),
+            }
+        )
 
+    manifest = {
+        "scale": args.scale,
+        "suites": suites,
+        "failures": failures,
+    }
+    (out_dir / "BENCH_index.json").write_text(
+        json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+    )
     print(
         f"\n{len(benches) - len(failures)}/{len(benches)} suites passed; "
         f"reports in {out_dir}"

@@ -1,0 +1,207 @@
+"""Performance-regression tracking over ``BENCH_*.json`` reports.
+
+``run_all.py`` leaves one pytest-benchmark JSON report per suite plus a
+``BENCH_index.json`` manifest.  This tool folds those reports into an
+append-only history file (``BENCH_history.jsonl``, one run per line) and
+compares the fresh run against the **rolling median** of each
+benchmark's prior entries::
+
+    PYTHONPATH=src python benchmarks/run_all.py --scale smoke --out-dir reports
+    python benchmarks/track.py --reports-dir reports
+
+Each benchmark is keyed ``suite::test_name`` and tracked by its
+``stats.mean`` seconds.  A benchmark regresses when its new mean exceeds
+the median of its last ``--window`` recorded means by more than
+``--threshold`` (a fraction: 0.5 means "50% slower").  Regressions make
+the exit status non-zero, which is how CI gates on it; a history with no
+prior entries (first run ever, or a brand-new benchmark) can never gate,
+so the tracker is safe to enable from day one.
+
+The median-over-window baseline makes the gate robust to single noisy
+runs on shared CI hardware: one slow outlier neither trips the gate on
+the next run (the median absorbs it) nor poisons the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+#: Manifest and history files are never themselves benchmark reports.
+NON_REPORT_NAMES = {"BENCH_index.json", "BENCH_history.jsonl"}
+
+
+def discover_reports(reports_dir: Path) -> list[Path]:
+    """The report files to ingest, manifest first, glob as fallback.
+
+    The ``BENCH_index.json`` manifest (written by ``run_all.py``) names
+    exactly the reports of one run — preferred, because a directory can
+    accumulate stale reports from earlier invocations.  Without a
+    manifest, every ``BENCH_*.json`` in the directory is taken.
+    """
+    manifest = reports_dir / "BENCH_index.json"
+    if manifest.exists():
+        index = json.loads(manifest.read_text(encoding="utf-8"))
+        reports = [
+            reports_dir / entry["report"]
+            for entry in index.get("suites", [])
+            if entry.get("exists", True)
+        ]
+        return [report for report in reports if report.exists()]
+    return [
+        path
+        for path in sorted(reports_dir.glob("BENCH_*.json"))
+        if path.name not in NON_REPORT_NAMES
+    ]
+
+
+def extract_means(report: Path) -> dict[str, float]:
+    """``suite::benchmark`` → mean seconds from one pytest-benchmark file."""
+    suite = report.stem.removeprefix("BENCH_")
+    data = json.loads(report.read_text(encoding="utf-8"))
+    means: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        if "mean" not in stats:
+            continue
+        means[f"{suite}::{bench['name']}"] = float(stats["mean"])
+    return means
+
+
+def load_history(path: Path) -> list[dict]:
+    """Prior runs, oldest first; malformed lines are skipped."""
+    if not path.exists():
+        return []
+    entries = []
+    with path.open(encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and isinstance(
+                entry.get("results"), dict
+            ):
+                entries.append(entry)
+    return entries
+
+
+def baseline_for(
+    history: list[dict], key: str, window: int
+) -> float | None:
+    """Rolling-median baseline: median mean over the last ``window`` runs."""
+    values = [
+        float(entry["results"][key])
+        for entry in history
+        if key in entry["results"]
+    ]
+    if not values:
+        return None
+    return statistics.median(values[-window:])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="record BENCH_*.json means and gate on regressions"
+    )
+    parser.add_argument(
+        "--reports-dir", default=str(BENCH_DIR),
+        help="directory holding BENCH_*.json (default: benchmarks/)",
+    )
+    parser.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="history JSONL (default: <reports-dir>/BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=5,
+        help="prior runs in the rolling-median baseline (default: 5)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="gate when mean exceeds baseline by this fraction "
+             "(default: 0.5 = 50%% slower)",
+    )
+    parser.add_argument(
+        "--record-only", action="store_true",
+        help="append to the history but never gate (exit 0)",
+    )
+    args = parser.parse_args(argv)
+
+    reports_dir = Path(args.reports_dir).resolve()
+    history_path = (
+        Path(args.history)
+        if args.history
+        else reports_dir / "BENCH_history.jsonl"
+    )
+
+    reports = discover_reports(reports_dir)
+    if not reports:
+        print(f"no BENCH_*.json reports in {reports_dir}", file=sys.stderr)
+        return 2
+    results: dict[str, float] = {}
+    for report in reports:
+        try:
+            results.update(extract_means(report))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            print(f"skipping unreadable report {report}: {exc}",
+                  file=sys.stderr)
+    if not results:
+        print("reports carried no benchmark stats", file=sys.stderr)
+        return 2
+
+    history = load_history(history_path)
+
+    regressions: list[str] = []
+    width = max(len(key) for key in results)
+    print(f"{'benchmark':<{width}} {'baseline':>12} {'mean':>12} {'delta':>8}")
+    for key in sorted(results):
+        mean = results[key]
+        baseline = baseline_for(history, key, args.window)
+        if baseline is None:
+            print(f"{key:<{width}} {'(new)':>12} {mean:>12.6f} {'—':>8}")
+            continue
+        delta = (mean - baseline) / baseline if baseline else 0.0
+        flag = ""
+        if delta > args.threshold:
+            regressions.append(key)
+            flag = "  << REGRESSION"
+        print(
+            f"{key:<{width}} {baseline:>12.6f} {mean:>12.6f} "
+            f"{delta:>+7.1%}{flag}"
+        )
+
+    entry = {
+        "when": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "results": results,
+    }
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with history_path.open("a", encoding="utf-8") as stream:
+        stream.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(
+        f"\nrecorded {len(results)} benchmarks to {history_path} "
+        f"({len(history)} prior runs)"
+    )
+
+    if args.record_only:
+        return 0
+    if regressions:
+        print(
+            f"{len(regressions)} regression(s) past "
+            f"{args.threshold:.0%} threshold: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ The core subcommands::
     mube optimizers              # compare all optimizers on one instance
     mube explain [options]       # solve and explain *why* the answer is so
     mube trace-report FILE       # analyse a --trace JSON-lines file offline
+    mube runs [show ID]          # list or inspect the persistent run registry
 
 The CLI is a thin veneer over the :class:`repro.Session` API; everything it
 does can be done programmatically (see ``examples/``).
@@ -130,6 +131,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a provenance report to FILE "
              "(.json → JSON, .md → markdown, otherwise text)",
     )
+    solve.add_argument(
+        "--progress", action="store_true",
+        help="render a live in-place status line (workers alive/retrying/"
+             "timed-out, global best, elapsed) on stderr while solving; "
+             "runs the solve through the portfolio engine (observation "
+             "only — the answer is bit-identical)",
+    )
     add_telemetry_args(solve)
     solve.set_defaults(handler=run_solve)
 
@@ -165,6 +173,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="span-tree depth limit (with --tree)",
     )
     trace_report.set_defaults(handler=run_trace_report)
+
+    runs = sub.add_parser(
+        "runs",
+        help="list the persistent run registry (.mube/runs.jsonl)",
+    )
+    runs.add_argument(
+        "--path", metavar="FILE",
+        help="registry file (default: $MUBE_RUNS_PATH or .mube/runs.jsonl)",
+    )
+    runs.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="show only the newest N records (default 20; 0 = all)",
+    )
+    runs.add_argument(
+        "--status", choices=["ok", "failed"],
+        help="only records with this final status",
+    )
+    runs.add_argument(
+        "--contains", metavar="TEXT", dest="command_filter",
+        help="only records whose command contains TEXT",
+    )
+    runs.set_defaults(handler=run_runs)
+    runs_sub = runs.add_subparsers(dest="runs_command")
+    runs_show = runs_sub.add_parser(
+        "show", help="render one run record (per-worker table, counters)"
+    )
+    runs_show.add_argument(
+        "run_id", help="run id, or any unique prefix of one"
+    )
+    runs_show.add_argument(
+        "--path", metavar="FILE",
+        help="registry file (default: $MUBE_RUNS_PATH or .mube/runs.jsonl)",
+    )
+    runs_show.set_defaults(handler=run_runs_show)
 
     compare = sub.add_parser(
         "optimizers", help="compare all optimizers on one instance"
@@ -276,15 +318,25 @@ def run_solve(args: argparse.Namespace) -> int:
             max_iterations=args.iterations, seed=args.seed
         ),
     )
-    iteration = session.solve(
-        explain=bool(args.explain),
-        jobs=args.jobs,
-        portfolio=args.portfolio,
-        stop_quality=args.stop_quality,
-        checkpoint=args.checkpoint,
-        worker_timeout=args.worker_timeout,
-        retries=args.retries,
-    )
+    printer = None
+    if args.progress:
+        from .telemetry.observatory import ProgressPrinter
+
+        printer = ProgressPrinter()
+    try:
+        iteration = session.solve(
+            explain=bool(args.explain),
+            jobs=args.jobs,
+            portfolio=args.portfolio,
+            stop_quality=args.stop_quality,
+            checkpoint=args.checkpoint,
+            worker_timeout=args.worker_timeout,
+            retries=args.retries,
+            on_progress=printer,
+        )
+    finally:
+        if printer is not None:
+            printer.close()
     print(render_solution(iteration.solution, workload.universe))
     stats = iteration.result.stats
     portfolio = iteration.result.portfolio
@@ -344,6 +396,8 @@ def run_trace_report(args: argparse.Namespace) -> int:
     """Analyse a ``--trace`` JSON-lines file offline."""
     from .telemetry import render_trace_report
 
+    import json
+
     try:
         report = render_trace_report(
             args.trace_file, tree=args.tree, max_depth=args.max_depth
@@ -351,7 +405,70 @@ def run_trace_report(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"error: cannot read trace file: {exc}", file=sys.stderr)
         return 2
+    except json.JSONDecodeError as exc:
+        print(
+            f"error: {args.trace_file} is not a JSON-lines trace file "
+            f"({exc})",
+            file=sys.stderr,
+        )
+        return 2
     print(report, end="")
+    return 0
+
+
+def _registry_for_args(args: argparse.Namespace):
+    """The run registry named by ``--path`` / env / the default location."""
+    import os
+
+    from .telemetry.observatory import (
+        DEFAULT_RUNS_PATH,
+        RUNS_PATH_ENV,
+        RunRegistry,
+    )
+
+    path = (
+        getattr(args, "path", None)
+        or os.environ.get(RUNS_PATH_ENV)
+        or DEFAULT_RUNS_PATH
+    )
+    return RunRegistry(path)
+
+
+def run_runs(args: argparse.Namespace) -> int:
+    """List the run registry, newest last."""
+    from .telemetry.observatory import render_runs_table
+
+    registry = _registry_for_args(args)
+    records = registry.load(
+        limit=args.limit if args.limit else None,
+        status=args.status,
+        command=args.command_filter,
+    )
+    if not records and not registry.path.exists():
+        print(f"no run registry at {registry.path} (nothing recorded yet)")
+        return 0
+    print(render_runs_table(records))
+    if registry.skipped_lines:
+        print(
+            f"({registry.skipped_lines} malformed line(s) skipped)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def run_runs_show(args: argparse.Namespace) -> int:
+    """Render one run record in full."""
+    from .telemetry.observatory import render_run_record
+
+    registry = _registry_for_args(args)
+    record = registry.find(args.run_id)
+    if record is None:
+        print(
+            f"error: no run matching {args.run_id!r} in {registry.path}",
+            file=sys.stderr,
+        )
+        return 1
+    print(render_run_record(record))
     return 0
 
 

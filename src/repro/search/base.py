@@ -35,6 +35,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 #: processes) or to a local flag (in-process portfolios).
 _stop_check: Callable[[], bool] | None = None
 
+#: Process-global progress hook, the observational sibling of
+#: :data:`_stop_check`.  ``None`` outside observed runs — the default — so
+#: plain solves never pay for it.  The parallel engine installs a
+#: :class:`~repro.telemetry.observatory.HeartbeatEmitter` here for the
+#: duration of one worker attempt; :func:`score_candidates` shows it each
+#: scored batch.  The hook only *sees* already-computed solutions and must
+#: never mutate them, so installing one cannot change a solve's result.
+_progress_hook: Callable[[Sequence[Solution]], None] | None = None
+
 
 def install_stop_check(check: Callable[[], bool] | None):
     """Install (or clear, with ``None``) the cooperative stop signal.
@@ -73,6 +82,45 @@ def stop_check_scope(
         yield previous
     finally:
         install_stop_check(previous)
+
+
+def install_progress_hook(
+    hook: Callable[[Sequence[Solution]], None] | None,
+):
+    """Install (or clear, with ``None``) the candidate-batch progress hook.
+
+    Returns the previously installed hook so nested scopes can restore
+    it.  The hook is called by :func:`score_candidates` with each scored
+    batch — every optimizer routes its neighborhoods through there, so no
+    optimizer loop needs to know heartbeats exist.  Hook exceptions are
+    swallowed at the call site: observation must never sink a solve.
+    """
+    global _progress_hook
+    previous = _progress_hook
+    _progress_hook = hook
+    return previous
+
+
+def clear_progress_hook() -> None:
+    """Remove any installed progress hook."""
+    install_progress_hook(None)
+
+
+@contextmanager
+def progress_hook_scope(
+    hook: Callable[[Sequence[Solution]], None] | None,
+) -> Iterator[Callable[[Sequence[Solution]], None] | None]:
+    """Install a progress hook for the duration of a block.
+
+    Mirrors :func:`stop_check_scope`: the previous hook is restored no
+    matter how the block ends, so a crashing worker attempt cannot leak
+    its emitter into later solves in the same process.
+    """
+    previous = install_progress_hook(hook)
+    try:
+        yield previous
+    finally:
+        install_progress_hook(previous)
 
 
 @dataclass(frozen=True, slots=True)
@@ -362,8 +410,21 @@ def score_candidates(
     if batch:
         evaluate_batch = getattr(objective, "evaluate_batch", None)
         if evaluate_batch is not None:
-            return evaluate_batch(selections)
-    return [objective.evaluate(selection) for selection in selections]
+            solutions = evaluate_batch(selections)
+        else:
+            solutions = [
+                objective.evaluate(selection) for selection in selections
+            ]
+    else:
+        solutions = [
+            objective.evaluate(selection) for selection in selections
+        ]
+    if _progress_hook is not None:
+        try:
+            _progress_hook(solutions)
+        except Exception:  # noqa: BLE001 - observation must not sink solves
+            pass
+    return solutions
 
 
 def best_of(solutions: Sequence[Solution]) -> Solution:

@@ -67,6 +67,8 @@ Design points:
 from __future__ import annotations
 
 import multiprocessing
+import queue as queue_module
+import threading
 import time
 from collections import deque
 from collections.abc import Iterable, Mapping, Sequence
@@ -85,11 +87,19 @@ from ..telemetry import (
     get_telemetry,
     set_telemetry,
 )
+from ..telemetry.observatory.heartbeat import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    HEARTBEAT_QUEUE_SIZE,
+    HeartbeatEmitter,
+    queue_sink,
+)
+from ..telemetry.observatory.status import RunStatus
 from .base import (
     OptimizerConfig,
     SearchResult,
     SearchStats,
     install_stop_check,
+    progress_hook_scope,
     stop_check_scope,
 )
 from .resilience import (
@@ -236,6 +246,7 @@ class WorkerContext:
         initial: frozenset[int] | None = None,
         stop_quality: float | None = None,
         collect_telemetry: bool = False,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
     ):
         self.problem = problem
         self.similarity = similarity
@@ -243,6 +254,7 @@ class WorkerContext:
         self.initial = initial
         self.stop_quality = stop_quality
         self.collect_telemetry = collect_telemetry
+        self.heartbeat_interval = heartbeat_interval
 
     def build_objective(self) -> Objective:
         """A fresh objective compiled from the shipped problem."""
@@ -260,9 +272,11 @@ class WorkerContext:
             "initial": self.initial,
             "stop_quality": self.stop_quality,
             "collect_telemetry": self.collect_telemetry,
+            "heartbeat_interval": self.heartbeat_interval,
         }
 
     def __setstate__(self, state: dict) -> None:
+        state.setdefault("heartbeat_interval", DEFAULT_HEARTBEAT_INTERVAL)
         self.__dict__.update(state)
 
     def __repr__(self) -> str:
@@ -396,9 +410,12 @@ def resolve_portfolio(
 _WORKER_CONTEXT: WorkerContext | None = None
 _WORKER_STOP = None
 _WORKER_STARTED = None
+_WORKER_HEARTBEATS = None
 
 
-def _worker_init(context: WorkerContext, stop_event, started=None) -> None:
+def _worker_init(
+    context: WorkerContext, stop_event, started=None, heartbeats=None
+) -> None:
     """Pool initializer: receive the shared context, neutralize inherited state.
 
     Under ``fork`` the child starts as a byte-for-byte copy of the parent,
@@ -410,16 +427,21 @@ def _worker_init(context: WorkerContext, stop_event, started=None) -> None:
     execution ledger (see :func:`_run_worker`): one slot per portfolio
     worker, marked the moment an attempt actually begins executing, so
     the parent can tell a hung worker from one that never left the
-    queue.  The check stays installed for the
+    queue.  ``heartbeats`` is the engine's bounded heartbeat queue (see
+    :mod:`repro.telemetry.observatory.heartbeat`), present only on
+    observed solves; each :func:`_run_worker` attempt installs a scoped
+    emitter over it.  The check stays installed for the
     process's whole life *by design*: a pool worker process only ever
     runs :func:`_run_worker` tasks, so there is no later in-process solve
     to leak into (in-process code must use
     :func:`~repro.search.base.stop_check_scope` instead).
     """
     global _WORKER_CONTEXT, _WORKER_STOP, _WORKER_STARTED
+    global _WORKER_HEARTBEATS
     _WORKER_CONTEXT = context
     _WORKER_STOP = stop_event
     _WORKER_STARTED = started
+    _WORKER_HEARTBEATS = heartbeats
     set_telemetry(None)
     from ..explain.events import set_event_log
 
@@ -475,11 +497,27 @@ def _run_worker(index: int, spec: WorkerSpec, attempt: int = 0) -> dict:
     )
     if telemetry is not None:
         set_telemetry(telemetry)
+    emitter = (
+        HeartbeatEmitter(
+            queue_sink(_WORKER_HEARTBEATS),
+            worker=index,
+            attempt=attempt,
+            interval=context.heartbeat_interval,
+        )
+        if _WORKER_HEARTBEATS is not None
+        else None
+    )
     try:
-        result = _execute_spec(context, spec)
+        if emitter is not None:
+            with progress_hook_scope(emitter):
+                result = _execute_spec(context, spec)
+        else:
+            result = _execute_spec(context, spec)
     except Exception as exc:  # noqa: BLE001 - shipped home as the outcome
         return {"index": index, "error": f"{type(exc).__name__}: {exc}"}
     finally:
+        if emitter is not None:
+            emitter.close()
         if telemetry is not None:
             set_telemetry(None)
     payload: dict = {"index": index, "result": result}
@@ -527,6 +565,64 @@ def select_winner(outcomes: Sequence[WorkerOutcome]) -> WorkerOutcome | None:
     return winner
 
 
+class _HeartbeatDrain:
+    """Parent-side pump from the heartbeat queue into a `RunStatus`.
+
+    A daemon thread polls the bounded multiprocessing queue with a short
+    timeout and folds each record into the status aggregate.  ``close``
+    stops the thread, sweeps whatever is still buffered (so no heartbeat
+    that arrived before shutdown is lost), and closes the queue.
+    Stragglers from an abandoned hung pool may still try to put after
+    that — their :func:`~repro.telemetry.observatory.heartbeat.offer`
+    calls fail silently by contract, so a hung worker can never block on
+    telemetry.
+    """
+
+    _POLL_SECONDS = 0.05
+
+    def __init__(self, channel, status: RunStatus):
+        self.channel = channel
+        self.status = status
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._pump, name="mube-heartbeat-drain", daemon=True
+        )
+        self._thread.start()
+
+    def _pump(self) -> None:
+        while not self._stop.is_set():
+            self._drain_one(block=True)
+
+    def _drain_one(self, block: bool) -> bool:
+        try:
+            if block:
+                heartbeat = self.channel.get(timeout=self._POLL_SECONDS)
+            else:
+                heartbeat = self.channel.get_nowait()
+        except queue_module.Empty:
+            return False
+        except (OSError, ValueError, EOFError):
+            # Queue closed or connection torn down mid-shutdown.
+            self._stop.set()
+            return False
+        try:
+            self.status.record_heartbeat(heartbeat)
+        except Exception:  # noqa: BLE001 - observation must not sink solves
+            pass
+        return True
+
+    def close(self) -> None:
+        """Stop pumping, sweep the buffer, and close the queue."""
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        while self._drain_one(block=False):
+            pass
+        try:
+            self.channel.close()
+        except (OSError, ValueError):
+            pass
+
+
 class _LocalStopFlag:
     """In-process stand-in for the multiprocessing early-stop event."""
 
@@ -561,12 +657,14 @@ class _PortfolioRun:
         telemetry,
         resilience: ResilienceConfig,
         fingerprint: str | None,
+        status: RunStatus | None = None,
     ):
         self.specs = specs
         self.context = context
         self.telemetry = telemetry
         self.resilience = resilience
         self.fingerprint = fingerprint
+        self.status = status
         self.final: dict[int, WorkerOutcome] = {}
         self.progress: dict[int, WorkerProgress] = {
             index: WorkerProgress(
@@ -658,6 +756,8 @@ class _PortfolioRun:
             self.progress[entry.index] = entry
             self.to_run.remove(entry.index)
             self.resumed_workers += 1
+            if self.status is not None:
+                self.status.record_outcome(outcome)
 
     # -- outcome intake -------------------------------------------------------
 
@@ -670,6 +770,8 @@ class _PortfolioRun:
         self.final[outcome.index] = outcome
         self.progress[outcome.index] = self._progress_of(outcome)
         self._write_checkpoint()
+        if self.status is not None:
+            self.status.record_outcome(outcome)
 
     def outcomes(self) -> list[WorkerOutcome]:
         """All final outcomes, in worker order."""
@@ -770,6 +872,16 @@ class ParallelSolveEngine:
         checkpoint path, pool-rebuild budget.  The default config keeps
         every feature off, in which case the engine behaves exactly as
         it did before the resilience layer existed.
+    status:
+        Optional :class:`~repro.telemetry.observatory.status.RunStatus`
+        to observe the solve live: workers heartbeat through a bounded
+        lossy queue (pool mode) or directly (inline), and every
+        lifecycle transition — submitted, retrying, finished, resumed —
+        lands in the aggregate as it happens.  Purely observational:
+        attaching a status never changes what the solve returns, and
+        ``jobs=1`` stays bit-identical with one attached.
+    heartbeat_interval:
+        Minimum seconds between two heartbeats from one worker.
     """
 
     def __init__(
@@ -778,6 +890,8 @@ class ParallelSolveEngine:
         stop_quality: float | None = None,
         start_method: str | None = None,
         resilience: ResilienceConfig | None = None,
+        status: RunStatus | None = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
     ):
         if jobs < 1:
             raise SearchError(f"jobs must be >= 1, got {jobs}")
@@ -785,6 +899,8 @@ class ParallelSolveEngine:
         self.stop_quality = stop_quality
         self.start_method = start_method
         self.resilience = resilience or ResilienceConfig()
+        self.status = status
+        self.heartbeat_interval = heartbeat_interval
 
     def solve(
         self,
@@ -848,9 +964,14 @@ class ParallelSolveEngine:
             initial=initial,
             stop_quality=self.stop_quality,
             collect_telemetry=telemetry.enabled,
+            heartbeat_interval=self.heartbeat_interval,
         )
+        status = self.status
+        if status is not None:
+            status.begin(specs)
         run = _PortfolioRun(
-            specs, context, telemetry, self.resilience, fingerprint
+            specs, context, telemetry, self.resilience, fingerprint,
+            status=status,
         )
         started = time.perf_counter()
         with telemetry.span(
@@ -913,6 +1034,13 @@ class ParallelSolveEngine:
             metrics.counter("portfolio.checkpoints").inc(
                 run.checkpoints_written
             )
+            if status is not None:
+                if early_stopped:
+                    status.mark_early_stop()
+                status.finish()
+                metrics.counter("portfolio.heartbeats").inc(
+                    status.heartbeats
+                )
             if early_stopped:
                 metrics.counter("portfolio.early_stops").inc()
             for outcome in stats.workers:
@@ -993,8 +1121,21 @@ class ParallelSolveEngine:
             error: str | None = None
             timed_out = False
             result: SearchResult | None = None
+            emitter = None
+            if run.status is not None:
+                run.status.mark_running(index, attempt)
+                emitter = HeartbeatEmitter(
+                    run.status.record_heartbeat,
+                    worker=index,
+                    attempt=attempt,
+                    interval=self.heartbeat_interval,
+                )
             try:
-                result = _execute_spec(run.context, live)
+                if emitter is not None:
+                    with progress_hook_scope(emitter):
+                        result = _execute_spec(run.context, live)
+                else:
+                    result = _execute_spec(run.context, live)
             except SystemExit as exc:
                 error = f"SystemExit: {exc.code}"
             except Exception as exc:  # noqa: BLE001 - per-worker outcome
@@ -1009,6 +1150,8 @@ class ParallelSolveEngine:
                     timed_out = True
                     run.timeouts += 1
                     result = None
+            if emitter is not None:
+                emitter.close()
             if result is not None:
                 if _hit_quality_bound(result, self.stop_quality):
                     stop_flag.set()
@@ -1018,6 +1161,10 @@ class ParallelSolveEngine:
             if attempt < policy.max_retries:
                 attempt += 1
                 run.retries += 1
+                if run.status is not None:
+                    run.status.mark_retrying(
+                        index, attempt, error or "retrying"
+                    )
                 continue
             return self._failure(
                 index,
@@ -1053,6 +1200,16 @@ class ParallelSolveEngine:
         stop_event = (
             mp_context.Event() if self.stop_quality is not None else None
         )
+        heartbeat_channel = (
+            mp_context.Queue(HEARTBEAT_QUEUE_SIZE)
+            if run.status is not None
+            else None
+        )
+        drain = (
+            _HeartbeatDrain(heartbeat_channel, run.status)
+            if heartbeat_channel is not None
+            else None
+        )
         policy = self.resilience.retry
         timeout = self.resilience.worker_timeout
         telemetry = run.telemetry
@@ -1069,7 +1226,9 @@ class ParallelSolveEngine:
         # task, possibly forever — and never reused: its slot is held
         # hostage, which would starve every later round.
         pool_hung = False
-        pool, started = self._new_pool(mp_context, run, stop_event)
+        pool, started = self._new_pool(
+            mp_context, run, stop_event, heartbeat_channel
+        )
         try:
             while pending:
                 batch = list(pending)
@@ -1090,6 +1249,8 @@ class ParallelSolveEngine:
                             delay = policy.delay(attempt)
                             if delay:
                                 time.sleep(delay)
+                    if run.status is not None:
+                        run.status.mark_running(index, attempt)
                     try:
                         futures.append(
                             pool.submit(_run_worker, index, live, attempt)
@@ -1115,7 +1276,7 @@ class ParallelSolveEngine:
                         run.requeues += len(uncollected)
                         pending = deque(uncollected) + pending
                         pool, started = self._new_pool(
-                            mp_context, run, stop_event
+                            mp_context, run, stop_event, heartbeat_channel
                         )
                         pool_hung = False
                     else:
@@ -1135,12 +1296,14 @@ class ParallelSolveEngine:
                     pool.shutdown(wait=False, cancel_futures=True)
                     run.pool_rebuilds += 1
                     pool, started = self._new_pool(
-                        mp_context, run, stop_event
+                        mp_context, run, stop_event, heartbeat_channel
                     )
                     pool_hung = False
         finally:
             if pool is not None:
                 pool.shutdown(wait=not pool_hung, cancel_futures=True)
+            if drain is not None:
+                drain.close()
         if leftovers:
             self._finish_inline_fallback(run, leftovers, stop_event)
         return stop_event.is_set() if stop_event is not None else False
@@ -1199,6 +1362,8 @@ class ParallelSolveEngine:
                 if attempt < policy.max_retries:
                     run.retries += 1
                     pending.append((index, spec, attempt + 1))
+                    if run.status is not None:
+                        run.status.mark_retrying(index, attempt + 1, error)
                 else:
                     run.finish(
                         self._failure(
@@ -1246,6 +1411,8 @@ class ParallelSolveEngine:
         if attempt < self.resilience.retry.max_retries:
             run.retries += 1
             pending.append((index, spec, attempt + 1))
+            if run.status is not None:
+                run.status.mark_retrying(index, attempt + 1, error)
         else:
             run.finish(
                 self._failure(index, spec, error, attempts=attempt + 1)
@@ -1275,7 +1442,8 @@ class ParallelSolveEngine:
             self._run_inline_batch(run, items, flag, start_attempts)
 
     def _new_pool(
-        self, mp_context, run: _PortfolioRun, stop_event
+        self, mp_context, run: _PortfolioRun, stop_event,
+        heartbeat_channel=None,
     ) -> tuple[ProcessPoolExecutor, "object | None"]:
         """A fresh worker pool plus its shared execution ledger.
 
@@ -1285,6 +1453,10 @@ class ParallelSolveEngine:
         exactly this pool's processes — a rotated-away pool keeps
         writing to its own ledger, never the replacement's.  Only built
         when a worker timeout is configured; nothing else reads it.
+        The heartbeat channel, by contrast, is created once per solve
+        and shared across pool generations: a rotated-away pool's
+        stragglers may keep pulsing into it, which is harmless (late
+        heartbeats for terminal workers are counted and ignored).
         """
         started = (
             mp_context.Array("i", len(run.specs))
@@ -1295,7 +1467,7 @@ class ParallelSolveEngine:
             max_workers=self.jobs,
             mp_context=mp_context,
             initializer=_worker_init,
-            initargs=(run.context, stop_event, started),
+            initargs=(run.context, stop_event, started, heartbeat_channel),
         )
         return pool, started
 

@@ -92,6 +92,19 @@ class Session:
         of every :meth:`solve` (and the similarity-matrix build).  When
         omitted, whatever tracer is currently installed process-wide is
         used — the no-op by default.
+    record_runs:
+        Append a durable run record to the run registry after every
+        :meth:`solve` (the default).  The registry location comes from
+        ``run_registry`` or, when omitted, from
+        :func:`~repro.telemetry.observatory.registry.default_registry`
+        (``.mube/runs.jsonl``, overridable via ``MUBE_RUNS_PATH``; an
+        empty ``MUBE_RUNS_PATH`` disables recording too).  Registry
+        write failures are swallowed — recording can never break a
+        solve.
+    run_registry:
+        An explicit :class:`~repro.telemetry.observatory.RunRegistry`
+        (or anything with a compatible ``record``) to write run records
+        to, overriding the default location.
     """
 
     def __init__(
@@ -107,6 +120,8 @@ class Session:
         optimizer_config: OptimizerConfig | None = None,
         incremental: bool = False,
         telemetry: Telemetry | NoopTelemetry | None = None,
+        record_runs: bool = True,
+        run_registry=None,
     ):
         self.universe = universe
         self.max_sources = max_sources
@@ -126,6 +141,14 @@ class Session:
         self.optimizer_config = optimizer_config or OptimizerConfig()
         self.incremental = incremental
         self.telemetry = telemetry
+        if run_registry is not None:
+            self.run_registry = run_registry
+        elif record_runs:
+            from ..telemetry.observatory.registry import default_registry
+
+            self.run_registry = default_registry()
+        else:
+            self.run_registry = None
         self.history: list[Iteration] = []
         measure = similarity or default_measure()
         with use_telemetry(self._telemetry()):
@@ -161,6 +184,7 @@ class Session:
         checkpoint: str | None = None,
         worker_timeout: float | None = None,
         retries: int = 0,
+        on_progress=None,
     ) -> Iteration:
         """Solve the current problem and record the iteration.
 
@@ -201,6 +225,19 @@ class Session:
         budget in seconds; ``retries`` re-runs failed or timed-out
         workers deterministically up to that many extra attempts.  Any
         of the three switches the solve onto the portfolio engine.
+
+        ``on_progress`` observes the solve live: it receives a
+        :class:`~repro.telemetry.observatory.StatusSnapshot` after every
+        worker transition and (throttled) heartbeat.  Passing it
+        switches the solve onto the portfolio engine too (``jobs=1``
+        when nothing else asked for parallelism — bit-identical to the
+        sequential path, so observation never changes the answer).
+        Callback exceptions are swallowed and counted, never raised
+        into the solve.
+
+        Every solve also appends a durable record to the session's run
+        registry (see the ``record_runs`` constructor parameter) —
+        inspect it with ``mube runs`` / ``mube runs show``.
         """
         from ..explain.attribution import change_notes, explain_solution
         from ..explain.events import EventLog, NOOP_EVENTS, use_event_log
@@ -212,7 +249,13 @@ class Session:
             or checkpoint is not None
             or worker_timeout is not None
             or retries > 0
+            or on_progress is not None
         )
+        status = None
+        if on_progress is not None:
+            from ..telemetry.observatory.status import RunStatus
+
+            status = RunStatus(on_update=on_progress)
         telemetry = self._telemetry()
         # The event log rides the tracer's exporters, so `--trace` files
         # carry decision events as a second record type.
@@ -250,6 +293,7 @@ class Session:
                     checkpoint=checkpoint,
                     worker_timeout=worker_timeout,
                     retries=retries,
+                    status=status,
                 )
             else:
                 engine = get_optimizer(
@@ -257,6 +301,15 @@ class Session:
                 )
                 result = engine.optimize(objective, initial=initial)
             span.set(quality=result.solution.quality)
+            self._record_run(
+                result,
+                problem,
+                optimizer=optimizer or self.optimizer_name,
+                jobs=(jobs or 1) if use_portfolio else 1,
+                checkpoint=checkpoint,
+                telemetry=telemetry,
+                status=status,
+            )
         explanation = None
         if explain:
             explanation = explain_solution(
@@ -493,6 +546,7 @@ class Session:
         checkpoint: str | None = None,
         worker_timeout: float | None = None,
         retries: int = 0,
+        status=None,
     ) -> SearchResult:
         """Run one solve through the parallel portfolio engine."""
         from ..search.parallel import ParallelSolveEngine, resolve_portfolio
@@ -513,6 +567,7 @@ class Session:
             jobs=jobs or 1,
             stop_quality=stop_quality,
             resilience=resilience,
+            status=status,
         )
         return engine.solve(
             problem,
@@ -521,6 +576,47 @@ class Session:
             initial=initial,
             incremental=self.incremental,
         )
+
+    def _record_run(
+        self,
+        result: SearchResult,
+        problem: Problem,
+        *,
+        optimizer: str,
+        jobs: int,
+        checkpoint: str | None,
+        telemetry,
+        status=None,
+    ):
+        """Append this solve to the run registry (best-effort).
+
+        Registry I/O failures are swallowed by design: the registry is
+        observability, and observability must never break a solve.  A
+        successful append increments the ``runs.recorded`` counter.
+        """
+        registry = self.run_registry
+        if registry is None:
+            return None
+        from ..search.resilience import problem_fingerprint
+        from ..telemetry.observatory.registry import build_run_record
+
+        record = build_run_record(
+            result,
+            fingerprint=problem_fingerprint(problem),
+            command="session.solve",
+            jobs=jobs,
+            optimizer=optimizer,
+            checkpoint=checkpoint,
+            counters=telemetry.metrics.snapshot().get("counters", {}),
+            heartbeats=status.heartbeats if status is not None else 0,
+            seed=self.optimizer_config.seed,
+        )
+        try:
+            registry.record(record)
+        except OSError:
+            return None
+        telemetry.metrics.counter("runs.recorded").inc()
+        return record
 
     def _cached_operator(self, problem: Problem):
         """Reuse the match operator (and its memo) across iterations.

@@ -13,7 +13,23 @@ paths (``Objective.evaluate``, ``Match(S)``) can call them unconditionally.
 from __future__ import annotations
 
 import math
+import random
 from typing import Any
+
+#: Reservoir capacity per histogram.  Large enough for stable p50/p90/p99
+#: estimates, small enough that a thousand histograms cost nothing.
+RESERVOIR_SIZE = 128
+
+#: The percentiles :meth:`Histogram.summary` reports.
+PERCENTILES = ((50, "p50"), (90, "p90"), (99, "p99"))
+
+
+def _percentile(values: list[float], pct: float) -> float:
+    """Nearest-rank percentile over a *sorted* sample (empty → 0.0)."""
+    if not values:
+        return 0.0
+    rank = max(1, math.ceil(pct / 100.0 * len(values)))
+    return values[rank - 1]
 
 
 class Counter:
@@ -51,13 +67,20 @@ class Gauge:
 
 
 class Histogram:
-    """Summary statistics (count/sum/min/max) over observed values.
+    """Summary statistics over observed values, percentiles included.
 
     Full sample retention would make long solves unbounded in memory, so
-    only the summary a human reads in a report is kept.
+    the histogram keeps the exact running summary (count/total/min/max)
+    plus a **bounded reservoir** of at most :data:`RESERVOIR_SIZE`
+    observations from which p50/p90/p99 are estimated (exact while the
+    observation count fits the reservoir).  The reservoir uses classic
+    Algorithm R with a private RNG seeded from the instrument name, so a
+    run's percentile estimates are deterministic — same observations,
+    same summary, every time.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "_reservoir",
+                 "_rng")
 
     def __init__(self, name: str):
         self.name = name
@@ -65,6 +88,8 @@ class Histogram:
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._reservoir: list[float] = []
+        self._rng = random.Random(name)
 
     def observe(self, value: float) -> None:
         """Fold one observation into the summary."""
@@ -75,6 +100,16 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self._sample(value, self.count)
+
+    def _sample(self, value: float, seen: int) -> None:
+        """Reservoir intake: keep each of the ``seen`` values w.p. k/seen."""
+        if len(self._reservoir) < RESERVOIR_SIZE:
+            self._reservoir.append(value)
+            return
+        slot = self._rng.randrange(seen)
+        if slot < RESERVOIR_SIZE:
+            self._reservoir[slot] = value
 
     @property
     def mean(self) -> float:
@@ -86,7 +121,13 @@ class Histogram:
 
         Count/total add, min/max widen; the mean is derived, so merging
         is exact.  This is how worker-process histograms land in the
-        parent registry after a portfolio solve.
+        parent registry after a portfolio solve.  The other side's
+        reservoir sample (the summary's ``samples`` list) feeds this
+        reservoir one value at a time, weighted by the total stream
+        length, so merged percentiles stay meaningful.  Old summary
+        dicts without ``samples``/percentile fields merge exactly as
+        before — percentiles then describe only the locally observed
+        values.
         """
         count = int(summary.get("count", 0))
         if count <= 0:
@@ -99,19 +140,34 @@ class Histogram:
             self.min = low
         if high > self.max:
             self.max = high
+        for value in summary.get("samples", ()):
+            self._sample(float(value), self.count)
 
-    def summary(self) -> dict[str, float]:
-        """The summary as a plain dict (empty histograms are all-zero)."""
+    def summary(self) -> dict[str, Any]:
+        """The summary as a plain dict (empty histograms are all-zero).
+
+        Beyond the classic fields, carries ``p50``/``p90``/``p99``
+        (nearest-rank over the reservoir; exact while ``count`` ≤
+        reservoir size) and ``samples``, the reservoir itself, so a
+        summary that crosses a process boundary can be merged without
+        flattening the distribution.
+        """
         if not self.count:
             return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
-                    "mean": 0.0}
-        return {
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+                    "samples": []}
+        ordered = sorted(self._reservoir)
+        data: dict[str, Any] = {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
         }
+        for pct, key in PERCENTILES:
+            data[key] = _percentile(ordered, pct)
+        data["samples"] = list(self._reservoir)
+        return data
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count})"
@@ -246,7 +302,9 @@ class NoopMetrics:
         return default
 
     def histogram_summary(self, name: str) -> dict[str, float]:
-        return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0,
+                "samples": []}
 
     def merge_snapshot(self, snapshot: dict[str, Any]) -> None:
         pass

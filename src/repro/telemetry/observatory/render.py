@@ -1,0 +1,217 @@
+"""Terminal rendering for the run observatory.
+
+Three audiences share this module: ``mube solve --progress`` draws an
+in-place status line while a portfolio solve runs
+(:class:`ProgressPrinter`), ``mube runs`` tabulates the run registry
+(:func:`render_runs_table`), and ``mube runs show`` expands a single
+record — including the fold-back of the ``portfolio.*`` telemetry
+counters captured at record time (:func:`render_run_record`).
+
+Everything here is pure string formatting over immutable snapshots and
+records; no locks, no I/O except the printer's single stream.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .registry import RunRecord
+from .status import StatusSnapshot
+
+
+def render_status_line(snapshot: StatusSnapshot) -> str:
+    """One-line live picture of a portfolio solve.
+
+    Example::
+
+        [  3.2s] 2/4 done | 1 running 1 retrying | best 12.4310* | hb 57
+    """
+    parts = [f"{snapshot.completed}/{snapshot.total} done"]
+    alive_bits = []
+    if snapshot.running:
+        alive_bits.append(f"{snapshot.running} running")
+    if snapshot.retrying:
+        alive_bits.append(f"{snapshot.retrying} retrying")
+    if alive_bits:
+        parts.append(" ".join(alive_bits))
+    trouble_bits = []
+    if snapshot.timed_out:
+        trouble_bits.append(f"{snapshot.timed_out} timed-out")
+    if snapshot.failed:
+        trouble_bits.append(f"{snapshot.failed} failed")
+    if trouble_bits:
+        parts.append(" ".join(trouble_bits))
+    best = snapshot.best_objective
+    if best is not None:
+        star = "*" if snapshot.best_feasible else ""
+        parts.append(f"best {best:.4f}{star}")
+    parts.append(f"hb {snapshot.heartbeats}")
+    if snapshot.early_stopped:
+        parts.append("early-stop")
+    return f"[{snapshot.elapsed_seconds:6.1f}s] " + " | ".join(parts)
+
+
+class ProgressPrinter:
+    """Render snapshots as a carriage-return status line on one stream.
+
+    Built for ``mube solve --progress``: each update overwrites the
+    previous line (padded so a shrinking line leaves no debris), and
+    :meth:`close` finishes with a newline so subsequent output starts
+    clean.  When the stream is not a terminal (CI logs, pipes) the
+    printer degrades to one plain line per ~second instead of emitting
+    ``\\r`` spam.
+    """
+
+    def __init__(self, stream=None, min_interval: float = 0.0):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._last_width = 0
+        self._last_print = -float("inf")
+        self._isatty = bool(getattr(self.stream, "isatty", lambda: False)())
+
+    def __call__(self, snapshot: StatusSnapshot) -> None:
+        now = time.perf_counter()
+        interval = self.min_interval if self._isatty else max(
+            self.min_interval, 1.0
+        )
+        if not snapshot.finished and now - self._last_print < interval:
+            return
+        self._last_print = now
+        line = render_status_line(snapshot)
+        if self._isatty:
+            padded = line.ljust(self._last_width)
+            self._last_width = len(line)
+            print(f"\r{padded}", end="", file=self.stream, flush=True)
+        else:
+            print(line, file=self.stream, flush=True)
+
+    def close(self) -> None:
+        """Terminate the in-place line so later output starts fresh."""
+        if self._isatty and self._last_width:
+            print(file=self.stream, flush=True)
+            self._last_width = 0
+
+
+def _format_when(started_at: float) -> str:
+    try:
+        return time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(started_at)
+        )
+    except (OverflowError, OSError, ValueError):
+        return "?"
+
+
+def render_runs_table(records: list[RunRecord]) -> str:
+    """The ``mube runs`` listing: newest last, one line per record."""
+    if not records:
+        return "run registry is empty"
+    rows = [
+        (
+            "RUN",
+            "WHEN",
+            "CMD",
+            "OPT",
+            "JOBS",
+            "QUALITY",
+            "FEAS",
+            "STATUS",
+        )
+    ]
+    for record in records:
+        rows.append(
+            (
+                record.run_id,
+                _format_when(record.started_at),
+                record.command,
+                record.optimizer or "-",
+                str(record.jobs),
+                f"{record.quality:.4f}",
+                "yes" if record.feasible else "no",
+                record.status,
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        for row in rows
+    ]
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def render_run_record(record: RunRecord) -> str:
+    """The ``mube runs show <id>`` expansion of one registry record."""
+    lines = [
+        f"run {record.run_id} ({record.status})",
+        f"  started      {_format_when(record.started_at)}",
+        f"  command      {record.command}",
+        f"  fingerprint  {record.fingerprint}",
+        f"  optimizer    {record.optimizer or '-'}",
+        f"  jobs         {record.jobs}",
+        (
+            f"  solution     quality={record.quality:.4f} "
+            f"objective={record.objective:.4f} "
+            f"feasible={'yes' if record.feasible else 'no'}"
+        ),
+        f"  selection    {list(record.selection)}",
+        (
+            f"  effort       {record.iterations} iterations, "
+            f"{record.evaluations} evaluations, "
+            f"{record.elapsed_seconds:.2f}s"
+        ),
+    ]
+    if record.checkpoint:
+        lines.append(f"  checkpoint   {record.checkpoint}")
+    resilience = []
+    if record.retries:
+        resilience.append(f"{record.retries} retries")
+    if record.timeouts:
+        resilience.append(f"{record.timeouts} timeouts")
+    if record.requeues:
+        resilience.append(f"{record.requeues} requeues")
+    if record.pool_rebuilds:
+        resilience.append(f"{record.pool_rebuilds} pool rebuilds")
+    if record.resumed_workers:
+        resilience.append(f"{record.resumed_workers} resumed")
+    if resilience:
+        lines.append(f"  resilience   {', '.join(resilience)}")
+    if record.heartbeats:
+        lines.append(f"  heartbeats   {record.heartbeats}")
+    if record.workers:
+        lines.append("  workers:")
+        for worker in record.workers:
+            mark = (
+                " <- winner"
+                if worker.get("index") == record.winner_index
+                and worker.get("status") == "ok"
+                else ""
+            )
+            detail = worker.get("error")
+            if worker.get("status") == "ok":
+                detail = (
+                    f"objective={worker.get('objective', 0.0):.4f} "
+                    f"in {worker.get('elapsed_seconds', 0.0):.2f}s"
+                )
+            lines.append(
+                "    "
+                f"[{worker.get('index')}] {worker.get('label')}: "
+                f"{worker.get('status')} "
+                f"(attempts={worker.get('attempts', 1)}"
+                f"{', resumed' if worker.get('resumed') else ''}) "
+                f"{detail or ''}".rstrip()
+                + mark
+            )
+    folded = record.portfolio_counters()
+    if folded:
+        lines.append("  portfolio counters:")
+        for name, value in folded.items():
+            lines.append(f"    {name} = {value}")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "ProgressPrinter",
+    "render_run_record",
+    "render_runs_table",
+    "render_status_line",
+]

@@ -1,0 +1,337 @@
+"""Thread-safe live view of one portfolio solve.
+
+The engine owns exactly one :class:`RunStatus` per observed solve and
+feeds it from three directions: lifecycle transitions (submitted,
+retrying, requeued, finished) from the engine thread, heartbeats from
+the parent-side drain thread (pool mode) or inline emitters (``jobs=1``),
+and the resume path for workers restored from a checkpoint.  Readers —
+the ``on_update`` callback behind ``Session.solve(on_progress=...)`` and
+``mube solve --progress`` — only ever see immutable
+:class:`StatusSnapshot` values, so rendering can never race a worker
+transition.
+
+Everything here is observational: a `RunStatus` never feeds anything
+back into the search, so attaching one cannot change a solve's result.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, replace
+
+from .heartbeat import Heartbeat
+
+#: The worker lifecycle states a :class:`WorkerView` can be in.
+#: ``pending`` → ``running`` → (``retrying`` → ``running``)* → one of
+#: ``done`` / ``failed`` / ``timed_out``.  Resumed workers jump straight
+#: to their terminal state with ``resumed=True``.
+WORKER_STATES = (
+    "pending",
+    "running",
+    "retrying",
+    "done",
+    "failed",
+    "timed_out",
+)
+
+_TERMINAL = frozenset({"done", "failed", "timed_out"})
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerView:
+    """One worker's slice of a :class:`StatusSnapshot` (immutable)."""
+
+    index: int
+    label: str
+    optimizer: str
+    seed: int
+    state: str = "pending"
+    attempt: int = 0
+    attempts: int = 0
+    iteration: int = 0
+    best_objective: float | None = None
+    feasible: bool = False
+    heartbeats: int = 0
+    error: str | None = None
+    resumed: bool = False
+
+    @property
+    def finished(self) -> bool:
+        """True iff the worker has reached a terminal state."""
+        return self.state in _TERMINAL
+
+    @property
+    def alive(self) -> bool:
+        """True iff the worker is still running or awaiting a retry."""
+        return self.state in ("running", "retrying")
+
+
+@dataclass(frozen=True, slots=True)
+class StatusSnapshot:
+    """A consistent point-in-time picture of the whole portfolio."""
+
+    workers: tuple[WorkerView, ...]
+    elapsed_seconds: float
+    heartbeats: int
+    early_stopped: bool = False
+    finished: bool = False
+
+    @property
+    def total(self) -> int:
+        return len(self.workers)
+
+    @property
+    def running(self) -> int:
+        return sum(1 for w in self.workers if w.state == "running")
+
+    @property
+    def retrying(self) -> int:
+        return sum(1 for w in self.workers if w.state == "retrying")
+
+    @property
+    def alive(self) -> int:
+        return sum(1 for w in self.workers if w.alive)
+
+    @property
+    def done(self) -> int:
+        return sum(1 for w in self.workers if w.state == "done")
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for w in self.workers if w.state == "failed")
+
+    @property
+    def timed_out(self) -> int:
+        return sum(1 for w in self.workers if w.state == "timed_out")
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for w in self.workers if w.finished)
+
+    @property
+    def best_worker(self) -> WorkerView | None:
+        """The worker holding the best observed ``(objective, feasible)``."""
+        best: WorkerView | None = None
+        for worker in self.workers:
+            if worker.best_objective is None:
+                continue
+            if best is None or (
+                worker.best_objective,
+                worker.feasible,
+            ) > (best.best_objective, best.feasible):
+                best = worker
+        return best
+
+    @property
+    def best_objective(self) -> float | None:
+        """The global best objective observed so far, if any."""
+        best = self.best_worker
+        return best.best_objective if best is not None else None
+
+    @property
+    def best_feasible(self) -> bool:
+        best = self.best_worker
+        return best.feasible if best is not None else False
+
+
+class RunStatus:
+    """Mutable, lock-guarded aggregate behind the immutable snapshots.
+
+    Parameters
+    ----------
+    on_update:
+        Optional callback receiving a :class:`StatusSnapshot` after each
+        state change.  Called outside the lock, throttled to at most one
+        call per ``min_update_interval`` seconds — except lifecycle
+        transitions (worker finished, run finished), which always fire.
+        Exceptions raised by the callback are counted in
+        :attr:`callback_errors` and swallowed: observation must never
+        sink the solve it observes.
+    min_update_interval:
+        Throttle for heartbeat-driven callback invocations, in seconds.
+    """
+
+    def __init__(
+        self,
+        on_update: Callable[[StatusSnapshot], None] | None = None,
+        min_update_interval: float = 0.1,
+    ):
+        self._lock = threading.Lock()
+        self._workers: dict[int, WorkerView] = {}
+        self._heartbeats = 0
+        self._early_stopped = False
+        self._finished = False
+        self._started = time.perf_counter()
+        self._on_update = on_update
+        self._min_update_interval = min_update_interval
+        self._last_update = -float("inf")
+        self.callback_errors = 0
+
+    # -- engine-side transitions ----------------------------------------------
+
+    def begin(self, specs) -> None:
+        """Register the portfolio's workers (all ``pending``)."""
+        with self._lock:
+            self._started = time.perf_counter()
+            self._workers = {
+                index: WorkerView(
+                    index=index,
+                    label=spec.describe(),
+                    optimizer=spec.optimizer,
+                    seed=spec.seed,
+                )
+                for index, spec in enumerate(specs)
+            }
+        self._notify(force=True)
+
+    def mark_running(self, index: int, attempt: int) -> None:
+        """A worker attempt was submitted (or started, in-process)."""
+        self._update(index, state="running", attempt=attempt)
+
+    def mark_retrying(self, index: int, attempt: int, reason: str) -> None:
+        """A worker's attempt failed/timed out and a retry is queued."""
+        self._update(
+            index, state="retrying", attempt=attempt, error=reason,
+            force=True,
+        )
+
+    def record_outcome(self, outcome) -> None:
+        """Adopt a final :class:`~repro.search.parallel.WorkerOutcome`.
+
+        Duck-typed on the outcome's fields so this module needs no
+        import of the search layer.
+        """
+        if outcome.ok:
+            state = "done"
+            best = outcome.result.solution.objective
+            feasible = outcome.result.solution.feasible
+        else:
+            state = "timed_out" if outcome.timed_out else "failed"
+            best = None
+            feasible = False
+        with self._lock:
+            view = self._view(outcome.index)
+            fields: dict = {
+                "state": state,
+                "attempts": outcome.attempts,
+                "error": outcome.error,
+                "resumed": outcome.resumed,
+            }
+            if best is not None:
+                fields["best_objective"] = best
+                fields["feasible"] = feasible
+            self._workers[outcome.index] = replace(view, **fields)
+        self._notify(force=True)
+
+    def mark_early_stop(self) -> None:
+        with self._lock:
+            self._early_stopped = True
+        self._notify(force=True)
+
+    def finish(self) -> None:
+        """The solve returned; emit one last forced update."""
+        with self._lock:
+            self._finished = True
+        self._notify(force=True)
+
+    # -- heartbeat intake ------------------------------------------------------
+
+    def record_heartbeat(self, heartbeat: Heartbeat) -> None:
+        """Fold one worker heartbeat into the aggregate."""
+        with self._lock:
+            self._heartbeats += 1
+            view = self._workers.get(heartbeat.worker)
+            if view is None or view.finished:
+                # Late pulse from an abandoned/cancelled attempt; count
+                # it, but never resurrect a terminal worker.
+                return
+            fields: dict = {
+                "heartbeats": view.heartbeats + 1,
+                "iteration": heartbeat.iteration,
+                "attempt": heartbeat.attempt,
+            }
+            if view.state == "pending":
+                fields["state"] = "running"
+            if heartbeat.best_objective > -float("inf") and (
+                view.best_objective is None
+                or (heartbeat.best_objective, heartbeat.feasible)
+                > (view.best_objective, view.feasible)
+            ):
+                fields["best_objective"] = heartbeat.best_objective
+                fields["feasible"] = heartbeat.feasible
+            self._workers[heartbeat.worker] = replace(view, **fields)
+        self._notify(force=False)
+
+    # -- reading ---------------------------------------------------------------
+
+    @property
+    def heartbeats(self) -> int:
+        """Total heartbeats received (including late/dropped-worker ones)."""
+        with self._lock:
+            return self._heartbeats
+
+    def snapshot(self) -> StatusSnapshot:
+        """A consistent immutable picture of the run right now."""
+        with self._lock:
+            return StatusSnapshot(
+                workers=tuple(
+                    self._workers[index] for index in sorted(self._workers)
+                ),
+                elapsed_seconds=time.perf_counter() - self._started,
+                heartbeats=self._heartbeats,
+                early_stopped=self._early_stopped,
+                finished=self._finished,
+            )
+
+    # -- internals -------------------------------------------------------------
+
+    def _view(self, index: int) -> WorkerView:
+        view = self._workers.get(index)
+        if view is None:
+            # An index the engine never registered (defensive): create a
+            # stub so late signals still land somewhere visible.
+            view = self._workers[index] = WorkerView(
+                index=index, label=f"worker[{index}]", optimizer="?", seed=0
+            )
+        return view
+
+    def _update(self, index: int, force: bool = False, **fields) -> None:
+        with self._lock:
+            view = self._view(index)
+            if view.finished:
+                return
+            self._workers[index] = replace(view, **fields)
+        self._notify(force=force)
+
+    def _notify(self, force: bool) -> None:
+        callback = self._on_update
+        if callback is None:
+            return
+        now = time.perf_counter()
+        with self._lock:
+            if not force and now - self._last_update < (
+                self._min_update_interval
+            ):
+                return
+            self._last_update = now
+        try:
+            callback(self.snapshot())
+        except Exception:  # noqa: BLE001 - observation must not sink solves
+            self.callback_errors += 1
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return (
+            f"RunStatus({snap.completed}/{snap.total} finished, "
+            f"{snap.heartbeats} heartbeats)"
+        )
+
+
+__all__ = [
+    "RunStatus",
+    "StatusSnapshot",
+    "WORKER_STATES",
+    "WorkerView",
+]

@@ -159,18 +159,27 @@ def render_span_tree(trace: Trace, max_depth: int = 3) -> str:
 def render_trace_report(
     path: str, tree: bool = False, max_depth: int = 3
 ) -> str:
-    """The full ``mube trace-report`` output for one trace file."""
+    """The full ``mube trace-report`` output for one trace file.
+
+    A file with no span records — empty, or metrics/events-only (a
+    ``--trace`` run under the no-op tracer, say) — is *not* an error:
+    the report states plainly that no spans were recorded and still
+    renders whatever counters and decision events the file does carry.
+    """
     trace = load_trace(path)
     out = io.StringIO()
     out.write(
         f"{path}: {len(trace.spans)} spans, {len(trace.events)} events, "
         f"{trace.total_seconds():.3f}s wall\n\n"
     )
-    out.write("== time by span name ==\n")
-    out.write(render_time_table(trace))
-    if tree:
-        out.write("\n== span tree ==\n")
-        out.write(render_span_tree(trace, max_depth=max_depth))
+    if not trace.spans:
+        out.write("no spans recorded in this trace file\n")
+    else:
+        out.write("== time by span name ==\n")
+        out.write(render_time_table(trace))
+        if tree:
+            out.write("\n== span tree ==\n")
+            out.write(render_span_tree(trace, max_depth=max_depth))
     counters = {
         name: value
         for name, value in trace.metrics.get("counters", {}).items()

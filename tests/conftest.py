@@ -2,12 +2,33 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core import AttributeRef, GlobalAttribute, Source, Universe
 from repro.sketch import PCSASketch
 from repro.workload import DataConfig, generate_books_universe, theater_universe
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _runs_registry_in_tmp(tmp_path_factory):
+    """Keep the run registry out of the repo checkout during tests.
+
+    ``Session`` records every solve to ``.mube/runs.jsonl`` by default;
+    redirect that to a throwaway path so running the suite never writes
+    into the working directory.  Tests that exercise the registry set
+    ``MUBE_RUNS_PATH`` (or pass a registry) themselves.
+    """
+    previous = os.environ.get("MUBE_RUNS_PATH")
+    path = tmp_path_factory.mktemp("runs") / "runs.jsonl"
+    os.environ["MUBE_RUNS_PATH"] = str(path)
+    yield
+    if previous is None:
+        os.environ.pop("MUBE_RUNS_PATH", None)
+    else:
+        os.environ["MUBE_RUNS_PATH"] = previous
 
 
 def make_source(

@@ -1,0 +1,106 @@
+"""The advisory heartbeat channel: emitter folding, lossy offer()."""
+
+import queue
+from types import SimpleNamespace
+
+from repro.telemetry.observatory import (
+    Heartbeat,
+    HeartbeatEmitter,
+    offer,
+    queue_sink,
+)
+
+
+def hb(worker=0, iteration=1, best=1.0, final=False):
+    return Heartbeat(
+        worker=worker,
+        attempt=0,
+        iteration=iteration,
+        best_objective=best,
+        feasible=True,
+        elapsed_seconds=0.0,
+        final=final,
+    )
+
+
+def candidate(objective, feasible=True):
+    return SimpleNamespace(objective=objective, feasible=feasible)
+
+
+class TestOffer:
+    def test_lands_in_an_empty_queue(self):
+        channel = queue.Queue(maxsize=2)
+        assert offer(channel, hb())
+        assert channel.qsize() == 1
+
+    def test_full_queue_drops_the_oldest(self):
+        channel = queue.Queue(maxsize=2)
+        offer(channel, hb(iteration=1))
+        offer(channel, hb(iteration=2))
+        assert offer(channel, hb(iteration=3))
+        kept = [channel.get_nowait().iteration for _ in range(2)]
+        assert kept == [2, 3]
+
+    def test_broken_channel_is_silently_dropped(self):
+        class Broken:
+            def put_nowait(self, item):
+                raise OSError("closed")
+
+        assert not offer(Broken(), hb())
+
+    def test_queue_sink_offers(self):
+        channel = queue.Queue(maxsize=4)
+        sink = queue_sink(channel)
+        sink(hb(iteration=7))
+        assert channel.get_nowait().iteration == 7
+
+
+class TestHeartbeatEmitter:
+    def test_folds_the_best_pair_across_batches(self):
+        seen = []
+        emitter = HeartbeatEmitter(seen.append, worker=2, interval=0.0)
+        emitter([candidate(1.0, feasible=False), candidate(0.5)])
+        emitter([candidate(1.0), candidate(0.8)])
+        emitter.close()
+        final = seen[-1]
+        assert final.final
+        assert final.worker == 2
+        assert final.iteration == 2
+        # Objective-major, feasibility as tiebreak: (1.0, True) beats
+        # both (1.0, False) and (0.8, True).
+        assert final.best_objective == 1.0
+        assert final.feasible
+
+    def test_interval_throttles_but_close_always_emits(self):
+        seen = []
+        emitter = HeartbeatEmitter(seen.append, worker=0, interval=3600.0)
+        for _ in range(50):
+            emitter([candidate(1.0)])
+        assert len(seen) <= 1  # at most the first (timer starts cold)
+        emitter.close()
+        assert seen[-1].final
+        assert seen[-1].iteration == 50
+
+    def test_sink_errors_never_escape(self):
+        def bad_sink(heartbeat):
+            raise RuntimeError("observer crashed")
+
+        emitter = HeartbeatEmitter(bad_sink, worker=0, interval=0.0)
+        emitter([candidate(1.0)])  # must not raise
+        emitter.close()
+        assert emitter.emitted == 0
+
+    def test_empty_batch_still_ticks_iteration(self):
+        seen = []
+        emitter = HeartbeatEmitter(seen.append, worker=0, interval=0.0)
+        emitter([])
+        assert seen[-1].iteration == 1
+        assert seen[-1].best_objective == -float("inf")
+
+    def test_to_dict_roundtrips_fields(self):
+        pulse = hb(worker=3, iteration=9, best=0.25, final=True)
+        data = pulse.to_dict()
+        assert data["worker"] == 3
+        assert data["iteration"] == 9
+        assert data["best_objective"] == 0.25
+        assert data["final"] is True

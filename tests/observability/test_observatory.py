@@ -1,0 +1,260 @@
+"""End-to-end run observatory: heartbeats, live status, registry.
+
+The acceptance contract (ISSUE 6): a fault-injected portfolio solve with
+heartbeats enabled produces (1) a live ``RunStatus`` that reflects the
+retry/timeout transitions *while they happen*, (2) a run record whose
+per-worker attempt counts match the final ``PortfolioStats``, and (3) a
+final solution bit-identical to the same solve with heartbeats off.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.search import (
+    OptimizerConfig,
+    ParallelSolveEngine,
+    ResilienceConfig,
+    RetryPolicy,
+    seeded_restarts,
+)
+from repro.search.resilience import problem_fingerprint
+from repro.session import Session
+from repro.telemetry.observatory import RunStatus, build_run_record
+from repro.testing import FaultPlan, FaultSpec
+
+from ..search.test_optimizers import tiny_universe
+from .conftest import CONFIG, crash_plan, faulted_portfolio
+
+
+def make_session(**kwargs) -> Session:
+    defaults = dict(
+        universe=tiny_universe(),
+        max_sources=4,
+        optimizer_config=OptimizerConfig(max_iterations=20, patience=12, seed=5),
+    )
+    defaults.update(kwargs)
+    return Session(**defaults)
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+class TestFaultedObservatory:
+    def test_live_status_run_record_and_determinism(
+        self, problem, start_method, jobs
+    ):
+        specs = seeded_restarts("local", 3, CONFIG)
+        # Worker 0 crashes on its first attempt; worker 2 hangs past the
+        # wall-clock budget.  Both recover on attempt 1.
+        plan = FaultPlan(
+            entries=(
+                FaultSpec(worker=0, attempt=0, kind="crash"),
+                FaultSpec(worker=2, attempt=0, kind="hang", seconds=0.4),
+            )
+        )
+        resilience = ResilienceConfig(
+            worker_timeout=10.0 if jobs > 1 else 0.15,
+            retry=RetryPolicy(max_retries=1),
+        )
+        engine_kwargs = dict(
+            jobs=jobs, start_method=start_method, resilience=resilience
+        )
+        faulted = faulted_portfolio(specs, plan)
+
+        baseline = ParallelSolveEngine(**engine_kwargs).solve(
+            problem, faulted
+        )
+
+        snapshots = []
+        status = RunStatus(
+            on_update=snapshots.append, min_update_interval=0.0
+        )
+        observed = ParallelSolveEngine(
+            status=status, heartbeat_interval=0.0, **engine_kwargs
+        ).solve(problem, faulted)
+
+        # (3) Observation never changes the answer.
+        assert observed.solution.selected == baseline.solution.selected
+        assert observed.solution.objective == baseline.solution.objective
+        assert (
+            observed.portfolio.winner_index
+            == baseline.portfolio.winner_index
+        )
+
+        # (1) The retry transition was visible *in flight*: some snapshot
+        # taken mid-solve shows worker 0 in the retrying state, before
+        # the final snapshot where every worker is terminal.
+        retrying = [
+            snap.workers[0]
+            for snap in snapshots
+            if snap.workers and snap.workers[0].state == "retrying"
+        ]
+        assert retrying, "no snapshot caught worker 0 retrying"
+        assert retrying[0].attempt == 1
+        final = snapshots[-1]
+        assert final.finished
+        assert final.completed == 3
+        assert all(w.state == "done" for w in final.workers)
+        assert final.workers[0].attempts == 2
+        assert status.heartbeats > 0
+        assert final.best_objective == observed.solution.objective
+
+        # (2) The run record's per-worker attempts match PortfolioStats.
+        record = build_run_record(
+            observed,
+            fingerprint=problem_fingerprint(problem),
+            optimizer="local",
+            heartbeats=status.heartbeats,
+        )
+        stats = observed.portfolio
+        assert {
+            w["index"]: w["attempts"] for w in record.workers
+        } == {o.index: o.attempts for o in stats.workers}
+        assert record.retries == stats.retries
+        assert record.timeouts == stats.timeouts
+        assert record.winner_index == stats.winner_index
+        assert record.jobs == stats.jobs
+        assert record.heartbeats == status.heartbeats
+        assert record.selection == tuple(
+            sorted(observed.solution.selected)
+        )
+
+    def test_inline_timeout_transition_is_observed(
+        self, problem, start_method, jobs
+    ):
+        if jobs > 1:
+            pytest.skip("post-hoc timeout retry reason is inline-only")
+        specs = seeded_restarts("local", 2, CONFIG)
+        plan = FaultPlan(
+            entries=(
+                FaultSpec(worker=1, attempt=0, kind="hang", seconds=0.3),
+            )
+        )
+        resilience = ResilienceConfig(
+            worker_timeout=0.1, retry=RetryPolicy(max_retries=1)
+        )
+        snapshots = []
+        status = RunStatus(
+            on_update=snapshots.append, min_update_interval=0.0
+        )
+        result = ParallelSolveEngine(
+            jobs=1, resilience=resilience, status=status
+        ).solve(problem, faulted_portfolio(specs, plan))
+        assert result.portfolio.timeouts == 1
+        timeout_retries = [
+            snap.workers[1]
+            for snap in snapshots
+            if len(snap.workers) > 1
+            and snap.workers[1].state == "retrying"
+            and snap.workers[1].error
+            and "timed out" in snap.workers[1].error
+        ]
+        assert timeout_retries, "timeout retry never surfaced in a snapshot"
+
+
+class TestHeartbeatDeterminism:
+    def test_jobs1_with_progress_matches_sequential(self):
+        """Satellite (d): observation is bit-identical to silence."""
+        sequential = make_session().solve()
+
+        snapshots = []
+        observed = make_session().solve(on_progress=snapshots.append)
+
+        assert observed.solution == sequential.solution
+        assert (
+            observed.result.trajectory == sequential.result.trajectory
+        )
+        # on_progress alone promotes the solve to a jobs=1 portfolio...
+        assert observed.result.portfolio is not None
+        assert observed.result.portfolio.jobs == 1
+        # ...and the observer did see the worker live.
+        assert snapshots[-1].finished
+        assert snapshots[-1].heartbeats > 0
+
+    def test_repeated_observed_solves_are_identical(self):
+        first = make_session().solve(on_progress=lambda snap: None)
+        second = make_session().solve(on_progress=lambda snap: None)
+        assert first.solution == second.solution
+
+    def test_crashing_callback_does_not_sink_the_solve(self):
+        def explode(snapshot):
+            raise RuntimeError("broken renderer")
+
+        iteration = make_session().solve(on_progress=explode)
+        assert iteration.solution == make_session().solve().solution
+
+
+class TestSessionRunRecording:
+    def test_every_solve_appends_a_record(self, tmp_path, monkeypatch):
+        path = tmp_path / "runs.jsonl"
+        monkeypatch.setenv("MUBE_RUNS_PATH", str(path))
+        session = make_session()
+        iteration = session.solve()
+        session.solve(jobs=1, portfolio="local:2", retries=1)
+
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["command"] == "session.solve"
+        assert first["quality"] == iteration.solution.quality
+        assert first["fingerprint"] == problem_fingerprint(
+            session.problem()
+        )
+        assert len(first["workers"]) == 1  # sequential pseudo-worker
+        assert len(second["workers"]) == 2
+        assert second["jobs"] == 1
+
+    def test_record_runs_false_writes_nothing(self, tmp_path, monkeypatch):
+        path = tmp_path / "runs.jsonl"
+        monkeypatch.setenv("MUBE_RUNS_PATH", str(path))
+        make_session(record_runs=False).solve()
+        assert not path.exists()
+
+    def test_empty_env_disables_recording(self, monkeypatch):
+        monkeypatch.setenv("MUBE_RUNS_PATH", "")
+        session = make_session()
+        assert session.run_registry is None
+        session.solve()  # must not raise
+
+
+class TestRunsCli:
+    @pytest.fixture()
+    def recorded(self, tmp_path, monkeypatch):
+        path = tmp_path / "runs.jsonl"
+        monkeypatch.setenv("MUBE_RUNS_PATH", str(path))
+        assert (
+            main(
+                [
+                    "solve", "--sources", "20", "--choose", "4",
+                    "--iterations", "8", "--jobs", "1", "--progress",
+                ]
+            )
+            == 0
+        )
+        return path
+
+    def test_runs_lists_the_record(self, recorded, capsys):
+        assert main(["runs"]) == 0
+        out = capsys.readouterr().out
+        assert "session.solve" in out
+        assert "RUN" in out
+
+    def test_runs_show_renders_by_prefix(self, recorded, capsys):
+        assert main(["runs"]) == 0
+        table = capsys.readouterr().out.splitlines()
+        run_id = table[1].split()[0]
+        assert main(["runs", "show", run_id[:10]]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out
+        assert "winner" in out
+
+    def test_runs_show_unknown_id_fails(self, recorded, capsys):
+        assert main(["runs", "show", "zzz-does-not-exist"]) == 1
+        assert "no run" in capsys.readouterr().err
+
+    def test_runs_with_no_registry_is_not_an_error(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("MUBE_RUNS_PATH", str(tmp_path / "void.jsonl"))
+        assert main(["runs"]) == 0
+        assert "nothing recorded" in capsys.readouterr().out

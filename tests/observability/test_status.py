@@ -1,0 +1,159 @@
+"""RunStatus: the thread-safe live aggregate behind --progress."""
+
+from types import SimpleNamespace
+
+from repro.telemetry.observatory import Heartbeat, RunStatus
+
+
+def spec(optimizer="local", seed=0):
+    return SimpleNamespace(
+        optimizer=optimizer,
+        seed=seed,
+        describe=lambda: f"{optimizer}(seed={seed})",
+    )
+
+
+def pulse(worker, iteration=1, best=0.5, feasible=True, attempt=0):
+    return Heartbeat(
+        worker=worker,
+        attempt=attempt,
+        iteration=iteration,
+        best_objective=best,
+        feasible=feasible,
+        elapsed_seconds=0.0,
+    )
+
+
+def ok_outcome(index, objective=0.9, attempts=1):
+    solution = SimpleNamespace(objective=objective, feasible=True)
+    return SimpleNamespace(
+        index=index,
+        ok=True,
+        timed_out=False,
+        attempts=attempts,
+        error=None,
+        resumed=False,
+        result=SimpleNamespace(solution=solution),
+    )
+
+
+def failed_outcome(index, timed_out=False, attempts=1):
+    return SimpleNamespace(
+        index=index,
+        ok=False,
+        timed_out=timed_out,
+        attempts=attempts,
+        error="boom",
+        resumed=False,
+        result=None,
+    )
+
+
+class TestLifecycle:
+    def test_begin_registers_pending_workers(self):
+        status = RunStatus()
+        status.begin([spec(), spec(seed=1)])
+        snap = status.snapshot()
+        assert snap.total == 2
+        assert all(w.state == "pending" for w in snap.workers)
+        assert not snap.finished
+
+    def test_full_transition_chain(self):
+        status = RunStatus()
+        status.begin([spec()])
+        status.mark_running(0, attempt=0)
+        assert status.snapshot().workers[0].state == "running"
+        status.mark_retrying(0, attempt=1, reason="crash")
+        view = status.snapshot().workers[0]
+        assert view.state == "retrying"
+        assert view.attempt == 1
+        assert view.error == "crash"
+        status.record_outcome(ok_outcome(0, attempts=2))
+        status.finish()
+        snap = status.snapshot()
+        assert snap.workers[0].state == "done"
+        assert snap.workers[0].attempts == 2
+        assert snap.done == 1 and snap.completed == 1
+        assert snap.finished
+
+    def test_failed_and_timed_out_states(self):
+        status = RunStatus()
+        status.begin([spec(), spec(seed=1)])
+        status.record_outcome(failed_outcome(0))
+        status.record_outcome(failed_outcome(1, timed_out=True))
+        snap = status.snapshot()
+        assert snap.workers[0].state == "failed"
+        assert snap.workers[1].state == "timed_out"
+        assert snap.failed == 1 and snap.timed_out == 1
+
+    def test_terminal_worker_ignores_further_transitions(self):
+        status = RunStatus()
+        status.begin([spec()])
+        status.record_outcome(ok_outcome(0))
+        status.mark_running(0, attempt=5)  # a straggler's late signal
+        assert status.snapshot().workers[0].state == "done"
+
+
+class TestHeartbeats:
+    def test_heartbeat_promotes_pending_and_folds_best(self):
+        status = RunStatus()
+        status.begin([spec()])
+        status.record_heartbeat(pulse(0, best=0.3))
+        status.record_heartbeat(pulse(0, iteration=2, best=0.7))
+        status.record_heartbeat(pulse(0, iteration=3, best=0.4))
+        view = status.snapshot().workers[0]
+        assert view.state == "running"
+        assert view.iteration == 3
+        assert view.heartbeats == 3
+        assert view.best_objective == 0.7
+
+    def test_late_heartbeat_never_resurrects_a_finished_worker(self):
+        status = RunStatus()
+        status.begin([spec()])
+        status.record_outcome(ok_outcome(0, objective=0.9))
+        status.record_heartbeat(pulse(0, best=99.0))
+        view = status.snapshot().workers[0]
+        assert view.state == "done"
+        assert view.best_objective == 0.9  # the outcome's value stands
+        assert status.heartbeats == 1  # ...but the pulse is still counted
+
+    def test_global_best_tracks_across_workers(self):
+        status = RunStatus()
+        status.begin([spec(), spec(seed=1)])
+        status.record_heartbeat(pulse(0, best=0.4))
+        status.record_heartbeat(pulse(1, best=0.8))
+        snap = status.snapshot()
+        assert snap.best_worker.index == 1
+        assert snap.best_objective == 0.8
+
+
+class TestCallbacks:
+    def test_lifecycle_updates_always_fire(self):
+        snapshots = []
+        status = RunStatus(on_update=snapshots.append, min_update_interval=3600)
+        status.begin([spec()])
+        status.mark_retrying(0, attempt=1, reason="x")
+        status.record_outcome(ok_outcome(0))
+        status.finish()
+        assert len(snapshots) == 4
+        assert snapshots[-1].finished
+
+    def test_heartbeat_updates_are_throttled(self):
+        snapshots = []
+        status = RunStatus(on_update=snapshots.append, min_update_interval=3600)
+        status.begin([spec()])
+        for i in range(20):
+            status.record_heartbeat(pulse(0, iteration=i + 1))
+        # begin() fired (forced) and consumed the throttle window, so no
+        # heartbeat-driven invocation gets through.
+        assert len(snapshots) == 1
+        assert status.heartbeats == 20
+
+    def test_callback_errors_are_counted_not_raised(self):
+        def explode(snapshot):
+            raise ValueError("renderer bug")
+
+        status = RunStatus(on_update=explode)
+        status.begin([spec()])
+        status.finish()
+        assert status.callback_errors == 2

@@ -44,7 +44,65 @@ class TestHistogram:
         summary = MetricsRegistry().histogram("empty").summary()
         assert summary == {
             "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "p50": 0.0, "p90": 0.0, "p99": 0.0, "samples": [],
         }
+
+
+class TestHistogramPercentiles:
+    def test_small_sample_percentiles_are_exact(self):
+        histogram = MetricsRegistry().histogram("ms")
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["p50"] == 50.0
+        assert summary["p90"] == 90.0
+        assert summary["p99"] == 99.0
+
+    def test_single_observation_percentiles(self):
+        histogram = MetricsRegistry().histogram("one")
+        histogram.observe(7.0)
+        summary = histogram.summary()
+        assert summary["p50"] == summary["p90"] == summary["p99"] == 7.0
+
+    def test_reservoir_is_bounded_and_deterministic(self):
+        from repro.telemetry.metrics import RESERVOIR_SIZE
+
+        def run():
+            histogram = MetricsRegistry().histogram("big")
+            for value in range(10 * RESERVOIR_SIZE):
+                histogram.observe(float(value))
+            return histogram.summary()
+
+        first, second = run(), run()
+        assert len(first["samples"]) == RESERVOIR_SIZE
+        assert first == second  # same name + same stream => same summary
+
+    def test_merge_summary_accepts_legacy_dict_without_percentiles(self):
+        histogram = MetricsRegistry().histogram("legacy")
+        histogram.observe(1.0)
+        histogram.merge_summary(
+            {"count": 2, "total": 10.0, "min": 4.0, "max": 6.0, "mean": 5.0}
+        )
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["total"] == 11.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 6.0
+        # No samples travelled with the legacy dict: percentiles
+        # describe the locally observed values only.
+        assert summary["p50"] == 1.0
+
+    def test_merge_summary_folds_remote_samples(self):
+        histogram = MetricsRegistry().histogram("merge")
+        histogram.observe(1.0)
+        remote = MetricsRegistry().histogram("merge")
+        for value in (100.0, 200.0, 300.0):
+            remote.observe(value)
+        histogram.merge_summary(remote.summary())
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert sorted(summary["samples"]) == [1.0, 100.0, 200.0, 300.0]
+        assert summary["p99"] == 300.0
 
 
 class TestSnapshot:
@@ -96,10 +154,42 @@ class TestValueAccessors:
         registry = MetricsRegistry()
         assert registry.histogram_summary("absent") == {
             "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "p50": 0.0, "p90": 0.0, "p99": 0.0, "samples": [],
         }
         assert registry.snapshot()["histograms"] == {}
         registry.histogram("seconds").observe(2.0)
         assert registry.histogram_summary("seconds")["count"] == 1
+
+    def test_merge_snapshot_overlapping_names_accumulate(self):
+        """Two worker snapshots sharing names sum/merge, never overwrite."""
+        worker_a = MetricsRegistry()
+        worker_a.counter("search.solves").inc(3)
+        worker_a.counter("only.a").inc(1)
+        worker_a.gauge("depth").set(2.0)
+        worker_a.histogram("seconds").observe(1.0)
+        worker_a.histogram("seconds").observe(3.0)
+
+        worker_b = MetricsRegistry()
+        worker_b.counter("search.solves").inc(4)
+        worker_b.gauge("depth").set(9.0)
+        worker_b.histogram("seconds").observe(5.0)
+        worker_b.histogram("only.b").observe(2.0)
+
+        parent = MetricsRegistry()
+        parent.counter("search.solves").inc(1)
+        parent.merge_snapshot(worker_a.snapshot())
+        parent.merge_snapshot(worker_b.snapshot())
+
+        assert parent.counter_value("search.solves") == 8  # 1 + 3 + 4
+        assert parent.counter_value("only.a") == 1
+        assert parent.gauge_value("depth") == 9.0  # last snapshot wins
+        merged = parent.histogram_summary("seconds")
+        assert merged["count"] == 3
+        assert merged["total"] == 9.0
+        assert merged["min"] == 1.0
+        assert merged["max"] == 5.0
+        assert sorted(merged["samples"]) == [1.0, 3.0, 5.0]
+        assert parent.histogram_summary("only.b")["count"] == 1
 
     def test_noop_accessors_return_defaults(self):
         noop = NoopMetrics()

@@ -123,4 +123,23 @@ class TestFullReport:
         path = tmp_path / "empty.jsonl"
         path.write_text("")
         report = render_trace_report(str(path))
-        assert "(no spans in trace)" in report
+        assert "no spans recorded" in report
+
+    def test_metrics_only_trace_renders_counters(self, tmp_path):
+        """A metrics-only JSONL (no spans) is not an error."""
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "type": "metrics",
+                    "counters": {"search.solves": 2},
+                    "gauges": {},
+                    "histograms": {},
+                }
+            )
+            + "\n"
+        )
+        report = render_trace_report(str(path))
+        assert "no spans recorded" in report
+        assert "== counters ==" in report
+        assert "search.solves" in report
