@@ -1,21 +1,27 @@
-"""Performance-regression tracking over ``BENCH_*.json`` reports.
+"""Performance-regression tracking over ``BENCH_*.json`` + ``PROFILE_*.json``.
 
 ``run_all.py`` leaves one pytest-benchmark JSON report per suite plus a
-``BENCH_index.json`` manifest.  This tool folds those reports into an
-append-only history file (``BENCH_history.jsonl``, one run per line) and
-compares the fresh run against the **rolling median** of each
-benchmark's prior entries::
+``BENCH_index.json`` manifest; ``mube profile`` leaves ``PROFILE_*.json``
+complexity documents.  This tool folds both into an append-only history
+file (``BENCH_history.jsonl``, one run per line) and compares the fresh
+run against the **rolling median** of each metric's prior entries::
 
     PYTHONPATH=src python benchmarks/run_all.py --scale smoke --out-dir reports
+    PYTHONPATH=src python -m repro.cli profile --out reports/PROFILE_pipeline.json
     python benchmarks/track.py --reports-dir reports
 
 Each benchmark is keyed ``suite::test_name`` and tracked by its
 ``stats.mean`` seconds.  A benchmark regresses when its new mean exceeds
 the median of its last ``--window`` recorded means by more than
-``--threshold`` (a fraction: 0.5 means "50% slower").  Regressions make
-the exit status non-zero, which is how CI gates on it; a history with no
-prior entries (first run ever, or a brand-new benchmark) can never gate,
-so the tracker is safe to enable from day one.
+``--threshold`` (a fraction: 0.5 means "50% slower").  Profile metrics
+are keyed ``profile::<stem>::<metric>``; the ``*.slope`` keys — fitted
+empirical complexity exponents — gate on **absolute** growth past
+``--slope-threshold`` instead (a slope near zero makes relative deltas
+meaningless, and "matching crept from 1.2 back to 2.0" is an absolute
+statement).  Regressions make the exit status non-zero, which is how CI
+gates on it; a history with no prior entries (first run ever, or a
+brand-new metric) can never gate, so the tracker is safe to enable from
+day one.
 
 The median-over-window baseline makes the gate robust to single noisy
 runs on shared CI hardware: one slow outlier neither trips the gate on
@@ -72,6 +78,35 @@ def extract_means(report: Path) -> dict[str, float]:
             continue
         means[f"{suite}::{bench['name']}"] = float(stats["mean"])
     return means
+
+
+def discover_profiles(reports_dir: Path) -> list[Path]:
+    """Every ``PROFILE_*.json`` complexity document in the directory."""
+    return sorted(reports_dir.glob("PROFILE_*.json"))
+
+
+def extract_profile_metrics(report: Path) -> dict[str, float]:
+    """``profile::<stem>::<metric>`` → value from one PROFILE document.
+
+    The document's flat ``metrics`` map is authoritative (written by
+    ``repro.telemetry.complexity.run_profile``); a file that is not a
+    ``mube-profile`` document raises ValueError so the caller can skip
+    it with a warning, like any other unreadable report.
+    """
+    data = json.loads(report.read_text(encoding="utf-8"))
+    if data.get("kind") != "mube-profile":
+        raise ValueError(f"not a mube-profile document: {report}")
+    stem = report.stem.removeprefix("PROFILE_")
+    return {
+        f"profile::{stem}::{key}": float(value)
+        for key, value in data.get("metrics", {}).items()
+        if value is not None
+    }
+
+
+def is_slope_key(key: str) -> bool:
+    """True for fitted-exponent metrics, which gate on absolute delta."""
+    return key.startswith("profile::") and key.endswith(".slope")
 
 
 def load_history(path: Path) -> list[dict]:
@@ -131,6 +166,11 @@ def main(argv: list[str] | None = None) -> int:
              "(default: 0.5 = 50%% slower)",
     )
     parser.add_argument(
+        "--slope-threshold", type=float, default=0.25,
+        help="gate when a profile::*.slope exceeds its baseline by this "
+             "absolute amount (default: 0.25 exponent growth)",
+    )
+    parser.add_argument(
         "--record-only", action="store_true",
         help="append to the history but never gate (exit 0)",
     )
@@ -144,8 +184,12 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     reports = discover_reports(reports_dir)
-    if not reports:
-        print(f"no BENCH_*.json reports in {reports_dir}", file=sys.stderr)
+    profiles = discover_profiles(reports_dir)
+    if not reports and not profiles:
+        print(
+            f"no BENCH_*.json or PROFILE_*.json reports in {reports_dir}",
+            file=sys.stderr,
+        )
         return 2
     results: dict[str, float] = {}
     for report in reports:
@@ -153,6 +197,12 @@ def main(argv: list[str] | None = None) -> int:
             results.update(extract_means(report))
         except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
             print(f"skipping unreadable report {report}: {exc}",
+                  file=sys.stderr)
+    for profile in profiles:
+        try:
+            results.update(extract_profile_metrics(profile))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            print(f"skipping unreadable profile {profile}: {exc}",
                   file=sys.stderr)
     if not results:
         print("reports carried no benchmark stats", file=sys.stderr)
@@ -169,8 +219,31 @@ def main(argv: list[str] | None = None) -> int:
         if baseline is None:
             print(f"{key:<{width}} {'(new)':>12} {mean:>12.6f} {'—':>8}")
             continue
-        delta = (mean - baseline) / baseline if baseline else 0.0
         flag = ""
+        if is_slope_key(key):
+            # Fitted exponents gate on absolute growth: a slope going
+            # 1.2 → 1.5 is a real complexity regression whatever the
+            # percentage says, and slopes near zero have no meaningful
+            # relative delta at all.
+            delta = mean - baseline
+            if delta > args.slope_threshold:
+                regressions.append(key)
+                flag = "  << REGRESSION"
+            print(
+                f"{key:<{width}} {baseline:>12.6f} {mean:>12.6f} "
+                f"{delta:>+8.2f}{flag}"
+            )
+            continue
+        delta = (mean - baseline) / baseline if baseline else 0.0
+        if key.startswith("profile::"):
+            # Per-phase wall seconds at probe scale are tiny and noisy;
+            # they are recorded for trend reading but only the fitted
+            # exponents above are load-bearing enough to gate on.
+            print(
+                f"{key:<{width}} {baseline:>12.6f} {mean:>12.6f} "
+                f"{delta:>+7.1%}  (informational)"
+            )
+            continue
         if delta > args.threshold:
             regressions.append(key)
             flag = "  << REGRESSION"

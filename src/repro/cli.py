@@ -8,6 +8,7 @@ The core subcommands::
     mube explain [options]       # solve and explain *why* the answer is so
     mube trace-report FILE       # analyse a --trace JSON-lines file offline
     mube runs [show ID]          # list or inspect the persistent run registry
+    mube profile [--scale ...]   # per-phase cost profiles and log-log slopes
 
 The CLI is a thin veneer over the :class:`repro.Session` API; everything it
 does can be done programmatically (see ``examples/``).
@@ -172,7 +173,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-depth", type=int, default=3,
         help="span-tree depth limit (with --tree)",
     )
+    trace_report.add_argument(
+        "--chrome", metavar="FILE",
+        help="also export the span tree as Chrome Trace Event JSON "
+             "(open in chrome://tracing or ui.perfetto.dev)",
+    )
     trace_report.set_defaults(handler=run_trace_report)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run the pipeline at increasing scales and fit per-phase "
+             "log-log cost slopes",
+    )
+    profile.add_argument(
+        "--scale", default="40,80,160", metavar="N1,N2,...",
+        help="comma-separated universe sizes to probe (default 40,80,160)",
+    )
+    profile.add_argument("--choose", type=int, default=8, help="budget m")
+    profile.add_argument("--iterations", type=int, default=30)
+    profile.add_argument(
+        "--optimizer", choices=sorted(OPTIMIZERS), default="tabu"
+    )
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument("--theta", type=float, default=0.65)
+    profile.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="profile the portfolio path with N workers "
+             "(default: sequential solve)",
+    )
+    profile.add_argument(
+        "--memory", action="store_true",
+        help="also attribute peak/delta heap memory per phase "
+             "(tracemalloc; slows the probe noticeably)",
+    )
+    profile.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the PROFILE_*.json document here "
+             "(default: PROFILE_pipeline.json; '-' skips the file)",
+    )
+    profile.set_defaults(handler=run_profile_cmd)
 
     runs = sub.add_parser(
         "runs",
@@ -194,6 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--contains", metavar="TEXT", dest="command_filter",
         help="only records whose command contains TEXT",
     )
+    runs.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the records as a JSON array instead of a table",
+    )
     runs.set_defaults(handler=run_runs)
     runs_sub = runs.add_subparsers(dest="runs_command")
     runs_show = runs_sub.add_parser(
@@ -205,6 +248,10 @@ def build_parser() -> argparse.ArgumentParser:
     runs_show.add_argument(
         "--path", metavar="FILE",
         help="registry file (default: $MUBE_RUNS_PATH or .mube/runs.jsonl)",
+    )
+    runs_show.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the record as JSON instead of the rendered report",
     )
     runs_show.set_defaults(handler=run_runs_show)
 
@@ -413,6 +460,72 @@ def run_trace_report(args: argparse.Namespace) -> int:
         )
         return 2
     print(report, end="")
+    if args.chrome:
+        from .telemetry.chrome_trace import write_chrome_trace
+
+        try:
+            count = write_chrome_trace(args.trace_file, args.chrome)
+        except OSError as exc:
+            print(
+                f"error: cannot write chrome trace: {exc}", file=sys.stderr
+            )
+            return 2
+        print(f"wrote {count} chrome trace events to {args.chrome}")
+    return 0
+
+
+def run_profile_cmd(args: argparse.Namespace) -> int:
+    """Run the empirical complexity probe and emit PROFILE_*.json."""
+    import json
+
+    from .telemetry.complexity import (
+        ProfileConfig,
+        render_profile_report,
+        run_profile,
+    )
+
+    try:
+        scales = tuple(
+            int(part) for part in args.scale.split(",") if part.strip()
+        )
+    except ValueError:
+        print(
+            f"error: --scale wants comma-separated integers, "
+            f"got {args.scale!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if not scales or any(s < 2 for s in scales):
+        print(
+            "error: --scale needs at least one universe size ≥ 2",
+            file=sys.stderr,
+        )
+        return 2
+    config = ProfileConfig(
+        scales=scales,
+        choose=args.choose,
+        iterations=args.iterations,
+        optimizer=args.optimizer,
+        seed=args.seed,
+        theta=args.theta,
+        jobs=args.jobs,
+        memory=args.memory,
+    )
+    document = run_profile(config)
+    print(render_profile_report(document), end="")
+    out = args.out if args.out is not None else "PROFILE_pipeline.json"
+    if out != "-":
+        try:
+            with open(out, "w", encoding="utf-8") as stream:
+                json.dump(document, stream, indent=1, sort_keys=True)
+                stream.write("\n")
+        except OSError as exc:
+            print(
+                f"error: cannot write profile report: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"\nwrote profile document to {out}")
     return 0
 
 
@@ -444,6 +557,11 @@ def run_runs(args: argparse.Namespace) -> int:
         status=args.status,
         command=args.command_filter,
     )
+    if args.as_json:
+        import json
+
+        print(json.dumps([r.to_dict() for r in records], indent=2))
+        return 0
     if not records and not registry.path.exists():
         print(f"no run registry at {registry.path} (nothing recorded yet)")
         return 0
@@ -468,6 +586,11 @@ def run_runs_show(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.as_json:
+        import json
+
+        print(json.dumps(record.to_dict(), indent=2))
+        return 0
     print(render_run_record(record))
     return 0
 

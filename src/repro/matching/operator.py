@@ -26,7 +26,7 @@ from ..core import (
 from ..exceptions import ConstraintError
 from ..similarity.matrix import NameSimilarityMatrix
 from ..similarity.measures import SimilarityMeasure, default_measure
-from ..telemetry import get_telemetry
+from ..telemetry import get_profiler, get_telemetry
 from .cluster import Cluster
 from .greedy import greedy_constrained_clustering
 
@@ -102,6 +102,7 @@ class MatchOperator:
         get_telemetry().metrics.gauge("match.constraint_seeds").set(
             len(self.seeds)
         )
+        get_profiler().add_cache_probe("match.memo", self.cache_info)
 
     @classmethod
     def for_problem(
@@ -137,7 +138,9 @@ class MatchOperator:
             return cached
         self.memo_misses += 1
         telemetry.metrics.counter("match.memo_misses").inc()
-        with telemetry.span("match.evaluate", size=len(selection)) as span:
+        with get_profiler().phase("matching"), telemetry.span(
+            "match.evaluate", size=len(selection)
+        ) as span:
             result = self._match_uncached(selection)
             span.set(null=result.is_null)
         while self._cache and len(self._cache) >= self._cache_size:

@@ -38,6 +38,7 @@ import numpy as np
 
 from ..core import CARDINALITY, COVERAGE, REDUNDANCY, Problem
 from ..sketch.stacked import StackedSketches, pcsa_estimate
+from ..telemetry import get_profiler
 from .base import clamp_unit
 from .characteristics import CharacteristicQEF
 from .data_metrics import CardinalityQEF, CoverageQEF, RedundancyQEF
@@ -108,6 +109,11 @@ class EvalContext:
         :class:`RedundancyQEF` (estimated, not exact) and stock
         :class:`CharacteristicQEF` instances are vectorized.
         """
+        with get_profiler().phase("compile"):
+            return cls._compile(problem, qefs)
+
+    @classmethod
+    def _compile(cls, problem: Problem, qefs: dict) -> "EvalContext":
         universe = problem.universe
         sources = universe.select(universe.source_ids)
         ids = np.array([s.source_id for s in sources], dtype=np.int64)

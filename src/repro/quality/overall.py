@@ -46,7 +46,7 @@ from ..matching.incremental import IncrementalMatchOperator
 from ..matching.operator import MatchOperator
 from ..similarity.matrix import NameSimilarityMatrix
 from ..similarity.measures import SimilarityMeasure
-from ..telemetry import get_telemetry
+from ..telemetry import get_profiler, get_telemetry
 from .characteristics import CharacteristicQEF
 from .compiled import EvalContext
 from .data_metrics import CardinalityQEF, CoverageQEF, RedundancyQEF
@@ -93,6 +93,7 @@ class Objective:
         self._evaluations = 0
         self._cache_hits = 0
         self._cache_evictions = 0
+        get_profiler().add_cache_probe("objective.memo", self.cache_info)
 
     @property
     def evaluations(self) -> int:
@@ -108,6 +109,20 @@ class Objective:
     def cache_evictions(self) -> int:
         """Number of memo entries evicted (LRU) since construction."""
         return self._cache_evictions
+
+    def cache_info(self) -> dict[str, int]:
+        """``Q(S)`` memo statistics for diagnostics and cache probes.
+
+        ``misses`` equals :attr:`evaluations` — every distinct selection
+        scored is exactly one memo miss.
+        """
+        return {
+            "entries": len(self._cache),
+            "capacity": self._cache_size,
+            "hits": self._cache_hits,
+            "misses": self._evaluations,
+            "evictions": self._cache_evictions,
+        }
 
     @property
     def context(self) -> EvalContext:

@@ -22,7 +22,7 @@ import numpy as np
 from ..core import Solution, worst_solution
 from ..exceptions import SearchError
 from ..quality.overall import Objective
-from ..telemetry import get_telemetry
+from ..telemetry import get_profiler, get_telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .parallel import PortfolioStats
@@ -226,7 +226,9 @@ class Optimizer(ABC):
         operator = getattr(objective, "match_operator", None)
         hits_before = getattr(operator, "memo_hits", 0)
         misses_before = getattr(operator, "memo_misses", 0)
-        with telemetry.span("search.solve", optimizer=self.name) as span:
+        with get_profiler().phase("search"), telemetry.span(
+            "search.solve", optimizer=self.name
+        ) as span:
             result = self._optimize(objective, initial)
             span.set(
                 iterations=result.stats.iterations,

@@ -72,6 +72,7 @@ import threading
 import time
 from collections import deque
 from collections.abc import Iterable, Mapping, Sequence
+from contextlib import contextmanager
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -83,9 +84,13 @@ from ..quality.overall import Objective
 from ..similarity.matrix import NameSimilarityMatrix
 from ..telemetry import (
     InMemoryExporter,
+    PhaseProfiler,
     Telemetry,
+    get_profiler,
     get_telemetry,
+    set_profiler,
     set_telemetry,
+    use_profiler,
 )
 from ..telemetry.observatory.heartbeat import (
     DEFAULT_HEARTBEAT_INTERVAL,
@@ -247,6 +252,8 @@ class WorkerContext:
         stop_quality: float | None = None,
         collect_telemetry: bool = False,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        profile: bool = False,
+        profile_memory: bool = False,
     ):
         self.problem = problem
         self.similarity = similarity
@@ -255,6 +262,8 @@ class WorkerContext:
         self.stop_quality = stop_quality
         self.collect_telemetry = collect_telemetry
         self.heartbeat_interval = heartbeat_interval
+        self.profile = profile
+        self.profile_memory = profile_memory
 
     def build_objective(self) -> Objective:
         """A fresh objective compiled from the shipped problem."""
@@ -273,10 +282,14 @@ class WorkerContext:
             "stop_quality": self.stop_quality,
             "collect_telemetry": self.collect_telemetry,
             "heartbeat_interval": self.heartbeat_interval,
+            "profile": self.profile,
+            "profile_memory": self.profile_memory,
         }
 
     def __setstate__(self, state: dict) -> None:
         state.setdefault("heartbeat_interval", DEFAULT_HEARTBEAT_INTERVAL)
+        state.setdefault("profile", False)
+        state.setdefault("profile_memory", False)
         self.__dict__.update(state)
 
     def __repr__(self) -> str:
@@ -443,6 +456,7 @@ def _worker_init(
     _WORKER_STARTED = started
     _WORKER_HEARTBEATS = heartbeats
     set_telemetry(None)
+    set_profiler(None)
     from ..explain.events import set_event_log
 
     set_event_log(None)
@@ -462,6 +476,29 @@ def _execute_spec(context: WorkerContext, spec: WorkerSpec) -> SearchResult:
         initial=context.initial,
         **dict(spec.params),
     )
+
+
+@contextmanager
+def _profiler_scope(context: WorkerContext):
+    """A worker-local :class:`PhaseProfiler` when the parent profiles.
+
+    No-op unless the context asks for profiling.  The profiler records
+    into whatever telemetry is current (the worker's own tracer inside
+    :func:`_run_worker`), and its close — still inside the scope, before
+    the metrics snapshot is taken — flushes the worker's cache totals so
+    they ride the ordinary ``payload["metrics"]`` → ``merge_snapshot``
+    path home.
+    """
+    if not context.profile:
+        yield
+        return
+    profiler = PhaseProfiler(memory=context.profile_memory)
+    profiler.start()
+    try:
+        with use_profiler(profiler):
+            yield
+    finally:
+        profiler.close()
 
 
 def _hit_quality_bound(result: SearchResult, bound: float | None) -> bool:
@@ -508,11 +545,12 @@ def _run_worker(index: int, spec: WorkerSpec, attempt: int = 0) -> dict:
         else None
     )
     try:
-        if emitter is not None:
-            with progress_hook_scope(emitter):
+        with _profiler_scope(context):
+            if emitter is not None:
+                with progress_hook_scope(emitter):
+                    result = _execute_spec(context, spec)
+            else:
                 result = _execute_spec(context, spec)
-        else:
-            result = _execute_spec(context, spec)
     except Exception as exc:  # noqa: BLE001 - shipped home as the outcome
         return {"index": index, "error": f"{type(exc).__name__}: {exc}"}
     finally:
@@ -957,14 +995,21 @@ class ParallelSolveEngine:
                     # best — but an explicit caller `initial` always
                     # wins over the checkpoint's.
                     initial = frozenset(resume.best_selection)
+        profiler = get_profiler()
         context = WorkerContext(
             problem=problem,
             similarity=similarity,
             incremental=incremental,
             initial=initial,
             stop_quality=self.stop_quality,
-            collect_telemetry=telemetry.enabled,
+            # Profiling rides the worker tracer home, so an enabled
+            # profiler forces span/metrics collection even when the
+            # parent isn't tracing (the data only survives when the
+            # parent tracer is real — see repro.telemetry.profiler).
+            collect_telemetry=telemetry.enabled or profiler.enabled,
             heartbeat_interval=self.heartbeat_interval,
+            profile=profiler.enabled,
+            profile_memory=getattr(profiler, "memory", False),
         )
         status = self.status
         if status is not None:
@@ -986,8 +1031,9 @@ class ParallelSolveEngine:
                 else:
                     early_stopped = self._solve_pool(run)
             elapsed = time.perf_counter() - started
-            outcomes = run.outcomes()
-            winner = select_winner(outcomes)
+            with profiler.phase("merge"):
+                outcomes = run.outcomes()
+                winner = select_winner(outcomes)
             if winner is None:
                 reasons = "; ".join(
                     f"worker {o.index} ({o.label}): {o.error}"

@@ -8,6 +8,7 @@ dictionary hits.
 
 from __future__ import annotations
 
+from ..telemetry import get_profiler
 from .measures import SimilarityMeasure
 
 
@@ -28,6 +29,7 @@ class CachedSimilarity:
         self._cache: dict[tuple[str, str], float] = {}
         self.hits = 0
         self.misses = 0
+        get_profiler().add_cache_probe("similarity.memo", self.stats)
 
     def __call__(self, a: str, b: str) -> float:
         key = (a, b) if a <= b else (b, a)

@@ -16,7 +16,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from ..exceptions import ReproError
-from ..telemetry import get_telemetry
+from ..telemetry import get_profiler, get_telemetry
 from .measures import SimilarityMeasure
 
 
@@ -55,7 +55,7 @@ class NameSimilarityMatrix:
         telemetry = get_telemetry()
         vocabulary = tuple(dict.fromkeys(names))
         size = len(vocabulary)
-        with telemetry.span(
+        with get_profiler().phase("similarity"), telemetry.span(
             "similarity.matrix_build", vocabulary=size,
             measure=measure.name,
         ):

@@ -8,6 +8,14 @@ pipeline instruments unconditionally.  See docs/observability.md for the
 span taxonomy and exporter formats.
 """
 
+from .chrome_trace import spans_to_chrome, trace_to_chrome, write_chrome_trace
+from .complexity import (
+    LogLogFit,
+    ProfileConfig,
+    fit_loglog,
+    render_profile_report,
+    run_profile,
+)
 from .exporters import (
     Exporter,
     InMemoryExporter,
@@ -16,6 +24,16 @@ from .exporters import (
     render_summary,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, NoopMetrics
+from .profiler import (
+    NOOP_PROFILER,
+    NoopPhaseProfiler,
+    PhaseProfiler,
+    get_profiler,
+    phase_profile,
+    render_phase_report,
+    set_profiler,
+    use_profiler,
+)
 from .runtime import get_telemetry, set_telemetry, use_telemetry
 from .trace_report import (
     Trace,
@@ -35,22 +53,38 @@ __all__ = [
     "Histogram",
     "InMemoryExporter",
     "JsonLinesExporter",
+    "LogLogFit",
     "MetricsRegistry",
     "NOOP",
+    "NOOP_PROFILER",
     "NoopMetrics",
+    "NoopPhaseProfiler",
     "NoopTelemetry",
+    "PhaseProfiler",
+    "ProfileConfig",
     "SpanRecord",
     "StderrSummaryExporter",
     "Telemetry",
     "Trace",
     "TraceSpan",
+    "fit_loglog",
+    "get_profiler",
     "get_telemetry",
     "load_trace",
+    "phase_profile",
+    "render_phase_report",
+    "render_profile_report",
     "render_span_tree",
     "render_summary",
     "render_time_table",
     "render_trace_report",
+    "run_profile",
+    "set_profiler",
     "set_telemetry",
+    "spans_to_chrome",
     "time_by_name",
+    "trace_to_chrome",
+    "use_profiler",
     "use_telemetry",
+    "write_chrome_trace",
 ]

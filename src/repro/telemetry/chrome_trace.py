@@ -1,0 +1,164 @@
+"""Chrome Trace Event Format export for recorded span trees.
+
+Converts a parsed :class:`~repro.telemetry.trace_report.Trace` (or raw
+:class:`~repro.telemetry.tracer.SpanRecord` sequences) into the JSON
+format chrome://tracing and https://ui.perfetto.dev render natively —
+``mube trace-report FILE --chrome out.json`` is the CLI surface.
+
+Every span becomes one ``"X"`` (complete) event with microsecond
+``ts``/``dur``.  Chrome stacks events on a *thread lane* (``tid``) by
+containment, which matches nested spans — but absorbed portfolio worker
+spans are siblings that genuinely overlap in time (they ran in separate
+processes), and overlapping siblings on one lane render as garbage.  The
+exporter therefore assigns lanes greedily and deterministically: a child
+stays on its parent's lane when the lane is free at its start time,
+otherwise it takes the first free lane, otherwise a new one — so a
+``jobs=4`` solve renders as four parallel worker lanes under the
+``portfolio.solve`` row, on the portfolio's own timeline (absorb already
+re-anchored the timestamps).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from .trace_report import Trace, TraceSpan, load_trace
+
+
+def trace_to_chrome(
+    trace: Trace, process_name: str = "mube"
+) -> dict[str, Any]:
+    """The trace as a Chrome Trace Event Format document (JSON-safe)."""
+    lanes = _assign_lanes(trace.roots)
+    events: list[dict[str, Any]] = []
+    for span in trace.spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": round(max(span.start, 0.0) * 1e6, 3),
+                "dur": round(max(span.duration, 0.0) * 1e6, 3),
+                "pid": 0,
+                "tid": lanes.get(span.index, 0),
+                "args": dict(span.attributes),
+            }
+        )
+    events.sort(key=lambda e: (e["ts"], -e["dur"], e["tid"]))
+    metadata: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for tid in sorted(set(lanes.values()) | {0}):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": "main" if tid == 0 else f"lane {tid}"},
+            }
+        )
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def spans_to_chrome(
+    spans: Sequence[Any], process_name: str = "mube"
+) -> dict[str, Any]:
+    """Chrome document straight from finished span records.
+
+    Accepts :class:`~repro.telemetry.tracer.SpanRecord` objects (e.g.
+    from an :class:`~repro.telemetry.InMemoryExporter`) as well as
+    already-parsed :class:`TraceSpan` instances.
+    """
+    parsed: list[TraceSpan] = []
+    for span in spans:
+        if isinstance(span, TraceSpan):
+            parsed.append(
+                TraceSpan(
+                    name=span.name,
+                    index=span.index,
+                    parent=span.parent,
+                    depth=span.depth,
+                    start=span.start,
+                    duration=span.duration,
+                    attributes=dict(span.attributes),
+                )
+            )
+        else:
+            parsed.append(
+                TraceSpan(
+                    name=span.name,
+                    index=span.index,
+                    parent=span.parent_index,
+                    depth=span.depth,
+                    start=span.start,
+                    duration=span.duration,
+                    attributes=dict(span.attributes),
+                )
+            )
+    by_index = {span.index: span for span in parsed}
+    for span in parsed:
+        parent = by_index.get(span.parent) if span.parent is not None else None
+        if parent is not None:
+            parent.children.append(span)
+    for span in parsed:
+        span.children.sort(key=lambda s: s.start)
+    trace = Trace(spans=parsed, events=[], metrics={})
+    return trace_to_chrome(trace, process_name=process_name)
+
+
+def write_chrome_trace(
+    trace_path: str, out_path: str, process_name: str = "mube"
+) -> int:
+    """Convert a ``--trace`` JSON-lines file; returns the event count."""
+    document = trace_to_chrome(
+        load_trace(trace_path), process_name=process_name
+    )
+    with open(out_path, "w", encoding="utf-8") as stream:
+        json.dump(document, stream, indent=1, sort_keys=True)
+        stream.write("\n")
+    return len(document["traceEvents"])
+
+
+def _assign_lanes(roots: list[TraceSpan]) -> dict[int, int]:
+    """Span index → lane id, overlap-free within every sibling group.
+
+    Deterministic: siblings are visited in ``(start, index)`` order and
+    lanes are probed in creation order, so the same trace always renders
+    the same way.
+    """
+    lanes: dict[int, int] = {}
+    next_lane = [1]
+
+    def place(children: list[TraceSpan], parent_lane: int) -> None:
+        # Per sibling group: the parent's lane plus any lanes this group
+        # opens; each holds the end time of the last sibling placed on it.
+        group_lanes: list[list[float | int]] = [[parent_lane, -1.0]]
+        for child in sorted(children, key=lambda s: (s.start, s.index)):
+            slot = None
+            for lane in group_lanes:
+                if child.start >= lane[1] - 1e-12:
+                    slot = lane
+                    break
+            if slot is None:
+                slot = [next_lane[0], -1.0]
+                next_lane[0] += 1
+                group_lanes.append(slot)
+            slot[1] = child.start + child.duration
+            lanes[child.index] = int(slot[0])
+            place(child.children, int(slot[0]))
+
+    for root in sorted(roots, key=lambda s: (s.start, s.index)):
+        lanes[root.index] = 0
+        place(root.children, 0)
+    return lanes

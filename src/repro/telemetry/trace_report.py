@@ -143,12 +143,23 @@ def render_time_table(trace: Trace) -> str:
     return out.getvalue()
 
 
+#: Indentation stops growing past this depth — a recursive or
+#: pathologically deep trace would otherwise drift every line off the
+#: right edge of a wide terminal.  Deeper levels keep a ``[depth]``
+#: marker instead, so nesting stays readable without the drift.
+MAX_TREE_INDENT = 12
+
+
 def render_span_tree(trace: Trace, max_depth: int = 3) -> str:
     """The reconstructed span tree, truncated at ``max_depth``.
 
     Sibling runs of the same span name are folded into one line with a
     repeat count — a tabu solve has hundreds of ``search.iteration``
-    spans and a tree that lists each one is unreadable.
+    spans and a tree that lists each one is unreadable.  Indentation is
+    clamped at :data:`MAX_TREE_INDENT` levels (deeper lines carry an
+    explicit ``[depth]`` marker), and subtrees cut off by ``max_depth``
+    are announced with a count of the spans hidden below the cut rather
+    than silently dropped.
     """
     out = io.StringIO()
     for root in trace.roots:
@@ -209,16 +220,28 @@ def _render_subtree(
     """Render one folded sibling group and recurse into its children."""
     first = group[0]
     total = sum(s.duration for s in group)
-    indent = "  " * depth
+    indent = "  " * min(depth, MAX_TREE_INDENT)
+    marker = f"[{depth}] " if depth > MAX_TREE_INDENT else ""
     count = f" ×{len(group)}" if len(group) > 1 else ""
-    out.write(f"{indent}{first.name}{count}  {total:.3f}s\n")
-    if depth + 1 > max_depth:
-        return
+    out.write(f"{indent}{marker}{first.name}{count}  {total:.3f}s\n")
     children: list[TraceSpan] = []
     for span in group:
         children.extend(span.children)
+    if depth + 1 > max_depth:
+        hidden = sum(1 + _descendant_count(child) for child in children)
+        if hidden:
+            out.write(
+                f"{indent}  … {hidden} span(s) below depth {max_depth} "
+                f"(raise --max-depth to see them)\n"
+            )
+        return
     folded: dict[str, list[TraceSpan]] = {}
     for child in sorted(children, key=lambda s: s.start):
         folded.setdefault(child.name, []).append(child)
     for child_group in folded.values():
         _render_subtree(out, child_group, depth + 1, max_depth)
+
+
+def _descendant_count(span: TraceSpan) -> int:
+    """Number of spans strictly below one span in the tree."""
+    return sum(1 + _descendant_count(child) for child in span.children)

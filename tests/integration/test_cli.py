@@ -20,6 +20,22 @@ class TestParser:
         assert args.choose == 10
         assert args.optimizer == "tabu"
 
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.scale == "40,80,160"
+        assert args.choose == 8
+        assert args.memory is False
+        assert args.out is None
+
+    def test_trace_report_chrome_defaults_off(self):
+        args = build_parser().parse_args(["trace-report", "t.jsonl"])
+        assert args.chrome is None
+
+    def test_runs_json_flags(self):
+        assert build_parser().parse_args(["runs", "--json"]).as_json
+        args = build_parser().parse_args(["runs", "show", "abc", "--json"])
+        assert args.as_json
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -271,3 +287,85 @@ class TestExplainCommands:
     def test_trace_report_missing_file(self, capsys):
         assert main(["trace-report", "/nonexistent/trace.jsonl"]) == 2
         assert "cannot read trace file" in capsys.readouterr().err
+
+    def test_trace_report_chrome_export(self, capsys, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "solve", "--sources", "30", "--choose", "4",
+                    "--iterations", "6", "--trace", str(trace),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        chrome = tmp_path / "chrome.json"
+        assert main(["trace-report", str(trace), "--chrome", str(chrome)]) == 0
+        out = capsys.readouterr().out
+        assert "chrome trace events" in out
+        document = json.loads(chrome.read_text(encoding="utf-8"))
+        names = {
+            e["name"] for e in document["traceEvents"] if e["ph"] == "X"
+        }
+        assert "session.solve" in names
+
+    def test_trace_report_chrome_unwritable_path(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "solve", "--sources", "30", "--choose", "4",
+                    "--iterations", "6", "--trace", str(trace),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        bad = tmp_path / "missing-dir" / "chrome.json"
+        assert main(["trace-report", str(trace), "--chrome", str(bad)]) == 2
+        assert "cannot write chrome trace" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_profile_emits_report_and_document(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "PROFILE_smoke.json"
+        assert (
+            main(
+                [
+                    "profile", "--scale", "8,12", "--choose", "3",
+                    "--iterations", "4", "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "slope" in text
+        assert "search" in text
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["kind"] == "mube-profile"
+        assert "search.slope" in document["metrics"]
+
+    def test_profile_stdout_only(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(
+                [
+                    "profile", "--scale", "8,12", "--choose", "3",
+                    "--iterations", "4", "--out", "-",
+                ]
+            )
+            == 0
+        )
+        assert "wrote profile document" not in capsys.readouterr().out
+        assert list(tmp_path.glob("PROFILE_*.json")) == []
+
+    def test_profile_rejects_bad_scales(self, capsys):
+        assert main(["profile", "--scale", "abc"]) == 2
+        assert "comma-separated" in capsys.readouterr().err
+        assert main(["profile", "--scale", "1"]) == 2
+        assert "≥ 2" in capsys.readouterr().err

@@ -252,6 +252,29 @@ class TestRunsCli:
         assert main(["runs", "show", "zzz-does-not-exist"]) == 1
         assert "no run" in capsys.readouterr().err
 
+    def test_runs_json_is_machine_readable(self, recorded, capsys):
+        assert main(["runs", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert isinstance(records, list) and records
+        assert records[0]["command"] == "session.solve"
+        assert "run_id" in records[0]
+
+    def test_runs_show_json_round_trips(self, recorded, capsys):
+        assert main(["runs", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        run_id = records[0]["run_id"]
+        assert main(["runs", "show", run_id, "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["run_id"] == run_id
+        assert record["workers"]
+
+    def test_runs_json_empty_registry_is_valid_json(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("MUBE_RUNS_PATH", str(tmp_path / "void.jsonl"))
+        assert main(["runs", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
     def test_runs_with_no_registry_is_not_an_error(
         self, tmp_path, monkeypatch, capsys
     ):

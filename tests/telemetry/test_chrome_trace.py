@@ -1,0 +1,207 @@
+"""Chrome Trace Event Format export (``mube trace-report --chrome``).
+
+The exported document must load in chrome://tracing / Perfetto: valid
+JSON, microsecond ``ts``/``dur`` that are non-negative and sorted,
+nesting preserved by containment on a lane, and genuinely overlapping
+spans (absorbed portfolio workers) split onto distinct lanes so they
+render side by side instead of as garbage.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    InMemoryExporter,
+    JsonLinesExporter,
+    Telemetry,
+    load_trace,
+    spans_to_chrome,
+    trace_to_chrome,
+    write_chrome_trace,
+)
+from repro.telemetry.trace_report import Trace, TraceSpan
+
+
+def make_span(name, index, parent, start, duration, depth=0):
+    return TraceSpan(
+        name=name,
+        index=index,
+        parent=parent,
+        depth=depth,
+        start=start,
+        duration=duration,
+        attributes={},
+    )
+
+
+def link(spans):
+    by_index = {span.index: span for span in spans}
+    for span in spans:
+        if span.parent is not None:
+            by_index[span.parent].children.append(span)
+    return Trace(spans=spans, events=[], metrics={})
+
+
+def events_by_name(document):
+    return {
+        event["name"]: event
+        for event in document["traceEvents"]
+        if event["ph"] == "X"
+    }
+
+
+@pytest.fixture
+def portfolio_trace():
+    """A parent tracer that absorbed two overlapping worker tracers.
+
+    This is the shape ``portfolio.solve`` produces with ``jobs=2``: the
+    worker spans are re-anchored onto the parent timeline by ``absorb``
+    and genuinely overlap each other.
+    """
+    exporter = InMemoryExporter()
+    parent = Telemetry(exporters=[exporter])
+    with parent.span("portfolio.solve"):
+        offset = parent.now()
+        for worker in range(2):
+            inner = InMemoryExporter()
+            child = Telemetry(exporters=[inner])
+            with child.span("worker.run", worker=worker):
+                with child.span("search.solve"):
+                    pass
+            parent.absorb(inner.spans, offset=offset)
+    return exporter.spans
+
+
+class TestDocumentShape:
+    def test_document_is_json_serialisable(self, portfolio_trace):
+        document = spans_to_chrome(portfolio_trace)
+        text = json.dumps(document)
+        assert json.loads(text) == document
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_every_span_becomes_one_complete_event(self, portfolio_trace):
+        document = spans_to_chrome(portfolio_trace)
+        complete = [
+            e for e in document["traceEvents"] if e["ph"] == "X"
+        ]
+        assert len(complete) == len(portfolio_trace)
+
+    def test_metadata_names_process_and_lanes(self, portfolio_trace):
+        document = spans_to_chrome(portfolio_trace, process_name="mube")
+        metadata = [
+            e for e in document["traceEvents"] if e["ph"] == "M"
+        ]
+        names = {e["name"] for e in metadata}
+        assert names == {"process_name", "thread_name"}
+        lanes_named = {
+            e["tid"] for e in metadata if e["name"] == "thread_name"
+        }
+        lanes_used = {
+            e["tid"] for e in document["traceEvents"] if e["ph"] == "X"
+        }
+        assert lanes_used <= lanes_named
+
+    def test_timestamps_non_negative_and_sorted(self, portfolio_trace):
+        document = spans_to_chrome(portfolio_trace)
+        complete = [
+            e for e in document["traceEvents"] if e["ph"] == "X"
+        ]
+        stamps = [e["ts"] for e in complete]
+        assert stamps == sorted(stamps)
+        assert all(ts >= 0 for ts in stamps)
+        assert all(e["dur"] >= 0 for e in complete)
+
+
+class TestNesting:
+    def test_child_events_nest_inside_parent_interval(self):
+        trace = link(
+            [
+                make_span("session.solve", 0, None, 0.0, 10.0),
+                make_span("search.solve", 1, 0, 1.0, 8.0, depth=1),
+                make_span("search.iteration", 2, 1, 2.0, 3.0, depth=2),
+            ]
+        )
+        events = events_by_name(trace_to_chrome(trace))
+        session = events["session.solve"]
+        search = events["search.solve"]
+        iteration = events["search.iteration"]
+        # Sequential nesting keeps everything on the parent's lane —
+        # Chrome stacks by containment.
+        assert session["tid"] == search["tid"] == iteration["tid"]
+        assert session["ts"] <= search["ts"]
+        assert (
+            search["ts"] + search["dur"]
+            <= session["ts"] + session["dur"]
+        )
+        assert iteration["ts"] >= search["ts"]
+
+    def test_overlapping_siblings_get_distinct_lanes(self):
+        trace = link(
+            [
+                make_span("portfolio.solve", 0, None, 0.0, 10.0),
+                make_span("worker.run", 1, 0, 1.0, 6.0, depth=1),
+                make_span("worker.run", 2, 0, 1.5, 6.0, depth=1),
+                make_span("worker.run", 3, 0, 8.0, 1.0, depth=1),
+            ]
+        )
+        document = trace_to_chrome(trace)
+        complete = [
+            e for e in document["traceEvents"] if e["ph"] == "X"
+        ]
+        workers = [e for e in complete if e["name"] == "worker.run"]
+        first, second, third = sorted(workers, key=lambda e: e["ts"])
+        assert first["tid"] != second["tid"]
+        # The late worker starts after the first ends, so it reuses the
+        # first free lane deterministically.
+        assert third["tid"] == first["tid"]
+
+    def test_lane_assignment_is_deterministic(self, portfolio_trace):
+        first = spans_to_chrome(portfolio_trace)
+        second = spans_to_chrome(portfolio_trace)
+        assert first == second
+
+    def test_absorbed_worker_spans_land_on_portfolio_timeline(
+        self, portfolio_trace
+    ):
+        document = spans_to_chrome(portfolio_trace)
+        events = events_by_name(document)
+        portfolio = events["portfolio.solve"]
+        complete = [
+            e for e in document["traceEvents"] if e["ph"] == "X"
+        ]
+        for event in complete:
+            if event["name"] == "portfolio.solve":
+                continue
+            assert event["ts"] >= portfolio["ts"]
+            assert (
+                event["ts"] + event["dur"]
+                <= portfolio["ts"] + portfolio["dur"] + 1e-3
+            )
+
+
+class TestFileRoundTrip:
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        trace_path = tmp_path / "solve.jsonl"
+        telemetry = Telemetry(
+            exporters=[JsonLinesExporter(str(trace_path))]
+        )
+        with telemetry.span("session.solve"):
+            with telemetry.span("search.solve"):
+                pass
+        telemetry.close()
+
+        out_path = tmp_path / "chrome.json"
+        count = write_chrome_trace(str(trace_path), str(out_path))
+        document = json.loads(out_path.read_text(encoding="utf-8"))
+        assert len(document["traceEvents"]) == count
+        names = {
+            e["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert names == {"session.solve", "search.solve"}
+        # The source trace parses too — both views agree on span count.
+        assert len(load_trace(str(trace_path)).spans) == 2

@@ -1,0 +1,199 @@
+"""Empirical complexity probes (``mube profile``) and their CI gate.
+
+``fit_loglog`` is checked against exact power laws; ``run_profile`` runs
+the real pipeline at tiny scales and must emit a gate-ready document;
+``benchmarks/track.py`` must ingest that document and gate slope keys on
+absolute growth while leaving wall-second keys informational.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.telemetry import (
+    ProfileConfig,
+    fit_loglog,
+    render_profile_report,
+    run_profile,
+)
+from repro.telemetry.complexity import PROFILE_KIND, PROFILE_VERSION
+
+BENCH_DIR = Path(__file__).resolve().parent.parent.parent / "benchmarks"
+
+
+def load_track():
+    spec = importlib.util.spec_from_file_location(
+        "track_under_test", BENCH_DIR / "track.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+track = load_track()
+
+
+class TestFitLogLog:
+    def test_recovers_quadratic_exponent(self):
+        xs = [10.0, 20.0, 40.0, 80.0]
+        fit = fit_loglog(xs, [x**2 for x in xs])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.points == 4
+
+    def test_recovers_linear_with_constant_factor(self):
+        xs = [16.0, 64.0, 256.0]
+        fit = fit_loglog(xs, [0.001 * x for x in xs])
+        assert fit.slope == pytest.approx(1.0)
+
+    def test_constant_cost_fits_zero_slope(self):
+        fit = fit_loglog([10.0, 100.0], [0.5, 0.5])
+        assert fit.slope == pytest.approx(0.0)
+
+    def test_under_two_distinct_points_is_none(self):
+        assert fit_loglog([10.0], [1.0]) is None
+        assert fit_loglog([], []) is None
+        assert fit_loglog([10.0, 10.0], [1.0, 2.0]) is None
+
+    def test_zero_observations_are_floored_not_dropped(self):
+        fit = fit_loglog([10.0, 100.0], [0.0, 1.0])
+        assert fit is not None
+        assert fit.points == 2
+
+
+class TestRunProfile:
+    @pytest.fixture(scope="class")
+    def document(self):
+        config = ProfileConfig(
+            scales=(8, 14), choose=3, iterations=4, seed=0
+        )
+        return run_profile(config)
+
+    def test_document_is_gate_ready(self, document):
+        assert document["kind"] == PROFILE_KIND
+        assert document["version"] == PROFILE_VERSION
+        assert document["scales"] == [8, 14]
+        assert json.loads(json.dumps(document)) == document
+
+    def test_every_pipeline_phase_measured_at_every_scale(self, document):
+        for phase in ("compile", "similarity", "matching", "search"):
+            entry = document["phases"][phase]
+            assert set(entry["wall_seconds"]) == {"8", "14"}
+            assert entry["fit"] is not None
+            assert entry["fit"]["points"] == 2
+
+    def test_metrics_map_carries_slopes_and_walls(self, document):
+        metrics = document["metrics"]
+        assert "search.slope" in metrics
+        assert "search.wall_seconds" in metrics
+        assert all(isinstance(v, float) for v in metrics.values())
+
+    def test_cache_analytics_from_largest_scale(self, document):
+        caches = document["caches"]
+        assert "objective.memo" in caches
+        assert "hit_rate" in caches["objective.memo"]["final"]
+
+    def test_report_renders_phases_and_slopes(self, document):
+        report = render_profile_report(document)
+        assert "slope" in report
+        assert "search" in report
+        assert "cache analytics" in report
+        assert "8s" in report and "14s" in report
+
+    def test_profile_is_deterministic(self, document):
+        repeat = run_profile(
+            ProfileConfig(scales=(8, 14), choose=3, iterations=4, seed=0)
+        )
+        for phase, entry in document["phases"].items():
+            assert repeat["phases"][phase]["calls"] == entry["calls"]
+
+
+def write_profile(path: Path, slopes: dict[str, float]) -> None:
+    metrics: dict[str, float] = {}
+    for phase, slope in slopes.items():
+        metrics[f"{phase}.slope"] = slope
+        metrics[f"{phase}.wall_seconds"] = 0.01
+    path.write_text(
+        json.dumps(
+            {
+                "kind": "mube-profile",
+                "version": 1,
+                "scales": [8, 14],
+                "phases": {},
+                "caches": {},
+                "metrics": metrics,
+            }
+        ),
+        encoding="utf-8",
+    )
+
+
+class TestTrackIngestion:
+    def test_extracts_profile_metrics_with_prefixed_keys(self, tmp_path):
+        report = tmp_path / "PROFILE_pipeline.json"
+        write_profile(report, {"search": 1.1})
+        metrics = track.extract_profile_metrics(report)
+        assert metrics == {
+            "profile::pipeline::search.slope": 1.1,
+            "profile::pipeline::search.wall_seconds": 0.01,
+        }
+
+    def test_rejects_non_profile_documents(self, tmp_path):
+        report = tmp_path / "PROFILE_bogus.json"
+        report.write_text(json.dumps({"kind": "other"}), encoding="utf-8")
+        with pytest.raises(ValueError):
+            track.extract_profile_metrics(report)
+
+    def test_slope_keys_detected(self):
+        assert track.is_slope_key("profile::pipeline::search.slope")
+        assert not track.is_slope_key(
+            "profile::pipeline::search.wall_seconds"
+        )
+        assert not track.is_slope_key("parallel::test_speedup")
+
+    def test_first_run_records_without_gating(self, tmp_path, capsys):
+        write_profile(tmp_path / "PROFILE_pipeline.json", {"search": 1.0})
+        assert track.main(["--reports-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "(new)" in out
+        assert (tmp_path / "BENCH_history.jsonl").exists()
+
+    def test_slope_regression_gates_on_absolute_delta(
+        self, tmp_path, capsys
+    ):
+        write_profile(tmp_path / "PROFILE_pipeline.json", {"search": 1.0})
+        assert track.main(["--reports-dir", str(tmp_path)]) == 0
+        # Exponent grows 1.0 → 1.4: past the 0.25 default threshold.
+        write_profile(tmp_path / "PROFILE_pipeline.json", {"search": 1.4})
+        assert track.main(["--reports-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_small_slope_drift_passes(self, tmp_path):
+        write_profile(tmp_path / "PROFILE_pipeline.json", {"search": 1.0})
+        assert track.main(["--reports-dir", str(tmp_path)]) == 0
+        write_profile(tmp_path / "PROFILE_pipeline.json", {"search": 1.2})
+        assert track.main(["--reports-dir", str(tmp_path)]) == 0
+
+    def test_slope_threshold_is_configurable(self, tmp_path):
+        write_profile(tmp_path / "PROFILE_pipeline.json", {"search": 1.0})
+        args = ["--reports-dir", str(tmp_path), "--slope-threshold", "0.1"]
+        assert track.main(args) == 0
+        write_profile(tmp_path / "PROFILE_pipeline.json", {"search": 1.2})
+        assert track.main(args) == 1
+
+    def test_wall_seconds_are_informational_only(self, tmp_path, capsys):
+        report = tmp_path / "PROFILE_pipeline.json"
+        write_profile(report, {"search": 1.0})
+        assert track.main(["--reports-dir", str(tmp_path)]) == 0
+        # Blow up the wall seconds 100x while keeping the slope flat:
+        # recorded, printed as informational, but never gating.
+        data = json.loads(report.read_text(encoding="utf-8"))
+        data["metrics"]["search.wall_seconds"] = 1.0
+        report.write_text(json.dumps(data), encoding="utf-8")
+        assert track.main(["--reports-dir", str(tmp_path)]) == 0
+        assert "(informational)" in capsys.readouterr().out

@@ -143,3 +143,59 @@ class TestFullReport:
         assert "no spans recorded" in report
         assert "== counters ==" in report
         assert "search.solves" in report
+
+
+def chain_trace(tmp_path, depth: int):
+    """A trace file holding one straight chain of ``depth`` spans."""
+    path = tmp_path / "deep.jsonl"
+    lines = []
+    for level in range(depth):
+        lines.append(
+            json.dumps(
+                {
+                    "type": "span",
+                    "name": f"level.{level}",
+                    "index": level,
+                    "parent": level - 1 if level else None,
+                    "depth": level,
+                    "start": float(level),
+                    "duration": float(depth - level),
+                }
+            )
+        )
+    path.write_text("\n".join(lines) + "\n")
+    return load_trace(str(path))
+
+
+class TestDeepNesting:
+    def test_indentation_is_clamped(self, tmp_path):
+        from repro.telemetry.trace_report import MAX_TREE_INDENT
+
+        trace = chain_trace(tmp_path, depth=40)
+        tree = render_span_tree(trace, max_depth=60)
+        lines = tree.splitlines()
+        assert len(lines) == 40
+        max_lead = max(len(l) - len(l.lstrip(" ")) for l in lines)
+        assert max_lead == 2 * MAX_TREE_INDENT
+        # Past the clamp the depth is carried by an explicit marker.
+        assert f"[{MAX_TREE_INDENT + 1}] level.{MAX_TREE_INDENT + 1}" in tree
+        assert "[39] level.39" in tree
+
+    def test_shallow_trees_are_unmarked(self, tmp_path):
+        trace = chain_trace(tmp_path, depth=4)
+        tree = render_span_tree(trace, max_depth=10)
+        assert "[" not in tree
+
+    def test_truncation_announces_hidden_span_count(self, tmp_path):
+        trace = chain_trace(tmp_path, depth=10)
+        tree = render_span_tree(trace, max_depth=3)
+        assert "level.3" in tree
+        assert "level.4" not in tree
+        # Levels 4..9 are cut: six spans below the cut, counted exactly.
+        assert "… 6 span(s) below depth 3" in tree
+        assert "--max-depth" in tree
+
+    def test_no_truncation_note_when_nothing_hidden(self, tmp_path):
+        trace = chain_trace(tmp_path, depth=3)
+        tree = render_span_tree(trace, max_depth=3)
+        assert "…" not in tree
