@@ -50,6 +50,25 @@ class IncrementalMatchOperator(MatchOperator):
         self.warm_hits = 0
         self.cold_runs = 0
 
+    def retarget_universe(self, universe, similarity, removed_ids=()):
+        """Universe retarget that also prunes the cluster cache.
+
+        Cached clusterings are keyed by selection and read only selected
+        sources, so — like the result memo — they survive source adds
+        wholesale and lose exactly the entries touching a removed id.
+        """
+        stats = super().retarget_universe(
+            universe, similarity, removed_ids=removed_ids
+        )
+        removed = frozenset(removed_ids)
+        if removed:
+            self._clusters = OrderedDict(
+                (selection, clusters)
+                for selection, clusters in self._clusters.items()
+                if not (selection & removed)
+            )
+        return stats
+
     # -- internals ----------------------------------------------------------
 
     def _match_uncached(self, selection: frozenset[int]) -> MatchResult:

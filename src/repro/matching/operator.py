@@ -87,8 +87,9 @@ class MatchOperator:
         implied = {
             attr.source_id for seed in self.seeds for attr in seed
         }
-        self.required_source_ids = frozenset(source_constraints) | frozenset(
-            implied
+        self._implied_ids = frozenset(implied)
+        self.required_source_ids = (
+            frozenset(source_constraints) | self._implied_ids
         )
         self._cache: OrderedDict[frozenset[int], MatchResult] = (
             OrderedDict()
@@ -166,6 +167,154 @@ class MatchOperator:
             "misses": self.memo_misses,
             "evictions": self.memo_evictions,
         }
+
+    # -- delta retargeting ---------------------------------------------------
+
+    def retarget_constraints(
+        self, source_constraints: Iterable[int]
+    ) -> dict[str, int]:
+        """Re-point the source constraints ``C`` without losing the memo.
+
+        Clustering never looks at ``C`` — only the pre-check (are all
+        constrained sources selected?) and the post-check (did every
+        constrained source span the schema?) do — so a cached result can
+        be *rewritten* for new constraints instead of recomputed:
+
+        * a selection now missing a constrained source becomes the exact
+          NULL result the cold path would produce;
+        * a cached schema whose recorded unspanned set hits the new
+          constraints becomes the exact θ-NULL result, and one that does
+          not keeps its schema and quality verbatim;
+        * a cached NULL that would now need the schema (its selection
+          satisfies the new constraints) is dropped and re-scored on
+          demand.
+
+        θ, β and the GA constraints must be unchanged (they shape the
+        clustering itself); the session's delta planner rebuilds the
+        operator when they move.  Returns kept/rederived/dropped entry
+        counts.
+        """
+        old_required = self.required_source_ids
+        new_required = (
+            frozenset(source_constraints) | self._implied_ids
+        )
+        stats = {"kept": 0, "rederived": 0, "dropped": 0}
+        if new_required == old_required:
+            stats["kept"] = len(self._cache)
+            return stats
+        self.required_source_ids = new_required
+        fresh: OrderedDict[frozenset[int], MatchResult] = OrderedDict()
+        for selection, result in self._cache.items():
+            rewritten = self._retargeted_result(
+                selection, result, old_required, new_required
+            )
+            if rewritten is None:
+                stats["dropped"] += 1
+                continue
+            stats["kept" if rewritten is result else "rederived"] += 1
+            fresh[selection] = rewritten
+        self._cache = fresh
+        metrics = get_telemetry().metrics
+        for key, value in stats.items():
+            if value:
+                metrics.counter(f"match.retarget.{key}").inc(value)
+        return stats
+
+    @staticmethod
+    def _retargeted_result(
+        selection: frozenset[int],
+        result: MatchResult,
+        old_required: frozenset[int],
+        new_required: frozenset[int],
+    ) -> MatchResult | None:
+        """``result`` rewritten for new constraints, or None to drop it."""
+        missing = new_required - selection
+        if missing:
+            rewritten = MatchResult(
+                None,
+                0.0,
+                reasons=(
+                    f"selection omits constrained source(s) "
+                    f"{sorted(missing)}",
+                ),
+            )
+            return result if rewritten == result else rewritten
+        if result.schema is not None:
+            constrained_unspanned = (
+                result.unspanned_source_ids & new_required
+            )
+            if not constrained_unspanned:
+                return result
+            return MatchResult(
+                None,
+                0.0,
+                unspanned_source_ids=result.unspanned_source_ids,
+                reasons=(
+                    "no matching satisfies θ for constrained source(s) "
+                    f"{sorted(constrained_unspanned)}",
+                ),
+            )
+        if old_required - selection:
+            # NULL because constrained sources were absent: the selection
+            # was never clustered, so there is no schema or unspanned
+            # record to rewrite from.
+            return None
+        constrained_unspanned = result.unspanned_source_ids & new_required
+        if constrained_unspanned:
+            rewritten = MatchResult(
+                None,
+                0.0,
+                unspanned_source_ids=result.unspanned_source_ids,
+                reasons=(
+                    "no matching satisfies θ for constrained source(s) "
+                    f"{sorted(constrained_unspanned)}",
+                ),
+            )
+            return result if rewritten == result else rewritten
+        return None
+
+    def retarget_universe(
+        self,
+        universe: Universe,
+        similarity: SimilarityMeasure | NameSimilarityMatrix | None,
+        removed_ids: Iterable[int] = (),
+    ) -> dict[str, int]:
+        """Re-point the operator at an edited universe, keeping the memo.
+
+        ``Match(S)`` reads only the *selected* sources, so adding a source
+        invalidates nothing: every cached selection still evaluates
+        identically under the grown universe.  Removing sources drops
+        exactly the entries whose selection touches a removed id.  The
+        similarity matrix may only *grow* its vocabulary (appended names
+        keep existing ids stable — see
+        :meth:`~repro.similarity.NameSimilarityMatrix.extended`); pass
+        the extended matrix here.  Constraints must not reference removed
+        sources — release them first.
+        """
+        removed = frozenset(removed_ids)
+        conflicted = self.required_source_ids & removed
+        if conflicted:
+            raise ConstraintError(
+                f"cannot retarget: removed source(s) {sorted(conflicted)} "
+                f"are still constrained"
+            )
+        self.universe = universe
+        self.matrix = _resolve_matrix(universe, similarity)
+        stats = {"kept": len(self._cache), "dropped": 0}
+        if removed:
+            fresh: OrderedDict[frozenset[int], MatchResult] = OrderedDict()
+            for selection, result in self._cache.items():
+                if selection & removed:
+                    stats["dropped"] += 1
+                else:
+                    fresh[selection] = result
+            stats["kept"] = len(fresh)
+            self._cache = fresh
+        metrics = get_telemetry().metrics
+        metrics.counter("match.retarget.universe").inc()
+        if stats["dropped"]:
+            metrics.counter("match.retarget.dropped").inc(stats["dropped"])
+        return stats
 
     # -- internals ----------------------------------------------------------
 

@@ -113,7 +113,53 @@ class EvalContext:
             return cls._compile(problem, qefs)
 
     @classmethod
-    def _compile(cls, problem: Problem, qefs: dict) -> "EvalContext":
+    def patched(
+        cls, problem: Problem, qefs: dict, previous: "EvalContext"
+    ) -> "EvalContext":
+        """Recompile for an edited problem, splicing unchanged sketch rows.
+
+        The expensive part of a compile — reading every source's PCSA
+        words into the stacked matrix — is skipped for sources that were
+        already rows of ``previous``: their word rows are copied over
+        (:meth:`~repro.sketch.StackedSketches.respliced`), and only
+        sources added since then contribute fresh sketch reads.  Every
+        scalar (cardinality totals, the universe-distinct denominator,
+        characteristic normalization) is recomputed from the supplied
+        QEFs by the very same code as :meth:`compile`, because a universe
+        edit can shift all of them (a new source can extend a
+        characteristic's range, changing every normalized value).  The
+        result is therefore bit-identical to a cold compile of the same
+        problem.
+
+        Callers must ensure that a source id present in both universes
+        refers to the *same* source — the session's delta planner falls
+        back to a cold compile when an id is rebound.
+        """
+        with get_profiler().phase("compile"):
+            universe = problem.universe
+            sources = universe.select(universe.source_ids)
+            stacked: StackedSketches | None = None
+            if previous.stacked is not None:
+                index_of = previous.index_of
+                entries: list[int | object | None] = []
+                for source in sources:
+                    row = index_of.get(source.source_id)
+                    if row is not None:
+                        entries.append(row)
+                    elif source.is_cooperative:
+                        entries.append(source.sketch)
+                    else:
+                        entries.append(None)
+                stacked = previous.stacked.respliced(entries)
+            return cls._compile(problem, qefs, stacked=stacked)
+
+    @classmethod
+    def _compile(
+        cls,
+        problem: Problem,
+        qefs: dict,
+        stacked: StackedSketches | None = None,
+    ) -> "EvalContext":
         universe = problem.universe
         sources = universe.select(universe.source_ids)
         ids = np.array([s.source_id for s in sources], dtype=np.int64)
@@ -134,9 +180,10 @@ class EvalContext:
             total_cardinality = cardinality_qef.total
             vector_names.add(CARDINALITY)
 
-        stacked = StackedSketches.from_sketches(
-            [s.sketch if s.is_cooperative else None for s in sources]
-        )
+        if stacked is None:
+            stacked = StackedSketches.from_sketches(
+                [s.sketch if s.is_cooperative else None for s in sources]
+            )
         if stacked is not None:
             coverage_qef = qefs.get(COVERAGE)
             if type(coverage_qef) is CoverageQEF and not coverage_qef.exact:

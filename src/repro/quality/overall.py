@@ -71,6 +71,8 @@ class Objective:
         exact_data_metrics: bool = False,
         incremental: bool = False,
         match_operator: MatchOperator | None = None,
+        context: EvalContext | None = None,
+        patch_context_from: EvalContext | None = None,
     ):
         self.problem = problem
         if match_operator is not None:
@@ -87,7 +89,19 @@ class Objective:
             )
         self._exact_data_metrics = exact_data_metrics
         self._qefs = self._build_qefs(problem)
-        self._context = EvalContext.compile(problem, self._qefs)
+        # Compiled columnar state: adopt the caller's prebuilt context
+        # verbatim (it must describe this exact problem), patch a previous
+        # one for an edited universe/QEF set, or compile cold.  All three
+        # yield bit-identical scoring; the delta pipeline
+        # (repro.session.delta) picks the cheapest applicable source.
+        if context is not None:
+            self._context = context
+        elif patch_context_from is not None:
+            self._context = EvalContext.patched(
+                problem, self._qefs, patch_context_from
+            )
+        else:
+            self._context = EvalContext.compile(problem, self._qefs)
         self._cache: OrderedDict[frozenset[int], Solution] = OrderedDict()
         self._cache_size = cache_size
         self._evaluations = 0
@@ -133,6 +147,75 @@ class Objective:
     def universe(self):
         """The problem's universe (convenience for optimizers)."""
         return self.problem.universe
+
+    def reweigh(self, problem: Problem) -> dict[str, int]:
+        """Re-point at a weights-only edit, carrying the memo across.
+
+        The QEF values of a selection do not depend on the weights — only
+        the weighted sum does — and every cached :class:`Solution` already
+        carries its per-QEF components in ``qef_scores``.  So a weight
+        change re-derives each cached entry by running the same weighting
+        loop as :meth:`_assemble` over the cached components: identical
+        values folded in the identical ``weights.items()`` order means the
+        re-derived quality is bit-identical to a cold re-evaluation.
+        Feasibility and its reasons never depend on weights either, so
+        they carry over, as does the infeasibility discount.
+
+        Entries missing a component some newly non-zero weight now needs
+        (the QEF was skipped at weight 0 when the entry was scored) are
+        dropped and re-scored on demand.  The caller must change *only*
+        the weights — same universe, constraints, θ/β, budget and QEF
+        set; the session's delta planner guarantees this.  Returns
+        kept/dropped entry counts.
+        """
+        weights = problem.weights
+        self.problem = problem
+        stats = {"kept": 0, "dropped": 0}
+        fresh: OrderedDict[frozenset[int], Solution] = OrderedDict()
+        for selection, solution in self._cache.items():
+            reweighed = self._reweighed(solution, weights)
+            if reweighed is None:
+                stats["dropped"] += 1
+            else:
+                fresh[selection] = reweighed
+                stats["kept"] += 1
+        self._cache = fresh
+        metrics = get_telemetry().metrics
+        metrics.counter("objective.memo_reweighed").inc(stats["kept"])
+        if stats["dropped"]:
+            metrics.counter("objective.memo_reweigh_drops").inc(
+                stats["dropped"]
+            )
+        return stats
+
+    @staticmethod
+    def _reweighed(solution: Solution, weights) -> Solution | None:
+        """``solution`` under new weights, or None when a score is missing."""
+        cached = solution.qef_scores
+        scores: dict[str, float] = {}
+        quality = 0.0
+        # Mirror _assemble exactly: MATCHING always participates (even at
+        # weight 0), other zero-weight QEFs are skipped.
+        for name, weight in weights.items():
+            if name != MATCHING and weight == 0.0:
+                continue
+            if name not in cached:
+                return None
+            value = cached[name]
+            scores[name] = value
+            quality += weight * value
+        objective = (
+            quality if solution.feasible else INFEASIBLE_PENALTY * quality
+        )
+        return Solution(
+            selected=solution.selected,
+            schema=solution.schema,
+            objective=objective,
+            quality=quality,
+            qef_scores=scores,
+            feasible=solution.feasible,
+            infeasibility=solution.infeasibility,
+        )
 
     def evaluate(self, source_ids: Iterable[int]) -> Solution:
         """Evaluate a selection, returning a :class:`~repro.core.Solution`."""

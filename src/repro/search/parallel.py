@@ -136,6 +136,11 @@ class WorkerSpec:
     config: OptimizerConfig
     params: tuple[tuple[str, object], ...] = ()
     label: str = ""
+    #: Per-worker warm-start selection (sorted source-id tuple).  None
+    #: falls back to the context-wide ``initial``.  The session's
+    #: neighborhood seeding (``Session.solve(neighborhood=True)``) uses
+    #: this to fan workers out around the previous answer.
+    initial: tuple[int, ...] | None = None
 
     @property
     def seed(self) -> int:
@@ -254,6 +259,7 @@ class WorkerContext:
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
         profile: bool = False,
         profile_memory: bool = False,
+        eval_context=None,
     ):
         self.problem = problem
         self.similarity = similarity
@@ -264,13 +270,22 @@ class WorkerContext:
         self.heartbeat_interval = heartbeat_interval
         self.profile = profile
         self.profile_memory = profile_memory
+        self.eval_context = eval_context
 
     def build_objective(self) -> Objective:
-        """A fresh objective compiled from the shipped problem."""
+        """A fresh objective compiled from the shipped problem.
+
+        When the caller attached a pre-compiled
+        :class:`~repro.quality.compiled.EvalContext` (the session's delta
+        pipeline does, so a patched compile is not redone per worker),
+        the objective adopts it instead of compiling cold — bit-identical
+        either way, by the context-patching contract.
+        """
         return Objective(
             self.problem,
             similarity=self.similarity,
             incremental=self.incremental,
+            context=self.eval_context,
         )
 
     def __getstate__(self) -> dict:
@@ -284,12 +299,14 @@ class WorkerContext:
             "heartbeat_interval": self.heartbeat_interval,
             "profile": self.profile,
             "profile_memory": self.profile_memory,
+            "eval_context": self.eval_context,
         }
 
     def __setstate__(self, state: dict) -> None:
         state.setdefault("heartbeat_interval", DEFAULT_HEARTBEAT_INTERVAL)
         state.setdefault("profile", False)
         state.setdefault("profile_memory", False)
+        state.setdefault("eval_context", None)
         self.__dict__.update(state)
 
     def __repr__(self) -> str:
@@ -470,10 +487,15 @@ def _execute_spec(context: WorkerContext, spec: WorkerSpec) -> SearchResult:
 
     cls = resolve_optimizer_class(spec.optimizer)
     objective = context.build_objective()
+    initial = (
+        frozenset(spec.initial)
+        if spec.initial is not None
+        else context.initial
+    )
     return cls.run_from_config(
         objective,
         spec.config,
-        initial=context.initial,
+        initial=initial,
         **dict(spec.params),
     )
 
@@ -947,6 +969,7 @@ class ParallelSolveEngine:
         similarity: NameSimilarityMatrix | None = None,
         initial: frozenset[int] | None = None,
         incremental: bool = False,
+        eval_context=None,
     ) -> SearchResult:
         """Run the portfolio and return the winner, annotated with stats.
 
@@ -1010,6 +1033,7 @@ class ParallelSolveEngine:
             heartbeat_interval=self.heartbeat_interval,
             profile=profiler.enabled,
             profile_memory=getattr(profiler, "memory", False),
+            eval_context=eval_context,
         )
         status = self.status
         if status is not None:

@@ -1,5 +1,6 @@
 """Interactive session model and text rendering (paper §6)."""
 
+from .delta import DeltaPlan, Edit, EditJournal, plan_delta
 from .diff import SolutionDiff, diff_solutions, render_diff
 from .export import save_session_markdown, session_to_markdown
 from .interactive import InteractiveConsole, interactive_loop
@@ -7,9 +8,13 @@ from .report import render_history, render_schema, render_solution
 from .session import Iteration, Session
 
 __all__ = [
+    "DeltaPlan",
+    "Edit",
+    "EditJournal",
     "InteractiveConsole",
     "Iteration",
     "Session",
+    "plan_delta",
     "interactive_loop",
     "SolutionDiff",
     "diff_solutions",

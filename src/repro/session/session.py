@@ -28,6 +28,7 @@ from ..core import (
     GlobalAttribute,
     Problem,
     Solution,
+    Source,
     Universe,
     default_weights,
     normalize_weights,
@@ -35,9 +36,11 @@ from ..core import (
 from ..exceptions import ConstraintError, ReproError, WeightError
 from ..quality.overall import Objective
 from ..search import OptimizerConfig, SearchResult, get_optimizer
+from ..similarity.cache import CachedSimilarity
 from ..similarity.matrix import NameSimilarityMatrix
 from ..similarity.measures import SimilarityMeasure, default_measure
 from ..telemetry import NoopTelemetry, Telemetry, get_telemetry, use_telemetry
+from .delta import STOCK_QEFS, DeltaPlan, EditJournal, plan_delta
 
 
 @dataclass(frozen=True, slots=True)
@@ -105,6 +108,15 @@ class Session:
         An explicit :class:`~repro.telemetry.observatory.RunRegistry`
         (or anything with a compatible ``record``) to write run records
         to, overriding the default location.
+    delta:
+        Run each solve through the delta pipeline (the default): an edit
+        journal plus an invalidation planner (:mod:`repro.session.delta`)
+        decide which compiled layers — similarity matrix, match-operator
+        memo, :class:`~repro.quality.compiled.EvalContext`, objective
+        memo — survive the edits made since the previous solve, and only
+        the invalidated ones are rebuilt.  Every delta path is
+        bit-identical to a cold rebuild (property-tested).  ``False``
+        rebuilds everything each solve — the cold reference.
     """
 
     def __init__(
@@ -122,6 +134,7 @@ class Session:
         telemetry: Telemetry | NoopTelemetry | None = None,
         record_runs: bool = True,
         run_registry=None,
+        delta: bool = True,
     ):
         self.universe = universe
         self.max_sources = max_sources
@@ -150,12 +163,23 @@ class Session:
         else:
             self.run_registry = None
         self.history: list[Iteration] = []
+        self.delta = delta
+        # Memoize the raw measure so later vocabulary extensions (adding
+        # a source) and cold-reference rebuilds are cache hits.
         measure = similarity or default_measure()
+        self._measure = (
+            measure
+            if isinstance(measure, CachedSimilarity)
+            else CachedSimilarity(measure)
+        )
         with use_telemetry(self._telemetry()):
             self._matrix = NameSimilarityMatrix.build(
-                universe.attribute_names(), measure
+                universe.attribute_names(), self._measure
             )
-        self._operator_key: tuple | None = None
+        self._journal = EditJournal()
+        self._last_problem: Problem | None = None
+        self._last_plan: DeltaPlan | None = None
+        self._objective: Objective | None = None
         self._operator = None
 
     # -- solving -------------------------------------------------------------
@@ -185,6 +209,7 @@ class Session:
         worker_timeout: float | None = None,
         retries: int = 0,
         on_progress=None,
+        neighborhood: bool = False,
     ) -> Iteration:
         """Solve the current problem and record the iteration.
 
@@ -225,6 +250,18 @@ class Session:
         budget in seconds; ``retries`` re-runs failed or timed-out
         workers deterministically up to that many extra attempts.  Any
         of the three switches the solve onto the portfolio engine.
+
+        Each solve first runs the delta pipeline (unless the session was
+        built with ``delta=False``): the edits journaled since the last
+        solve are classified by :func:`repro.session.delta.plan_delta`
+        and only the invalidated compiled layers are rebuilt — see
+        docs/incremental.md and the ``session.delta.*`` counters.
+
+        ``neighborhood`` (portfolio solves only) seeds workers beyond the
+        first with single-swap repaired neighbors of the warm-start
+        selection instead of all starting from the same point — useful
+        after an edit, when the previous answer is near-optimal and the
+        portfolio should fan out around it.
 
         ``on_progress`` observes the solve live: it receives a
         :class:`~repro.telemetry.observatory.StatusSnapshot` after every
@@ -273,18 +310,14 @@ class Session:
             ga_constraints=len(self.ga_constraints),
         ) as span:
             problem = self.problem()
-            objective = Objective(
-                problem,
-                similarity=self._matrix,
-                incremental=self.incremental,
-                match_operator=self._cached_operator(problem),
-            )
+            objective = self._prepare_objective(problem)
             initial = None
             if warm_start and self.history:
                 initial = self.history[-1].solution.selected
             if use_portfolio:
                 result = self._solve_portfolio(
                     problem,
+                    objective,
                     optimizer=optimizer,
                     initial=initial,
                     jobs=jobs,
@@ -294,6 +327,7 @@ class Session:
                     worker_timeout=worker_timeout,
                     retries=retries,
                     status=status,
+                    neighborhood=neighborhood,
                 )
             else:
                 engine = get_optimizer(
@@ -404,12 +438,64 @@ class Session:
         """Pin a source (by id or name) into every future solution."""
         source_id = self._resolve_source(source)
         self.source_constraints.add(source_id)
+        self._journal.record("source_constraints", f"require {source_id}")
         return source_id
 
     def release_source(self, source: int | str) -> None:
         """Remove a previously pinned source constraint."""
         source_id = self._resolve_source(source)
         self.source_constraints.discard(source_id)
+        self._journal.record("source_constraints", f"release {source_id}")
+
+    # -- universe feedback ---------------------------------------------------
+
+    def add_source(self, source: Source) -> int:
+        """Add a newly discovered source to the universe.
+
+        The similarity vocabulary is extended (new rows only, existing
+        name ids stay valid), sketch rows of existing sources are spliced
+        into the recompiled evaluation context, and the match-operator
+        memo survives wholesale — a cached result never reads sources
+        outside its selection.  See docs/incremental.md.
+        """
+        if source.source_id in self.universe.source_ids:
+            raise ConstraintError(
+                f"source id {source.source_id} is already in the universe"
+            )
+        self.universe = Universe((*self.universe, source))
+        self._journal.record("add_source", str(source.source_id))
+        return source.source_id
+
+    def remove_source(self, source: int | str) -> int:
+        """Remove a source (by id or name) from the universe.
+
+        A pinned source or one referenced by a GA constraint must be
+        released first.  When the shrunken universe no longer supports
+        the current budget, ``max_sources`` is clamped down (journaled as
+        its own edit).
+        """
+        source_id = self._resolve_source(source)
+        if source_id in self.source_constraints:
+            raise ConstraintError(
+                f"source {source_id} is pinned; release_source() it first"
+            )
+        for ga in self.ga_constraints:
+            if any(attr.source_id == source_id for attr in ga):
+                raise ConstraintError(
+                    f"source {source_id} appears in GA constraint {ga!r}; "
+                    "drop_ga_constraint() it first"
+                )
+        remaining = [s for s in self.universe if s.source_id != source_id]
+        if not remaining:
+            raise ConstraintError("cannot remove the last source")
+        self.universe = Universe(remaining)
+        self._journal.record("remove_source", str(source_id))
+        if self.max_sources > len(self.universe):
+            self.max_sources = len(self.universe)
+            self._journal.record(
+                "max_sources", f"clamped to {self.max_sources}"
+            )
+        return source_id
 
     # -- GA feedback ---------------------------------------------------------
 
@@ -429,6 +515,7 @@ class Session:
         refs = [self._resolve_attribute(a) for a in attributes]
         ga = GlobalAttribute(refs)
         self.ga_constraints.append(ga)
+        self._journal.record("ga_constraints", "require_match")
         return ga
 
     def accept_ga(self, ga: GlobalAttribute) -> GlobalAttribute:
@@ -441,6 +528,7 @@ class Session:
         for attr in ga:
             self._resolve_attribute(attr)
         self.ga_constraints.append(ga)
+        self._journal.record("ga_constraints", "accept")
         return ga
 
     def drop_ga_constraint(self, ga: GlobalAttribute) -> None:
@@ -455,17 +543,33 @@ class Session:
             self.ga_constraints.remove(ga)
         except ValueError:
             raise ConstraintError(f"{ga!r} is not a current constraint") from None
+        self._journal.record("ga_constraints", "drop")
 
     def clear_constraints(self) -> None:
         """Drop all source and GA constraints."""
+        if self.source_constraints:
+            self._journal.record("source_constraints", "clear")
+        if self.ga_constraints:
+            self._journal.record("ga_constraints", "clear")
         self.source_constraints.clear()
         self.ga_constraints.clear()
 
     # -- weight feedback -----------------------------------------------------
 
     def set_weights(self, weights: Mapping[str, float]) -> None:
-        """Replace the full weight assignment (must sum to 1)."""
+        """Replace the full weight assignment (must sum to 1).
+
+        Raises
+        ------
+        WeightError
+            If the weights do not sum to 1, or name a QEF the session
+            does not know (same validation as :meth:`emphasize`).
+        """
+        unknown = set(weights) - self._known_qefs()
+        if unknown:
+            raise WeightError(f"unknown QEF name(s) {sorted(unknown)}")
         self.weights = normalize_weights(weights)
+        self._journal.record("weights", "set_weights")
 
     def emphasize(self, qef_name: str, weight: float) -> None:
         """Give one QEF the stated weight; split the rest equally.
@@ -482,6 +586,7 @@ class Session:
         new_weights = {name: share for name in others}
         new_weights[qef_name] = weight
         self.weights = normalize_weights(new_weights)
+        self._journal.record("weights", f"emphasize {qef_name}")
 
     # -- QEF feedback ----------------------------------------------------------
 
@@ -504,6 +609,47 @@ class Session:
         }
         new_weights[spec.name] = weight
         self.weights = normalize_weights(new_weights)
+        self._journal.record("add_qef", spec.name)
+
+    def remove_characteristic_qef(self, name: str) -> CharacteristicSpec:
+        """Unregister a characteristic QEF (the inverse of adding one).
+
+        The removed QEF's weight is redistributed over the remaining
+        QEFs proportionally to their current weights — the exact inverse
+        of the scale-down :meth:`add_characteristic_qef` applied.  Stock
+        QEFs (matching, cardinality, coverage, redundancy) cannot be
+        removed, only reweighted.
+
+        Raises
+        ------
+        WeightError
+            If the name is a stock QEF, not a registered characteristic
+            QEF, or the remaining QEFs carry no weight to renormalize.
+        """
+        if name in STOCK_QEFS:
+            raise WeightError(
+                f"{name!r} is a stock QEF; reweight it instead of removing"
+            )
+        spec = next(
+            (s for s in self.characteristic_qefs if s.name == name), None
+        )
+        if spec is None:
+            raise WeightError(f"no characteristic QEF named {name!r}")
+        remaining = {
+            qef: value for qef, value in self.weights.items() if qef != name
+        }
+        total = sum(remaining.values())
+        if total <= 0.0:
+            raise WeightError(
+                f"cannot remove {name!r}: the remaining QEFs carry no "
+                "weight to renormalize"
+            )
+        self.characteristic_qefs.remove(spec)
+        self.weights = normalize_weights(
+            {qef: value / total for qef, value in remaining.items()}
+        )
+        self._journal.record("remove_qef", name)
+        return spec
 
     # -- parameter feedback ----------------------------------------------------
 
@@ -512,12 +658,14 @@ class Session:
         if not 0.0 <= theta <= 1.0:
             raise ConstraintError(f"theta must be in [0, 1], got {theta}")
         self.theta = theta
+        self._journal.record("theta", str(theta))
 
     def set_beta(self, beta: int) -> None:
         """Change the minimum GA size β."""
         if beta < 1:
             raise ConstraintError(f"beta must be >= 1, got {beta}")
         self.beta = beta
+        self._journal.record("beta", str(beta))
 
     def set_max_sources(self, max_sources: int) -> None:
         """Change the source budget m."""
@@ -527,6 +675,7 @@ class Session:
                 f"got {max_sources}"
             )
         self.max_sources = max_sources
+        self._journal.record("max_sources", str(max_sources))
 
     # -- internals ---------------------------------------------------------
 
@@ -537,6 +686,7 @@ class Session:
     def _solve_portfolio(
         self,
         problem: Problem,
+        objective: Objective,
         *,
         optimizer: str | None,
         initial: frozenset[int] | None,
@@ -547,8 +697,14 @@ class Session:
         worker_timeout: float | None = None,
         retries: int = 0,
         status=None,
+        neighborhood: bool = False,
     ) -> SearchResult:
-        """Run one solve through the parallel portfolio engine."""
+        """Run one solve through the parallel portfolio engine.
+
+        The pre-built (possibly delta-patched) evaluation context ships
+        to the workers with the problem, so each worker's objective skips
+        its own cold compile.
+        """
         from ..search.parallel import ParallelSolveEngine, resolve_portfolio
         from ..search.resilience import ResilienceConfig, RetryPolicy
 
@@ -558,6 +714,8 @@ class Session:
             optimizer or self.optimizer_name,
             self.optimizer_config,
         )
+        if neighborhood and initial:
+            workers = self._seed_neighborhood(workers, initial, problem)
         resilience = ResilienceConfig(
             worker_timeout=worker_timeout,
             retry=RetryPolicy(max_retries=retries),
@@ -575,7 +733,49 @@ class Session:
             similarity=self._matrix,
             initial=initial,
             incremental=self.incremental,
+            eval_context=objective.context,
         )
+
+    def _seed_neighborhood(
+        self,
+        workers: Sequence,
+        initial: frozenset[int],
+        problem: Problem,
+    ) -> list:
+        """Spread portfolio workers over the warm start's neighborhood.
+
+        Worker 0 keeps the global warm start; every later worker is
+        seeded with a distinct single-swap neighbor of it (repaired to
+        the current universe first), cycling when the portfolio is wider
+        than the neighborhood.  Purely a different *starting point* per
+        worker — the objective and search dynamics are untouched.
+        """
+        neighbors = self._neighborhood(initial, problem)
+        if not neighbors:
+            return list(workers)
+        seeded = [workers[0]]
+        for position, spec in enumerate(workers[1:]):
+            seeded.append(
+                replace(spec, initial=neighbors[position % len(neighbors)])
+            )
+        return seeded
+
+    @staticmethod
+    def _neighborhood(
+        initial: frozenset[int], problem: Problem
+    ) -> list[tuple[int, ...]]:
+        """Deterministic single-swap neighbors of a repaired selection."""
+        universe_ids = problem.universe.source_ids
+        selected = frozenset(initial) & universe_ids
+        neighbors: list[tuple[int, ...]] = []
+        for source_id in sorted(selected - problem.source_constraints):
+            drop = selected - {source_id}
+            if drop:
+                neighbors.append(tuple(sorted(drop)))
+        if len(selected) < problem.max_sources:
+            for source_id in sorted(universe_ids - selected):
+                neighbors.append(tuple(sorted(selected | {source_id})))
+        return neighbors
 
     def _record_run(
         self,
@@ -618,31 +818,160 @@ class Session:
         telemetry.metrics.counter("runs.recorded").inc()
         return record
 
-    def _cached_operator(self, problem: Problem):
-        """Reuse the match operator (and its memo) across iterations.
+    @property
+    def pending_edits(self):
+        """The journaled edits the next solve will absorb."""
+        return self._journal.edits
 
-        Matching depends only on θ, β and the constraints — *not* on the
-        weights or the budget — so weight-only feedback keeps the entire
-        match cache warm between solves.
+    @property
+    def last_plan(self) -> DeltaPlan | None:
+        """The invalidation plan the most recent solve executed."""
+        return self._last_plan
+
+    def _prepare_objective(self, problem: Problem) -> Objective:
+        """Build the objective for a solve via the delta pipeline.
+
+        Plans the cheapest bit-identical path from the previous solve's
+        compiled state (docs/incremental.md), executes it, commits the
+        surviving state and clears the edit journal.  With the session's
+        ``delta`` flag off, every solve takes the cold path.
         """
+        metrics = get_telemetry().metrics
+        edits = self._journal.edits
+        metrics.counter("session.delta.solves").inc()
+        if edits:
+            metrics.counter("session.delta.edits").inc(len(edits))
+            for edit in edits:
+                metrics.counter(f"session.delta.edit.{edit.kind}").inc()
+
+        # The similarity vocabulary must cover the universe on every
+        # path; extension appends rows, so cached clustering state and
+        # name ids stay valid, and values match a cold build exactly.
+        missing = [
+            name
+            for name in problem.universe.attribute_names()
+            if name not in self._matrix
+        ]
+        if missing:
+            self._matrix = self._matrix.extended(missing, self._measure)
+            metrics.counter("session.delta.similarity_extended").inc()
+            metrics.counter("session.delta.similarity_rows_added").inc(
+                len(missing)
+            )
+        else:
+            metrics.counter("session.delta.similarity_reused").inc()
+
+        previous_problem = self._last_problem if self.delta else None
+        plan = plan_delta(previous_problem, problem, edits)
+        self._last_plan = plan
+        with get_telemetry().span(
+            "session.delta.plan",
+            path=plan.path,
+            plan=plan.describe(),
+            edits=len(edits),
+        ):
+            objective = self._apply_plan(plan, problem, metrics)
+        return self._commit(problem, objective)
+
+    def _apply_plan(
+        self, plan: DeltaPlan, problem: Problem, metrics
+    ) -> Objective:
+        previous = self._objective
+        if plan.path == "cold" or previous is None:
+            metrics.counter("session.delta.cold_solves").inc()
+            metrics.counter("session.delta.context_rebuilt").inc()
+            return Objective(
+                problem,
+                similarity=self._matrix,
+                incremental=self.incremental,
+                match_operator=self._build_operator(problem),
+            )
+
+        # Match operator: rebuild, retarget in place, or reuse verbatim.
+        # Constraints retarget first — a released source must leave the
+        # required set before a universe retarget may remove it.
+        operator = previous.match_operator
+        if plan.operator == ("rebuild",):
+            operator = self._build_operator(problem)
+            metrics.counter("session.delta.operator_rebuilt").inc()
+        elif plan.operator:
+            for step in plan.operator:
+                if step == "constraints":
+                    stats = operator.retarget_constraints(
+                        problem.source_constraints
+                    )
+                    metrics.counter(
+                        "session.delta.match_memo_rederived"
+                    ).inc(stats["rederived"])
+                else:
+                    stats = operator.retarget_universe(
+                        problem.universe,
+                        self._matrix,
+                        removed_ids=plan.removed_source_ids,
+                    )
+                    metrics.counter(
+                        "session.delta.operator_universe_patched"
+                    ).inc()
+                metrics.counter("session.delta.match_memo_dropped").inc(
+                    stats["dropped"]
+                )
+            metrics.counter("session.delta.operator_retargeted").inc()
+        else:
+            metrics.counter("session.delta.operator_reused").inc()
+
+        # Objective memo: carry it (noop), reweigh it in place
+        # (weights-only), or drop it into a fresh objective whose
+        # compiled context is reused or row-spliced.
+        if plan.memo == "keep":
+            metrics.counter("session.delta.memo_kept").inc(
+                previous.cache_info()["entries"]
+            )
+            metrics.counter("session.delta.context_reused").inc()
+            return previous
+        if plan.memo == "reweigh":
+            stats = previous.reweigh(problem)
+            metrics.counter("session.delta.memo_reweighed").inc(
+                stats["kept"]
+            )
+            metrics.counter("session.delta.memo_dropped").inc(
+                stats["dropped"]
+            )
+            metrics.counter("session.delta.context_reused").inc()
+            return previous
+
+        metrics.counter("session.delta.memo_dropped").inc(
+            previous.cache_info()["entries"]
+        )
+        kwargs: dict = {}
+        if plan.context == "reuse":
+            kwargs["context"] = previous.context
+            metrics.counter("session.delta.context_reused").inc()
+        else:
+            kwargs["patch_context_from"] = previous.context
+            metrics.counter("session.delta.context_patched").inc()
+        return Objective(
+            problem,
+            similarity=self._matrix,
+            incremental=self.incremental,
+            match_operator=operator,
+            **kwargs,
+        )
+
+    def _build_operator(self, problem: Problem):
         from ..matching import IncrementalMatchOperator, MatchOperator
 
-        key = (
-            problem.theta,
-            problem.beta,
-            problem.source_constraints,
-            problem.ga_constraints,
+        operator_cls = (
+            IncrementalMatchOperator if self.incremental else MatchOperator
         )
-        if key != self._operator_key:
-            operator_cls = (
-                IncrementalMatchOperator if self.incremental
-                else MatchOperator
-            )
-            self._operator = operator_cls.for_problem(
-                problem, similarity=self._matrix
-            )
-            self._operator_key = key
-        return self._operator
+        return operator_cls.for_problem(problem, similarity=self._matrix)
+
+    def _commit(self, problem: Problem, objective: Objective) -> Objective:
+        """Adopt a solve's compiled state as the next delta baseline."""
+        self._objective = objective
+        self._operator = objective.match_operator
+        self._last_problem = problem
+        self._journal.clear()
+        return objective
 
     def _known_qefs(self) -> set[str]:
         names = {"matching", "cardinality", "coverage", "redundancy"}

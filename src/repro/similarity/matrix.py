@@ -68,6 +68,49 @@ class NameSimilarityMatrix:
         telemetry.metrics.gauge("similarity.vocabulary_size").set(size)
         return cls(vocabulary, matrix, measure_name=measure.name)
 
+    def extended(
+        self, names: Iterable[str], measure: SimilarityMeasure
+    ) -> "NameSimilarityMatrix":
+        """A matrix over this vocabulary plus ``names``, reusing this block.
+
+        Only the new rows/columns are computed — O(new × total) measure
+        calls instead of the O(total²) of a cold :meth:`build` — which is
+        what makes adding a source to a large universe cheap.  Values are
+        identical to a cold build over the union vocabulary (the measure
+        is a pure pair function), but the new names are *appended* rather
+        than re-sorted, so existing name ids stay valid for any cached
+        clustering state.  Names already in the vocabulary are ignored;
+        with nothing new to add, ``self`` is returned unchanged.
+
+        Route a memoizing measure (:class:`~repro.similarity.cache.
+        CachedSimilarity`) through here to make repeated extensions of
+        overlapping vocabularies cache hits.
+        """
+        fresh = tuple(
+            name for name in dict.fromkeys(names) if name not in self._index
+        )
+        if not fresh:
+            return self
+        telemetry = get_telemetry()
+        old = len(self.names)
+        size = old + len(fresh)
+        vocabulary = self.names + fresh
+        with get_profiler().phase("similarity"), telemetry.span(
+            "similarity.matrix_extend", vocabulary=size,
+            added=len(fresh), measure=self.measure_name,
+        ):
+            matrix = np.eye(size, dtype=np.float64)
+            matrix[:old, :old] = self.matrix
+            for i in range(old, size):
+                for j in range(i):
+                    value = measure(vocabulary[i], vocabulary[j])
+                    matrix[i, j] = value
+                    matrix[j, i] = value
+        telemetry.metrics.gauge("similarity.vocabulary_size").set(size)
+        return NameSimilarityMatrix(
+            vocabulary, matrix, measure_name=self.measure_name
+        )
+
     def name_id(self, name: str) -> int:
         """The row/column index of a vocabulary name.
 
@@ -125,6 +168,9 @@ class NameSimilarityMatrix:
     def __call__(self, a: str, b: str) -> float:
         """Measure-compatible call interface on raw names."""
         return self.pair(self.name_id(a), self.name_id(b))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
 
     def __len__(self) -> int:
         return len(self.names)

@@ -113,6 +113,49 @@ class StackedSketches:
             seed=reference.seed,
         )
 
+    def compatible_sketch(self, sketch: PCSASketch) -> bool:
+        """True when a sketch's parameters match this stack's rows."""
+        return (
+            sketch.num_maps == self.num_maps
+            and sketch.map_bits == self.map_bits
+            and sketch.seed == self.seed
+        )
+
+    def respliced(
+        self, entries: Sequence[int | PCSASketch | None]
+    ) -> "StackedSketches | None":
+        """A new stack built by reusing rows instead of re-reading sketches.
+
+        ``entries[i]`` describes row ``i`` of the result: an ``int`` copies
+        that row of this stack (a source that survived a universe edit), a
+        :class:`PCSASketch` contributes a fresh row (a source added since
+        this stack was built), and ``None`` yields an all-zero row (an
+        uncooperative source).  Returns None when a fresh sketch disagrees
+        with this stack's parameters — the caller must then rebuild cold
+        via :meth:`from_sketches`, exactly as a parameter disagreement is
+        handled there.  The reused rows are copies, so patching never
+        aliases the source stack's words.
+        """
+        for entry in entries:
+            if isinstance(entry, PCSASketch) and not self.compatible_sketch(
+                entry
+            ):
+                return None
+        words = np.zeros((len(entries), self.num_maps), dtype=_U64)
+        for row, entry in enumerate(entries):
+            if entry is None:
+                continue
+            if isinstance(entry, PCSASketch):
+                words[row] = entry.words
+            else:
+                words[row] = self.words[entry]
+        return StackedSketches(
+            words,
+            num_maps=self.num_maps,
+            map_bits=self.map_bits,
+            seed=self.seed,
+        )
+
     def union_rows(self, masks: np.ndarray) -> np.ndarray:
         """Union signatures for a batch of selections.
 

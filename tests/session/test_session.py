@@ -227,15 +227,34 @@ class TestOperatorCaching:
         session.solve()
         assert session._operator is not operator_before
 
-    def test_constraint_change_rebuilds_operator(self, theater):
+    def test_constraint_change_retargets_operator_in_place(self, theater):
+        # Pinning a source no longer rebuilds the operator: the memo is
+        # rewritten in place (repro.session.delta), and the results must
+        # still match a fresh session posed the same problem.
         session = Session(
             theater, max_sources=5, theta=0.5, optimizer_config=FAST
         )
         session.solve()
         operator_before = session._operator
         session.require_source(3)
-        session.solve()
-        assert session._operator is not operator_before
+        constrained = session.solve()
+        assert session._operator is operator_before
+        assert 3 in operator_before.required_source_ids
+
+        fresh = Session(
+            theater, max_sources=5, theta=0.5, optimizer_config=FAST,
+            delta=False,
+        )
+        fresh.solve()
+        fresh.require_source(3)
+        fresh_constrained = fresh.solve()
+        assert (
+            constrained.solution.selected
+            == fresh_constrained.solution.selected
+        )
+        assert constrained.solution.quality == pytest.approx(
+            fresh_constrained.solution.quality
+        )
 
     def test_cached_operator_results_match_fresh(self, theater):
         cached = Session(
