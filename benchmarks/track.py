@@ -18,10 +18,13 @@ are keyed ``profile::<stem>::<metric>``; the ``*.slope`` keys — fitted
 empirical complexity exponents — gate on **absolute** growth past
 ``--slope-threshold`` instead (a slope near zero makes relative deltas
 meaningless, and "matching crept from 1.2 back to 2.0" is an absolute
-statement).  Regressions make the exit status non-zero, which is how CI
-gates on it; a history with no prior entries (first run ever, or a
-brand-new metric) can never gate, so the tracker is safe to enable from
-day one.
+statement).  Benches may also emit ``BENCH_*.json`` documents with
+``"kind": "mube-metrics"`` — a flat scalar map (build times, candidate
+ratios; see ``bench_similarity_scale.py``) keyed ``<stem>::<metric>``
+and gated with the relative threshold.  Regressions make the exit
+status non-zero, which is how CI gates on it; a history with no prior
+entries (first run ever, or a brand-new metric) can never gate, so the
+tracker is safe to enable from day one.
 
 The median-over-window baseline makes the gate robust to single noisy
 runs on shared CI hardware: one slow outlier neither trips the gate on
@@ -83,6 +86,46 @@ def extract_means(report: Path) -> dict[str, float]:
 def discover_profiles(reports_dir: Path) -> list[Path]:
     """Every ``PROFILE_*.json`` complexity document in the directory."""
     return sorted(reports_dir.glob("PROFILE_*.json"))
+
+
+def discover_metric_docs(reports_dir: Path) -> list[Path]:
+    """Every ``BENCH_*.json`` that is a ``mube-metrics`` document.
+
+    Benches write these directly (not through pytest-benchmark) to carry
+    non-timing scalars — the similarity bench's build times and
+    candidate-pair ratios, for instance — so they are never listed in
+    the run manifest and are discovered by their ``kind`` field instead.
+    """
+    docs = []
+    for path in sorted(reports_dir.glob("BENCH_*.json")):
+        if path.name in NON_REPORT_NAMES:
+            continue
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(data, dict) and data.get("kind") == "mube-metrics":
+            docs.append(path)
+    return docs
+
+
+def extract_metric_doc(report: Path) -> dict[str, float]:
+    """``<stem>::<metric>`` → value from one mube-metrics document.
+
+    Keys share the ``suite::name`` shape of the timing metrics and gate
+    with the same relative ``--threshold`` — a candidate-pair ratio or a
+    wall-clock build time creeping 50% past its rolling median is a
+    regression either way.
+    """
+    data = json.loads(report.read_text(encoding="utf-8"))
+    if data.get("kind") != "mube-metrics":
+        raise ValueError(f"not a mube-metrics document: {report}")
+    stem = report.stem.removeprefix("BENCH_")
+    return {
+        f"{stem}::{key}": float(value)
+        for key, value in data.get("metrics", {}).items()
+        if value is not None
+    }
 
 
 def extract_profile_metrics(report: Path) -> dict[str, float]:
@@ -185,7 +228,8 @@ def main(argv: list[str] | None = None) -> int:
 
     reports = discover_reports(reports_dir)
     profiles = discover_profiles(reports_dir)
-    if not reports and not profiles:
+    metric_docs = discover_metric_docs(reports_dir)
+    if not reports and not profiles and not metric_docs:
         print(
             f"no BENCH_*.json or PROFILE_*.json reports in {reports_dir}",
             file=sys.stderr,
@@ -203,6 +247,12 @@ def main(argv: list[str] | None = None) -> int:
             results.update(extract_profile_metrics(profile))
         except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
             print(f"skipping unreadable profile {profile}: {exc}",
+                  file=sys.stderr)
+    for doc in metric_docs:
+        try:
+            results.update(extract_metric_doc(doc))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            print(f"skipping unreadable metrics doc {doc}: {exc}",
                   file=sys.stderr)
     if not results:
         print("reports carried no benchmark stats", file=sys.stderr)

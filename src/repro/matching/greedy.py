@@ -235,7 +235,7 @@ def _similar_pairs(
         name_ids = np.concatenate([c.name_ids for _, c in items])
         offsets = np.zeros(len(items), dtype=np.int64)
         np.cumsum(sizes[:-1], out=offsets[1:])
-        block = matrix.matrix[np.ix_(name_ids, name_ids)]
+        block = matrix.block(name_ids, name_ids)
         reduce = np.maximum if linkage == "single" else np.minimum
         rows_reduced = reduce.reduceat(block, offsets, axis=0)
         pair = reduce.reduceat(rows_reduced, offsets, axis=1)

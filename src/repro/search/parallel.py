@@ -116,6 +116,7 @@ from .resilience import (
     respec_for_attempt,
     write_checkpoint,
 )
+from .shm import SharedSegmentSet, attach_array, shm_available
 
 
 @dataclass(frozen=True, slots=True)
@@ -316,6 +317,161 @@ class WorkerContext:
         )
 
 
+class _SharedContextPayload:
+    """A :class:`WorkerContext` whose big arrays ride shared memory.
+
+    Built parent-side by :func:`export_context`: the similarity matrix
+    (dense array or CSR triple), the compiled ``EvalContext`` vectors and
+    the stacked PCSA word matrix are copied into
+    :class:`~repro.search.shm.SharedSegmentSet` segments, and this pickle
+    carries only their :class:`~repro.search.shm.SharedArrayRef`
+    descriptors plus the context's small fields.  :meth:`materialize`
+    runs inside the pool initializer and reassembles an equivalent
+    context over zero-copy read-only views of the segments — every
+    worker and every pool generation attaches the same bytes, so the
+    solve is bit-identical to the plain-pickle transport.
+    """
+
+    def __init__(self, context: WorkerContext, segments: SharedSegmentSet):
+        self.problem = context.problem
+        self.fields = {
+            "incremental": context.incremental,
+            "initial": context.initial,
+            "stop_quality": context.stop_quality,
+            "collect_telemetry": context.collect_telemetry,
+            "heartbeat_interval": context.heartbeat_interval,
+            "profile": context.profile,
+            "profile_memory": context.profile_memory,
+        }
+        self.similarity = None
+        matrix = context.similarity
+        if matrix is not None:
+            if matrix.is_sparse:
+                sparse = matrix._sparse
+                self.similarity = (
+                    "sparse",
+                    matrix.names,
+                    matrix.measure_name,
+                    sparse.n,
+                    segments.share(sparse.indptr),
+                    segments.share(sparse.indices),
+                    segments.share(sparse.data),
+                )
+            else:
+                self.similarity = (
+                    "dense",
+                    matrix.names,
+                    matrix.measure_name,
+                    segments.share(matrix.matrix),
+                )
+        self.eval_context = None
+        eval_context = context.eval_context
+        if eval_context is not None:
+            stacked = eval_context.stacked
+            self.eval_context = {
+                "ids": segments.share(eval_context.ids),
+                "coop_mask": segments.share(eval_context.coop_mask),
+                "cards": segments.share(eval_context.cards),
+                "stacked": (
+                    None
+                    if stacked is None
+                    else (
+                        segments.share(stacked.words),
+                        stacked.num_maps,
+                        stacked.map_bits,
+                        stacked.seed,
+                    )
+                ),
+                "total_cardinality": eval_context.total_cardinality,
+                "universe_distinct": eval_context.universe_distinct,
+                "characteristics": eval_context.characteristics,
+                "vector_names": eval_context.vector_names,
+            }
+
+    def materialize(self) -> WorkerContext:
+        """Reassemble the context over attached segments (worker side)."""
+        similarity = None
+        if self.similarity is not None:
+            if self.similarity[0] == "sparse":
+                from ..similarity.matrix import _CsrMatrix
+
+                _, names, measure_name, n, indptr, indices, data = (
+                    self.similarity
+                )
+                similarity = NameSimilarityMatrix.from_sparse(
+                    names,
+                    _CsrMatrix(
+                        n,
+                        attach_array(indptr),
+                        attach_array(indices),
+                        attach_array(data),
+                    ),
+                    measure_name,
+                )
+            else:
+                _, names, measure_name, dense = self.similarity
+                similarity = NameSimilarityMatrix(
+                    names, attach_array(dense), measure_name
+                )
+        eval_context = None
+        if self.eval_context is not None:
+            from ..quality.compiled import EvalContext
+            from ..sketch.stacked import StackedSketches
+
+            spec = self.eval_context
+            stacked = None
+            if spec["stacked"] is not None:
+                words, num_maps, map_bits, seed = spec["stacked"]
+                stacked = StackedSketches(
+                    attach_array(words), num_maps, map_bits, seed
+                )
+            eval_context = EvalContext(
+                ids=attach_array(spec["ids"]),
+                coop_mask=attach_array(spec["coop_mask"]),
+                cards=attach_array(spec["cards"]),
+                stacked=stacked,
+                total_cardinality=spec["total_cardinality"],
+                universe_distinct=spec["universe_distinct"],
+                characteristics=spec["characteristics"],
+                vector_names=spec["vector_names"],
+            )
+        return WorkerContext(
+            self.problem,
+            similarity=similarity,
+            eval_context=eval_context,
+            **self.fields,
+        )
+
+
+def export_context(
+    context: WorkerContext,
+) -> tuple["WorkerContext | _SharedContextPayload", SharedSegmentSet | None]:
+    """``(transport, segments)``: a context readied for the pool pickle.
+
+    When shared memory is usable and the context actually carries large
+    arrays, returns a :class:`_SharedContextPayload` plus the live
+    segment set the caller must :meth:`~repro.search.shm.
+    SharedSegmentSet.close` when the solve's pool phase ends.  Otherwise
+    — ``MUBE_SHM=0``, platform without shared memory, nothing to share,
+    or the segments failing to allocate — returns the original context
+    with ``None``, and the plain pickle path carries everything as
+    before.
+    """
+    if not shm_available():
+        return context, None
+    segments = SharedSegmentSet()
+    try:
+        payload = _SharedContextPayload(context, segments)
+    except OSError:
+        # /dev/shm full or segment creation refused: degrade to pickle.
+        segments.close()
+        return context, None
+    if not len(segments):
+        segments.close()
+        return context, None
+    return payload, segments
+
+
 # -- portfolio construction ---------------------------------------------------
 
 
@@ -468,6 +624,10 @@ def _worker_init(
     """
     global _WORKER_CONTEXT, _WORKER_STOP, _WORKER_STARTED
     global _WORKER_HEARTBEATS
+    if isinstance(context, _SharedContextPayload):
+        # The big arrays travelled as shared-memory refs; attach the
+        # segments and rebuild the context over zero-copy views.
+        context = context.materialize()
     _WORKER_CONTEXT = context
     _WORKER_STOP = stop_event
     _WORKER_STARTED = started
@@ -1296,8 +1456,20 @@ class ParallelSolveEngine:
         # task, possibly forever — and never reused: its slot is held
         # hostage, which would starve every later round.
         pool_hung = False
+        # The context's large arrays go to shared memory once per solve;
+        # every pool generation (rotation, broken-pool rebuild) attaches
+        # the same segments, and the finally below unlinks them.
+        transport, shm_segments = export_context(run.context)
+        metrics = telemetry.metrics
+        if shm_segments is not None:
+            metrics.counter("portfolio.shm_segments").inc(len(shm_segments))
+            metrics.counter("portfolio.shm_bytes").inc(
+                shm_segments.total_bytes()
+            )
+        else:
+            metrics.counter("portfolio.shm_fallbacks").inc()
         pool, started = self._new_pool(
-            mp_context, run, stop_event, heartbeat_channel
+            mp_context, run, stop_event, heartbeat_channel, transport
         )
         try:
             while pending:
@@ -1346,7 +1518,8 @@ class ParallelSolveEngine:
                         run.requeues += len(uncollected)
                         pending = deque(uncollected) + pending
                         pool, started = self._new_pool(
-                            mp_context, run, stop_event, heartbeat_channel
+                            mp_context, run, stop_event, heartbeat_channel,
+                            transport,
                         )
                         pool_hung = False
                     else:
@@ -1366,12 +1539,18 @@ class ParallelSolveEngine:
                     pool.shutdown(wait=False, cancel_futures=True)
                     run.pool_rebuilds += 1
                     pool, started = self._new_pool(
-                        mp_context, run, stop_event, heartbeat_channel
+                        mp_context, run, stop_event, heartbeat_channel,
+                        transport,
                     )
                     pool_hung = False
         finally:
             if pool is not None:
                 pool.shutdown(wait=not pool_hung, cancel_futures=True)
+            if shm_segments is not None:
+                # Unlink now that no new pool generation can attach;
+                # workers still mapped (even hung ones) keep their views
+                # until they exit, but the /dev/shm names are gone.
+                shm_segments.close()
             if drain is not None:
                 drain.close()
         if leftovers:
@@ -1513,7 +1692,7 @@ class ParallelSolveEngine:
 
     def _new_pool(
         self, mp_context, run: _PortfolioRun, stop_event,
-        heartbeat_channel=None,
+        heartbeat_channel=None, transport=None,
     ) -> tuple[ProcessPoolExecutor, "object | None"]:
         """A fresh worker pool plus its shared execution ledger.
 
@@ -1523,10 +1702,14 @@ class ParallelSolveEngine:
         exactly this pool's processes — a rotated-away pool keeps
         writing to its own ledger, never the replacement's.  Only built
         when a worker timeout is configured; nothing else reads it.
-        The heartbeat channel, by contrast, is created once per solve
-        and shared across pool generations: a rotated-away pool's
-        stragglers may keep pulsing into it, which is harmless (late
-        heartbeats for terminal workers are counted and ignored).
+        The heartbeat channel and the context transport (plain
+        :class:`WorkerContext` or, when shared memory is on, the
+        :class:`_SharedContextPayload` over the solve's segments), by
+        contrast, are created once per solve and shared across pool
+        generations: a rotated-away pool's stragglers may keep pulsing
+        into the channel, which is harmless (late heartbeats for
+        terminal workers are counted and ignored), and every generation
+        attaches the same immutable segments.
         """
         started = (
             mp_context.Array("i", len(run.specs))
@@ -1537,7 +1720,12 @@ class ParallelSolveEngine:
             max_workers=self.jobs,
             mp_context=mp_context,
             initializer=_worker_init,
-            initargs=(run.context, stop_event, started, heartbeat_channel),
+            initargs=(
+                transport if transport is not None else run.context,
+                stop_event,
+                started,
+                heartbeat_channel,
+            ),
         )
         return pool, started
 

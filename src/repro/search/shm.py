@@ -1,0 +1,197 @@
+"""Shared-memory transport for large read-only worker arrays.
+
+A portfolio solve ships one :class:`~repro.search.parallel.WorkerContext`
+to every pool process through the initializer pickle.  The heavy parts of
+that context — the similarity matrix, the stacked PCSA word matrix, the
+compiled ``EvalContext`` vectors — are big numpy arrays that every worker
+only *reads*, so serializing them per process makes ``jobs=K`` spin-up
+cost scale with universe size for no benefit (most painfully under
+``spawn``, where fork's copy-on-write does not help either).
+
+This module provides the primitive layer: the parent copies each array
+into a named :mod:`multiprocessing.shared_memory` segment once
+(:class:`SharedSegmentSet`), ships only the tiny
+:class:`SharedArrayRef` descriptors through the pickle, and each worker
+maps the segments back into zero-copy read-only arrays
+(:func:`attach_array`).  Which arrays ride this channel — and how a
+context is torn apart and reassembled around them — is the caller's
+business (see ``_SharedContextPayload`` in
+:mod:`repro.search.parallel`).
+
+Lifecycle: segments live exactly as long as one solve's pool phase.  They
+are created before the first pool is built, survive pool rotation and
+BrokenProcessPool rebuilds (the context is immutable, so every pool
+generation attaches the same segments), and are closed + unlinked in the
+solve's ``finally`` — after which the memory itself is freed when the
+last attached process unmaps.  Setting ``MUBE_SHM=0`` (or running where
+:mod:`multiprocessing.shared_memory` is unavailable) disables the
+channel entirely; callers then fall back to the plain context pickle.
+
+The module keeps a bounded log of every segment name it ever created
+(:func:`created_segment_names`) so regression tests can assert nothing
+leaked into ``/dev/shm`` across rotation and recovery paths.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+try:  # pragma: no cover - missing only on exotic platforms
+    from multiprocessing import resource_tracker as _resource_tracker
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _resource_tracker = None
+    _shared_memory = None
+
+#: Set to ``0`` to force the plain-pickle context transport.
+SHM_ENV = "MUBE_SHM"
+
+#: Every segment name starts with this, so tests (and operators staring at
+#: ``/dev/shm``) can tell ours apart.
+SEGMENT_PREFIX = "mube_shm_"
+
+#: Names of segments ever created by this process, newest last (bounded).
+_CREATED_LOG: deque[str] = deque(maxlen=256)
+
+#: Child-side handles kept alive for the process's lifetime — dropping a
+#: SharedMemory object invalidates every array viewing its buffer.
+_ATTACHED: list = []
+
+
+def shm_available() -> bool:
+    """True when the shared-memory transport can be used at all."""
+    if os.environ.get(SHM_ENV, "1") == "0":
+        return False
+    return _shared_memory is not None
+
+
+@dataclass(frozen=True)
+class SharedArrayRef:
+    """A picklable pointer to one array living in a named shm segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+class SharedSegmentSet:
+    """Parent-side owner of one solve's shared-memory segments.
+
+    :meth:`share` copies an array out into a fresh segment and returns
+    its ref; :meth:`close` closes *and unlinks* everything, exactly once,
+    in the solve's ``finally``.  Unlinking while workers are still
+    attached is safe on POSIX: the name disappears immediately, the
+    memory when the last mapping goes away.
+    """
+
+    def __init__(self):
+        self._segments = []
+
+    def share(self, array: np.ndarray) -> SharedArrayRef:
+        """Copy an array into a new segment and return its descriptor."""
+        array = np.ascontiguousarray(array)
+        name = f"{SEGMENT_PREFIX}{os.getpid()}_{uuid.uuid4().hex[:8]}"
+        segment = _shared_memory.SharedMemory(
+            name=name, create=True, size=max(int(array.nbytes), 1)
+        )
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        self._segments.append(segment)
+        _CREATED_LOG.append(segment.name)
+        return SharedArrayRef(
+            name=segment.name,
+            shape=tuple(array.shape),
+            dtype=array.dtype.str,
+        )
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(segment.name for segment in self._segments)
+
+    def total_bytes(self) -> int:
+        return sum(segment.size for segment in self._segments)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def close(self) -> None:
+        """Close and unlink every segment; idempotent."""
+        for segment in self._segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - nothing left to do
+                pass
+            if _resource_tracker is not None:
+                # Under fork the workers share this process's tracker, so
+                # their defensive unregister (see attach_array) already
+                # removed the name; re-register before unlink so the
+                # unlink's own unregister finds it instead of spraying
+                # KeyError tracebacks out of the tracker process.
+                try:
+                    _resource_tracker.register(
+                        segment._name, "shared_memory"
+                    )
+                except Exception:  # pragma: no cover
+                    pass
+            try:
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+        self._segments.clear()
+
+
+def attach_array(ref: SharedArrayRef) -> np.ndarray:
+    """Map a shared segment into a read-only array (worker side).
+
+    The segment handle is parked in a module-level list for the worker
+    process's lifetime: pool workers attach once in the initializer and
+    only ever run solve tasks, so there is nothing to detach early for.
+    """
+    segment = _shared_memory.SharedMemory(name=ref.name)
+    if _resource_tracker is not None:
+        # Attaching registers the segment with the resource tracker
+        # (unconditionally, on this Python), which would unlink it out
+        # from under the parent and the sibling workers when this
+        # process is torn down.  Only the creating parent may unlink;
+        # take this process back out of the bookkeeping.
+        try:
+            _resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker variants differ
+            pass
+    _ATTACHED.append(segment)
+    array = np.ndarray(
+        ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf
+    )
+    array.flags.writeable = False
+    return array
+
+
+def created_segment_names() -> tuple[str, ...]:
+    """Names of recently created segments (for leak regression tests)."""
+    return tuple(_CREATED_LOG)
+
+
+def live_segment_names() -> tuple[str, ...]:
+    """The subset of logged segments still present in ``/dev/shm``."""
+    alive = []
+    for name in _CREATED_LOG:
+        if os.path.exists(os.path.join("/dev/shm", name)):
+            alive.append(name)
+    return tuple(alive)
+
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SHM_ENV",
+    "SharedArrayRef",
+    "SharedSegmentSet",
+    "attach_array",
+    "created_segment_names",
+    "live_segment_names",
+    "shm_available",
+]

@@ -1,5 +1,6 @@
 """Attribute-name similarity: n-grams, measures, caching, matrices."""
 
+from .blocking import LSHConfig, blocked_scores, build_gram_index
 from .cache import CachedSimilarity
 from .instance import HybridSimilarity, InstanceSimilarity
 from .matrix import NameSimilarityMatrix
@@ -10,6 +11,7 @@ from .measures import (
     NGramDice,
     NGramJaccard,
     NGramOverlap,
+    SetSimilarityMeasure,
     SimilarityMeasure,
     TokenJaccard,
     available_measures,
@@ -24,15 +26,19 @@ __all__ = [
     "ExactMatch",
     "HybridSimilarity",
     "InstanceSimilarity",
+    "LSHConfig",
     "LevenshteinSimilarity",
     "NGramCosine",
     "NGramDice",
     "NGramJaccard",
     "NGramOverlap",
     "NameSimilarityMatrix",
+    "SetSimilarityMeasure",
     "SimilarityMeasure",
     "TokenJaccard",
     "available_measures",
+    "blocked_scores",
+    "build_gram_index",
     "default_measure",
     "get_measure",
     "levenshtein_distance",

@@ -9,8 +9,9 @@ ablation, all registered by name in :data:`MEASURES`.
 
 from __future__ import annotations
 
-import math
 from abc import ABC, abstractmethod
+
+import numpy as np
 
 from ..exceptions import ReproError
 from .ngram import ngrams, normalize_name, word_tokens
@@ -30,6 +31,62 @@ class SimilarityMeasure(ABC):
         return f"{type(self).__name__}()"
 
 
+class SetSimilarityMeasure(SimilarityMeasure):
+    """A measure that is a pure function of two token *sets*.
+
+    Every set-based measure factors as ``score_sets(grams(a), grams(b))``,
+    which is what makes two optimizations possible without approximation:
+
+    * **Tokenize once.**  A matrix build tokenizes each vocabulary name a
+      single time through :meth:`grams` instead of re-tokenizing both
+      names inside every pair call.
+    * **Exact blocking.**  All the concrete measures score a pair with an
+      empty intersection as exactly ``0.0`` (and a pair of two *empty*
+      token sets as exactly ``1.0``), so candidate pairs can be generated
+      from an inverted token index and the untouched pairs written as
+      zeros — bit-identical to the all-pairs build, not an approximation.
+      :mod:`repro.similarity.blocking` builds on this contract.
+
+    Subclasses implement :meth:`grams` and :meth:`score_counts`; the
+    scalar :meth:`score_sets` (and with it ``__call__``) is derived, so
+    the blocked, dense-tokenize-once and per-pair paths can never drift
+    apart.
+    """
+
+    @abstractmethod
+    def grams(self, name: str) -> frozenset[str]:
+        """The token set of one name (tokenized exactly once per name)."""
+
+    @abstractmethod
+    def score_counts(
+        self, intersection: np.ndarray, size_a: np.ndarray, size_b: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized scores from intersection and set sizes.
+
+        Only ever called with both sizes >= 1; the arithmetic must mirror
+        :meth:`score_sets` operation for operation so float64 results are
+        bit-identical to the scalar path.
+        """
+
+    def score_sets(self, a: frozenset[str], b: frozenset[str]) -> float:
+        """Scalar score of two pre-tokenized sets."""
+        if not a and not b:
+            return 1.0
+        if not a or not b:
+            return 0.0
+        intersection = len(a & b)
+        if intersection == 0:
+            return 0.0
+        return float(
+            self.score_counts(
+                np.int64(intersection), np.int64(len(a)), np.int64(len(b))
+            )
+        )
+
+    def __call__(self, a: str, b: str) -> float:
+        return self.score_sets(self.grams(a), self.grams(b))
+
+
 def _jaccard(a: frozenset[str], b: frozenset[str]) -> float:
     if not a and not b:
         return 1.0
@@ -41,44 +98,44 @@ def _jaccard(a: frozenset[str], b: frozenset[str]) -> float:
     return intersection / (len(a) + len(b) - intersection)
 
 
-class NGramJaccard(SimilarityMeasure):
+class _NGramMeasure(SetSimilarityMeasure):
+    """Shared n-gram plumbing for the character-gram measures."""
+
+    def __init__(self, n: int = 3):
+        if n < 1:
+            raise ReproError(f"n must be >= 1, got {n}")
+        self.n = n
+
+    def grams(self, name: str) -> frozenset[str]:
+        return ngrams(name, self.n)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n})"
+
+
+class NGramJaccard(_NGramMeasure):
     """Jaccard coefficient over character n-grams (the paper's measure)."""
 
     def __init__(self, n: int = 3):
-        if n < 1:
-            raise ReproError(f"n must be >= 1, got {n}")
-        self.n = n
+        super().__init__(n)
         self.name = f"{n}gram_jaccard"
 
-    def __call__(self, a: str, b: str) -> float:
-        return _jaccard(ngrams(a, self.n), ngrams(b, self.n))
-
-    def __repr__(self) -> str:
-        return f"NGramJaccard(n={self.n})"
+    def score_counts(self, intersection, size_a, size_b):
+        return intersection / (size_a + size_b - intersection)
 
 
-class NGramDice(SimilarityMeasure):
+class NGramDice(_NGramMeasure):
     """Dice coefficient over character n-grams: 2|A∩B| / (|A| + |B|)."""
 
     def __init__(self, n: int = 3):
-        if n < 1:
-            raise ReproError(f"n must be >= 1, got {n}")
-        self.n = n
+        super().__init__(n)
         self.name = f"{n}gram_dice"
 
-    def __call__(self, a: str, b: str) -> float:
-        ga, gb = ngrams(a, self.n), ngrams(b, self.n)
-        if not ga and not gb:
-            return 1.0
-        if not ga or not gb:
-            return 0.0
-        return 2.0 * len(ga & gb) / (len(ga) + len(gb))
-
-    def __repr__(self) -> str:
-        return f"NGramDice(n={self.n})"
+    def score_counts(self, intersection, size_a, size_b):
+        return 2.0 * intersection / (size_a + size_b)
 
 
-class NGramOverlap(SimilarityMeasure):
+class NGramOverlap(_NGramMeasure):
     """Overlap coefficient over n-grams: |A∩B| / min(|A|, |B|).
 
     Generous to substrings — ``"title"`` vs ``"book title"`` scores 1.0 —
@@ -86,51 +143,34 @@ class NGramOverlap(SimilarityMeasure):
     """
 
     def __init__(self, n: int = 3):
-        if n < 1:
-            raise ReproError(f"n must be >= 1, got {n}")
-        self.n = n
+        super().__init__(n)
         self.name = f"{n}gram_overlap"
 
-    def __call__(self, a: str, b: str) -> float:
-        ga, gb = ngrams(a, self.n), ngrams(b, self.n)
-        if not ga and not gb:
-            return 1.0
-        if not ga or not gb:
-            return 0.0
-        return len(ga & gb) / min(len(ga), len(gb))
-
-    def __repr__(self) -> str:
-        return f"NGramOverlap(n={self.n})"
+    def score_counts(self, intersection, size_a, size_b):
+        return intersection / np.minimum(size_a, size_b)
 
 
-class NGramCosine(SimilarityMeasure):
+class NGramCosine(_NGramMeasure):
     """Cosine similarity over binary n-gram incidence vectors."""
 
     def __init__(self, n: int = 3):
-        if n < 1:
-            raise ReproError(f"n must be >= 1, got {n}")
-        self.n = n
+        super().__init__(n)
         self.name = f"{n}gram_cosine"
 
-    def __call__(self, a: str, b: str) -> float:
-        ga, gb = ngrams(a, self.n), ngrams(b, self.n)
-        if not ga and not gb:
-            return 1.0
-        if not ga or not gb:
-            return 0.0
-        return len(ga & gb) / math.sqrt(len(ga) * len(gb))
-
-    def __repr__(self) -> str:
-        return f"NGramCosine(n={self.n})"
+    def score_counts(self, intersection, size_a, size_b):
+        return intersection / np.sqrt(size_a * size_b)
 
 
-class TokenJaccard(SimilarityMeasure):
+class TokenJaccard(SetSimilarityMeasure):
     """Jaccard coefficient over whole word tokens."""
 
     name = "token_jaccard"
 
-    def __call__(self, a: str, b: str) -> float:
-        return _jaccard(word_tokens(a), word_tokens(b))
+    def grams(self, name: str) -> frozenset[str]:
+        return word_tokens(name)
+
+    def score_counts(self, intersection, size_a, size_b):
+        return intersection / (size_a + size_b - intersection)
 
 
 class LevenshteinSimilarity(SimilarityMeasure):
