@@ -317,6 +317,41 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("report", help="path to --benchmark-json output")
     figures.set_defaults(handler=run_figures)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived multi-tenant solve service (HTTP)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default %(default)s)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port, 0 for ephemeral (default %(default)s)",
+    )
+    serve.add_argument(
+        "--universe", action="append", metavar="SPEC",
+        help="universe to load at startup: 'books[:N[:SEED]]' or "
+             "'theater[:SEED]'; repeatable (default: books:120:0)",
+    )
+    serve.add_argument(
+        "--ttl", type=float, default=1800.0, metavar="SECONDS",
+        help="idle session time-to-live (default %(default)ss)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=256,
+        help="hard cap on live sessions (default %(default)s)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="default worker count for async solve jobs (default %(default)s)",
+    )
+    serve.add_argument(
+        "--job-dir", default=".mube/jobs",
+        help="durable job store: checkpoints + manifests (default %(default)s)",
+    )
+    add_telemetry_args(serve)
+    serve.set_defaults(handler=run_serve)
+
     return parser
 
 
@@ -770,6 +805,56 @@ def run_interactive(args: argparse.Namespace) -> int:
         optimizer_config=OptimizerConfig(max_iterations=40, seed=args.seed),
     )
     interactive_loop(session)
+    return 0
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """Run the resident multi-tenant solve service until SIGINT/SIGTERM."""
+    import signal
+    import threading
+
+    from .serve import ServeApp, ServeHTTPServer, load_universe
+
+    universes = {}
+    for spec in args.universe or ["books:120:0"]:
+        resident = load_universe(spec)
+        universes[resident.name] = resident
+        print(
+            f"mube serve: loaded universe {resident.name} "
+            f"({len(resident.universe)} sources, "
+            f"{len(resident.universe.attribute_names())} attributes)",
+            flush=True,
+        )
+    app = ServeApp(
+        universes,
+        job_dir=args.job_dir,
+        ttl_seconds=args.ttl,
+        max_sessions=args.max_sessions,
+        default_jobs=args.jobs,
+    )
+    with app:
+        server = ServeHTTPServer((args.host, args.port), app)
+        host, port = server.server_address[:2]
+        degraded = [tier for tier, ok in app.tiers.items() if not ok]
+        if degraded:
+            print(
+                f"mube serve: degraded tiers: {', '.join(sorted(degraded))}",
+                flush=True,
+            )
+        print(f"mube serve: listening on http://{host}:{port}", flush=True)
+
+        def _stop(signum, frame):  # noqa: ARG001 - signal handler shape
+            # shutdown() must come from another thread: serve_forever's
+            # poll loop is the one being interrupted.
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _stop)
+        signal.signal(signal.SIGINT, _stop)
+        try:
+            server.serve_forever()
+        finally:
+            server.server_close()
+    print("mube serve: shutdown complete", flush=True)
     return 0
 
 

@@ -10,6 +10,7 @@ NULL result) is handled through the objective's discounted score.
 
 from __future__ import annotations
 
+import threading
 import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterator, Sequence
@@ -28,21 +29,30 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .parallel import PortfolioStats
 
 
-#: Process-global cooperative stop signal, consulted by every
-#: :class:`RunClock`.  ``None`` outside portfolio runs — the default — so
-#: plain solves never pay for it and stay bit-identical.  The parallel
-#: engine installs a check bound to its shared early-stop event (in worker
-#: processes) or to a local flag (in-process portfolios).
-_stop_check: Callable[[], bool] | None = None
+#: **Thread-local** cooperative hook storage.  The stop check is consulted
+#: by every :class:`RunClock`; the progress hook by
+#: :func:`score_candidates`.  Both default to ``None`` — plain solves
+#: never pay for them and stay bit-identical.  The storage is thread-local
+#: rather than a plain module global so that a resident multi-tenant
+#: service (``repro.serve``) can run solves on concurrent threads without
+#: crosstalk: an in-process portfolio installing its early-stop flag on
+#: one request thread must not truncate a sequential solve running on
+#: another.  Pool worker processes are unaffected — their initializer and
+#: their tasks both run on the worker's main thread, so an install in the
+#: initializer is visible exactly where it always was.
+_hooks = threading.local()
 
-#: Process-global progress hook, the observational sibling of
-#: :data:`_stop_check`.  ``None`` outside observed runs — the default — so
-#: plain solves never pay for it.  The parallel engine installs a
-#: :class:`~repro.telemetry.observatory.HeartbeatEmitter` here for the
-#: duration of one worker attempt; :func:`score_candidates` shows it each
-#: scored batch.  The hook only *sees* already-computed solutions and must
-#: never mutate them, so installing one cannot change a solve's result.
-_progress_hook: Callable[[Sequence[Solution]], None] | None = None
+
+def current_stop_check() -> Callable[[], bool] | None:
+    """The calling thread's installed stop check, or ``None``."""
+    return getattr(_hooks, "stop_check", None)
+
+
+def current_progress_hook() -> (
+    Callable[[Sequence[Solution]], None] | None
+):
+    """The calling thread's installed progress hook, or ``None``."""
+    return getattr(_hooks, "progress_hook", None)
 
 
 def install_stop_check(check: Callable[[], bool] | None):
@@ -51,11 +61,11 @@ def install_stop_check(check: Callable[[], bool] | None):
     Returns the previously installed check so nested scopes can restore
     it.  Optimizers observe the signal at their next ``clock.expired()``
     call — iteration granularity, which is why losing the signal can only
-    cost runtime, never correctness.
+    cost runtime, never correctness.  The installation is **per thread**
+    (see :data:`_hooks`).
     """
-    global _stop_check
-    previous = _stop_check
-    _stop_check = check
+    previous = current_stop_check()
+    _hooks.stop_check = check
     return previous
 
 
@@ -94,10 +104,10 @@ def install_progress_hook(
     batch — every optimizer routes its neighborhoods through there, so no
     optimizer loop needs to know heartbeats exist.  Hook exceptions are
     swallowed at the call site: observation must never sink a solve.
+    The installation is **per thread** (see :data:`_hooks`).
     """
-    global _progress_hook
-    previous = _progress_hook
-    _progress_hook = hook
+    previous = current_progress_hook()
+    _hooks.progress_hook = hook
     return previous
 
 
@@ -326,7 +336,8 @@ class RunClock:
         once per iteration — portfolio early-stop therefore needs no
         changes to any optimizer's loop.
         """
-        if _stop_check is not None and _stop_check():
+        check = current_stop_check()
+        if check is not None and check():
             return True
         return self._limit is not None and self.elapsed() >= self._limit
 
@@ -421,9 +432,10 @@ def score_candidates(
         solutions = [
             objective.evaluate(selection) for selection in selections
         ]
-    if _progress_hook is not None:
+    hook = current_progress_hook()
+    if hook is not None:
         try:
-            _progress_hook(solutions)
+            hook(solutions)
         except Exception:  # noqa: BLE001 - observation must not sink solves
             pass
     return solutions

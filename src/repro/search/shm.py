@@ -70,6 +70,23 @@ def shm_available() -> bool:
     return _shared_memory is not None
 
 
+def _tracker_name(segment) -> str:
+    """The name string the stdlib registered this segment under.
+
+    ``SharedMemory.__init__`` registers ``self._name`` with the resource
+    tracker — on POSIX that is the *slash-prefixed* form (``/mube_…``),
+    which the public ``.name`` property strips.  Our defensive
+    un/re-registration must use the exact same string or it silently
+    no-ops against the tracker's bookkeeping.  Prefer the private field
+    while it exists (it is what the stdlib itself passes to the
+    tracker); fall back to the public property if a future Python drops
+    or renames it, so the calls degrade to a *consistent* pairing
+    instead of raising AttributeError mid-cleanup.
+    """
+    private = getattr(segment, "_name", None)
+    return private if private is not None else segment.name
+
+
 @dataclass(frozen=True)
 class SharedArrayRef:
     """A picklable pointer to one array living in a named shm segment."""
@@ -134,7 +151,7 @@ class SharedSegmentSet:
                 # KeyError tracebacks out of the tracker process.
                 try:
                     _resource_tracker.register(
-                        segment._name, "shared_memory"
+                        _tracker_name(segment), "shared_memory"
                     )
                 except Exception:  # pragma: no cover
                     pass
@@ -160,7 +177,9 @@ def attach_array(ref: SharedArrayRef) -> np.ndarray:
         # process is torn down.  Only the creating parent may unlink;
         # take this process back out of the bookkeeping.
         try:
-            _resource_tracker.unregister(segment._name, "shared_memory")
+            _resource_tracker.unregister(
+                _tracker_name(segment), "shared_memory"
+            )
         except Exception:  # pragma: no cover - tracker variants differ
             pass
     _ATTACHED.append(segment)
@@ -176,11 +195,32 @@ def created_segment_names() -> tuple[str, ...]:
     return tuple(_CREATED_LOG)
 
 
+def shm_mount_dir() -> str | None:
+    """Where this platform exposes POSIX shm segments as files, if anywhere.
+
+    Linux mounts a tmpfs at ``/dev/shm``, which is what makes the leak
+    check below possible at all; macOS and the BSDs keep POSIX shm out
+    of the filesystem namespace entirely, and Windows has no such path.
+    Returns ``None`` when no inspectable mount exists.
+    """
+    return "/dev/shm" if os.path.isdir("/dev/shm") else None
+
+
 def live_segment_names() -> tuple[str, ...]:
-    """The subset of logged segments still present in ``/dev/shm``."""
+    """The subset of logged segments still present in the shm mount.
+
+    This is a **Linux-only** leak probe: it inspects the ``/dev/shm``
+    tmpfs (see :func:`shm_mount_dir`).  On platforms without an
+    inspectable shm directory it returns the empty tuple — "nothing
+    known to be alive" — rather than misreporting every segment ever
+    created as leaked just because the path never exists there.
+    """
+    shm_dir = shm_mount_dir()
+    if shm_dir is None:
+        return ()
     alive = []
     for name in _CREATED_LOG:
-        if os.path.exists(os.path.join("/dev/shm", name)):
+        if os.path.exists(os.path.join(shm_dir, name)):
             alive.append(name)
     return tuple(alive)
 
@@ -194,4 +234,5 @@ __all__ = [
     "created_segment_names",
     "live_segment_names",
     "shm_available",
+    "shm_mount_dir",
 ]

@@ -1,0 +1,59 @@
+"""repro.serve — the long-lived multi-tenant solve service.
+
+The paper's interactive loop (§6) served as a process: universes load
+once, compiled artifacts stay resident, and many users drive sessions
+and async solve jobs over HTTP.  See ``docs/serving.md`` for the API
+and the degradation matrix, and ``mube serve --help`` for the CLI.
+"""
+
+from .app import (
+    EDIT_OPS,
+    ServeApp,
+    ServeHTTPServer,
+    schema_payload,
+    serve_forever,
+    solution_payload,
+    start_background,
+)
+from .state import (
+    CapacityError,
+    ExpiredSessionError,
+    Job,
+    JobManager,
+    JobNotDoneError,
+    ManagedSession,
+    OPTIONAL_TIERS,
+    ResidentUniverse,
+    ServeError,
+    SessionManager,
+    UnknownJobError,
+    UnknownSessionError,
+    UnknownUniverseError,
+    detect_tiers,
+    load_universe,
+)
+
+__all__ = [
+    "CapacityError",
+    "EDIT_OPS",
+    "ExpiredSessionError",
+    "Job",
+    "JobManager",
+    "JobNotDoneError",
+    "ManagedSession",
+    "OPTIONAL_TIERS",
+    "ResidentUniverse",
+    "ServeApp",
+    "ServeError",
+    "ServeHTTPServer",
+    "SessionManager",
+    "UnknownJobError",
+    "UnknownSessionError",
+    "UnknownUniverseError",
+    "detect_tiers",
+    "load_universe",
+    "schema_payload",
+    "serve_forever",
+    "solution_payload",
+    "start_background",
+]

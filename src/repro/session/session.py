@@ -19,8 +19,12 @@ Every :meth:`Session.solve` snapshot is kept in :attr:`Session.history`.
 
 from __future__ import annotations
 
+import threading
+import time
+import warnings
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, replace
+from functools import wraps
 
 from ..core import (
     AttributeRef,
@@ -61,6 +65,28 @@ class Iteration:
     def solution(self) -> Solution:
         """The best solution of this iteration."""
         return self.result.solution
+
+
+def _locked(method):
+    """Serialize a public mutate/solve method on the session's lock.
+
+    Sessions are used from one thread in the classic interactive loop,
+    where the reentrant lock is uncontended and costs one acquire per
+    call.  A resident service (``repro.serve``) shares *distinct*
+    sessions across request threads; the lock makes each session's
+    edit-journal / compiled-state transitions atomic so an edit arriving
+    mid-solve cannot be half-absorbed by the running delta plan.  Every
+    guarded call also refreshes :attr:`Session.touched_at`, the
+    monotonic timestamp TTL eviction reads.
+    """
+
+    @wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            self.touched_at = time.monotonic()
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 class Session:
@@ -117,6 +143,24 @@ class Session:
         the invalidated ones are rebuilt.  Every delta path is
         bit-identical to a cold rebuild (property-tested).  ``False``
         rebuilds everything each solve — the cold reference.
+    similarity_matrix:
+        A pre-built :class:`~repro.similarity.NameSimilarityMatrix` to
+        adopt instead of building one over the universe's attribute
+        names.  This is how a resident service shares one read-only
+        matrix across many sessions over the same universe; the session
+        still extends it (copy-on-write — ``extended`` returns a new
+        matrix) when later edits add names.  The matrix must have been
+        built with a measure equivalent to ``similarity`` or the solves
+        will silently score pairs differently from a cold session.
+    eval_context:
+        A pre-compiled :class:`~repro.quality.compiled.EvalContext` for
+        this universe and exactly these ``characteristic_qefs``, adopted
+        for the first cold objective build instead of recompiling.  It
+        is only used while the session's universe is still the *same
+        object* it was constructed with and the characteristic-QEF
+        tuple is unchanged — any drift (``add_source`` before the first
+        solve, a new QEF) falls back to a cold compile, so a stale
+        context can never leak into a solve.
     """
 
     def __init__(
@@ -135,6 +179,8 @@ class Session:
         record_runs: bool = True,
         run_registry=None,
         delta: bool = True,
+        similarity_matrix: NameSimilarityMatrix | None = None,
+        eval_context=None,
     ):
         self.universe = universe
         self.max_sources = max_sources
@@ -164,6 +210,12 @@ class Session:
             self.run_registry = None
         self.history: list[Iteration] = []
         self.delta = delta
+        # Reentrant so a guarded method may call another guarded method;
+        # see _locked.  ``touched_at`` is the TTL bookkeeping a resident
+        # service evicts on.
+        self._lock = threading.RLock()
+        self.touched_at = time.monotonic()
+        self._registry_warned = False
         # Memoize the raw measure so later vocabulary extensions (adding
         # a source) and cold-reference rebuilds are cache hits.
         measure = similarity or default_measure()
@@ -172,10 +224,16 @@ class Session:
             if isinstance(measure, CachedSimilarity)
             else CachedSimilarity(measure)
         )
-        with use_telemetry(self._telemetry()):
-            self._matrix = NameSimilarityMatrix.build(
-                universe.attribute_names(), self._measure
-            )
+        if similarity_matrix is not None:
+            self._matrix = similarity_matrix
+        else:
+            with use_telemetry(self._telemetry()):
+                self._matrix = NameSimilarityMatrix.build(
+                    universe.attribute_names(), self._measure
+                )
+        self._shared_context = eval_context
+        self._shared_context_universe = universe if eval_context is not None else None
+        self._shared_context_specs = tuple(self.characteristic_qefs)
         self._journal = EditJournal()
         self._last_problem: Problem | None = None
         self._last_plan: DeltaPlan | None = None
@@ -197,6 +255,7 @@ class Session:
             characteristic_qefs=tuple(self.characteristic_qefs),
         )
 
+    @_locked
     def solve(
         self,
         optimizer: str | None = None,
@@ -370,6 +429,7 @@ class Session:
         self.history.append(iteration)
         return iteration
 
+    @_locked
     def explain(self, index: int = -1):
         """The provenance account of a recorded iteration.
 
@@ -434,6 +494,7 @@ class Session:
 
     # -- source feedback -----------------------------------------------------
 
+    @_locked
     def require_source(self, source: int | str) -> int:
         """Pin a source (by id or name) into every future solution."""
         source_id = self._resolve_source(source)
@@ -441,6 +502,7 @@ class Session:
         self._journal.record("source_constraints", f"require {source_id}")
         return source_id
 
+    @_locked
     def release_source(self, source: int | str) -> None:
         """Remove a previously pinned source constraint."""
         source_id = self._resolve_source(source)
@@ -449,6 +511,7 @@ class Session:
 
     # -- universe feedback ---------------------------------------------------
 
+    @_locked
     def add_source(self, source: Source) -> int:
         """Add a newly discovered source to the universe.
 
@@ -466,6 +529,7 @@ class Session:
         self._journal.record("add_source", str(source.source_id))
         return source.source_id
 
+    @_locked
     def remove_source(self, source: int | str) -> int:
         """Remove a source (by id or name) from the universe.
 
@@ -499,6 +563,7 @@ class Session:
 
     # -- GA feedback ---------------------------------------------------------
 
+    @_locked
     def require_match(
         self,
         attributes: Iterable[AttributeRef | tuple[int | str, str | int]],
@@ -518,6 +583,7 @@ class Session:
         self._journal.record("ga_constraints", "require_match")
         return ga
 
+    @_locked
     def accept_ga(self, ga: GlobalAttribute) -> GlobalAttribute:
         """Adopt a GA from a previous output as a constraint.
 
@@ -531,6 +597,7 @@ class Session:
         self._journal.record("ga_constraints", "accept")
         return ga
 
+    @_locked
     def drop_ga_constraint(self, ga: GlobalAttribute) -> None:
         """Remove one GA constraint.
 
@@ -545,6 +612,7 @@ class Session:
             raise ConstraintError(f"{ga!r} is not a current constraint") from None
         self._journal.record("ga_constraints", "drop")
 
+    @_locked
     def clear_constraints(self) -> None:
         """Drop all source and GA constraints."""
         if self.source_constraints:
@@ -556,6 +624,7 @@ class Session:
 
     # -- weight feedback -----------------------------------------------------
 
+    @_locked
     def set_weights(self, weights: Mapping[str, float]) -> None:
         """Replace the full weight assignment (must sum to 1).
 
@@ -571,6 +640,7 @@ class Session:
         self.weights = normalize_weights(weights)
         self._journal.record("weights", "set_weights")
 
+    @_locked
     def emphasize(self, qef_name: str, weight: float) -> None:
         """Give one QEF the stated weight; split the rest equally.
 
@@ -590,6 +660,7 @@ class Session:
 
     # -- QEF feedback ----------------------------------------------------------
 
+    @_locked
     def add_characteristic_qef(
         self, spec: CharacteristicSpec, weight: float
     ) -> None:
@@ -611,6 +682,7 @@ class Session:
         self.weights = normalize_weights(new_weights)
         self._journal.record("add_qef", spec.name)
 
+    @_locked
     def remove_characteristic_qef(self, name: str) -> CharacteristicSpec:
         """Unregister a characteristic QEF (the inverse of adding one).
 
@@ -653,6 +725,7 @@ class Session:
 
     # -- parameter feedback ----------------------------------------------------
 
+    @_locked
     def set_theta(self, theta: float) -> None:
         """Change the matching threshold θ."""
         if not 0.0 <= theta <= 1.0:
@@ -660,6 +733,7 @@ class Session:
         self.theta = theta
         self._journal.record("theta", str(theta))
 
+    @_locked
     def set_beta(self, beta: int) -> None:
         """Change the minimum GA size β."""
         if beta < 1:
@@ -667,6 +741,7 @@ class Session:
         self.beta = beta
         self._journal.record("beta", str(beta))
 
+    @_locked
     def set_max_sources(self, max_sources: int) -> None:
         """Change the source budget m."""
         if not 1 <= max_sources <= len(self.universe):
@@ -790,8 +865,11 @@ class Session:
     ):
         """Append this solve to the run registry (best-effort).
 
-        Registry I/O failures are swallowed by design: the registry is
-        observability, and observability must never break a solve.  A
+        Registry I/O failures never break a solve: the registry is
+        observability.  But they are no longer silent — each failure
+        increments the ``runs.record_failures`` counter, and the first
+        one per session raises a :class:`RuntimeWarning` so operators
+        can tell recording is broken without grepping counters.  A
         successful append increments the ``runs.recorded`` counter.
         """
         registry = self.run_registry
@@ -813,7 +891,17 @@ class Session:
         )
         try:
             registry.record(record)
-        except OSError:
+        except OSError as exc:
+            telemetry.metrics.counter("runs.record_failures").inc()
+            if not self._registry_warned:
+                self._registry_warned = True
+                warnings.warn(
+                    "run-registry write failed"
+                    f" ({exc}); further failures in this session"
+                    " will only be counted (runs.record_failures)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return None
         telemetry.metrics.counter("runs.recorded").inc()
         return record
@@ -873,18 +961,46 @@ class Session:
             objective = self._apply_plan(plan, problem, metrics)
         return self._commit(problem, objective)
 
+    def _shared_context_for(self, problem: Problem):
+        """The pre-compiled context, iff it still matches this problem.
+
+        A service hands many sessions one ``EvalContext`` compiled over
+        the resident universe (see ``eval_context`` in the constructor).
+        The context depends only on the universe's sources and the
+        characteristic-QEF specs, so it is reusable exactly while both
+        are unchanged — checked by object identity for the universe
+        (any edit that touches sources builds a *new* Universe) and by
+        spec equality for the QEFs.  Any drift returns ``None`` and the
+        cold path compiles from scratch, so a stale context can never
+        leak into a solve.
+        """
+        if self._shared_context is None:
+            return None
+        if self.universe is not self._shared_context_universe:
+            return None
+        if problem.universe is not self._shared_context_universe:
+            return None
+        if tuple(problem.characteristic_qefs) != self._shared_context_specs:
+            return None
+        return self._shared_context
+
     def _apply_plan(
         self, plan: DeltaPlan, problem: Problem, metrics
     ) -> Objective:
         previous = self._objective
         if plan.path == "cold" or previous is None:
             metrics.counter("session.delta.cold_solves").inc()
-            metrics.counter("session.delta.context_rebuilt").inc()
+            shared = self._shared_context_for(problem)
+            if shared is not None:
+                metrics.counter("session.delta.context_shared").inc()
+            else:
+                metrics.counter("session.delta.context_rebuilt").inc()
             return Objective(
                 problem,
                 similarity=self._matrix,
                 incremental=self.incremental,
                 match_operator=self._build_operator(problem),
+                context=shared,
             )
 
         # Match operator: rebuild, retarget in place, or reuse verbatim.

@@ -154,3 +154,58 @@ class TestDefaultRegistry:
     def test_empty_env_disables_recording(self, monkeypatch):
         monkeypatch.setenv(RUNS_PATH_ENV, "")
         assert default_registry() is None
+
+
+class TestRegistryFailureVisibility:
+    """Write failures stay non-fatal but are counted and warned once."""
+
+    class BrokenRegistry:
+        def __init__(self):
+            self.attempts = 0
+
+        def record(self, record):
+            self.attempts += 1
+            raise OSError("disk full")
+
+    def make_session(self):
+        from repro.search import OptimizerConfig
+        from repro.session import Session
+        from repro.telemetry import Telemetry
+        from repro.workload import theater_universe
+
+        broken = self.BrokenRegistry()
+        session = Session(
+            theater_universe(0),
+            run_registry=broken,
+            telemetry=Telemetry(),
+            optimizer_config=OptimizerConfig(max_iterations=10, seed=0),
+        )
+        return session, broken
+
+    def test_failures_counted_and_warned_once_per_session(self):
+        import warnings
+
+        session, broken = self.make_session()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            session.solve()
+            session.solve()
+        registry_warnings = [
+            w for w in caught if "run-registry write failed" in str(w.message)
+        ]
+        # Both writes failed, but only the first one warned.
+        assert broken.attempts == 2
+        assert len(registry_warnings) == 1
+        assert issubclass(registry_warnings[0].category, RuntimeWarning)
+        counters = session.telemetry.metrics.snapshot()["counters"]
+        assert counters["runs.record_failures"] == 2
+        assert "runs.recorded" not in counters
+
+    def test_solves_survive_the_broken_registry(self):
+        session, _ = self.make_session()
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            iteration = session.solve()
+        assert iteration.result.solution.quality > 0

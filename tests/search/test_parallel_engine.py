@@ -207,7 +207,7 @@ class TestEarlyStop:
     def test_inline_stop_check_is_uninstalled_afterwards(self):
         engine = ParallelSolveEngine(jobs=1, stop_quality=0.0)
         engine.solve(tiny_problem(), seeded_restarts("tabu", 2, CONFIG))
-        assert search_base._stop_check is None
+        assert search_base.current_stop_check() is None
 
     def test_early_stop_still_returns_the_merge_winner(self):
         result = ParallelSolveEngine(jobs=1, stop_quality=0.0).solve(

@@ -179,3 +179,25 @@ class TestPickleFallback:
         assert telemetry.metrics.counter_value(
             "portfolio.shm_segments", 0
         ) == 0
+
+
+class TestMountDirProbe:
+    """The leak probe must degrade, not lie, off Linux."""
+
+    def test_no_mount_means_no_live_segments(self, monkeypatch):
+        from repro.search import shm as shm_module
+
+        monkeypatch.setattr(shm_module, "shm_mount_dir", lambda: None)
+        # Even with segments on the created log, a platform without an
+        # inspectable shm mount must report nothing alive instead of
+        # claiming every segment ever created leaked.
+        assert shm_module.live_segment_names() == ()
+
+    def test_mount_dir_matches_platform(self):
+        from repro.search.shm import shm_mount_dir
+
+        probed = shm_mount_dir()
+        if os.path.isdir("/dev/shm"):
+            assert probed == "/dev/shm"
+        else:
+            assert probed is None

@@ -26,7 +26,7 @@ CONFIG = OptimizerConfig(max_iterations=8, patience=6, seed=2)
 
 
 def installed_check():
-    return search_base._stop_check
+    return search_base.current_stop_check()
 
 
 class TestStopCheckScope:

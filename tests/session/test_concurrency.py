@@ -1,0 +1,149 @@
+"""Concurrent Session access: isolation and determinism guarantees.
+
+The solve service runs one thread per request over sessions that share
+a resident universe's compiled artifacts.  These tests pin the two
+properties that makes safe: distinct sessions never observe each
+other's edits (isolation), and a session solved concurrently with
+others produces exactly the solution it would have produced alone
+(determinism — the acceptance criterion's bit-identical clause).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.search import OptimizerConfig
+from repro.serve import ResidentUniverse
+
+FAST = OptimizerConfig(max_iterations=20, patience=10, seed=0)
+
+# Per-thread edit scripts: (required source, theta).  Distinct on
+# purpose so any cross-contamination shows up in problem state.
+SCRIPTS = [(1, 0.55), (2, 0.6), (3, 0.65), (4, 0.7)]
+
+
+def run_script(session, source, theta):
+    session.require_source(source)
+    session.set_theta(theta)
+    iteration = session.solve()
+    # A second resolve rides the delta pipeline (warm path).
+    session.set_theta(theta + 0.01)
+    return iteration, session.solve()
+
+
+class TestConcurrentSessions:
+    def test_threads_never_cross_contaminate(self, theater):
+        resident = ResidentUniverse("theater:0", theater)
+        sessions = [
+            resident.make_session(
+                record_runs=False, optimizer_config=FAST
+            )
+            for _ in SCRIPTS
+        ]
+        results: dict[int, tuple] = {}
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(len(SCRIPTS))
+
+        def work(index):
+            try:
+                barrier.wait(timeout=30.0)
+                results[index] = run_script(
+                    sessions[index], *SCRIPTS[index]
+                )
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(i,))
+            for i in range(len(SCRIPTS))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors, errors
+
+        for index, (source, theta) in enumerate(SCRIPTS):
+            problem = sessions[index].problem()
+            # Each session's problem reflects exactly its own script.
+            assert problem.source_constraints == frozenset({source})
+            assert abs(problem.theta - (theta + 0.01)) < 1e-9
+            first, second = results[index]
+            assert source in first.result.solution.selected
+            assert source in second.result.solution.selected
+
+    def test_concurrent_solves_bit_identical_to_solo(self, theater):
+        resident = ResidentUniverse("theater:0", theater)
+
+        # Solo reference runs, one per script, sequentially.
+        reference = {}
+        for index, script in enumerate(SCRIPTS):
+            session = resident.make_session(
+                record_runs=False, optimizer_config=FAST
+            )
+            reference[index] = run_script(session, *script)
+
+        # The same scripts, all threads racing over shared artifacts.
+        sessions = [
+            resident.make_session(
+                record_runs=False, optimizer_config=FAST
+            )
+            for _ in SCRIPTS
+        ]
+        results: dict[int, tuple] = {}
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(len(SCRIPTS))
+
+        def work(index):
+            try:
+                barrier.wait(timeout=30.0)
+                results[index] = run_script(
+                    sessions[index], *SCRIPTS[index]
+                )
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(i,))
+            for i in range(len(SCRIPTS))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors, errors
+
+        for index in range(len(SCRIPTS)):
+            for round_ in (0, 1):
+                solo = reference[index][round_].result.solution
+                raced = results[index][round_].result.solution
+                # Bit-identical, not merely close: same selection, same
+                # objective float, same schema, same QEF breakdown.
+                assert raced.selected == solo.selected
+                assert raced.objective == solo.objective
+                assert raced.quality == solo.quality
+                assert raced.qef_scores == solo.qef_scores
+                assert raced.schema == solo.schema
+
+    def test_shared_artifacts_stay_shared_under_concurrency(self, theater):
+        resident = ResidentUniverse("theater:0", theater)
+        sessions = [
+            resident.make_session(
+                record_runs=False, optimizer_config=FAST
+            )
+            for _ in range(3)
+        ]
+        threads = [
+            threading.Thread(
+                target=run_script, args=(session, *SCRIPTS[i])
+            )
+            for i, session in enumerate(sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        # Nobody swapped out the resident artifacts for private copies.
+        for session in sessions:
+            assert session._matrix is resident.matrix
+            assert session._shared_context is resident.eval_context
